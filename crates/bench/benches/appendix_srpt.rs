@@ -1,0 +1,88 @@
+//! APXA — Appendix A: the generalized SRPT-k 4-approximation.
+//!
+//! For batches of jobs with parallelizability caps arriving at time 0,
+//! prints the observed ratio of SRPT-k's total response time to the LP
+//! lower bound across instance families, and verifies the dual-fitting
+//! certificate (Lemmas 8–11) on every instance.
+//!
+//! Run: `cargo bench -p eirs-bench --bench appendix_srpt`
+
+use eirs_bench::section;
+use eirs_srpt::{verify_dual_fitting, BatchInstance};
+
+fn family_stats(name: &str, instances: Vec<BatchInstance>) {
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    let n = instances.len();
+    for inst in &instances {
+        let r = verify_dual_fitting(inst);
+        assert!(r.is_feasible(1e-9), "{name}: dual infeasible");
+        assert!(r.lemma8_holds(1e-9), "{name}: Lemma 8 violated");
+        assert!(r.weak_duality_holds(1e-9), "{name}: weak duality violated");
+        assert!(r.approx_ratio <= 4.0 + 1e-9, "{name}: ratio above 4");
+        worst = worst.max(r.approx_ratio);
+        sum += r.approx_ratio;
+    }
+    println!(
+        "  {name:<26} {n:>4} instances   mean ratio {:<7.3} worst {:<7.3} (bound: 4)",
+        sum / n as f64,
+        worst
+    );
+}
+
+fn main() {
+    section("Appendix A: SRPT-k total response time vs LP lower bound");
+    println!("  instance family            count        C1/LP*  stats");
+
+    family_stats(
+        "uniform sizes, mixed caps",
+        (0..40).map(|s| BatchInstance::random_uniform(200, 8, 10.0, s)).collect(),
+    );
+    family_stats(
+        "heavy-tailed (alpha=1.3)",
+        (0..40).map(|s| BatchInstance::random_heavy_tailed(200, 8, 1.3, 100 + s)).collect(),
+    );
+    family_stats(
+        "heavy-tailed (alpha=0.9)",
+        (0..40).map(|s| BatchInstance::random_heavy_tailed(200, 8, 0.9, 200 + s)).collect(),
+    );
+    family_stats(
+        "elastic/inelastic mixture",
+        (0..40)
+            .map(|s| BatchInstance::random_elastic_inelastic(200, 8, 0.5, 300 + s))
+            .collect(),
+    );
+    family_stats(
+        "few huge + many tiny",
+        (0..40)
+            .map(|s| {
+                let mut inst = BatchInstance::random_uniform(150, 4, 0.2, 400 + s);
+                for big in 0..5 {
+                    inst.jobs.push(eirs_srpt::BatchJob {
+                        size: 50.0 + big as f64,
+                        cap: 1 + (big % 4) as u32,
+                    });
+                }
+                inst
+            })
+            .collect(),
+    );
+    family_stats(
+        "all-sequential (caps = 1)",
+        (0..20)
+            .map(|s| {
+                let mut inst = BatchInstance::random_uniform(200, 8, 10.0, 500 + s);
+                for j in &mut inst.jobs {
+                    j.cap = 1;
+                }
+                inst
+            })
+            .collect(),
+    );
+
+    println!(
+        "\n  Every instance also carried a verified dual-fitting certificate:\n\
+         feasible (α, β), Σα − ∫β ≥ C₂/2, and dual ≤ LP* — the full chain of\n\
+         the Theorem 9 proof, machine-checked."
+    );
+}

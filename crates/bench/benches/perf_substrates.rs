@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the substrates: how fast are the pieces
+//! that every figure harness leans on?
+//!
+//! Run: `cargo bench -p eirs-bench --bench perf_substrates`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eirs_core::params::SystemParams;
+use eirs_core::{analyze_elastic_first, analyze_inelastic_first};
+use eirs_queueing::coxian::fit_busy_period;
+use eirs_queueing::MM1;
+use eirs_sim::ctmc::{simulate_state_level, CtmcSimConfig};
+use eirs_sim::des::run_markovian;
+use eirs_sim::policy::InelasticFirst;
+use eirs_srpt::{srpt_k_schedule, BatchInstance};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    for k in [4u32, 16, 64] {
+        let p = SystemParams::with_equal_lambdas(k, 0.5, 1.0, 0.8).unwrap();
+        group.bench_function(format!("analyze_if_k{k}"), |b| {
+            b.iter(|| analyze_inelastic_first(black_box(&p)).unwrap())
+        });
+        group.bench_function(format!("analyze_ef_k{k}"), |b| {
+            b.iter(|| analyze_elastic_first(black_box(&p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_coxian_fit(c: &mut Criterion) {
+    let q = MM1::new(0.9, 1.0);
+    c.bench_function("coxian_busy_period_fit", |b| {
+        b.iter(|| fit_busy_period(black_box(&q)).unwrap())
+    });
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators");
+    group.sample_size(10);
+    group.bench_function("state_level_1M_jumps", |b| {
+        b.iter(|| {
+            simulate_state_level(
+                &InelasticFirst,
+                CtmcSimConfig {
+                    k: 4,
+                    lambda_i: 1.0,
+                    lambda_e: 0.8,
+                    mu_i: 1.0,
+                    mu_e: 0.8,
+                    jumps: 1_000_000,
+                    warmup_jumps: 0,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("job_level_100k_departures", |b| {
+        b.iter(|| run_markovian(&InelasticFirst, 4, 1.0, 0.8, 1.0, 0.8, 1, 0, 100_000))
+    });
+    group.finish();
+}
+
+fn bench_srpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srpt");
+    for n in [100usize, 1000] {
+        let inst = BatchInstance::random_uniform(n, 8, 10.0, 7);
+        group.bench_function(format!("schedule_n{n}"), |b| {
+            b.iter_batched(
+                || inst.clone(),
+                |i| srpt_k_schedule(black_box(&i), 1.0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_coxian_fit, bench_simulators, bench_srpt);
+criterion_main!(benches);

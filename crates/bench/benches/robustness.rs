@@ -1,0 +1,108 @@
+//! ROB1 — extension experiment: robustness of the IF-vs-EF comparison to
+//! the exponential-size assumption.
+//!
+//! Theorems 1/5 prove IF optimal for exponential sizes with `µ_I ≥ µ_E`.
+//! The work-dominance half of the argument (Theorem 3) is distribution-
+//! free, but the step from work to *number in system* (Lemma 4) uses
+//! memorylessness — so the paper's optimality claim does not automatically
+//! extend to general sizes. This harness measures, by simulation, whether
+//! the *ranking* survives when sizes are deterministic (CV² = 0) or
+//! hyperexponential (CV² = 5), and under bursty (batch-Poisson) arrivals.
+//!
+//! Run: `cargo bench -p eirs-bench --bench robustness`
+
+use eirs_bench::section;
+use eirs_queueing::distributions::{Deterministic, HyperExponential, SizeDistribution};
+use eirs_queueing::Exponential;
+use eirs_sim::arrivals::{BurstyStream, PoissonStream};
+use eirs_sim::des::{DesConfig, Simulation};
+use eirs_sim::policy::{AllocationPolicy, ElasticFirst, FairShare, InelasticFirst};
+
+fn run_with_sizes(
+    policy: &dyn AllocationPolicy,
+    k: u32,
+    lambda_each: f64,
+    size_i: Box<dyn SizeDistribution>,
+    size_e: Box<dyn SizeDistribution>,
+    seed: u64,
+) -> f64 {
+    let mut source = PoissonStream::new(lambda_each, lambda_each, size_i, size_e, seed);
+    let sim = Simulation::new(DesConfig::steady_state(k, 50_000, 400_000));
+    sim.run(policy, &mut source).mean_response
+}
+
+fn main() {
+    let k = 4;
+    // The common case: inelastic jobs 2x smaller (mean 0.5 vs 1.0), ρ = 0.7.
+    let (mean_i, mean_e) = (0.5, 1.0);
+    let lambda_each = k as f64 * 0.7 / (mean_i + mean_e);
+
+    section("Size-distribution robustness (k = 4, rho = 0.7, E[S_I] = 0.5, E[S_E] = 1)");
+    println!("  size law (both classes)   E[T] IF    E[T] EF    E[T] FairShare  IF wins?");
+    type DistPair = (&'static str, Box<dyn Fn() -> Box<dyn SizeDistribution>>, Box<dyn Fn() -> Box<dyn SizeDistribution>>);
+    let cases: Vec<DistPair> = vec![
+        (
+            "Exponential (CV2 = 1)",
+            Box::new(move || Box::new(Exponential::with_mean(mean_i)) as Box<dyn SizeDistribution>),
+            Box::new(move || Box::new(Exponential::with_mean(mean_e)) as Box<dyn SizeDistribution>),
+        ),
+        (
+            "Deterministic (CV2 = 0)",
+            Box::new(move || Box::new(Deterministic::new(mean_i)) as Box<dyn SizeDistribution>),
+            Box::new(move || Box::new(Deterministic::new(mean_e)) as Box<dyn SizeDistribution>),
+        ),
+        (
+            "Hyperexp (CV2 = 5)",
+            Box::new(move || {
+                Box::new(HyperExponential::balanced(mean_i, 5.0)) as Box<dyn SizeDistribution>
+            }),
+            Box::new(move || {
+                Box::new(HyperExponential::balanced(mean_e, 5.0)) as Box<dyn SizeDistribution>
+            }),
+        ),
+    ];
+    for (label, mk_i, mk_e) in &cases {
+        let t_if = run_with_sizes(&InelasticFirst, k, lambda_each, mk_i(), mk_e(), 1);
+        let t_ef = run_with_sizes(&ElasticFirst, k, lambda_each, mk_i(), mk_e(), 1);
+        let t_fs = run_with_sizes(&FairShare, k, lambda_each, mk_i(), mk_e(), 1);
+        println!(
+            "  {label:<26} {t_if:<10.4} {t_ef:<10.4} {t_fs:<15.4} {}",
+            t_if < t_ef
+        );
+        assert!(
+            t_if < t_ef,
+            "{label}: IF should keep its advantage with smaller inelastic jobs"
+        );
+    }
+
+    section("Arrival-process robustness: bursty traffic (geometric bursts, mean 3)");
+    println!("  burstiness                E[T] IF    E[T] EF    IF wins?");
+    for (label, continue_prob) in [("Poisson (bursts of 1)", 0.0), ("mean burst 3", 2.0 / 3.0)] {
+        let run_bursty = |policy: &dyn AllocationPolicy| {
+            // Keep the job rate constant while growing bursts.
+            let mean_burst = 1.0 / (1.0 - continue_prob);
+            let burst_rate = 2.0 * lambda_each / mean_burst;
+            let mut source = BurstyStream::new(
+                burst_rate,
+                continue_prob,
+                0.5,
+                Box::new(Exponential::with_mean(mean_i)),
+                Box::new(Exponential::with_mean(mean_e)),
+                7,
+            );
+            let sim = Simulation::new(DesConfig::steady_state(k, 50_000, 400_000));
+            sim.run(policy, &mut source).mean_response
+        };
+        let t_if = run_bursty(&InelasticFirst);
+        let t_ef = run_bursty(&ElasticFirst);
+        println!("  {label:<26} {t_if:<10.4} {t_ef:<10.4} {}", t_if < t_ef);
+        assert!(t_if < t_ef, "{label}: ranking flipped");
+    }
+
+    println!(
+        "\n  The IF advantage in the µ_I ≥ µ_E regime is not an artifact of\n\
+         memorylessness: it survives zero-variance and high-variance sizes\n\
+         and bursty arrivals in these experiments (the work-dominance half\n\
+         of the proof is distribution-free, which is why)."
+    );
+}

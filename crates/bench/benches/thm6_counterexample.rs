@@ -1,0 +1,76 @@
+//! THM6 — the Theorem 6 counterexample table: exact expected total response
+//! times for IF and EF in the closed system (k = 2, two inelastic + one
+//! elastic job, no arrivals) as the rate ratio µ_E/µ_I varies, plus a
+//! Monte-Carlo confirmation at the paper's point µ_E = 2µ_I.
+//!
+//! Paper values at µ_E = 2µ_I (µ_I = 1): E[ΣT^IF] = 35/12 ≈ 2.9167,
+//! E[ΣT^EF] = 33/12 = 2.75.
+//!
+//! Run: `cargo bench -p eirs-bench --bench thm6_counterexample`
+
+use eirs_bench::section;
+use eirs_core::counterexample::{expected_total_response_closed, theorem6_values};
+use eirs_queueing::distributions::SizeDistribution;
+use eirs_queueing::Exponential;
+use eirs_sim::des::{DesConfig, Simulation};
+use eirs_sim::policy::{AllocationPolicy, ElasticFirst, InelasticFirst};
+use eirs_sim::stats::ReplicationStats;
+use eirs_sim::{ArrivalTrace, JobClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn monte_carlo(policy: &dyn AllocationPolicy, mu_i: f64, mu_e: f64, reps: u64, seed: u64) -> ReplicationStats {
+    let di = Exponential::new(mu_i);
+    let de = Exponential::new(mu_e);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let empty = ArrivalTrace::default();
+    let mut stats = ReplicationStats::new();
+    for _ in 0..reps {
+        let mut sim = Simulation::new(DesConfig::drain(2));
+        sim.preload([
+            (JobClass::Inelastic, di.sample(&mut rng)),
+            (JobClass::Inelastic, di.sample(&mut rng)),
+            (JobClass::Elastic, de.sample(&mut rng)),
+        ]);
+        let mut s = empty.stream();
+        stats.push(sim.run(policy, &mut s).total_response);
+    }
+    stats
+}
+
+fn main() {
+    section("Theorem 6: exact E[ΣT], k = 2, start (2 inelastic, 1 elastic), no arrivals");
+    println!("  µ_E/µ_I    E[ΣT] IF      E[ΣT] EF      better");
+    for ratio in [0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0] {
+        let g_if =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let better = if g_ef < g_if - 1e-12 {
+            "EF"
+        } else if g_if < g_ef - 1e-12 {
+            "IF"
+        } else {
+            "tie"
+        };
+        println!("  {ratio:<10.2} {g_if:<13.6} {g_ef:<13.6} {better}");
+    }
+
+    section("Paper's exact point: µ_E = 2µ_I (µ_I = 1)");
+    let (want_if, want_ef) = theorem6_values(1.0);
+    let got_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
+    let got_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
+    println!("  IF: computed {got_if:.6}  paper 35/12 = {want_if:.6}");
+    println!("  EF: computed {got_ef:.6}  paper 33/12 = {want_ef:.6}");
+    assert!((got_if - want_if).abs() < 1e-12);
+    assert!((got_ef - want_ef).abs() < 1e-12);
+
+    section("Monte-Carlo confirmation (100k replications each)");
+    let mc_if = monte_carlo(&InelasticFirst, 1.0, 2.0, 100_000, 1);
+    let mc_ef = monte_carlo(&ElasticFirst, 1.0, 2.0, 100_000, 2);
+    let ci_if = mc_if.confidence_interval();
+    let ci_ef = mc_ef.confidence_interval();
+    println!("  IF: {:.4} ± {:.4} (exact {want_if:.4})", ci_if.mean, ci_if.half_width);
+    println!("  EF: {:.4} ± {:.4} (exact {want_ef:.4})", ci_ef.mean, ci_ef.half_width);
+    assert!(ci_ef.mean < ci_if.mean, "EF must beat IF");
+    println!("\n  IF is NOT optimal when µ_I < µ_E — exactly Theorem 6.");
+}

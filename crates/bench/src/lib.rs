@@ -1,0 +1,94 @@
+//! Shared infrastructure for the figure/table regeneration harnesses.
+//!
+//! Each bench target in this crate regenerates one table or figure of
+//! Berg et al. (SPAA 2020) and prints the same rows/series the paper
+//! reports (as aligned text, since the original artifacts are MATLAB
+//! plots). `cargo bench -p eirs-bench` therefore *is* the reproduction run;
+//! see `EXPERIMENTS.md` at the workspace root for the recorded outputs.
+
+use parking_lot::Mutex;
+
+/// Renders one row of an aligned text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:<width$}", width = w + 2));
+    }
+    out.trim_end().to_string()
+}
+
+/// Prints a titled section separator.
+pub fn section(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Maps `f` over `items` on `threads` scoped worker threads, preserving
+/// input order. The figure sweeps are embarrassingly parallel; crossbeam's
+/// scoped threads let the closures borrow locals without `'static` bounds.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads >= 1);
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let results = Mutex::new(slots);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= work.len() {
+                    break;
+                }
+                let (slot, item) = &work[idx];
+                let r = f(item);
+                results.lock()[*slot] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Number of worker threads to use for sweeps on this machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(items, 4, |&x| x * 2);
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_works() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 3]);
+        assert_eq!(r, "a    bb");
+    }
+}

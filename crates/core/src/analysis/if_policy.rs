@@ -1,0 +1,199 @@
+//! Inelastic-First analysis (paper Appendix D, Figure 7).
+//!
+//! Under IF, inelastic jobs preempt everything, so:
+//!
+//! * inelastic class = M/M/k(λ_I, µ_I) — exact (Erlang-C);
+//! * elastic class = QBD over levels `j` (number of elastic jobs) with
+//!   `k + 2` phases: phases `0..k-1` track the number of inelastic jobs
+//!   while it is below `k` (the head-of-line elastic job then runs on the
+//!   remaining `k − i` servers), and phases `b1`/`b2` are the two Coxian
+//!   stages of an *inelastic* busy-at-`k` period, during which elastic jobs
+//!   receive no service.
+//!
+//! The Coxian `(γ1, γ2, γ3)` matches the first three moments of the
+//! M/M/1(λ_I, kµ_I) busy period: once all `k` servers hold inelastic jobs,
+//! further inelastic arrivals queue and the excursion back down to `k − 1`
+//! inelastic jobs is exactly such a busy period (Figure 7b → 7c).
+
+use super::{AnalysisError, PolicyAnalysis};
+use crate::params::SystemParams;
+use eirs_markov::qbd::Qbd;
+use eirs_numerics::Matrix;
+use eirs_queueing::coxian::fit_busy_period;
+use eirs_queueing::{MM1, MMk};
+
+/// Mean response time (and class means) under **Inelastic-First**.
+pub fn analyze_inelastic_first(params: &SystemParams) -> Result<PolicyAnalysis, AnalysisError> {
+    let kf = params.k as f64;
+
+    // Inelastic class: exact M/M/k.
+    let n_i = if params.lambda_i > 0.0 {
+        MMk::new(params.lambda_i, params.mu_i, params.k).mean_number_in_system()
+    } else {
+        0.0
+    };
+
+    if params.lambda_e == 0.0 {
+        return Ok(PolicyAnalysis::from_class_means(params, n_i, 0.0));
+    }
+    if params.lambda_i == 0.0 {
+        // Elastic jobs alone: M/M/1 at rate kµ_E.
+        let n_e = MM1::new(params.lambda_e, kf * params.mu_e).mean_number_in_system();
+        return Ok(PolicyAnalysis::from_class_means(params, 0.0, n_e));
+    }
+
+    let n_e = elastic_mean_number(params)?;
+    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
+}
+
+/// Builds and solves the busy-period-transformed IF chain, returning
+/// `E[N_E]`.
+fn elastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
+    let k = params.k as usize;
+    let kf = params.k as f64;
+    let phases = k + 2; // 0..k-1 inelastic counts, then b1, b2.
+    let b1 = k;
+    let b2 = k + 1;
+
+    let cox = fit_busy_period(&MM1::new(params.lambda_i, kf * params.mu_i))?;
+    let (g1, g2, g3) = cox.gamma_rates();
+
+    // Phase process shared by every level (Figure 7c): births of inelastic
+    // jobs up to the busy-period states and deaths back down.
+    let mut local = Matrix::zeros(phases, phases);
+    for i in 0..k {
+        if i + 1 < k {
+            local[(i, i + 1)] = params.lambda_i;
+        } else {
+            local[(i, b1)] = params.lambda_i; // k-1 --λ_I--> busy period
+        }
+        if i >= 1 {
+            local[(i, i - 1)] = i as f64 * params.mu_i;
+        }
+    }
+    local[(b1, k - 1)] = g1;
+    local[(b1, b2)] = g2;
+    local[(b2, k - 1)] = g3;
+
+    // Elastic arrivals in every phase.
+    let up = Matrix::diag(&vec![params.lambda_e; phases]);
+
+    // Elastic service: the head-of-line elastic job gets the k − i servers
+    // left over by inelastic jobs; nothing during a busy period.
+    let mut a2 = Matrix::zeros(phases, phases);
+    for i in 0..k {
+        a2[(i, i)] = (kf - i as f64) * params.mu_e;
+    }
+
+    let qbd = Qbd::new(
+        vec![up.clone()],
+        vec![local.clone()],
+        vec![],
+        up,
+        local,
+        a2,
+    )?;
+    let sol = qbd.solve()?;
+    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
+    Ok(sol.mean_level())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inelastic_class_is_exact_mmk() {
+        let p = SystemParams::new(4, 2.0, 0.5, 1.0, 1.0).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        let want = MMk::new(2.0, 1.0, 4).mean_response_time();
+        assert!((a.mean_response_inelastic - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn no_inelastic_traffic_reduces_to_elastic_mm1() {
+        let p = SystemParams::new(4, 0.0, 2.0, 1.0, 1.0).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        let want = MM1::new(2.0, 4.0).mean_response_time();
+        assert!((a.mean_response_elastic - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_elastic_traffic_reduces_to_mmk_only() {
+        let p = SystemParams::new(4, 3.0, 0.0, 1.0, 1.0).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        assert!(a.mean_response_elastic.is_nan());
+        let want = MMk::new(3.0, 1.0, 4).mean_response_time();
+        assert!((a.mean_response - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k1_with_identical_classes_is_priority_mm1() {
+        // k=1, µ_I = µ_E = µ: IF is preemptive-priority M/M/1 with the
+        // inelastic class on top; the low class has the classical mean
+        // E[T_low] = (1/µ)/((1-ρ_I)(1-ρ_I-ρ_E)).
+        let (li, le, mu) = (0.4, 0.3, 1.0);
+        let p = SystemParams::new(1, li, le, mu, mu).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        let t_low = (1.0 / mu) / ((1.0 - li / mu) * (1.0 - li / mu - le / mu));
+        assert!(
+            (a.mean_response_elastic - t_low).abs() / t_low < 0.01,
+            "QBD {} vs priority formula {t_low}",
+            a.mean_response_elastic
+        );
+        let t_high = 1.0 / (mu - li);
+        assert!((a.mean_response_inelastic - t_high).abs() < 1e-10);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let p = SystemParams::with_equal_lambdas(4, 2.0, 1.0, 0.7).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        assert!((a.mean_num_elastic - p.lambda_e * a.mean_response_elastic).abs() < 1e-9);
+        assert!(
+            (a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn if_beats_ef_when_mu_i_geq_mu_e() {
+        // Theorem 5 regime across loads and a few shape ratios.
+        for rho in [0.5, 0.7, 0.9] {
+            for (mu_i, mu_e) in [(1.0, 1.0), (2.0, 1.0), (3.25, 1.0)] {
+                let p = SystemParams::with_equal_lambdas(4, mu_i, mu_e, rho).unwrap();
+                let a_if = analyze_inelastic_first(&p).unwrap();
+                let a_ef = super::super::analyze_elastic_first(&p).unwrap();
+                assert!(
+                    a_if.mean_response <= a_ef.mean_response + 1e-9,
+                    "rho={rho} mu_i={mu_i}: IF {} vs EF {}",
+                    a_if.mean_response,
+                    a_ef.mean_response
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ef_beats_if_for_small_mu_i_high_load() {
+        // The µ_I < µ_E regime where Figure 4c shows EF superior.
+        let p = SystemParams::with_equal_lambdas(4, 0.25, 1.0, 0.9).unwrap();
+        let a_if = analyze_inelastic_first(&p).unwrap();
+        let a_ef = super::super::analyze_elastic_first(&p).unwrap();
+        assert!(
+            a_ef.mean_response < a_if.mean_response,
+            "EF {} vs IF {}",
+            a_ef.mean_response,
+            a_if.mean_response
+        );
+    }
+
+    #[test]
+    fn scales_to_many_servers() {
+        let p = SystemParams::with_equal_lambdas(16, 0.25, 1.0, 0.9).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        assert!(a.mean_response.is_finite() && a.mean_response > 0.0);
+        let p = SystemParams::with_equal_lambdas(64, 2.0, 1.0, 0.8).unwrap();
+        let a = analyze_inelastic_first(&p).unwrap();
+        assert!(a.mean_response.is_finite() && a.mean_response > 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Exact transient analysis for the Theorem 6 counterexample.
+//!
+//! Theorem 6 shows IF is not optimal when `µ_I < µ_E`: with `k = 2`,
+//! `µ_E = 2µ_I`, no arrivals, and an initial population of two inelastic
+//! jobs plus one elastic job, direct computation gives expected *total*
+//! response time
+//!
+//! ```text
+//! E[ΣT^IF] = 35/12 · (1/µ_I)  >  E[ΣT^EF] = 33/12 · (1/µ_I).
+//! ```
+//!
+//! This module generalizes that computation: for any starting population
+//! `(i₀, j₀)`, any `k`, and any allocation policy, the expected total
+//! response time equals the expected accumulated cost `∫ N(t) dt` of the
+//! absorbing CTMC on states `(i, j) ⊆ [0,i₀] × [0,j₀]` with cost rate
+//! `i + j` — solved exactly by first-step analysis
+//! ([`eirs_markov::absorbing`]).
+
+use eirs_markov::absorbing::AbsorbingCtmc;
+use eirs_numerics::lu::LinAlgError;
+use eirs_sim::policy::AllocationPolicy;
+
+/// Expected total response time (sum over jobs) for a closed system:
+/// `i0` inelastic and `j0` elastic jobs at time zero, no arrivals, `k`
+/// servers, exponential sizes with rates `mu_i`/`mu_e`, scheduled by
+/// `policy`.
+pub fn expected_total_response_closed(
+    policy: &dyn AllocationPolicy,
+    k: u32,
+    i0: usize,
+    j0: usize,
+    mu_i: f64,
+    mu_e: f64,
+) -> Result<f64, LinAlgError> {
+    assert!(mu_i > 0.0 && mu_e > 0.0);
+    if i0 == 0 && j0 == 0 {
+        return Ok(0.0);
+    }
+    // Transient states: all (i, j) with i ≤ i0, j ≤ j0 except (0,0).
+    let cols = j0 + 1;
+    let index = |i: usize, j: usize| -> usize {
+        // (0,0) removed; shift everything after it down by one.
+        let raw = i * cols + j;
+        raw - 1
+    };
+    let n = (i0 + 1) * (j0 + 1) - 1;
+    let mut chain = AbsorbingCtmc::new(n);
+    let mut costs = vec![0.0; n];
+    for i in 0..=i0 {
+        for j in 0..=j0 {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            let s = index(i, j);
+            costs[s] = (i + j) as f64;
+            let alloc = policy.allocate(i, j, k);
+            eirs_sim::policy::assert_feasible(alloc, i, j, k, &policy.name());
+            let rate_i = alloc.inelastic * mu_i;
+            let rate_e = alloc.elastic * mu_e;
+            assert!(
+                rate_i + rate_e > 0.0,
+                "policy {} stalls in state ({i},{j})",
+                policy.name()
+            );
+            if rate_i > 0.0 {
+                if i == 1 && j == 0 {
+                    chain.add_absorbing_rate(s, rate_i);
+                } else {
+                    chain.add_rate(s, index(i - 1, j), rate_i);
+                }
+            }
+            if rate_e > 0.0 {
+                if i == 0 && j == 1 {
+                    chain.add_absorbing_rate(s, rate_e);
+                } else {
+                    chain.add_rate(s, index(i, j - 1), rate_e);
+                }
+            }
+        }
+    }
+    let x = chain.expected_cost_to_absorption(&costs)?;
+    Ok(x[index(i0, j0)])
+}
+
+/// The two closed-form values of Theorem 6 for the paper's instance
+/// (`k = 2`, `µ_E = 2µ_I`, start `(2, 1)`): returns
+/// `(E[ΣT^IF], E[ΣT^EF]) = (35/12, 33/12) / µ_I`.
+pub fn theorem6_values(mu_i: f64) -> (f64, f64) {
+    (35.0 / 12.0 / mu_i, 33.0 / 12.0 / mu_i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirs_sim::policy::{ElasticFirst, FairShare, InelasticFirst};
+
+    #[test]
+    fn theorem6_if_value_is_35_twelfths() {
+        for mu_i in [1.0, 0.5, 3.0] {
+            let got = expected_total_response_closed(
+                &InelasticFirst,
+                2,
+                2,
+                1,
+                mu_i,
+                2.0 * mu_i,
+            )
+            .unwrap();
+            let want = 35.0 / 12.0 / mu_i;
+            assert!((got - want).abs() < 1e-10, "mu_i={mu_i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn theorem6_ef_value_is_33_twelfths() {
+        for mu_i in [1.0, 0.5, 3.0] {
+            let got =
+                expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i)
+                    .unwrap();
+            let want = 33.0 / 12.0 / mu_i;
+            assert!((got - want).abs() < 1e-10, "mu_i={mu_i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ef_beats_if_exactly_as_in_the_paper() {
+        let (v_if, v_ef) = theorem6_values(1.0);
+        let g_if =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
+        let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
+        assert!((g_if - v_if).abs() < 1e-10);
+        assert!((g_ef - v_ef).abs() < 1e-10);
+        assert!(g_ef < g_if);
+    }
+
+    #[test]
+    fn if_beats_ef_in_the_reverse_regime() {
+        // µ_I > µ_E: the Theorem 5 regime, here in transient form.
+        let g_if =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 2.0, 1.0).unwrap();
+        let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 2.0, 1.0).unwrap();
+        assert!(g_if < g_ef, "IF {g_if} vs EF {g_ef}");
+    }
+
+    #[test]
+    fn equal_rates_make_if_no_worse_than_alternatives() {
+        // µ_I = µ_E: Theorem 1 regime.
+        for policy in [&InelasticFirst as &dyn AllocationPolicy, &ElasticFirst, &FairShare] {
+            let g = expected_total_response_closed(policy, 2, 2, 2, 1.0, 1.0).unwrap();
+            let g_if =
+                expected_total_response_closed(&InelasticFirst, 2, 2, 2, 1.0, 1.0).unwrap();
+            assert!(g_if <= g + 1e-10, "{}: IF {g_if} vs {g}", policy.name());
+        }
+    }
+
+    #[test]
+    fn single_job_total_is_its_mean_size() {
+        let g = expected_total_response_closed(&InelasticFirst, 4, 1, 0, 2.0, 1.0).unwrap();
+        assert!((g - 0.5).abs() < 1e-12);
+        // One elastic job on k=4 servers at rate µ_E=1: mean 1/(4µ_E).
+        let g = expected_total_response_closed(&InelasticFirst, 4, 0, 1, 1.0, 1.0).unwrap();
+        assert!((g - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_start_costs_nothing() {
+        let g = expected_total_response_closed(&InelasticFirst, 2, 0, 0, 1.0, 1.0).unwrap();
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn hand_computed_if_recursion_matches() {
+        // Recompute the paper's E[ΣT^IF] with the explicit four-term sum
+        // (Theorem 6 proof) for an asymmetric rate pair.
+        let (mu_i, mu_e) = (1.0, 3.0);
+        let expect = 3.0 / (2.0 * mu_i)
+            + 2.0 / (mu_i + mu_e)
+            + (mu_i / (mu_i + mu_e)) * (1.0 / (2.0 * mu_e))
+            + (mu_e / (mu_i + mu_e)) * (1.0 / mu_i);
+        let got =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, mu_e).unwrap();
+        assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Experiment parameterizations for every figure in the paper.
+//!
+//! All three figures fix the load `ρ` and set `λ_I = λ_E` (see the captions
+//! of Figures 4–6), which [`SystemParams::with_equal_lambdas`] implements.
+//! The sweep functions here return plain data that the bench harnesses in
+//! `eirs-bench` format into the paper's rows/series.
+
+use crate::analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError};
+use crate::params::SystemParams;
+
+/// Which policy wins a head-to-head mean-response-time comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// Inelastic-First has strictly smaller `E[T]`.
+    InelasticFirst,
+    /// Elastic-First has strictly smaller `E[T]`.
+    ElasticFirst,
+    /// Within tie tolerance.
+    Tie,
+}
+
+impl Winner {
+    /// Single-character cell used in the heat-map rendering
+    /// (`o` = IF, `+` = EF, `=` = tie), matching the paper's red-circle /
+    /// blue-plus convention in Figure 4.
+    pub fn cell(&self) -> char {
+        match self {
+            Winner::InelasticFirst => 'o',
+            Winner::ElasticFirst => '+',
+            Winner::Tie => '=',
+        }
+    }
+}
+
+/// One comparison point: both analyses plus the winner.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// Parameters of the comparison.
+    pub params: SystemParams,
+    /// Mean response time under Inelastic-First.
+    pub mrt_if: f64,
+    /// Mean response time under Elastic-First.
+    pub mrt_ef: f64,
+    /// The winner at `tol = 1e-9` relative.
+    pub winner: Winner,
+}
+
+/// Compares IF and EF analytically at `params`.
+pub fn compare(params: &SystemParams) -> Result<Comparison, AnalysisError> {
+    let a_if = analyze_inelastic_first(params)?;
+    let a_ef = analyze_elastic_first(params)?;
+    let (mrt_if, mrt_ef) = (a_if.mean_response, a_ef.mean_response);
+    let winner = if (mrt_if - mrt_ef).abs() <= 1e-9 * mrt_if.max(mrt_ef) {
+        Winner::Tie
+    } else if mrt_if < mrt_ef {
+        Winner::InelasticFirst
+    } else {
+        Winner::ElasticFirst
+    };
+    Ok(Comparison { params: *params, mrt_if, mrt_ef, winner })
+}
+
+/// The µ grid of Figure 4: `0.25, 0.50, …, 3.50`.
+pub fn figure4_mu_grid() -> Vec<f64> {
+    (1..=14).map(|i| i as f64 * 0.25).collect()
+}
+
+/// One cell of a Figure 4 heat map.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatMapCell {
+    /// Inelastic size rate.
+    pub mu_i: f64,
+    /// Elastic size rate.
+    pub mu_e: f64,
+    /// Comparison outcome.
+    pub comparison: Comparison,
+}
+
+/// Computes one Figure 4 heat map: winner over the `(µ_I, µ_E)` grid at
+/// fixed `k` and load `ρ` with `λ_I = λ_E`.
+pub fn figure4_heatmap(k: u32, rho: f64) -> Result<Vec<HeatMapCell>, AnalysisError> {
+    let grid = figure4_mu_grid();
+    let mut cells = Vec::with_capacity(grid.len() * grid.len());
+    for &mu_e in &grid {
+        for &mu_i in &grid {
+            let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
+                .expect("grid parameters are stable by construction");
+            cells.push(HeatMapCell { mu_i, mu_e, comparison: compare(&params)? });
+        }
+    }
+    Ok(cells)
+}
+
+/// One point of a Figure 5 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseCurvePoint {
+    /// Swept inelastic size rate.
+    pub mu_i: f64,
+    /// `E[T]` under IF.
+    pub mrt_if: f64,
+    /// `E[T]` under EF.
+    pub mrt_ef: f64,
+}
+
+/// Computes one Figure 5 panel: `E[T]` under IF and EF as `µ_I` sweeps with
+/// `µ_E = 1`, fixed `k` and `ρ`, `λ_I = λ_E`.
+pub fn figure5_curve(
+    k: u32,
+    rho: f64,
+    mu_i_values: &[f64],
+) -> Result<Vec<ResponseCurvePoint>, AnalysisError> {
+    mu_i_values
+        .iter()
+        .map(|&mu_i| {
+            let params = SystemParams::with_equal_lambdas(k, mu_i, 1.0, rho)
+                .expect("stable by construction");
+            let c = compare(&params)?;
+            Ok(ResponseCurvePoint { mu_i, mrt_if: c.mrt_if, mrt_ef: c.mrt_ef })
+        })
+        .collect()
+}
+
+/// The default µ_I sweep of Figure 5: `0.1` to `3.5`.
+pub fn figure5_mu_i_values() -> Vec<f64> {
+    let mut v = vec![0.1, 0.15, 0.2];
+    v.extend((1..=14).map(|i| i as f64 * 0.25));
+    v
+}
+
+/// One point of a Figure 6 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerScalingPoint {
+    /// Number of servers.
+    pub k: u32,
+    /// `E[T]` under IF.
+    pub mrt_if: f64,
+    /// `E[T]` under EF.
+    pub mrt_ef: f64,
+}
+
+/// Computes one Figure 6 panel: `E[T]` under IF and EF as `k` grows at
+/// constant load `ρ` and fixed `(µ_I, µ_E)`, `λ_I = λ_E`.
+pub fn figure6_curve(
+    ks: &[u32],
+    rho: f64,
+    mu_i: f64,
+    mu_e: f64,
+) -> Result<Vec<ServerScalingPoint>, AnalysisError> {
+    ks.iter()
+        .map(|&k| {
+            let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
+                .expect("stable by construction");
+            let c = compare(&params)?;
+            Ok(ServerScalingPoint { k, mrt_if: c.mrt_if, mrt_ef: c.mrt_ef })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_figure4_axes() {
+        let g = figure4_mu_grid();
+        assert_eq!(g.len(), 14);
+        assert!((g[0] - 0.25).abs() < 1e-12);
+        assert!((g[13] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_agrees_with_theorem5_on_the_diagonal_and_right() {
+        // µ_I ≥ µ_E ⇒ IF wins (or ties) — Theorem 5.
+        for (mu_i, mu_e) in [(1.0, 1.0), (2.0, 1.0), (3.0, 0.5)] {
+            let p = SystemParams::with_equal_lambdas(4, mu_i, mu_e, 0.7).unwrap();
+            let c = compare(&p).unwrap();
+            assert_ne!(c.winner, Winner::ElasticFirst, "({mu_i},{mu_e}): {c:?}");
+        }
+    }
+
+    #[test]
+    fn ef_region_exists_at_high_load() {
+        // Figure 4c: for µ_I ≪ µ_E and ρ = 0.9, EF wins.
+        let p = SystemParams::with_equal_lambdas(4, 0.25, 2.0, 0.9).unwrap();
+        let c = compare(&p).unwrap();
+        assert_eq!(c.winner, Winner::ElasticFirst);
+    }
+
+    #[test]
+    fn figure5_points_are_monotone_decreasing_in_mu_i_for_if() {
+        // Larger µ_I (smaller inelastic jobs) reduces E[T] under IF.
+        let pts = figure5_curve(4, 0.5, &[0.5, 1.0, 2.0, 3.0]).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].mrt_if < w[0].mrt_if + 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure6_curves_cover_all_k() {
+        let ks: Vec<u32> = (2..=16).step_by(2).collect();
+        let pts = figure6_curve(&ks, 0.9, 3.25, 1.0).unwrap();
+        assert_eq!(pts.len(), ks.len());
+        for p in &pts {
+            assert!(p.mrt_if <= p.mrt_ef, "IF should win at µ_I=3.25 (k={})", p.k);
+        }
+    }
+
+    #[test]
+    fn winner_cells_render() {
+        assert_eq!(Winner::InelasticFirst.cell(), 'o');
+        assert_eq!(Winner::ElasticFirst.cell(), '+');
+        assert_eq!(Winner::Tie.cell(), '=');
+    }
+}

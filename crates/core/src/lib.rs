@@ -1,0 +1,70 @@
+//! # eirs-core — Optimal Resource Allocation for Elastic and Inelastic Jobs
+//!
+//! A faithful, from-scratch implementation of the system studied by
+//! Berg, Harchol-Balter, Moseley, Wang & Whitehouse,
+//! *"Optimal Resource Allocation for Elastic and Inelastic Jobs"*
+//! (SPAA 2020, arXiv:2005.09745).
+//!
+//! The model: `k` identical unit-speed servers shared by two Poisson job
+//! classes with exponentially distributed, unknown sizes. *Elastic* jobs
+//! (rate `λ_E`, sizes `Exp(µ_E)`) parallelize linearly across any fractional
+//! number of servers; *inelastic* jobs (rate `λ_I`, sizes `Exp(µ_I)`) use at
+//! most one server. An allocation policy maps each state `(i, j)` to server
+//! shares; the goal is minimal mean response time `E[T]`.
+//!
+//! What this crate provides:
+//!
+//! * [`params::SystemParams`] — the five model parameters with load and
+//!   stability accounting (`ρ = λ_I/(kµ_I) + λ_E/(kµ_E) < 1`, Appendix C).
+//! * [`analysis`] — the paper's Section 5 / Appendix D response-time
+//!   analysis of Elastic-First and Inelastic-First: busy-period
+//!   transformation of the 2D-infinite chain to a 1D-infinite QBD (Coxian
+//!   matched to three M/M/1 busy-period moments) solved by matrix-analytic
+//!   methods. Accuracy vs simulation is ~1% or better (validated in the
+//!   workspace integration tests and the `validation_table` bench).
+//! * [`counterexample`] — exact transient analysis behind Theorem 6:
+//!   with `µ_I < µ_E`, EF can beat IF (35/12 vs 33/12 when `µ_E = 2µ_I`,
+//!   `k = 2`, starting from two inelastic and one elastic job).
+//! * [`experiments`] — parameterizations used by every figure of the paper
+//!   (`λ_I = λ_E` chosen to pin the load ρ).
+//! * [`validation`] — analytic-vs-simulation comparison harness.
+//!
+//! Policies themselves (IF, EF, class-P, …) live in [`eirs_sim::policy`]
+//! and are re-exported here.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use eirs_core::prelude::*;
+//!
+//! // k = 4 servers at load 0.5, inelastic jobs 4x smaller than elastic.
+//! let params = SystemParams::with_equal_lambdas(4, 2.0, 0.5, 0.5).unwrap();
+//! let mrt_if = analysis::analyze_inelastic_first(&params).unwrap();
+//! let mrt_ef = analysis::analyze_elastic_first(&params).unwrap();
+//! // µ_I ≥ µ_E: Theorem 5 says IF is optimal, so it beats EF.
+//! assert!(mrt_if.mean_response < mrt_ef.mean_response);
+//! ```
+
+pub mod analysis;
+pub mod counterexample;
+pub mod experiments;
+pub mod params;
+pub mod validation;
+
+pub use analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError, PolicyAnalysis};
+pub use counterexample::{expected_total_response_closed, theorem6_values};
+pub use params::SystemParams;
+
+/// Convenient glob import for downstream users.
+pub mod prelude {
+    pub use crate::analysis::{
+        self, analyze_elastic_first, analyze_inelastic_first, PolicyAnalysis,
+    };
+    pub use crate::counterexample;
+    pub use crate::experiments;
+    pub use crate::params::SystemParams;
+    pub use crate::validation;
+    pub use eirs_sim::policy::{
+        AllocationPolicy, ElasticFirst, FairShare, InelasticFirst, TablePolicy,
+    };
+}

@@ -1,0 +1,170 @@
+//! Model parameters (paper Section 2).
+
+/// The five parameters of the stochastic model: `k` servers, per-class
+/// Poisson arrival rates, and per-class exponential size rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemParams {
+    /// Number of servers `k ≥ 1`.
+    pub k: u32,
+    /// Inelastic arrival rate `λ_I ≥ 0`.
+    pub lambda_i: f64,
+    /// Elastic arrival rate `λ_E ≥ 0`.
+    pub lambda_e: f64,
+    /// Inelastic size rate `µ_I > 0` (mean size `1/µ_I`).
+    pub mu_i: f64,
+    /// Elastic size rate `µ_E > 0` (mean size `1/µ_E`).
+    pub mu_e: f64,
+}
+
+/// Parameter validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// A rate was negative, zero where positivity is required, or not finite.
+    InvalidRate(&'static str, f64),
+    /// `k = 0`.
+    NoServers,
+    /// The offered load is at or above capacity: `ρ ≥ 1`.
+    Overloaded {
+        /// The offending load.
+        rho: f64,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::InvalidRate(name, v) => write!(f, "invalid {name}: {v}"),
+            ParamError::NoServers => write!(f, "k must be at least 1"),
+            ParamError::Overloaded { rho } => {
+                write!(f, "system overloaded: rho = {rho:.4} >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl SystemParams {
+    /// Validated constructor. Requires `k ≥ 1`, `µ > 0` for both classes,
+    /// `λ ≥ 0` for both classes, and stability `ρ < 1`.
+    pub fn new(
+        k: u32,
+        lambda_i: f64,
+        lambda_e: f64,
+        mu_i: f64,
+        mu_e: f64,
+    ) -> Result<Self, ParamError> {
+        if k == 0 {
+            return Err(ParamError::NoServers);
+        }
+        for (name, v, strictly_positive) in [
+            ("lambda_i", lambda_i, false),
+            ("lambda_e", lambda_e, false),
+            ("mu_i", mu_i, true),
+            ("mu_e", mu_e, true),
+        ] {
+            if !v.is_finite() || v < 0.0 || (strictly_positive && v == 0.0) {
+                return Err(ParamError::InvalidRate(name, v));
+            }
+        }
+        let p = Self { k, lambda_i, lambda_e, mu_i, mu_e };
+        if p.load() >= 1.0 {
+            return Err(ParamError::Overloaded { rho: p.load() });
+        }
+        Ok(p)
+    }
+
+    /// The parameterization used throughout the paper's figures:
+    /// `λ_I = λ_E = λ` with `λ` chosen so that the system load is exactly
+    /// `rho`, i.e. `λ = kρ / (1/µ_I + 1/µ_E)`.
+    pub fn with_equal_lambdas(k: u32, mu_i: f64, mu_e: f64, rho: f64) -> Result<Self, ParamError> {
+        if !(rho > 0.0 && rho < 1.0) {
+            return Err(ParamError::Overloaded { rho });
+        }
+        if mu_i <= 0.0 || !mu_i.is_finite() {
+            return Err(ParamError::InvalidRate("mu_i", mu_i));
+        }
+        if mu_e <= 0.0 || !mu_e.is_finite() {
+            return Err(ParamError::InvalidRate("mu_e", mu_e));
+        }
+        let lambda = k as f64 * rho / (1.0 / mu_i + 1.0 / mu_e);
+        Self::new(k, lambda, lambda, mu_i, mu_e)
+    }
+
+    /// System load `ρ = λ_I/(kµ_I) + λ_E/(kµ_E)` (paper Eq. (1)).
+    pub fn load(&self) -> f64 {
+        let k = self.k as f64;
+        self.lambda_i / (k * self.mu_i) + self.lambda_e / (k * self.mu_e)
+    }
+
+    /// Inelastic share of the load, `λ_I/(kµ_I)`.
+    pub fn load_inelastic(&self) -> f64 {
+        self.lambda_i / (self.k as f64 * self.mu_i)
+    }
+
+    /// Elastic share of the load, `λ_E/(kµ_E)`.
+    pub fn load_elastic(&self) -> f64 {
+        self.lambda_e / (self.k as f64 * self.mu_e)
+    }
+
+    /// Total arrival rate `λ_I + λ_E`.
+    pub fn total_lambda(&self) -> f64 {
+        self.lambda_i + self.lambda_e
+    }
+
+    /// `true` in the regime where Theorem 5 proves IF optimal (`µ_I ≥ µ_E`).
+    pub fn inelastic_first_provably_optimal(&self) -> bool {
+        self.mu_i >= self.mu_e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_formula_matches_paper() {
+        let p = SystemParams::new(4, 1.0, 1.0, 2.0, 1.0).unwrap();
+        assert!((p.load() - (1.0 / 8.0 + 1.0 / 4.0)).abs() < 1e-12);
+        assert!((p.load_inelastic() - 0.125).abs() < 1e-12);
+        assert!((p.load_elastic() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_lambda_parameterization_hits_target_load() {
+        for rho in [0.1, 0.5, 0.7, 0.9] {
+            for (mu_i, mu_e) in [(0.25, 1.0), (1.0, 1.0), (3.25, 1.0), (2.0, 0.5)] {
+                let p = SystemParams::with_equal_lambdas(4, mu_i, mu_e, rho).unwrap();
+                assert!((p.load() - rho).abs() < 1e-12, "rho {} vs {rho}", p.load());
+                assert_eq!(p.lambda_i, p.lambda_e);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_overload() {
+        assert!(matches!(
+            SystemParams::new(2, 3.0, 0.0, 1.0, 1.0),
+            Err(ParamError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(SystemParams::new(2, -1.0, 0.0, 1.0, 1.0).is_err());
+        assert!(SystemParams::new(2, 0.5, 0.0, 0.0, 1.0).is_err());
+        assert!(SystemParams::new(0, 0.5, 0.0, 1.0, 1.0).is_err());
+        assert!(SystemParams::new(2, f64::NAN, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn optimality_regime_flag() {
+        assert!(SystemParams::new(2, 0.1, 0.1, 2.0, 1.0)
+            .unwrap()
+            .inelastic_first_provably_optimal());
+        assert!(!SystemParams::new(2, 0.1, 0.1, 0.5, 1.0)
+            .unwrap()
+            .inelastic_first_provably_optimal());
+    }
+}

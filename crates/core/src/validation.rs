@@ -1,0 +1,88 @@
+//! Analytic-vs-simulation validation (the paper's "our analytical results
+//! match simulation … within 1%" claim, Section 5).
+//!
+//! Each validation point runs the state-level CTMC simulator (exact for the
+//! Markovian model up to Monte-Carlo noise) against the busy-period-
+//! transformation analysis and reports relative errors.
+
+use crate::analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError};
+use crate::params::SystemParams;
+use eirs_sim::ctmc::{simulate_state_level, CtmcSimConfig};
+use eirs_sim::policy::{ElasticFirst, InelasticFirst};
+
+/// Analytic and simulated mean response times for one parameter point.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationRow {
+    /// Parameters of the point.
+    pub params: SystemParams,
+    /// Analytic `E[T]` under IF.
+    pub analytic_if: f64,
+    /// Simulated `E[T]` under IF.
+    pub simulated_if: f64,
+    /// Analytic `E[T]` under EF.
+    pub analytic_ef: f64,
+    /// Simulated `E[T]` under EF.
+    pub simulated_ef: f64,
+}
+
+impl ValidationRow {
+    /// `|analytic − simulated| / simulated` for IF.
+    pub fn rel_err_if(&self) -> f64 {
+        (self.analytic_if - self.simulated_if).abs() / self.simulated_if
+    }
+
+    /// `|analytic − simulated| / simulated` for EF.
+    pub fn rel_err_ef(&self) -> f64 {
+        (self.analytic_ef - self.simulated_ef).abs() / self.simulated_ef
+    }
+}
+
+/// Runs one validation point with `jumps` post-warm-up CTMC transitions.
+pub fn validate_point(
+    params: &SystemParams,
+    jumps: u64,
+    seed: u64,
+) -> Result<ValidationRow, AnalysisError> {
+    let analytic_if = analyze_inelastic_first(params)?.mean_response;
+    let analytic_ef = analyze_elastic_first(params)?.mean_response;
+    let cfg = |s| CtmcSimConfig {
+        k: params.k,
+        lambda_i: params.lambda_i,
+        lambda_e: params.lambda_e,
+        mu_i: params.mu_i,
+        mu_e: params.mu_e,
+        jumps,
+        warmup_jumps: jumps / 10,
+        seed: s,
+    };
+    let simulated_if = simulate_state_level(&InelasticFirst, cfg(seed)).mean_response;
+    let simulated_ef = simulate_state_level(&ElasticFirst, cfg(seed ^ 0x5EED)).mean_response;
+    Ok(ValidationRow {
+        params: *params,
+        analytic_if,
+        simulated_if,
+        analytic_ef,
+        simulated_ef,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_matches_simulation_at_moderate_load() {
+        let p = SystemParams::with_equal_lambdas(4, 2.0, 1.0, 0.5).unwrap();
+        let row = validate_point(&p, 3_000_000, 42).unwrap();
+        assert!(row.rel_err_if() < 0.02, "IF rel err {}", row.rel_err_if());
+        assert!(row.rel_err_ef() < 0.02, "EF rel err {}", row.rel_err_ef());
+    }
+
+    #[test]
+    fn analysis_matches_simulation_in_ef_favored_regime() {
+        let p = SystemParams::with_equal_lambdas(4, 0.5, 1.5, 0.7).unwrap();
+        let row = validate_point(&p, 3_000_000, 7).unwrap();
+        assert!(row.rel_err_if() < 0.03, "IF rel err {}", row.rel_err_if());
+        assert!(row.rel_err_ef() < 0.03, "EF rel err {}", row.rel_err_ef());
+    }
+}

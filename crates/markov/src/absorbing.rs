@@ -1,0 +1,159 @@
+//! Absorbing (transient) CTMC analysis by first-step equations.
+//!
+//! Theorem 6 of the paper computes expected *total* response time for a
+//! closed system (no arrivals) by summing, over the transient trajectory,
+//! `∫ N(t) dt` — the time-integral of the number of jobs in system. For an
+//! absorbing CTMC with transient generator `Q_T` and per-state cost rate
+//! `c`, the vector of expected accumulated costs until absorption solves
+//!
+//! ```text
+//! (−Q_T) x = c.
+//! ```
+//!
+//! With `c ≡ 1` this is the expected time to absorption; with `c(s) =`
+//! number of jobs in state `s` it is the expected sum of response times
+//! (each job contributes its own sojourn to the integral).
+
+use eirs_numerics::lu::{LinAlgError, LuDecomposition};
+use eirs_numerics::Matrix;
+
+/// An absorbing CTMC described by its transient states.
+///
+/// Transient states are indices `0..n`; transitions may lead to another
+/// transient state or to "absorption" (anywhere outside).
+#[derive(Debug, Clone)]
+pub struct AbsorbingCtmc {
+    n: usize,
+    /// Off-diagonal transient-to-transient rates.
+    rates: Matrix,
+    /// Rate from each transient state straight to absorption.
+    to_absorbing: Vec<f64>,
+}
+
+impl AbsorbingCtmc {
+    /// A chain with `n` transient states and no transitions yet.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n, rates: Matrix::zeros(n, n), to_absorbing: vec![0.0; n] }
+    }
+
+    /// Number of transient states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when there are no transient states (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `rate` from transient state `from` to transient state `to`.
+    pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n && to < self.n);
+        assert_ne!(from, to);
+        assert!(rate >= 0.0 && rate.is_finite());
+        self.rates[(from, to)] += rate;
+    }
+
+    /// Adds `rate` from `from` directly to the absorbing state.
+    pub fn add_absorbing_rate(&mut self, from: usize, rate: f64) {
+        assert!(from < self.n);
+        assert!(rate >= 0.0 && rate.is_finite());
+        self.to_absorbing[from] += rate;
+    }
+
+    /// Expected accumulated cost until absorption, starting from each
+    /// transient state: solves `(−Q_T) x = cost_rates`.
+    ///
+    /// Fails when some transient state cannot reach absorption (the system
+    /// is then singular).
+    pub fn expected_cost_to_absorption(
+        &self,
+        cost_rates: &[f64],
+    ) -> Result<Vec<f64>, LinAlgError> {
+        assert_eq!(cost_rates.len(), self.n);
+        let mut neg_qt = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let exit: f64 = self.rates.row(i).iter().sum::<f64>() + self.to_absorbing[i];
+            neg_qt[(i, i)] = exit;
+            for j in 0..self.n {
+                if i != j {
+                    neg_qt[(i, j)] = -self.rates[(i, j)];
+                }
+            }
+        }
+        LuDecomposition::new(&neg_qt)?.solve(cost_rates)
+    }
+
+    /// Expected time to absorption from each transient state.
+    pub fn expected_time_to_absorption(&self) -> Result<Vec<f64>, LinAlgError> {
+        self.expected_cost_to_absorption(&vec![1.0; self.n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_state_exponential_absorption() {
+        let mut c = AbsorbingCtmc::new(1);
+        c.add_absorbing_rate(0, 2.0);
+        let t = c.expected_time_to_absorption().unwrap();
+        assert!((t[0] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_stage_erlang_absorption_time() {
+        // 0 -> 1 at rate µ, 1 -> absorb at rate µ: E[time] = 2/µ.
+        let mu = 4.0;
+        let mut c = AbsorbingCtmc::new(2);
+        c.add_rate(0, 1, mu);
+        c.add_absorbing_rate(1, mu);
+        let t = c.expected_time_to_absorption().unwrap();
+        assert!((t[0] - 2.0 / mu).abs() < 1e-14);
+        assert!((t[1] - 1.0 / mu).abs() < 1e-14);
+    }
+
+    #[test]
+    fn branching_chain_weights_costs_by_path_probability() {
+        // From 0: rate 1 to state 1, rate 3 to absorption.
+        // From 1: rate 2 to absorption. Cost rate 1 everywhere.
+        // E[T from 0] = 1/4 + (1/4)(1/2) = 0.375.
+        let mut c = AbsorbingCtmc::new(2);
+        c.add_rate(0, 1, 1.0);
+        c.add_absorbing_rate(0, 3.0);
+        c.add_absorbing_rate(1, 2.0);
+        let t = c.expected_time_to_absorption().unwrap();
+        assert!((t[0] - 0.375).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cost_rates_scale_the_answer() {
+        let mut c = AbsorbingCtmc::new(1);
+        c.add_absorbing_rate(0, 1.0);
+        let x = c.expected_cost_to_absorption(&[7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn unreachable_absorption_is_singular() {
+        // State 0 <-> 1 with no path to absorption.
+        let mut c = AbsorbingCtmc::new(2);
+        c.add_rate(0, 1, 1.0);
+        c.add_rate(1, 0, 1.0);
+        assert!(c.expected_time_to_absorption().is_err());
+    }
+
+    #[test]
+    fn mm1_draining_matches_hand_computation() {
+        // Two jobs in an M/M/1 with no arrivals, service rate µ = 1:
+        // E[Σ response times] = E[∫N dt] = 2·(1/µ) + 1·(1/µ) = 3.
+        // States: 0 = two jobs, 1 = one job.
+        let mut c = AbsorbingCtmc::new(2);
+        c.add_rate(0, 1, 1.0);
+        c.add_absorbing_rate(1, 1.0);
+        let x = c.expected_cost_to_absorption(&[2.0, 1.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+    }
+}

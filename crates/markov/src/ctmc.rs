@@ -1,0 +1,160 @@
+//! Finite continuous-time Markov chains.
+//!
+//! States are dense indices `0..n`. The stationary distribution solves the
+//! global balance equations `π Q = 0`, `π·1 = 1`; we assemble `Qᵀ`, replace
+//! one (redundant) balance row with the normalization row, and solve by LU.
+
+use eirs_numerics::lu::{LinAlgError, LuDecomposition};
+use eirs_numerics::Matrix;
+
+/// A finite CTMC under construction / analysis.
+#[derive(Debug, Clone)]
+pub struct FiniteCtmc {
+    n: usize,
+    /// Off-diagonal rates, `rates[(i, j)]` = rate from i to j.
+    rates: Matrix,
+}
+
+impl FiniteCtmc {
+    /// An empty chain on `n` states.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "chain needs at least one state");
+        Self { n, rates: Matrix::zeros(n, n) }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the chain has no states (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `rate` to the transition `from → to`. Self-loops are rejected,
+    /// negative rates are rejected.
+    pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n && to < self.n, "state out of range");
+        assert_ne!(from, to, "self-loops are not allowed in a CTMC generator");
+        assert!(rate >= 0.0 && rate.is_finite(), "rates must be nonnegative, got {rate}");
+        self.rates[(from, to)] += rate;
+    }
+
+    /// The rate from `from` to `to` (zero when absent).
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        self.rates[(from, to)]
+    }
+
+    /// Total exit rate of a state.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.rates.row(state).iter().sum()
+    }
+
+    /// The full generator matrix `Q` (off-diagonal rates, diagonal = −exit).
+    pub fn generator(&self) -> Matrix {
+        let mut q = self.rates.clone();
+        for i in 0..self.n {
+            let exit: f64 = self.rates.row(i).iter().sum();
+            q[(i, i)] = -exit;
+        }
+        q
+    }
+
+    /// Stationary distribution via dense LU on the balance equations.
+    ///
+    /// Fails when the chain is reducible in a way that leaves the system
+    /// singular (e.g. two closed communicating classes).
+    pub fn stationary_distribution(&self) -> Result<Vec<f64>, LinAlgError> {
+        let q = self.generator();
+        // Solve Qᵀ πᵀ = 0 with the first row replaced by normalization.
+        let mut a = q.transpose();
+        for j in 0..self.n {
+            a[(0, j)] = 1.0;
+        }
+        let mut rhs = vec![0.0; self.n];
+        rhs[0] = 1.0;
+        let x = LuDecomposition::new(&a)?.solve(&rhs)?;
+        Ok(x)
+    }
+
+    /// Expected stationary value of a per-state function `f`.
+    pub fn stationary_mean<F: Fn(usize) -> f64>(&self, f: F) -> Result<f64, LinAlgError> {
+        let pi = self.stationary_distribution()?;
+        Ok(pi.iter().enumerate().map(|(i, p)| p * f(i)).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_chain_has_classical_stationary_distribution() {
+        // 0 -> 1 at rate a, 1 -> 0 at rate b: π = (b, a)/(a+b).
+        let (a, b) = (2.0, 3.0);
+        let mut c = FiniteCtmc::new(2);
+        c.add_rate(0, 1, a);
+        c.add_rate(1, 0, b);
+        let pi = c.stationary_distribution().unwrap();
+        assert!((pi[0] - b / (a + b)).abs() < 1e-12);
+        assert!((pi[1] - a / (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_mm1_matches_geometric() {
+        // M/M/1 with λ=0.5, µ=1 truncated at 60 states: geometric to ~1e-18.
+        let n = 60;
+        let mut c = FiniteCtmc::new(n);
+        for i in 0..n - 1 {
+            c.add_rate(i, i + 1, 0.5);
+            c.add_rate(i + 1, i, 1.0);
+        }
+        let pi = c.stationary_distribution().unwrap();
+        for (i, p) in pi.iter().enumerate().take(20) {
+            let want = 0.5 * 0.5f64.powi(i as i32);
+            assert!((p - want).abs() < 1e-10, "state {i}: {p} vs {want}");
+        }
+        let mean = c.stationary_mean(|i| i as f64).unwrap();
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let mut c = FiniteCtmc::new(3);
+        c.add_rate(0, 1, 1.0);
+        c.add_rate(1, 2, 2.0);
+        c.add_rate(2, 0, 3.0);
+        c.add_rate(1, 0, 0.5);
+        let q = c.generator();
+        for s in q.row_sums() {
+            assert!(s.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn rates_accumulate() {
+        let mut c = FiniteCtmc::new(2);
+        c.add_rate(0, 1, 1.0);
+        c.add_rate(0, 1, 2.5);
+        assert_eq!(c.rate(0, 1), 3.5);
+        assert_eq!(c.exit_rate(0), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        FiniteCtmc::new(2).add_rate(1, 1, 1.0);
+    }
+
+    #[test]
+    fn disconnected_chain_is_reported_singular() {
+        // Two isolated closed classes: stationary distribution not unique.
+        let mut c = FiniteCtmc::new(4);
+        c.add_rate(0, 1, 1.0);
+        c.add_rate(1, 0, 1.0);
+        c.add_rate(2, 3, 1.0);
+        c.add_rate(3, 2, 1.0);
+        assert!(c.stationary_distribution().is_err());
+    }
+}

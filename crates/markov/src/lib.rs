@@ -1,0 +1,28 @@
+//! Continuous-time Markov chain solvers for the `eirs` reproduction.
+//!
+//! Three layers, matching how Berg et al. (SPAA 2020) use Markov chains:
+//!
+//! * [`ctmc`] — finite chains: generator assembly and stationary
+//!   distributions (dense LU on the balance equations). Used for truncated
+//!   cross-checks and small examples.
+//! * [`absorbing`] — transient analysis of absorbing chains: expected
+//!   accumulated cost until absorption by first-step analysis. The Theorem 6
+//!   counterexample (`E[ΣT]` for IF vs EF with no arrivals) is an instance
+//!   with cost rate = number of jobs in system.
+//! * [`transient`] — time-dependent distributions by uniformization
+//!   (Jensen's method), for relaxation and warm-up questions.
+//! * [`qbd`] — quasi-birth–death chains: level-independent repeating blocks
+//!   `(A0, A1, A2)` after a finite level-dependent boundary, solved by
+//!   matrix-analytic methods (Neuts; Latouche & Ramaswami). This is the
+//!   engine behind the paper's Section 5 response-time analysis: the
+//!   busy-period-transformed EF and IF chains are exactly such QBDs.
+
+pub mod absorbing;
+pub mod ctmc;
+pub mod qbd;
+pub mod transient;
+
+pub use absorbing::AbsorbingCtmc;
+pub use ctmc::FiniteCtmc;
+pub use qbd::{Qbd, QbdError, QbdSolution, RSolver};
+pub use transient::{transient_distribution, transient_mean};

@@ -1,0 +1,695 @@
+//! Quasi-birth–death (QBD) chains and matrix-analytic solvers.
+//!
+//! A QBD is a CTMC whose states are organized into *levels* `ℓ = 0, 1, 2, …`
+//! each holding `p` *phases*, where transitions only reach neighboring
+//! levels. After a finite level-dependent boundary (levels `0..m-1`), the
+//! transition blocks repeat:
+//!
+//! ```text
+//! A0: level ℓ → ℓ+1     A1: within level (off-diagonal)     A2: level ℓ → ℓ−1
+//! ```
+//!
+//! The stationary distribution then has a matrix-geometric tail
+//! `π_{m+j} = π_m R^j`, where `R` is the minimal nonnegative solution of
+//!
+//! ```text
+//! A0 + R Â1 + R² A2 = 0,       Â1 = A1 − diag(rowsums(A0 + A1 + A2)).
+//! ```
+//!
+//! This module implements both the classical linear fixed-point iteration
+//! and Latouche–Ramaswami logarithmic reduction (quadratically convergent,
+//! the default), plus the boundary solve and level-distribution moments.
+//! The busy-period-transformed EF and IF chains of the paper (Figures 3c
+//! and 7c) are solved exactly through this interface.
+
+use eirs_numerics::lu::{LinAlgError, LuDecomposition};
+use eirs_numerics::Matrix;
+
+/// Which algorithm computes the rate matrix `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RSolver {
+    /// Latouche–Ramaswami logarithmic reduction (quadratic convergence).
+    #[default]
+    LogarithmicReduction,
+    /// Classical fixed-point iteration `R ← −(A0 + R²A2)Â1^{-1}`
+    /// (linear convergence; kept as an independent reference).
+    FixedPoint,
+}
+
+/// Errors from QBD construction or solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QbdError {
+    /// Block shapes are inconsistent.
+    Dimension(String),
+    /// The chain is not positive recurrent: `sp(R) ≥ 1`.
+    Unstable {
+        /// Estimated spectral radius of `R`.
+        spectral_radius: f64,
+    },
+    /// The R iteration failed to converge.
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual `‖A0 + RÂ1 + R²A2‖_max` at exit.
+        residual: f64,
+    },
+    /// A linear solve failed (singular boundary system, etc.).
+    LinAlg(LinAlgError),
+}
+
+impl std::fmt::Display for QbdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QbdError::Dimension(msg) => write!(f, "QBD dimension error: {msg}"),
+            QbdError::Unstable { spectral_radius } => {
+                write!(f, "QBD is unstable: sp(R) = {spectral_radius:.6} >= 1")
+            }
+            QbdError::NotConverged { iterations, residual } => {
+                write!(f, "R iteration did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            QbdError::LinAlg(e) => write!(f, "QBD linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QbdError {}
+
+impl From<LinAlgError> for QbdError {
+    fn from(e: LinAlgError) -> Self {
+        QbdError::LinAlg(e)
+    }
+}
+
+/// A level-dependent-boundary QBD.
+///
+/// Levels `0..m-1` are the boundary (`m = boundary_local.len() ≥ 1`), level
+/// `m` and beyond repeat with blocks `(a0, a1, a2)`. Off-diagonal rates
+/// only; diagonals are derived.
+#[derive(Debug, Clone)]
+pub struct Qbd {
+    /// `U_ℓ` for `ℓ = 0..m-1`: level `ℓ → ℓ+1` (the last one feeds level `m`).
+    boundary_up: Vec<Matrix>,
+    /// `L_ℓ` for `ℓ = 0..m-1`: within-level off-diagonal blocks.
+    boundary_local: Vec<Matrix>,
+    /// `D_ℓ` for `ℓ = 1..m-1` (indexed `boundary_down[ℓ-1]`): level `ℓ → ℓ−1`.
+    boundary_down: Vec<Matrix>,
+    a0: Matrix,
+    a1: Matrix,
+    a2: Matrix,
+}
+
+impl Qbd {
+    /// Builds and validates a QBD. See type-level docs for block layout.
+    pub fn new(
+        boundary_up: Vec<Matrix>,
+        boundary_local: Vec<Matrix>,
+        boundary_down: Vec<Matrix>,
+        a0: Matrix,
+        a1: Matrix,
+        a2: Matrix,
+    ) -> Result<Self, QbdError> {
+        let p = a0.rows();
+        let m = boundary_local.len();
+        if m == 0 {
+            return Err(QbdError::Dimension("need at least one boundary level".into()));
+        }
+        if boundary_up.len() != m {
+            return Err(QbdError::Dimension(format!(
+                "boundary_up has {} blocks, expected {m}",
+                boundary_up.len()
+            )));
+        }
+        if boundary_down.len() + 1 != m {
+            return Err(QbdError::Dimension(format!(
+                "boundary_down has {} blocks, expected {}",
+                boundary_down.len(),
+                m - 1
+            )));
+        }
+        let all_blocks = boundary_up
+            .iter()
+            .chain(&boundary_local)
+            .chain(&boundary_down)
+            .chain([&a0, &a1, &a2]);
+        for b in all_blocks {
+            if b.rows() != p || b.cols() != p {
+                return Err(QbdError::Dimension(format!(
+                    "block is {}x{}, expected {p}x{p}",
+                    b.rows(),
+                    b.cols()
+                )));
+            }
+            if b.as_slice().iter().any(|&v| v < 0.0 || !v.is_finite()) {
+                return Err(QbdError::Dimension("blocks must be nonnegative and finite".into()));
+            }
+        }
+        Ok(Self { boundary_up, boundary_local, boundary_down, a0, a1, a2 })
+    }
+
+    /// Phase dimension `p`.
+    pub fn phases(&self) -> usize {
+        self.a0.rows()
+    }
+
+    /// Number of boundary levels `m` (levels `0..m-1`; level `m` repeats).
+    pub fn boundary_levels(&self) -> usize {
+        self.boundary_local.len()
+    }
+
+    /// The repeating local block with its diagonal filled in:
+    /// `Â1 = A1 − diag(rowsums(A0 + A1 + A2))`.
+    fn a1_hat(&self) -> Matrix {
+        let p = self.phases();
+        let mut a1h = self.a1.clone();
+        for i in 0..p {
+            let exit: f64 = self.a0.row(i).iter().sum::<f64>()
+                + self.a1.row(i).iter().sum::<f64>()
+                + self.a2.row(i).iter().sum::<f64>();
+            a1h[(i, i)] -= exit;
+        }
+        a1h
+    }
+
+    /// Computes the rate matrix `R` with the requested algorithm.
+    pub fn solve_r(&self, solver: RSolver) -> Result<Matrix, QbdError> {
+        let a1h = self.a1_hat();
+        let r = match solver {
+            RSolver::FixedPoint => self.r_fixed_point(&a1h)?,
+            RSolver::LogarithmicReduction => self.r_logarithmic_reduction(&a1h)?,
+        };
+        // Positive recurrence check: sp(R) < 1.
+        let sp = spectral_radius_estimate(&r);
+        if sp >= 1.0 - 1e-10 {
+            return Err(QbdError::Unstable { spectral_radius: sp });
+        }
+        Ok(r)
+    }
+
+    fn r_fixed_point(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
+        let p = self.phases();
+        let a1h_inv = LuDecomposition::new(a1h)?.inverse()?;
+        // R ← C0 + R² C2 with C0 = −A0 Â1^{-1}, C2 = −A2 Â1^{-1}.
+        let c0 = -&self.a0.matmul(&a1h_inv);
+        let c2 = -&self.a2.matmul(&a1h_inv);
+        let mut r = Matrix::zeros(p, p);
+        let max_iter = 500_000;
+        for it in 0..max_iter {
+            let r2 = r.matmul(&r);
+            let next = &c0 + &r2.matmul(&c2);
+            let diff = next.max_abs_diff(&r);
+            r = next;
+            if diff < 1e-14 {
+                return Ok(r);
+            }
+            if !r.is_finite() {
+                return Err(QbdError::NotConverged { iterations: it, residual: f64::INFINITY });
+            }
+        }
+        let residual = self.r_residual(&r, a1h);
+        // Accept a slightly loose fixed point only if the defining equation
+        // is satisfied tightly.
+        if residual < 1e-9 {
+            Ok(r)
+        } else {
+            Err(QbdError::NotConverged { iterations: max_iter, residual })
+        }
+    }
+
+    fn r_logarithmic_reduction(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
+        let p = self.phases();
+        let neg_a1h_inv = LuDecomposition::new(&(-a1h))?.inverse()?;
+        // Probabilistic blocks: B0 = (−Â1)^{-1} A0, B2 = (−Â1)^{-1} A2.
+        let mut b0 = neg_a1h_inv.matmul(&self.a0);
+        let mut b2 = neg_a1h_inv.matmul(&self.a2);
+        let mut g = b2.clone();
+        let mut t = b0.clone();
+        let identity = Matrix::identity(p);
+        let max_iter = 200;
+        let mut converged = false;
+        for _ in 0..max_iter {
+            let u = &b0.matmul(&b2) + &b2.matmul(&b0);
+            let m0 = b0.matmul(&b0);
+            let m2 = b2.matmul(&b2);
+            let w = LuDecomposition::new(&(&identity - &u))?.inverse()?;
+            b0 = w.matmul(&m0);
+            b2 = w.matmul(&m2);
+            let increment = t.matmul(&b2);
+            g = &g + &increment;
+            t = t.matmul(&b0);
+            if t.max_abs() < 1e-15 || increment.max_abs() < 1e-15 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // For nearly-unstable chains logarithmic reduction can stall;
+            // check G quality below anyway.
+        }
+        // R = A0 · (−(Â1 + A0 G))^{-1}.
+        let inner = -&(a1h + &self.a0.matmul(&g));
+        let inner_inv = LuDecomposition::new(&inner)?.inverse()?;
+        let r = self.a0.matmul(&inner_inv);
+        let residual = self.r_residual(&r, a1h);
+        if residual > 1e-8 * (1.0 + a1h.max_abs()) {
+            return Err(QbdError::NotConverged { iterations: max_iter, residual });
+        }
+        Ok(r)
+    }
+
+    /// `‖A0 + RÂ1 + R²A2‖_max`, the defect of the R equation.
+    fn r_residual(&self, r: &Matrix, a1h: &Matrix) -> f64 {
+        let lhs = &(&self.a0 + &r.matmul(a1h)) + &r.matmul(r).matmul(&self.a2);
+        lhs.max_abs()
+    }
+
+    /// Solves the QBD: computes `R`, the boundary probabilities, and wraps
+    /// them in a [`QbdSolution`].
+    pub fn solve(&self) -> Result<QbdSolution, QbdError> {
+        self.solve_with(RSolver::default())
+    }
+
+    /// Like [`Qbd::solve`] but with an explicit choice of R algorithm.
+    pub fn solve_with(&self, solver: RSolver) -> Result<QbdSolution, QbdError> {
+        let p = self.phases();
+        let m = self.boundary_levels();
+        let r = self.solve_r(solver)?;
+        let a1h = self.a1_hat();
+        let identity = Matrix::identity(p);
+        let i_minus_r_inv = LuDecomposition::new(&(&identity - &r))?.inverse()?;
+
+        // Assemble the boundary balance system over levels 0..=m:
+        // unknown row vector x = (π_0, …, π_m), one balance column per state,
+        // with column 0 replaced by the normalization equation.
+        let n = (m + 1) * p;
+        let mut bmat = Matrix::zeros(n, n);
+        let idx = |level: usize, phase: usize| level * p + phase;
+
+        // Boundary levels 0..m-1.
+        for level in 0..m {
+            let up = &self.boundary_up[level];
+            let local = &self.boundary_local[level];
+            let down = if level >= 1 { Some(&self.boundary_down[level - 1]) } else { None };
+            for i in 0..p {
+                let mut exit = 0.0;
+                for j in 0..p {
+                    let u = up[(i, j)];
+                    if u != 0.0 {
+                        bmat[(idx(level, i), idx(level + 1, j))] += u;
+                        exit += u;
+                    }
+                    let l = local[(i, j)];
+                    if l != 0.0 && i != j {
+                        bmat[(idx(level, i), idx(level, j))] += l;
+                        exit += l;
+                    }
+                    if let Some(d) = down {
+                        let dv = d[(i, j)];
+                        if dv != 0.0 {
+                            bmat[(idx(level, i), idx(level - 1, j))] += dv;
+                            exit += dv;
+                        }
+                    }
+                }
+                bmat[(idx(level, i), idx(level, i))] -= exit;
+            }
+        }
+        // Level m: local part Â1 + R·A2 (the R closure of π_{m+1} A2), plus
+        // the physical A2 flow down into level m-1.
+        let ra2 = r.matmul(&self.a2);
+        for i in 0..p {
+            for j in 0..p {
+                let v = a1h[(i, j)] + ra2[(i, j)];
+                if v != 0.0 {
+                    bmat[(idx(m, i), idx(m, j))] += v;
+                }
+                let d = self.a2[(i, j)];
+                if d != 0.0 {
+                    bmat[(idx(m, i), idx(m - 1, j))] += d;
+                }
+            }
+        }
+
+        // Replace the column of state (0,0) with normalization coefficients:
+        // Σ_{ℓ<m} π_ℓ·1 + π_m (I−R)^{-1}·1 = 1.
+        let tail_weights = i_minus_r_inv.row_sums();
+        for level in 0..m {
+            for i in 0..p {
+                bmat[(idx(level, i), 0)] = 1.0;
+            }
+        }
+        for i in 0..p {
+            bmat[(idx(m, i), 0)] = tail_weights[i];
+        }
+
+        // Solve xᵀ from Bᵀ xᵀ = e_0.
+        let bt = bmat.transpose();
+        let mut rhs = vec![0.0; n];
+        rhs[0] = 1.0;
+        let mut x = LuDecomposition::new(&bt)?.solve(&rhs)?;
+        // Numerical noise can leave tiny negative entries; clamp them.
+        for v in &mut x {
+            if *v < 0.0 {
+                debug_assert!(*v > -1e-8, "boundary solve produced negative probability {v}");
+                *v = 0.0;
+            }
+        }
+        Ok(QbdSolution { p, m, boundary: x, r, i_minus_r_inv })
+    }
+}
+
+/// Spectral radius estimate by power iteration on |R|.
+fn spectral_radius_estimate(r: &Matrix) -> f64 {
+    let p = r.rows();
+    let mut v = vec![1.0; p];
+    let mut lambda = 0.0;
+    for _ in 0..500 {
+        let w = r.vecmat(&v);
+        let norm = w.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        if norm == 0.0 {
+            return 0.0;
+        }
+        let next: Vec<f64> = w.iter().map(|x| x / norm).collect();
+        let delta: f64 = next
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        v = next;
+        lambda = norm;
+        if delta < 1e-13 {
+            break;
+        }
+    }
+    lambda
+}
+
+/// The solved stationary distribution of a [`Qbd`].
+#[derive(Debug, Clone)]
+pub struct QbdSolution {
+    p: usize,
+    m: usize,
+    /// π_0, …, π_m concatenated.
+    boundary: Vec<f64>,
+    r: Matrix,
+    i_minus_r_inv: Matrix,
+}
+
+impl QbdSolution {
+    /// Phase dimension.
+    pub fn phases(&self) -> usize {
+        self.p
+    }
+
+    /// First repeating level `m`.
+    pub fn repeating_level(&self) -> usize {
+        self.m
+    }
+
+    /// The rate matrix `R`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Stationary probability vector of level `ℓ` (phase-indexed).
+    pub fn level(&self, level: usize) -> Vec<f64> {
+        if level <= self.m {
+            self.boundary[level * self.p..(level + 1) * self.p].to_vec()
+        } else {
+            let mut v = self.boundary[self.m * self.p..(self.m + 1) * self.p].to_vec();
+            for _ in self.m..level {
+                v = self.r.vecmat(&v);
+            }
+            v
+        }
+    }
+
+    /// Total probability mass (should be 1; useful as a diagnostic).
+    pub fn total_probability(&self) -> f64 {
+        let head: f64 = self.boundary[..self.m * self.p].iter().sum();
+        let pim = &self.boundary[self.m * self.p..];
+        let tail: f64 = self
+            .i_minus_r_inv
+            .row_sums()
+            .iter()
+            .zip(pim)
+            .map(|(w, pi)| w * pi)
+            .sum();
+        head + tail
+    }
+
+    /// Marginal phase distribution `Σ_ℓ π_ℓ` (sums to 1).
+    pub fn marginal_phases(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.p];
+        for level in 0..self.m {
+            let slice = &self.boundary[level * self.p..(level + 1) * self.p];
+            for (a, pi) in acc.iter_mut().zip(slice) {
+                *a += pi;
+            }
+        }
+        // Geometric tail: π_m (I−R)^{-1}, a row vector times a matrix.
+        let pim = &self.boundary[self.m * self.p..];
+        let tail = self.i_minus_r_inv.vecmat(pim);
+        for (a, t) in acc.iter_mut().zip(&tail) {
+            *a += t;
+        }
+        acc
+    }
+
+    /// Mean level `E[L] = Σ_ℓ ℓ · π_ℓ·1`, using the closed-form geometric
+    /// tail `Σ_{j≥0} (m+j) π_m R^j = m·π_m(I−R)^{-1} + π_m R (I−R)^{-2}`.
+    pub fn mean_level(&self) -> f64 {
+        let mut acc = 0.0;
+        for level in 1..self.m {
+            let slice = &self.boundary[level * self.p..(level + 1) * self.p];
+            acc += level as f64 * slice.iter().sum::<f64>();
+        }
+        let pim = &self.boundary[self.m * self.p..];
+        // m · π_m (I−R)^{-1} 1
+        let w1 = self.i_minus_r_inv.row_sums();
+        let s0: f64 = pim.iter().zip(&w1).map(|(pi, w)| pi * w).sum();
+        // π_m R (I−R)^{-2} 1
+        let inv2 = self.i_minus_r_inv.matmul(&self.i_minus_r_inv);
+        let rw = self.r.matmul(&inv2).row_sums();
+        let s1: f64 = pim.iter().zip(&rw).map(|(pi, w)| pi * w).sum();
+        acc + self.m as f64 * s0 + s1
+    }
+
+    /// Second moment of the level, `E[L²]`, via
+    /// `Σ j² R^j = R(I+R)(I−R)^{-3}`.
+    pub fn second_moment_level(&self) -> f64 {
+        let mut acc = 0.0;
+        for level in 1..self.m {
+            let slice = &self.boundary[level * self.p..(level + 1) * self.p];
+            acc += (level * level) as f64 * slice.iter().sum::<f64>();
+        }
+        let pim = &self.boundary[self.m * self.p..];
+        let m = self.m as f64;
+        let inv = &self.i_minus_r_inv;
+        let inv2 = inv.matmul(inv);
+        let inv3 = inv2.matmul(inv);
+        let identity = Matrix::identity(self.p);
+        let s0w = inv.row_sums();
+        let s1w = self.r.matmul(&inv2).row_sums();
+        let s2w = self.r.matmul(&(&identity + &self.r)).matmul(&inv3).row_sums();
+        let s0: f64 = pim.iter().zip(&s0w).map(|(pi, w)| pi * w).sum();
+        let s1: f64 = pim.iter().zip(&s1w).map(|(pi, w)| pi * w).sum();
+        let s2: f64 = pim.iter().zip(&s2w).map(|(pi, w)| pi * w).sum();
+        acc + m * m * s0 + 2.0 * m * s1 + s2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// M/M/1 as a trivial QBD: one phase, one boundary level.
+    fn mm1_qbd(lambda: f64, mu: f64) -> Qbd {
+        Qbd::new(
+            vec![Matrix::from_rows(&[&[lambda]])],
+            vec![Matrix::zeros(1, 1)],
+            vec![],
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[mu]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mm1_r_is_rho() {
+        let qbd = mm1_qbd(0.5, 1.0);
+        for solver in [RSolver::FixedPoint, RSolver::LogarithmicReduction] {
+            let r = qbd.solve_r(solver).unwrap();
+            assert!((r[(0, 0)] - 0.5).abs() < 1e-12, "{solver:?}: {}", r[(0, 0)]);
+        }
+    }
+
+    #[test]
+    fn mm1_levels_are_geometric() {
+        let (lambda, mu) = (0.7, 1.0);
+        let sol = mm1_qbd(lambda, mu).solve().unwrap();
+        let rho: f64 = lambda / mu;
+        for level in 0..20 {
+            let got = sol.level(level)[0];
+            let want = (1.0 - rho) * rho.powi(level as i32);
+            assert!((got - want).abs() < 1e-12, "level {level}: {got} vs {want}");
+        }
+        assert!((sol.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_mean_and_second_moment() {
+        let (lambda, mu) = (0.8, 1.0);
+        let sol = mm1_qbd(lambda, mu).solve().unwrap();
+        let rho: f64 = lambda / mu;
+        let mean = rho / (1.0 - rho);
+        let second = rho * (1.0 + rho) / ((1.0 - rho) * (1.0 - rho));
+        assert!((sol.mean_level() - mean).abs() < 1e-10, "mean {}", sol.mean_level());
+        assert!(
+            (sol.second_moment_level() - second).abs() < 1e-9,
+            "second {}",
+            sol.second_moment_level()
+        );
+    }
+
+    /// M/M/k as a QBD with k boundary levels (level = number in system).
+    fn mmk_qbd(lambda: f64, mu: f64, k: usize) -> Qbd {
+        let up = vec![Matrix::from_rows(&[&[lambda]]); k];
+        let local = vec![Matrix::zeros(1, 1); k];
+        let down = (1..k)
+            .map(|l| Matrix::from_rows(&[&[l as f64 * mu]]))
+            .collect();
+        Qbd::new(
+            up,
+            local,
+            down,
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[k as f64 * mu]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mmk_mean_number_matches_erlang_c() {
+        for (lambda, mu, k) in [(3.0, 1.0, 4u32), (1.0, 1.0, 2), (13.0, 1.0, 16)] {
+            let sol = mmk_qbd(lambda, mu, k as usize).solve().unwrap();
+            let reference = eirs_queueing::MMk::new(lambda, mu, k).mean_number_in_system();
+            assert!(
+                (sol.mean_level() - reference).abs() / reference < 1e-9,
+                "k={k}: {} vs {reference}",
+                sol.mean_level()
+            );
+            assert!((sol.total_probability() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    /// M/Cox2/1: service is a two-phase Coxian; phase tracks service stage.
+    /// Validated against Pollaczek–Khinchine.
+    fn mcox1_qbd(lambda: f64, cox: (f64, f64, f64)) -> Qbd {
+        let (mu1, mu2, q) = cox;
+        // Phase 0 = service stage 1, phase 1 = service stage 2.
+        let a0 = Matrix::from_rows(&[&[lambda, 0.0], &[0.0, lambda]]);
+        let a1 = Matrix::from_rows(&[&[0.0, q * mu1], &[0.0, 0.0]]);
+        // Completion hands the server to the next job, which starts stage 1.
+        let a2 = Matrix::from_rows(&[&[(1.0 - q) * mu1, 0.0], &[mu2, 0.0]]);
+        // Boundary: level 0 = empty system; arrivals start in stage 1.
+        let u0 = Matrix::from_rows(&[&[lambda, 0.0], &[lambda, 0.0]]);
+        let l0 = Matrix::zeros(2, 2);
+        Qbd::new(vec![u0], vec![l0], vec![], a0, a1, a2).unwrap()
+    }
+
+    #[test]
+    fn mcox1_matches_pollaczek_khinchine() {
+        let (mu1, mu2, q) = (2.0, 0.5, 0.3);
+        let cox = eirs_queueing::Coxian2::new(mu1, mu2, q);
+        let moments = cox.moments();
+        let lambda = 0.6 / moments.m1; // target rho = 0.6
+        let sol = mcox1_qbd(lambda, (mu1, mu2, q)).solve().unwrap();
+        let rho = lambda * moments.m1;
+        let pk = rho + rho * rho * (1.0 + moments.cv2()) / (2.0 * (1.0 - rho));
+        assert!(
+            (sol.mean_level() - pk).abs() / pk < 1e-9,
+            "QBD {} vs P-K {pk}",
+            sol.mean_level()
+        );
+    }
+
+    #[test]
+    fn solvers_agree_on_multiphase_chain() {
+        let qbd = mcox1_qbd(0.4, (2.0, 0.5, 0.3));
+        let r_lr = qbd.solve_r(RSolver::LogarithmicReduction).unwrap();
+        let r_fp = qbd.solve_r(RSolver::FixedPoint).unwrap();
+        assert!(r_lr.max_abs_diff(&r_fp) < 1e-9);
+    }
+
+    #[test]
+    fn unstable_chain_is_detected() {
+        let qbd = mm1_qbd(1.5, 1.0);
+        match qbd.solve() {
+            Err(QbdError::Unstable { spectral_radius }) => {
+                assert!(spectral_radius >= 1.0 - 1e-9);
+            }
+            other => panic!("expected Unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn critically_loaded_chain_is_detected() {
+        let qbd = mm1_qbd(1.0, 1.0);
+        assert!(matches!(qbd.solve(), Err(QbdError::Unstable { .. })));
+    }
+
+    #[test]
+    fn dimension_validation() {
+        // Mismatched block size.
+        let err = Qbd::new(
+            vec![Matrix::zeros(2, 2)],
+            vec![Matrix::zeros(2, 2)],
+            vec![],
+            Matrix::zeros(1, 1),
+            Matrix::zeros(1, 1),
+            Matrix::zeros(1, 1),
+        );
+        assert!(matches!(err, Err(QbdError::Dimension(_))));
+        // Negative rate.
+        let err = Qbd::new(
+            vec![Matrix::from_rows(&[&[-1.0]])],
+            vec![Matrix::zeros(1, 1)],
+            vec![],
+            Matrix::from_rows(&[&[0.5]]),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[1.0]]),
+        );
+        assert!(matches!(err, Err(QbdError::Dimension(_))));
+    }
+
+    #[test]
+    fn marginal_phases_sum_to_one() {
+        let sol = mcox1_qbd(0.4, (2.0, 0.5, 0.3)).solve().unwrap();
+        let phases = sol.marginal_phases();
+        let total: f64 = phases.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn deep_levels_decay_geometrically() {
+        let sol = mm1_qbd(0.5, 1.0).solve().unwrap();
+        let l10 = sol.level(10)[0];
+        let l11 = sol.level(11)[0];
+        assert!((l11 / l10 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_load_still_solves_accurately() {
+        let (lambda, mu) = (0.99, 1.0);
+        let sol = mm1_qbd(lambda, mu).solve().unwrap();
+        let rho: f64 = lambda / mu;
+        let mean = rho / (1.0 - rho);
+        assert!(
+            (sol.mean_level() - mean).abs() / mean < 1e-8,
+            "{} vs {mean}",
+            sol.mean_level()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Transient distributions of finite CTMCs via uniformization.
+//!
+//! The stationary solvers answer "where does the chain settle"; this module
+//! answers "where is it at time `t`". Uniformization (Jensen's method)
+//! converts the CTMC with generator `Q` into a DTMC `P = I + Q/Λ` observed
+//! at Poisson(Λt) epochs:
+//!
+//! ```text
+//! π(t) = Σ_{n≥0} e^{-Λt} (Λt)^n / n! · π(0) Pⁿ
+//! ```
+//!
+//! The series is truncated adaptively once the remaining Poisson tail mass
+//! is below tolerance. Used by the tests to check relaxation of the
+//! two-class chain toward the stationary distribution, and available to
+//! downstream users for warm-up-length estimation.
+
+use crate::ctmc::FiniteCtmc;
+
+/// Transient distribution `π(t)` from the initial distribution `pi0`.
+///
+/// `tol` bounds the neglected Poisson tail mass (default callers use
+/// `1e-12`).
+pub fn transient_distribution(
+    chain: &FiniteCtmc,
+    pi0: &[f64],
+    t: f64,
+    tol: f64,
+) -> Vec<f64> {
+    let n = chain.len();
+    assert_eq!(pi0.len(), n, "initial distribution length mismatch");
+    assert!(t >= 0.0 && t.is_finite());
+    let total: f64 = pi0.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "initial distribution must sum to 1");
+    if t == 0.0 {
+        return pi0.to_vec();
+    }
+
+    // Uniformization rate: a hair above the largest exit rate.
+    let max_exit = (0..n).map(|s| chain.exit_rate(s)).fold(0.0, f64::max);
+    if max_exit == 0.0 {
+        return pi0.to_vec();
+    }
+    let lam = max_exit * 1.000001;
+
+    // One step of the uniformized DTMC: v ← v P, P = I + Q/Λ.
+    let step = |v: &[f64]| -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for (s, &mass) in v.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            let exit = chain.exit_rate(s);
+            out[s] += mass * (1.0 - exit / lam);
+            for (target, slot) in out.iter_mut().enumerate() {
+                if target != s {
+                    let rate = chain.rate(s, target);
+                    if rate > 0.0 {
+                        *slot += mass * rate / lam;
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    // Poisson(Λt) weights, accumulated until the tail is below tol.
+    let lt = lam * t;
+    let mut acc = vec![0.0; n];
+    let mut v = pi0.to_vec();
+    // log-space Poisson pmf to avoid overflow for large Λt.
+    let mut log_pmf = -lt; // log P(N=0)
+    let mut cumulative = 0.0;
+    let mut k = 0u64;
+    loop {
+        let w = log_pmf.exp();
+        if w > 0.0 {
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += w * x;
+            }
+            cumulative += w;
+        }
+        if 1.0 - cumulative < tol {
+            break;
+        }
+        k += 1;
+        log_pmf += lt.ln() - (k as f64).ln();
+        v = step(&v);
+        // Hard stop far beyond the Poisson bulk (mean + 12 std devs).
+        if k as f64 > lt + 12.0 * lt.sqrt() + 64.0 {
+            break;
+        }
+    }
+    // Renormalize the truncated series.
+    let mass: f64 = acc.iter().sum();
+    for a in &mut acc {
+        *a /= mass;
+    }
+    acc
+}
+
+/// Expected value of a state function under `π(t)`.
+pub fn transient_mean<F: Fn(usize) -> f64>(
+    chain: &FiniteCtmc,
+    pi0: &[f64],
+    t: f64,
+    tol: f64,
+    f: F,
+) -> f64 {
+    transient_distribution(chain, pi0, t, tol)
+        .iter()
+        .enumerate()
+        .map(|(s, p)| p * f(s))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(a: f64, b: f64) -> FiniteCtmc {
+        let mut c = FiniteCtmc::new(2);
+        c.add_rate(0, 1, a);
+        c.add_rate(1, 0, b);
+        c
+    }
+
+    #[test]
+    fn two_state_transient_matches_closed_form() {
+        // P(X(t)=1 | X(0)=0) = a/(a+b) (1 - e^{-(a+b)t}).
+        let (a, b) = (2.0, 3.0);
+        let chain = two_state(a, b);
+        for t in [0.0, 0.1, 0.5, 1.0, 3.0] {
+            let pi = transient_distribution(&chain, &[1.0, 0.0], t, 1e-13);
+            let want = a / (a + b) * (1.0 - (-(a + b) * t).exp());
+            assert!((pi[1] - want).abs() < 1e-10, "t={t}: {} vs {want}", pi[1]);
+        }
+    }
+
+    #[test]
+    fn long_horizon_converges_to_stationary() {
+        let chain = two_state(1.0, 4.0);
+        let pi = transient_distribution(&chain, &[0.0, 1.0], 50.0, 1e-13);
+        let stat = chain.stationary_distribution().unwrap();
+        for (p, s) in pi.iter().zip(&stat) {
+            assert!((p - s).abs() < 1e-9, "{p} vs {s}");
+        }
+    }
+
+    #[test]
+    fn zero_time_returns_initial_distribution() {
+        let chain = two_state(1.0, 1.0);
+        let pi = transient_distribution(&chain, &[0.25, 0.75], 0.0, 1e-12);
+        assert_eq!(pi, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn distribution_stays_normalized_for_large_lt() {
+        // Large Λt exercises the log-space Poisson weights.
+        let mut chain = FiniteCtmc::new(5);
+        for s in 0..4 {
+            chain.add_rate(s, s + 1, 100.0);
+            chain.add_rate(s + 1, s, 80.0);
+        }
+        let pi0 = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let pi = transient_distribution(&chain, &pi0, 10.0, 1e-12);
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn transient_mean_tracks_mm1_relaxation() {
+        // Truncated M/M/1 from empty: E[N(t)] rises monotonically toward
+        // the stationary mean.
+        let n = 40;
+        let mut chain = FiniteCtmc::new(n);
+        for s in 0..n - 1 {
+            chain.add_rate(s, s + 1, 0.5);
+            chain.add_rate(s + 1, s, 1.0);
+        }
+        let mut pi0 = vec![0.0; n];
+        pi0[0] = 1.0;
+        let mut last = 0.0;
+        // M/M/1 at rho = 0.5 relaxes with time constant ~1/(1-sqrt(rho))^2
+        // ≈ 12, so run well past it.
+        for t in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            let m = transient_mean(&chain, &pi0, t, 1e-12, |s| s as f64);
+            assert!(m >= last - 1e-9, "E[N(t)] must be nondecreasing from empty");
+            last = m;
+        }
+        assert!((last - 1.0).abs() < 0.01, "E[N(∞)] ≈ 1, got {last}");
+    }
+}

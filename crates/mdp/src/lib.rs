@@ -1,0 +1,27 @@
+//! Average-cost MDP solver for the elastic/inelastic allocation problem.
+//!
+//! The paper proves Inelastic-First optimal for `µ_I ≥ µ_E` (Theorems 1
+//! and 5) and leaves the optimal policy for `µ_I < µ_E` open (Section 6).
+//! This crate attacks both numerically, in the style of the MDP analysis of
+//! Berg, Dorsman & Harchol-Balter (2018) that the paper cites:
+//!
+//! 1. **Uniformize** the CTMC on a truncated grid `(i, j) ∈ [0, N_I] ×
+//!    [0, N_E]` (arrivals at the boundary are rejected) with constant
+//!    `Λ = λ_I + λ_E + k·max(µ_I, µ_E)`.
+//! 2. Run **relative value iteration** on the cost rate `c(i,j) = i + j`
+//!    (by Little's law, minimizing `E[N]` minimizes `E[T]`).
+//! 3. Extract the optimal stationary allocation and its average cost.
+//!
+//! Because the uniformized Bellman operator is *linear* in the allocation
+//! pair `(a, e)`, the optimum over the allocation polytope
+//! `{0 ≤ a ≤ min(i,k), 0 ≤ e ≤ (k−a)·1{j>0}}` is attained at a vertex, so
+//! integer actions suffice. The `allow_idling` switch adds the idle vertices
+//! `e = 0` (and free `a` at `j = 0`), which lets the tests verify
+//! Appendix B (there is always a non-idling optimal policy) numerically.
+
+mod solver;
+
+pub use solver::{
+    ef_allocation, evaluate_policy, if_allocation, solve_optimal, MdpConfig, MdpError,
+    MdpSolution, PolicyFn,
+};

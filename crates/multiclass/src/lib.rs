@@ -1,0 +1,37 @@
+//! Multi-class jobs with **bounded elasticity** — the generalization the
+//! paper proposes in its conclusion (Section 6):
+//!
+//! > "one can consider a model where the elastic jobs are not fully elastic
+//! > as in this paper, but are elastic up to a certain number of servers.
+//! > More generally, we can have more than two classes of jobs with
+//! > different levels of parallelizability and different job size
+//! > distributions."
+//!
+//! This crate implements exactly that model: `M` job classes, each with a
+//! Poisson arrival rate, a size distribution, and a *parallelizability cap*
+//! `c_m ∈ {1, …, k}` — a job of class `m` runs on at most `c_m` servers with
+//! linear speedup up to the cap. `c_m = 1` recovers the paper's inelastic
+//! class; `c_m = k` recovers the fully elastic class, so the two-class model
+//! is the special case `M = 2`, `c = (1, k)` (verified against `eirs-core`
+//! in the tests).
+//!
+//! Provided tools:
+//!
+//! * [`spec`] — system description and load accounting;
+//! * [`policy`] — allocation policies over class counts: priority orders
+//!   (including **Least-Flexible-First**, the natural generalization of
+//!   Inelastic-First, and its opposite), and a water-filling fair share;
+//! * [`des`] — a job-level discrete-event simulator for the general model;
+//! * [`analysis`] — exact policy evaluation on the truncated CTMC
+//!   (exponential sizes), the numerical counterpart of the paper's
+//!   open multi-class analysis problem.
+
+pub mod analysis;
+pub mod des;
+pub mod policy;
+pub mod spec;
+
+pub use analysis::{evaluate_multiclass, MulticlassAnalysis};
+pub use des::{simulate_multiclass, MultiReport, MultiSimConfig};
+pub use policy::{least_flexible_first, most_flexible_first, MultiPolicy, PriorityOrder, WaterFilling};
+pub use spec::{ClassSpec, MultiSystem};

@@ -1,0 +1,274 @@
+//! Allocation policies over class counts.
+//!
+//! With `M` classes the state is the count vector `n = (n_1, …, n_M)`; a
+//! stationary policy maps `n` to per-class server totals `π_m(n)` with
+//!
+//! ```text
+//! π_m(n) ≤ min(n_m · c_m, k),       Σ_m π_m(n) ≤ k.
+//! ```
+//!
+//! (A class with `n_m` jobs of cap `c_m` can absorb at most `n_m·c_m`
+//! servers.) The policies here generalize the paper's:
+//!
+//! * [`PriorityOrder`] — strict preemptive priority by a fixed class order.
+//!   Ordering by ascending cap generalizes Inelastic-First ("least flexible
+//!   first"); descending generalizes Elastic-First.
+//! * [`WaterFilling`] — the fair-share baseline: every job gets an equal
+//!   share, except that jobs capped below the fair share release their
+//!   surplus to the rest (classic water-filling).
+
+use crate::spec::MultiSystem;
+
+/// A stationary multi-class allocation policy.
+pub trait MultiPolicy: Send + Sync {
+    /// Per-class server totals in state `counts` (length `M`).
+    fn allocate(&self, counts: &[usize], system: &MultiSystem) -> Vec<f64>;
+
+    /// Display name.
+    fn name(&self) -> String;
+}
+
+/// Validates an allocation; panics with a descriptive message on violation.
+pub fn assert_feasible(alloc: &[f64], counts: &[usize], system: &MultiSystem, name: &str) {
+    assert_eq!(alloc.len(), counts.len(), "{name}: wrong allocation length");
+    let kf = system.k as f64;
+    let mut total = 0.0;
+    for ((a, &n), class) in alloc.iter().zip(counts).zip(&system.classes) {
+        assert!(*a >= -1e-12, "{name}: negative allocation for {}", class.name);
+        let absorb = (n as f64 * class.cap as f64).min(kf);
+        assert!(
+            *a <= absorb + 1e-9,
+            "{name}: class {} gets {a} > absorbable {absorb}",
+            class.name
+        );
+        total += a;
+    }
+    assert!(total <= kf + 1e-9, "{name}: total {total} exceeds k = {}", system.k);
+}
+
+/// Strict preemptive priority by a fixed order of class indices.
+#[derive(Debug, Clone)]
+pub struct PriorityOrder {
+    order: Vec<usize>,
+    label: String,
+}
+
+impl PriorityOrder {
+    /// Priority by explicit class indices, highest priority first. Must be
+    /// a permutation of `0..M` (checked at allocation time against the
+    /// system).
+    pub fn new(order: Vec<usize>, label: impl Into<String>) -> Self {
+        Self { order, label: label.into() }
+    }
+}
+
+impl MultiPolicy for PriorityOrder {
+    fn allocate(&self, counts: &[usize], system: &MultiSystem) -> Vec<f64> {
+        debug_assert_eq!(self.order.len(), counts.len(), "priority order must cover all classes");
+        let mut alloc = vec![0.0; counts.len()];
+        let mut left = system.k as f64;
+        for &m in &self.order {
+            if left <= 0.0 {
+                break;
+            }
+            let absorb = (counts[m] as f64) * system.classes[m].cap as f64;
+            let grant = absorb.min(left);
+            alloc[m] = grant;
+            left -= grant;
+        }
+        alloc
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The generalization of Inelastic-First: priority by ascending
+/// parallelizability cap (ties broken by smaller mean size first, matching
+/// the paper's intuition that the less flexible *and smaller* class should
+/// go first).
+pub fn least_flexible_first(system: &MultiSystem) -> PriorityOrder {
+    let mut order: Vec<usize> = (0..system.num_classes()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = &system.classes[a];
+        let cb = &system.classes[b];
+        ca.cap
+            .cmp(&cb.cap)
+            .then(ca.mean_size().partial_cmp(&cb.mean_size()).expect("finite means"))
+    });
+    PriorityOrder::new(order, "Least-Flexible-First")
+}
+
+/// The generalization of Elastic-First: priority by descending cap.
+pub fn most_flexible_first(system: &MultiSystem) -> PriorityOrder {
+    let mut order: Vec<usize> = (0..system.num_classes()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = &system.classes[a];
+        let cb = &system.classes[b];
+        cb.cap
+            .cmp(&ca.cap)
+            .then(ca.mean_size().partial_cmp(&cb.mean_size()).expect("finite means"))
+    });
+    PriorityOrder::new(order, "Most-Flexible-First")
+}
+
+/// Water-filling fair share: each *job* receives an equal share of the
+/// cluster, except that jobs whose cap is below the running fair share are
+/// saturated at their cap and removed, raising the share for the rest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaterFilling;
+
+impl MultiPolicy for WaterFilling {
+    fn allocate(&self, counts: &[usize], system: &MultiSystem) -> Vec<f64> {
+        let m = counts.len();
+        let mut alloc = vec![0.0; m];
+        let mut remaining_jobs: Vec<(usize, f64)> = Vec::new();
+        for (idx, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                remaining_jobs.push((idx, system.classes[idx].cap as f64));
+            }
+        }
+        let mut budget = system.k as f64;
+        let mut job_counts: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
+        // Iterate: saturate every class whose cap is below the fair share.
+        loop {
+            let total_jobs: f64 = remaining_jobs.iter().map(|&(idx, _)| job_counts[idx]).sum();
+            if total_jobs == 0.0 || budget <= 1e-12 {
+                break;
+            }
+            let share = budget / total_jobs;
+            let mut saturated = Vec::new();
+            for &(idx, cap) in &remaining_jobs {
+                if cap <= share {
+                    saturated.push(idx);
+                }
+            }
+            if saturated.is_empty() {
+                // Everyone takes the fair share.
+                for &(idx, _) in &remaining_jobs {
+                    alloc[idx] += share * job_counts[idx];
+                }
+                break;
+            }
+            for idx in saturated {
+                let cap = system.classes[idx].cap as f64;
+                alloc[idx] += cap * job_counts[idx];
+                budget -= cap * job_counts[idx];
+                job_counts[idx] = 0.0;
+                remaining_jobs.retain(|&(i, _)| i != idx);
+            }
+        }
+        alloc
+    }
+
+    fn name(&self) -> String {
+        "Water-Filling".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClassSpec, MultiSystem};
+
+    fn three_class() -> MultiSystem {
+        MultiSystem::new(
+            8,
+            vec![
+                ClassSpec::exponential("rigid", 1.0, 2.0, 1),
+                ClassSpec::exponential("semi", 1.0, 1.0, 4),
+                ClassSpec::exponential("fluid", 0.5, 0.5, 8),
+            ],
+        )
+    }
+
+    #[test]
+    fn least_flexible_first_orders_by_cap() {
+        let s = three_class();
+        let p = least_flexible_first(&s);
+        // One job of each class: rigid takes 1, semi takes 4, fluid gets 3.
+        let a = p.allocate(&[1, 1, 1], &s);
+        assert_eq!(a, vec![1.0, 4.0, 3.0]);
+        assert_feasible(&a, &[1, 1, 1], &s, "LFF");
+    }
+
+    #[test]
+    fn most_flexible_first_orders_by_cap_descending() {
+        let s = three_class();
+        let p = most_flexible_first(&s);
+        // Fluid job absorbs everything.
+        let a = p.allocate(&[1, 1, 1], &s);
+        assert_eq!(a, vec![0.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn priority_respects_absorption_limits() {
+        let s = three_class();
+        let p = least_flexible_first(&s);
+        // Five rigid jobs absorb at most 5 servers (cap 1 each).
+        let a = p.allocate(&[5, 0, 1], &s);
+        assert_eq!(a, vec![5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn two_class_reduction_matches_if_and_ef() {
+        let s = MultiSystem::two_class(4, 1.0, 1.0, 2.0, 1.0);
+        let lff = least_flexible_first(&s);
+        let mff = most_flexible_first(&s);
+        use eirs_sim::policy::{AllocationPolicy, ElasticFirst, InelasticFirst};
+        for i in 0..8usize {
+            for j in 0..8usize {
+                let a = lff.allocate(&[i, j], &s);
+                let reference = InelasticFirst.allocate(i, j, 4);
+                assert!((a[0] - reference.inelastic).abs() < 1e-12, "LFF≠IF at ({i},{j})");
+                assert!((a[1] - reference.elastic).abs() < 1e-12);
+                let a = mff.allocate(&[i, j], &s);
+                let reference = ElasticFirst.allocate(i, j, 4);
+                assert!((a[0] - reference.inelastic).abs() < 1e-12, "MFF≠EF at ({i},{j})");
+                assert!((a[1] - reference.elastic).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn water_filling_equal_when_uncapped() {
+        let s = three_class();
+        // Two fluid jobs (cap 8): each gets 4.
+        let a = WaterFilling.allocate(&[0, 0, 2], &s);
+        assert_eq!(a, vec![0.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn water_filling_redistributes_saturated_surplus() {
+        let s = three_class();
+        // 2 rigid (cap 1) + 1 fluid (cap 8) on k=8: fair share 8/3 > 1, so
+        // rigid saturate at 1 each; fluid gets the remaining 6.
+        let a = WaterFilling.allocate(&[2, 0, 1], &s);
+        assert!((a[0] - 2.0).abs() < 1e-12);
+        assert!((a[2] - 6.0).abs() < 1e-12);
+        assert_feasible(&a, &[2, 0, 1], &s, "WF");
+    }
+
+    #[test]
+    fn water_filling_respects_intermediate_caps() {
+        let s = three_class();
+        // 4 semi jobs (cap 4) on k=8: share 2 each, below cap — all equal.
+        let a = WaterFilling.allocate(&[0, 4, 0], &s);
+        assert!((a[1] - 8.0).abs() < 1e-12);
+        // 1 rigid + 1 semi: share 4; rigid saturates at 1, semi gets 7?
+        // Semi cap is 4 → capped at 4. Total 5 ≤ 8 (3 idle, no one can
+        // absorb more).
+        let a = WaterFilling.allocate(&[1, 1, 0], &s);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!((a[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_state_allocates_nothing() {
+        let s = three_class();
+        let p = least_flexible_first(&s);
+        assert_eq!(p.allocate(&[0, 0, 0], &s), vec![0.0, 0.0, 0.0]);
+        assert_eq!(WaterFilling.allocate(&[0, 0, 0], &s), vec![0.0, 0.0, 0.0]);
+    }
+}

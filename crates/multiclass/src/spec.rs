@@ -1,0 +1,134 @@
+//! System description for the multi-class bounded-elasticity model.
+
+use eirs_queueing::distributions::SizeDistribution;
+use eirs_queueing::Exponential;
+
+/// One job class: arrival rate, size law, and parallelizability cap.
+pub struct ClassSpec {
+    /// Human-readable class name for reports.
+    pub name: String,
+    /// Poisson arrival rate `λ_m ≥ 0`.
+    pub lambda: f64,
+    /// Job-size distribution (mean `E[S_m]`).
+    pub size: Box<dyn SizeDistribution>,
+    /// Parallelizability cap `c_m ≥ 1`: a job runs on at most `c_m` servers
+    /// with linear speedup.
+    pub cap: u32,
+}
+
+impl ClassSpec {
+    /// A class with exponential sizes — the Markovian special case used by
+    /// the analysis module.
+    pub fn exponential(name: impl Into<String>, lambda: f64, mu: f64, cap: u32) -> Self {
+        Self { name: name.into(), lambda, size: Box::new(Exponential::new(mu)), cap }
+    }
+
+    /// Mean size `E[S_m]`.
+    pub fn mean_size(&self) -> f64 {
+        self.size.mean()
+    }
+}
+
+impl std::fmt::Debug for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ClassSpec({}: λ={}, E[S]={:.3}, cap={})",
+            self.name,
+            self.lambda,
+            self.mean_size(),
+            self.cap
+        )
+    }
+}
+
+/// A `k`-server system shared by several job classes.
+#[derive(Debug)]
+pub struct MultiSystem {
+    /// Number of servers.
+    pub k: u32,
+    /// The job classes.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl MultiSystem {
+    /// Validated constructor: `k ≥ 1`, at least one class, positive rates
+    /// where required, caps clamped into `[1, k]` must be respected by the
+    /// caller (`cap ≤ k` is enforced here).
+    pub fn new(k: u32, classes: Vec<ClassSpec>) -> Self {
+        assert!(k >= 1, "need at least one server");
+        assert!(!classes.is_empty(), "need at least one class");
+        for c in &classes {
+            assert!(c.lambda >= 0.0 && c.lambda.is_finite(), "{}: bad λ", c.name);
+            assert!(c.mean_size() > 0.0, "{}: bad mean size", c.name);
+            assert!(c.cap >= 1 && c.cap <= k, "{}: cap must be in [1, k]", c.name);
+        }
+        Self { k, classes }
+    }
+
+    /// Number of classes `M`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// System load `ρ = Σ_m λ_m E[S_m] / k` (generalizes paper Eq. (1)).
+    pub fn load(&self) -> f64 {
+        self.classes.iter().map(|c| c.lambda * c.mean_size()).sum::<f64>() / self.k as f64
+    }
+
+    /// `true` when `ρ < 1`.
+    pub fn is_stable(&self) -> bool {
+        self.load() < 1.0
+    }
+
+    /// Total arrival rate `Σ λ_m`.
+    pub fn total_lambda(&self) -> f64 {
+        self.classes.iter().map(|c| c.lambda).sum()
+    }
+
+    /// The paper's two-class system as a multi-class instance
+    /// (class 0 = inelastic with cap 1, class 1 = elastic with cap `k`).
+    pub fn two_class(k: u32, lambda_i: f64, lambda_e: f64, mu_i: f64, mu_e: f64) -> Self {
+        Self::new(
+            k,
+            vec![
+                ClassSpec::exponential("inelastic", lambda_i, mu_i, 1),
+                ClassSpec::exponential("elastic", lambda_e, mu_e, k),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_generalizes_the_two_class_formula() {
+        let s = MultiSystem::two_class(4, 1.0, 1.0, 2.0, 1.0);
+        // ρ = (λ_I/µ_I + λ_E/µ_E)/k = (0.5 + 1.0)/4.
+        assert!((s.load() - 1.5 / 4.0).abs() < 1e-12);
+        assert!(s.is_stable());
+    }
+
+    #[test]
+    fn three_class_load() {
+        let s = MultiSystem::new(
+            8,
+            vec![
+                ClassSpec::exponential("a", 1.0, 1.0, 1),
+                ClassSpec::exponential("b", 1.0, 0.5, 4),
+                ClassSpec::exponential("c", 0.5, 0.25, 8),
+            ],
+        );
+        assert!((s.load() - (1.0 + 2.0 + 2.0) / 8.0).abs() < 1e-12);
+        assert_eq!(s.num_classes(), 3);
+        assert!((s.total_lambda() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be in [1, k]")]
+    fn rejects_cap_above_k() {
+        MultiSystem::new(2, vec![ClassSpec::exponential("x", 1.0, 1.0, 4)]);
+    }
+}

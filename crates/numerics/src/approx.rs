@@ -1,0 +1,56 @@
+//! Floating-point comparison helpers shared across the workspace tests.
+
+/// Absolute difference `|a - b|`.
+#[inline]
+pub fn abs_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)`, or the absolute difference
+/// when both magnitudes are below `1e-12` (where a relative measure is
+/// meaningless).
+#[inline]
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-12 {
+        abs_diff(a, b)
+    } else {
+        abs_diff(a, b) / scale
+    }
+}
+
+/// `true` when `a` and `b` agree to within `tol` relatively (or absolutely
+/// for tiny magnitudes). NaNs never compare equal.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    rel_diff(a, b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_equal() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.001, 1e-6));
+    }
+
+    #[test]
+    fn tiny_magnitudes_use_absolute_difference() {
+        assert!(approx_eq(1e-15, -1e-15, 1e-12));
+        assert!(!approx_eq(1e-15, 1e-3, 1e-12));
+    }
+
+    #[test]
+    fn nan_is_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+    }
+}

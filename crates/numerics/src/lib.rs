@@ -1,0 +1,30 @@
+//! Numeric substrate for the `eirs` workspace.
+//!
+//! The matrix-analytic solver in `eirs-markov` and the moment-matching code in
+//! `eirs-queueing` need a small, dependable dense linear-algebra kernel plus a
+//! handful of scalar utilities. Rather than pulling in a large linear-algebra
+//! dependency, this crate implements exactly the pieces the reproduction
+//! needs:
+//!
+//! * [`matrix::Matrix`] — dense row-major matrices with the usual arithmetic,
+//! * [`lu::LuDecomposition`] — LU factorization with partial pivoting
+//!   (solve / inverse / determinant),
+//! * [`roots`] — closed-form quadratic/cubic solvers and safeguarded
+//!   Newton/bisection iteration,
+//! * [`sum`] — compensated (Neumaier) summation for long accumulations,
+//! * [`approx`] — tolerance helpers shared by tests across the workspace.
+//!
+//! Everything is `f64`; the chains solved in this project are small (phase
+//! dimensions of a few dozen), so cache-blocked kernels or SIMD would be
+//! overkill. Correctness and numerical robustness are the priorities.
+
+pub mod approx;
+pub mod lu;
+pub mod matrix;
+pub mod roots;
+pub mod sum;
+
+pub use approx::{abs_diff, approx_eq, rel_diff};
+pub use lu::{LinAlgError, LuDecomposition};
+pub use matrix::Matrix;
+pub use sum::NeumaierSum;

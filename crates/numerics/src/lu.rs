@@ -1,0 +1,300 @@
+//! LU factorization with partial pivoting.
+//!
+//! This is the workhorse behind every linear solve in the reproduction: QBD
+//! boundary systems, `(I - R)^{-1}` for geometric tails, stationary
+//! distributions of finite chains, and first-step analysis of absorbing
+//! chains. Partial pivoting with a relative singularity check is plenty for
+//! the well-conditioned generator blocks that arise here.
+
+use crate::matrix::Matrix;
+
+/// Errors from linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// Factorization found no usable pivot: matrix is singular to working
+    /// precision.
+    Singular {
+        /// Elimination column where factorization broke down.
+        column: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Offending shape.
+        rows: usize,
+        /// Offending shape.
+        cols: usize,
+    },
+    /// Vector length incompatible with the factorized matrix.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinAlgError::Singular { column } => {
+                write!(f, "matrix is singular to working precision (column {column})")
+            }
+            LinAlgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinAlgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+/// An LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (unit lower, implicit diagonal) and U factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes `a`. Fails when `a` is not square or is singular to working
+    /// precision (pivot smaller than `n * eps * max_abs(a)`).
+    pub fn new(a: &Matrix) -> Result<Self, LinAlgError> {
+        if !a.is_square() {
+            return Err(LinAlgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let tol = (n as f64) * f64::EPSILON * a.max_abs().max(f64::MIN_POSITIVE);
+
+        for col in 0..n {
+            // Pivot search over rows col..n.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= tol {
+                return Err(LinAlgError::Singular { column: col });
+            }
+            if pivot_row != col {
+                perm.swap(col, pivot_row);
+                perm_sign = -perm_sign;
+                for c in 0..n {
+                    let tmp = lu[(col, c)];
+                    lu[(col, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+            }
+            let pivot = lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                if factor != 0.0 {
+                    for c in (col + 1)..n {
+                        let sub = factor * lu[(col, c)];
+                        lu[(r, c)] -= sub;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinAlgError::DimensionMismatch { expected: n, got: b.len() });
+        }
+        // Apply permutation, then forward- and back-substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinAlgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinAlgError::DimensionMismatch { expected: n, got: b.rows() });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for r in 0..n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col)?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse matrix `A^{-1}`.
+    pub fn inverse(&self) -> Result<Matrix, LinAlgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Convenience wrapper: factorize and solve `A x = b` in one call.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience wrapper: `A^{-1}` in one call.
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinAlgError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(approx_eq(*x, *y, tol), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert_vec_close(&x, &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 5.0]).unwrap();
+        assert_vec_close(&x, &[5.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(approx_eq(lu.determinant(), -2.0, 1e-14));
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutations() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(approx_eq(lu.determinant(), -1.0, 1e-14));
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinAlgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinAlgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(LinAlgError::DimensionMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn solve_matrix_handles_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]);
+        let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
+        let back = a.matmul(&x);
+        assert!(back.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 12, 30] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.random::<f64>() - 0.5;
+                }
+                // Diagonal dominance keeps the instance well conditioned.
+                a[(i, i)] += n as f64;
+            }
+            let xs: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 4.0 - 2.0).collect();
+            let b = a.matvec(&xs);
+            let solved = solve(&a, &b).unwrap();
+            assert_vec_close(&solved, &xs, 1e-10);
+        }
+    }
+}

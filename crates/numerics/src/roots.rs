@@ -1,0 +1,248 @@
+//! Scalar root finding: closed-form quadratics/cubics and safeguarded
+//! iteration.
+//!
+//! The Coxian moment fit in `eirs-queueing` reduces to a quadratic whose
+//! coefficients can be nearly degenerate (the leading coefficient vanishes as
+//! the busy period approaches an exponential), so [`solve_quadratic`] handles
+//! the linear limit explicitly and uses the numerically stable "citardauq"
+//! form for the smaller root.
+
+/// Real roots of `a x^2 + b x + c = 0`, ascending. Degenerate cases:
+/// `a == 0` falls back to the linear equation; no real roots yields an empty
+/// vector; a double root is reported once.
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a == 0.0 {
+        if b == 0.0 {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    if disc == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    let sq = disc.sqrt();
+    // q = -(b + sign(b) * sqrt(disc)) / 2 avoids cancellation between -b and
+    // the square root.
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = if b == 0.0 {
+        let r = sq / (2.0 * a);
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    let mut roots = vec![r1, r2];
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots
+}
+
+/// Real roots of `x^3 + p x^2 + q x + r = 0`, ascending, via the
+/// trigonometric method on the depressed cubic (Cardano for the
+/// one-real-root case).
+pub fn solve_cubic_monic(p: f64, q: f64, r: f64) -> Vec<f64> {
+    // Depress: x = t - p/3 gives t^3 + at + b = 0.
+    let a = q - p * p / 3.0;
+    let b = 2.0 * p * p * p / 27.0 - p * q / 3.0 + r;
+    let shift = -p / 3.0;
+    let disc = -(4.0 * a * a * a + 27.0 * b * b);
+    let mut roots = if disc > 0.0 {
+        // Three distinct real roots.
+        let m = 2.0 * (-a / 3.0).sqrt();
+        let theta = (3.0 * b / (a * m)).clamp(-1.0, 1.0).acos() / 3.0;
+        (0..3)
+            .map(|k| m * (theta - 2.0 * std::f64::consts::PI * k as f64 / 3.0).cos() + shift)
+            .collect()
+    } else if disc == 0.0 {
+        if a == 0.0 {
+            vec![shift]
+        } else {
+            // Double root and a simple root.
+            vec![3.0 * b / a + shift, -3.0 * b / (2.0 * a) + shift]
+        }
+    } else {
+        // One real root (Cardano).
+        let half_b = b / 2.0;
+        let delta = (half_b * half_b + a * a * a / 27.0).sqrt();
+        let u = cbrt(-half_b + delta);
+        let v = cbrt(-half_b - delta);
+        vec![u + v + shift]
+    };
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12 * (1.0 + x.abs()));
+    roots
+}
+
+#[inline]
+fn cbrt(x: f64) -> f64 {
+    x.signum() * x.abs().powf(1.0 / 3.0)
+}
+
+/// Robust bisection on `[lo, hi]`: requires a sign change, returns a point
+/// where `|f|` is tiny or the bracket has shrunk below `tol`.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> Option<f64> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || hi - lo < tol {
+            return Some(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Newton iteration with a bisection fallback bracket. `f` must return the
+/// pair `(value, derivative)`.
+pub fn newton_bracketed<F>(f: F, mut lo: f64, mut hi: f64, x0: f64, tol: f64) -> Option<f64>
+where
+    F: Fn(f64) -> (f64, f64),
+{
+    let (flo, _) = f(lo);
+    let (fhi, _) = f(hi);
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    let mut x = x0.clamp(lo, hi);
+    for _ in 0..100 {
+        let (fx, dfx) = f(x);
+        if fx.abs() < tol {
+            return Some(x);
+        }
+        // Maintain the bracket.
+        if fx.signum() == flo.signum() {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        let newton = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if hi - lo < tol {
+            return Some(x);
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+
+    #[test]
+    fn quadratic_simple_roots() {
+        let r = solve_quadratic(1.0, -3.0, 2.0);
+        assert_eq!(r.len(), 2);
+        assert!(approx_eq(r[0], 1.0, 1e-14));
+        assert!(approx_eq(r[1], 2.0, 1e-14));
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(solve_quadratic(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let r = solve_quadratic(1.0, -2.0, 1.0);
+        assert_eq!(r.len(), 1);
+        assert!(approx_eq(r[0], 1.0, 1e-14));
+    }
+
+    #[test]
+    fn quadratic_linear_fallback() {
+        let r = solve_quadratic(0.0, 2.0, -4.0);
+        assert_eq!(r, vec![2.0]);
+        assert!(solve_quadratic(0.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_is_stable_under_cancellation() {
+        // x^2 - 1e8 x + 1 = 0 has roots ~1e8 and ~1e-8; the naive formula
+        // destroys the small one.
+        let r = solve_quadratic(1.0, -1e8, 1.0);
+        assert_eq!(r.len(), 2);
+        assert!(approx_eq(r[0], 1e-8, 1e-9));
+        assert!(approx_eq(r[1], 1e8, 1e-12));
+    }
+
+    #[test]
+    fn quadratic_zero_b() {
+        let r = solve_quadratic(1.0, 0.0, -4.0);
+        assert_eq!(r.len(), 2);
+        assert!(approx_eq(r[0], -2.0, 1e-14));
+        assert!(approx_eq(r[1], 2.0, 1e-14));
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        let r = solve_cubic_monic(-6.0, 11.0, -6.0);
+        assert_eq!(r.len(), 3);
+        for (got, want) in r.iter().zip([1.0, 2.0, 3.0]) {
+            assert!(approx_eq(*got, want, 1e-10), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cubic_single_real_root() {
+        // x^3 + x + 1 has one real root near -0.6823278
+        let r = solve_cubic_monic(0.0, 1.0, 1.0);
+        assert_eq!(r.len(), 1);
+        assert!(approx_eq(r[0], -0.682_327_803_828_019_3, 1e-10));
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x-2)^3 = x^3 - 6x^2 + 12x - 8
+        let r = solve_cubic_monic(-6.0, 12.0, -8.0);
+        assert_eq!(r.len(), 1);
+        assert!(approx_eq(r[0], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!(approx_eq(root, std::f64::consts::SQRT_2, 1e-10));
+    }
+
+    #[test]
+    fn bisect_requires_sign_change() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_none());
+    }
+
+    #[test]
+    fn newton_converges_quadratically_inside_bracket() {
+        let f = |x: f64| (x * x - 2.0, 2.0 * x);
+        let root = newton_bracketed(f, 0.0, 2.0, 1.0, 1e-14).unwrap();
+        assert!(approx_eq(root, std::f64::consts::SQRT_2, 1e-12));
+    }
+}

@@ -1,0 +1,36 @@
+//! Classical queueing substrate for the `eirs` reproduction.
+//!
+//! Berg et al. (SPAA 2020) lean on three classical ingredients that this
+//! crate provides from scratch:
+//!
+//! * **M/M/1 theory** ([`mm1`]) — Elastic-First serves elastic jobs as an
+//!   M/M/1 with service rate `k·µ_E`; both busy-period transformations need
+//!   the first three moments of the M/M/1 busy period.
+//! * **M/M/k theory** ([`mmk`]) — under Inelastic-First the inelastic class
+//!   is exactly an M/M/k (Erlang-C).
+//! * **Phase-type machinery** ([`distributions`], [`coxian`]) — the
+//!   busy-period transformation of Section 5.2 replaces a 2D-infinite region
+//!   of the Markov chain by a two-phase Coxian matched to the first three
+//!   busy-period moments (in the closed-form style of Osogami &
+//!   Harchol-Balter 2006).
+//!
+//! The [`distributions`] module also backs the discrete-event simulator with
+//! a small library of job-size distributions (the sample-path results of the
+//! paper are distribution-free, and the tests exercise that).
+
+pub mod coxian;
+pub mod distributions;
+pub mod mm1;
+pub mod mmk;
+pub mod moments;
+pub mod phase_type;
+
+pub use coxian::{fit_coxian2, Coxian2, CoxianFitError};
+pub use distributions::{
+    BoundedPareto, Deterministic, Erlang, Exponential, HyperExponential, SizeDistribution,
+    UniformSize,
+};
+pub use mm1::MM1;
+pub use phase_type::PhaseType;
+pub use mmk::MMk;
+pub use moments::Moments;

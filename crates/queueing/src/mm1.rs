@@ -1,0 +1,206 @@
+//! M/M/1 queue: stationary metrics and busy-period moments.
+//!
+//! Under Elastic-First, elastic jobs form an M/M/1 with arrival rate `λ_E`
+//! and service rate `k·µ_E` (Observation 1 of the paper). Both busy-period
+//! transformations (Section 5.2 and Appendix D) replace a starved region of
+//! the Markov chain with the busy period of an M/M/1, so the first three
+//! busy-period moments are the load-bearing formulas here:
+//!
+//! ```text
+//! E[B]   = 1 / (µ − λ)
+//! E[B²]  = 2 / (µ² (1 − ρ)³)
+//! E[B³]  = 6 (1 + ρ) / (µ³ (1 − ρ)⁵)
+//! ```
+//!
+//! The unit tests cross-check these against numerical derivatives of the
+//! busy-period Laplace–Stieltjes transform
+//! `B*(s) = (λ + µ + s − √((λ+µ+s)² − 4λµ)) / (2λ)`.
+
+use crate::moments::Moments;
+
+/// An M/M/1 queue with Poisson(λ) arrivals and Exp(µ) service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MM1 {
+    /// New M/M/1; requires `λ ≥ 0`, `µ > 0`.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "need λ ≥ 0, got {lambda}");
+        assert!(mu > 0.0 && mu.is_finite(), "need µ > 0, got {mu}");
+        Self { lambda, mu }
+    }
+
+    /// Arrival rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate µ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Utilization `ρ = λ/µ`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// `true` when the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Mean response time `E[T] = 1/(µ − λ)`. Requires stability.
+    pub fn mean_response_time(&self) -> f64 {
+        assert!(self.is_stable(), "M/M/1 unstable: rho = {}", self.rho());
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean number in system `E[N] = ρ/(1 − ρ)`.
+    pub fn mean_number_in_system(&self) -> f64 {
+        let rho = self.rho();
+        assert!(rho < 1.0, "M/M/1 unstable: rho = {rho}");
+        rho / (1.0 - rho)
+    }
+
+    /// Stationary P(N = n) = (1 − ρ) ρⁿ.
+    pub fn prob_n(&self, n: u64) -> f64 {
+        let rho = self.rho();
+        assert!(rho < 1.0);
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// First three raw moments of the busy period (time from an arrival to
+    /// an empty system until the system next empties). Requires stability
+    /// and `λ ≥ 0`; for `λ = 0` the busy period is a bare service time.
+    pub fn busy_period_moments(&self) -> Moments {
+        assert!(self.is_stable(), "busy period undefined for rho >= 1");
+        let mu = self.mu;
+        let rho = self.rho();
+        let om = 1.0 - rho;
+        Moments::new(
+            1.0 / (mu * om),
+            2.0 / (mu * mu * om.powi(3)),
+            6.0 * (1.0 + rho) / (mu * mu * mu * om.powi(5)),
+        )
+    }
+
+    /// Laplace–Stieltjes transform of the busy period, `E[e^{-sB}]`, valid
+    /// for `s ≥ 0`. For `λ = 0` this degenerates to the service LST
+    /// `µ/(µ+s)`.
+    pub fn busy_period_lst(&self, s: f64) -> f64 {
+        assert!(s >= 0.0);
+        if self.lambda == 0.0 {
+            return self.mu / (self.mu + s);
+        }
+        let a = self.lambda + self.mu + s;
+        (a - (a * a - 4.0 * self.lambda * self.mu).sqrt()) / (2.0 * self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_response_time() {
+        // λ=1, µ=2: E[T] = 1/(2-1) = 1, E[N] = 1.
+        let q = MM1::new(1.0, 2.0);
+        assert!((q.mean_response_time() - 1.0).abs() < 1e-14);
+        assert!((q.mean_number_in_system() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = MM1::new(0.7, 1.0);
+        let t = q.mean_response_time();
+        let n = q.mean_number_in_system();
+        assert!((n - q.lambda() * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        let q = MM1::new(0.8, 1.0);
+        let total: f64 = (0..2000).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mean: f64 = (0..2000).map(|n| n as f64 * q.prob_n(n)).sum();
+        assert!((mean - q.mean_number_in_system()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_queue_panics_on_response_time() {
+        MM1::new(2.0, 1.0).mean_response_time();
+    }
+
+    #[test]
+    fn busy_period_mean_is_classical() {
+        // E[B] = 1/(µ-λ).
+        let q = MM1::new(0.5, 2.0);
+        let m = q.busy_period_moments();
+        assert!((m.m1 - 1.0 / 1.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn busy_period_cv2_is_one_plus_rho_over_one_minus_rho() {
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let q = MM1::new(rho, 1.0);
+            let m = q.busy_period_moments();
+            let want = (1.0 + rho) / (1.0 - rho);
+            assert!(
+                (m.cv2() - want).abs() < 1e-10,
+                "rho={rho}: cv2 {} vs {want}",
+                m.cv2()
+            );
+        }
+    }
+
+    #[test]
+    fn busy_period_moments_match_lst_derivatives() {
+        // Raw moments are (-1)^n d^n/ds^n B*(s) at s = 0. With
+        // B*(s) = (A - sqrt(D))/(2λ), A = λ+µ+s, D = A² - 4λµ, the exact
+        // derivatives are B' = (1 - A·D^{-1/2})/(2λ), B'' = 2µ/D^{3/2},
+        // B''' = -6µA/D^{5/2}; evaluate them at s = 0 where D = (µ-λ)².
+        for (lambda, mu) in [(0.3, 1.0), (0.6, 1.3), (1.8, 2.0), (0.05, 1.0)] {
+            let q = MM1::new(lambda, mu);
+            let m = q.busy_period_moments();
+            let a0 = lambda + mu;
+            let d0 = mu - lambda;
+            let d1 = (1.0 - a0 / d0) / (2.0 * lambda);
+            let d2 = 2.0 * mu / d0.powi(3);
+            let d3 = -6.0 * mu * a0 / d0.powi(5);
+            assert!(((-d1) - m.m1).abs() / m.m1 < 1e-12, "λ={lambda} µ={mu}: m1");
+            assert!((d2 - m.m2).abs() / m.m2 < 1e-12, "λ={lambda} µ={mu}: m2");
+            assert!(((-d3) - m.m3).abs() / m.m3 < 1e-12, "λ={lambda} µ={mu}: m3");
+        }
+    }
+
+    #[test]
+    fn busy_period_mean_matches_numerical_lst_slope() {
+        // One genuinely independent numerical check at moderate load, where
+        // the finite-difference bias is negligible.
+        let q = MM1::new(0.4, 1.0);
+        let h = 1e-6;
+        let slope = (q.busy_period_lst(2.0 * h) - q.busy_period_lst(0.0)) / (2.0 * h);
+        let m1 = q.busy_period_moments().m1;
+        assert!(((-slope) - m1).abs() / m1 < 1e-3, "slope {slope} vs m1 {m1}");
+    }
+
+    #[test]
+    fn busy_period_lst_at_zero_is_one() {
+        let q = MM1::new(0.4, 1.0);
+        assert!((q.busy_period_lst(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_arrival_busy_period_is_service_time() {
+        let q = MM1::new(0.0, 3.0);
+        let m = q.busy_period_moments();
+        assert!((m.m1 - 1.0 / 3.0).abs() < 1e-14);
+        assert!((m.cv2() - 1.0).abs() < 1e-12);
+        assert!((q.busy_period_lst(1.0) - 3.0 / 4.0).abs() < 1e-14);
+    }
+}

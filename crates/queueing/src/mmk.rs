@@ -1,0 +1,210 @@
+//! M/M/k queue: Erlang-B/C and stationary response-time metrics.
+//!
+//! Under Inelastic-First, inelastic jobs have preemptive priority and each
+//! occupies one server, so the inelastic class is exactly an M/M/k
+//! (Appendix D, Observation "inelastic jobs under IF see an M/M/k"). The
+//! Erlang-C probability is computed through the numerically stable recursive
+//! Erlang-B form, which is safe for hundreds of servers.
+
+/// An M/M/k queue with Poisson(λ) arrivals, Exp(µ) service, `k` servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMk {
+    lambda: f64,
+    mu: f64,
+    k: u32,
+}
+
+impl MMk {
+    /// New M/M/k; requires `λ ≥ 0`, `µ > 0`, `k ≥ 1`.
+    pub fn new(lambda: f64, mu: f64, k: u32) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite());
+        assert!(mu > 0.0 && mu.is_finite());
+        assert!(k >= 1);
+        Self { lambda, mu, k }
+    }
+
+    /// Arrival rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-server service rate µ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Number of servers k.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Offered load `a = λ/µ` (in Erlangs).
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Utilization `ρ = λ/(kµ)`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / (self.k as f64 * self.mu)
+    }
+
+    /// `true` when the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Erlang-B blocking probability for `m` servers at this offered load,
+    /// via the standard recursion `B(0)=1`, `B(m) = aB(m−1)/(m + aB(m−1))`.
+    pub fn erlang_b(&self, m: u32) -> f64 {
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for j in 1..=m {
+            b = a * b / (j as f64 + a * b);
+        }
+        b
+    }
+
+    /// Erlang-C probability that an arrival must wait,
+    /// `C = B / (1 − ρ(1 − B))` with `B = ErlangB(k, a)`. Requires stability.
+    pub fn erlang_c(&self) -> f64 {
+        assert!(self.is_stable(), "M/M/k unstable: rho = {}", self.rho());
+        let b = self.erlang_b(self.k);
+        let rho = self.rho();
+        b / (1.0 - rho * (1.0 - b))
+    }
+
+    /// Mean waiting time in queue `E[T_Q] = C / (kµ − λ)`.
+    pub fn mean_wait(&self) -> f64 {
+        self.erlang_c() / (self.k as f64 * self.mu - self.lambda)
+    }
+
+    /// Mean response time `E[T] = 1/µ + E[T_Q]`.
+    pub fn mean_response_time(&self) -> f64 {
+        1.0 / self.mu + self.mean_wait()
+    }
+
+    /// Mean number in system `E[N] = λ E[T]` (Little's law).
+    pub fn mean_number_in_system(&self) -> f64 {
+        self.lambda * self.mean_response_time()
+    }
+
+    /// Stationary probability of `n` jobs in system, from the standard
+    /// product-form solution (computed in log space for large k).
+    pub fn prob_n(&self, n: u32) -> f64 {
+        assert!(self.is_stable());
+        let a = self.offered_load();
+        let rho = self.rho();
+        // log p0: p0 = [ sum_{j<k} a^j/j! + a^k/(k!(1-rho)) ]^{-1}
+        let mut terms: Vec<f64> = Vec::with_capacity(self.k as usize + 1);
+        let mut log_term = 0.0; // log(a^0/0!)
+        terms.push(log_term);
+        for j in 1..self.k {
+            log_term += a.ln() - (j as f64).ln();
+            terms.push(log_term);
+        }
+        // a^k / (k! (1-rho)):
+        let mut log_k_term = 0.0;
+        for j in 1..=self.k {
+            log_k_term += a.ln() - (j as f64).ln();
+        }
+        terms.push(log_k_term - (1.0 - rho).ln());
+        let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let log_sum = max + terms.iter().map(|t| (t - max).exp()).sum::<f64>().ln();
+        let log_p0 = -log_sum;
+        // p_n = p0 a^n/n!          for n <= k
+        //     = p0 a^k/k! rho^{n-k} for n > k
+        let log_pn = if n <= self.k {
+            let mut lt = 0.0;
+            for j in 1..=n {
+                lt += a.ln() - (j as f64).ln();
+            }
+            log_p0 + lt
+        } else {
+            log_p0 + log_k_term + (n - self.k) as f64 * rho.ln()
+        };
+        log_pn.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k1_reduces_to_mm1() {
+        let q = MMk::new(0.6, 1.0, 1);
+        // Erlang-C for k=1 is rho.
+        assert!((q.erlang_c() - 0.6).abs() < 1e-12);
+        let mm1 = crate::mm1::MM1::new(0.6, 1.0);
+        assert!((q.mean_response_time() - mm1.mean_response_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_b_known_value() {
+        // Classic table value: a = 2 Erlangs, m = 3 → B = (a^3/3!)/sum = 4/19.
+        let q = MMk::new(2.0, 1.0, 3);
+        assert!((q.erlang_b(3) - 4.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // k=2, a=1 (rho=0.5): C = B/(1-rho(1-B)), B = (1/2)/(1+1+1/2) = 0.2
+        // → C = 0.2/(1-0.5*0.8) = 1/3.
+        let q = MMk::new(1.0, 1.0, 2);
+        assert!((q.erlang_c() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_time_k2_closed_form() {
+        // For k=2: E[T] = 1/µ + C/(2µ-λ) with C as above.
+        let q = MMk::new(1.0, 1.0, 2);
+        let want = 1.0 + (1.0 / 3.0) / (2.0 - 1.0);
+        assert!((q.mean_response_time() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_matches_mean() {
+        let q = MMk::new(3.0, 1.0, 4);
+        let total: f64 = (0..4000).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+        let mean: f64 = (0..4000).map(|n| n as f64 * q.prob_n(n)).sum();
+        assert!(
+            (mean - q.mean_number_in_system()).abs() < 1e-8,
+            "mean {mean} vs {}",
+            q.mean_number_in_system()
+        );
+    }
+
+    #[test]
+    fn large_k_is_numerically_stable() {
+        let q = MMk::new(180.0, 1.0, 200);
+        let c = q.erlang_c();
+        assert!(c.is_finite() && (0.0..=1.0).contains(&c));
+        let t = q.mean_response_time();
+        assert!(t >= 1.0 && t.is_finite());
+        let total: f64 = (0..4000).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // Standard ordering: C >= B for the same (k, a).
+        for (lam, k) in [(1.5, 2u32), (3.0, 4), (7.0, 8)] {
+            let q = MMk::new(lam, 1.0, k);
+            assert!(q.erlang_c() >= q.erlang_b(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_panics() {
+        MMk::new(5.0, 1.0, 4).erlang_c();
+    }
+
+    #[test]
+    fn zero_arrivals_give_bare_service_time() {
+        let q = MMk::new(0.0, 2.0, 4);
+        assert!((q.mean_response_time() - 0.5).abs() < 1e-12);
+        assert_eq!(q.mean_number_in_system(), 0.0);
+    }
+}

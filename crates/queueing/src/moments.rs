@@ -1,0 +1,102 @@
+//! Raw moments and derived statistics of nonnegative random variables.
+
+/// The first three raw moments `E[X]`, `E[X^2]`, `E[X^3]` of a nonnegative
+/// random variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// First raw moment `E[X]`.
+    pub m1: f64,
+    /// Second raw moment `E[X^2]`.
+    pub m2: f64,
+    /// Third raw moment `E[X^3]`.
+    pub m3: f64,
+}
+
+impl Moments {
+    /// Bundles three raw moments.
+    pub fn new(m1: f64, m2: f64, m3: f64) -> Self {
+        Self { m1, m2, m3 }
+    }
+
+    /// Variance `E[X^2] - E[X]^2`.
+    pub fn variance(&self) -> f64 {
+        self.m2 - self.m1 * self.m1
+    }
+
+    /// Squared coefficient of variation `Var[X] / E[X]^2`.
+    pub fn cv2(&self) -> f64 {
+        self.variance() / (self.m1 * self.m1)
+    }
+
+    /// Normalized second moment `m2 / m1^2` (Osogami–Harchol-Balter's `m_2`).
+    pub fn normalized_m2(&self) -> f64 {
+        self.m2 / (self.m1 * self.m1)
+    }
+
+    /// Normalized third moment `m3 / (m1 · m2)` (OH's `m_3`).
+    pub fn normalized_m3(&self) -> f64 {
+        self.m3 / (self.m1 * self.m2)
+    }
+
+    /// Estimates raw moments from data.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot estimate moments of an empty sample");
+        let n = samples.len() as f64;
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        let mut s3 = 0.0;
+        for &x in samples {
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+        }
+        Self { m1: s1 / n, m2: s2 / n, m3: s3 / n }
+    }
+
+    /// `true` when the moments could belong to a nonnegative random
+    /// variable and are suitable inputs for phase-type fitting: positive,
+    /// ordered by Jensen (`m2 ≥ m1^2`, `m3 ≥ m2^2/m1` by Cauchy–Schwarz on
+    /// `X^{1/2}·X^{3/2}`).
+    pub fn is_feasible(&self) -> bool {
+        self.m1 > 0.0
+            && self.m2 >= self.m1 * self.m1
+            && self.m1 * self.m3 >= self.m2 * self.m2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_moments_have_cv2_one() {
+        // Exp(rate 2): m1 = 1/2, m2 = 2/4, m3 = 6/8.
+        let m = Moments::new(0.5, 0.5, 0.75);
+        assert!((m.cv2() - 1.0).abs() < 1e-12);
+        assert!(m.is_feasible());
+    }
+
+    #[test]
+    fn from_samples_recovers_deterministic() {
+        let m = Moments::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(m.m1, 2.0);
+        assert_eq!(m.m2, 4.0);
+        assert_eq!(m.m3, 8.0);
+        assert!(m.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_moments_are_rejected() {
+        // m2 < m1^2 violates Jensen.
+        assert!(!Moments::new(1.0, 0.5, 1.0).is_feasible());
+        // m3 too small violates Cauchy–Schwarz.
+        assert!(!Moments::new(1.0, 2.0, 1.0).is_feasible());
+    }
+
+    #[test]
+    fn normalized_moments() {
+        let m = Moments::new(2.0, 12.0, 120.0);
+        assert!((m.normalized_m2() - 3.0).abs() < 1e-12);
+        assert!((m.normalized_m3() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,323 @@
+//! General (continuous) phase-type distributions.
+//!
+//! A phase-type (PH) distribution is the absorption time of a CTMC with
+//! transient phases `1..p`, initial distribution `α`, and sub-generator
+//! `T` (absorption rates are the deficit `t⁰ = −T·1`). PH distributions
+//! are the general machinery behind the two-phase Coxian used by the
+//! busy-period transformation; this module provides the full class so
+//! downstream users can plug richer fits into the same chains:
+//!
+//! * raw moments in closed form, `E[Xⁿ] = n!·α(−T)⁻ⁿ·1`,
+//! * survival function via uniformization, `P(X > t) = α·e^{Tt}·1`,
+//! * exact sampling by simulating the phase process.
+
+use crate::moments::Moments;
+use eirs_numerics::lu::LuDecomposition;
+use eirs_numerics::Matrix;
+use rand::RngCore;
+
+/// A continuous phase-type distribution `PH(α, T)`.
+#[derive(Debug, Clone)]
+pub struct PhaseType {
+    alpha: Vec<f64>,
+    t: Matrix,
+    /// Absorption rate from each phase: `t0 = −T·1`.
+    exit: Vec<f64>,
+}
+
+impl PhaseType {
+    /// Builds and validates `PH(α, T)`: `α ≥ 0` summing to 1 (no atom at
+    /// zero), `T` square with nonnegative off-diagonals, negative
+    /// diagonals, and nonpositive row sums with at least one strictly
+    /// negative (so absorption is reachable).
+    pub fn new(alpha: Vec<f64>, t: Matrix) -> Self {
+        let p = alpha.len();
+        assert!(p > 0, "need at least one phase");
+        assert!(t.is_square() && t.rows() == p, "T must be p x p");
+        let total: f64 = alpha.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "alpha must sum to 1, got {total}");
+        assert!(alpha.iter().all(|&a| a >= 0.0));
+        let mut exit = Vec::with_capacity(p);
+        for i in 0..p {
+            assert!(t[(i, i)] < 0.0, "diagonal of T must be negative (phase {i})");
+            let mut row_sum = 0.0;
+            for j in 0..p {
+                if i != j {
+                    assert!(t[(i, j)] >= 0.0, "off-diagonal T[{i},{j}] must be >= 0");
+                }
+                row_sum += t[(i, j)];
+            }
+            assert!(row_sum <= 1e-12, "row {i} of T sums to {row_sum} > 0");
+            exit.push((-row_sum).max(0.0));
+        }
+        Self { alpha, t, exit }
+    }
+
+    /// `Exp(rate)` as a single-phase PH.
+    pub fn exponential(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Self::new(vec![1.0], Matrix::from_rows(&[&[-rate]]))
+    }
+
+    /// Erlang(`shape`, `rate`) as a chain of phases.
+    pub fn erlang(shape: usize, rate: f64) -> Self {
+        assert!(shape >= 1 && rate > 0.0);
+        let mut t = Matrix::zeros(shape, shape);
+        for i in 0..shape {
+            t[(i, i)] = -rate;
+            if i + 1 < shape {
+                t[(i, i + 1)] = rate;
+            }
+        }
+        let mut alpha = vec![0.0; shape];
+        alpha[0] = 1.0;
+        Self::new(alpha, t)
+    }
+
+    /// A two-phase Coxian as a PH.
+    pub fn from_coxian2(cox: &crate::coxian::Coxian2) -> Self {
+        let (mu1, mu2, q) = (cox.mu1(), cox.mu2(), cox.q());
+        let t = Matrix::from_rows(&[&[-mu1, q * mu1], &[0.0, -mu2]]);
+        Self::new(vec![1.0, 0.0], t)
+    }
+
+    /// Hyperexponential mixture `(p_i, rate_i)` as a parallel PH.
+    pub fn hyperexponential(probs: &[f64], rates: &[f64]) -> Self {
+        assert_eq!(probs.len(), rates.len());
+        let p = probs.len();
+        let mut t = Matrix::zeros(p, p);
+        for (i, &r) in rates.iter().enumerate() {
+            assert!(r > 0.0);
+            t[(i, i)] = -r;
+        }
+        Self::new(probs.to_vec(), t)
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Raw moments `E[X], E[X²], E[X³]` via `E[Xⁿ] = n!·α(−T)⁻ⁿ·1`,
+    /// computed with repeated linear solves (no explicit inverse).
+    pub fn moments(&self) -> Moments {
+        let neg_t = -&self.t;
+        let lu = LuDecomposition::new(&neg_t).expect("T is nonsingular by construction");
+        // v1 = (−T)^{-1} 1 ; v2 = (−T)^{-1} v1 ; v3 = (−T)^{-1} v2.
+        let ones = vec![1.0; self.phases()];
+        let v1 = lu.solve(&ones).expect("solve");
+        let v2 = lu.solve(&v1).expect("solve");
+        let v3 = lu.solve(&v2).expect("solve");
+        let dot = |v: &[f64]| -> f64 { self.alpha.iter().zip(v).map(|(a, x)| a * x).sum() };
+        Moments::new(dot(&v1), 2.0 * dot(&v2), 6.0 * dot(&v3))
+    }
+
+    /// Mean `E[X]`.
+    pub fn mean(&self) -> f64 {
+        self.moments().m1
+    }
+
+    /// Survival function `P(X > t) = α·e^{Tt}·1` by uniformization.
+    pub fn survival(&self, time: f64) -> f64 {
+        assert!(time >= 0.0);
+        if time == 0.0 {
+            return 1.0;
+        }
+        let p = self.phases();
+        let lam = (0..p).map(|i| -self.t[(i, i)]).fold(0.0, f64::max) * 1.000001;
+        // Substochastic DTMC step: v ← v (I + T/Λ), applied to α.
+        let step = |v: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; p];
+            for (i, &mass) in v.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let entry = if i == j {
+                        1.0 + self.t[(i, i)] / lam
+                    } else {
+                        self.t[(i, j)] / lam
+                    };
+                    if entry != 0.0 {
+                        *slot += mass * entry;
+                    }
+                }
+            }
+            out
+        };
+        let lt = lam * time;
+        let mut log_pmf = -lt;
+        let mut v = self.alpha.clone();
+        let mut acc = 0.0;
+        let mut weight_acc = 0.0;
+        let mut k = 0u64;
+        loop {
+            let w = log_pmf.exp();
+            let alive: f64 = v.iter().sum();
+            acc += w * alive;
+            weight_acc += w;
+            if 1.0 - weight_acc < 1e-13 || alive < 1e-300 {
+                break;
+            }
+            k += 1;
+            log_pmf += lt.ln() - (k as f64).ln();
+            v = step(&v);
+            if k as f64 > lt + 12.0 * lt.sqrt() + 64.0 {
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Draws one value by simulating the phase process.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Pick the initial phase.
+        let u: f64 = rand::Rng::random(&mut *rng);
+        let mut phase = self.alpha.len() - 1;
+        let mut cum = 0.0;
+        for (i, &a) in self.alpha.iter().enumerate() {
+            cum += a;
+            if u < cum {
+                phase = i;
+                break;
+            }
+        }
+        let mut total = 0.0;
+        loop {
+            let hold = -self.t[(phase, phase)];
+            total += -crate::distributions::uniform_open01(rng).ln() / hold;
+            // Choose the next phase or absorption.
+            let pick: f64 = rand::Rng::random(&mut *rng);
+            let mut threshold = self.exit[phase] / hold;
+            if pick < threshold {
+                return total;
+            }
+            let mut next = phase;
+            for j in 0..self.phases() {
+                if j == phase {
+                    continue;
+                }
+                threshold += self.t[(phase, j)] / hold;
+                if pick < threshold {
+                    next = j;
+                    break;
+                }
+            }
+            assert_ne!(next, phase, "no outgoing transition chosen");
+            phase = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_ph_moments() {
+        let ph = PhaseType::exponential(2.0);
+        let m = ph.moments();
+        assert!((m.m1 - 0.5).abs() < 1e-12);
+        assert!((m.m2 - 0.5).abs() < 1e-12);
+        assert!((m.m3 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_ph_moments_match_distribution_module() {
+        let ph = PhaseType::erlang(3, 1.5);
+        let reference =
+            crate::distributions::SizeDistribution::moments(&crate::distributions::Erlang::new(
+                3, 1.5,
+            ));
+        let m = ph.moments();
+        assert!((m.m1 - reference.m1).abs() < 1e-12);
+        assert!((m.m2 - reference.m2).abs() < 1e-12);
+        assert!((m.m3 - reference.m3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coxian_conversion_preserves_moments() {
+        let cox = crate::coxian::Coxian2::new(2.0, 0.5, 0.3);
+        let ph = PhaseType::from_coxian2(&cox);
+        let want = cox.moments();
+        let got = ph.moments();
+        assert!((got.m1 - want.m1).abs() < 1e-12);
+        assert!((got.m2 - want.m2).abs() < 1e-12);
+        assert!((got.m3 - want.m3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperexponential_ph_moments() {
+        let probs = [0.3, 0.7];
+        let rates = [0.5, 2.0];
+        let ph = PhaseType::hyperexponential(&probs, &rates);
+        let want = crate::distributions::SizeDistribution::moments(
+            &crate::distributions::HyperExponential::new(probs.to_vec(), rates.to_vec()),
+        );
+        let got = ph.moments();
+        assert!((got.m1 - want.m1).abs() < 1e-12);
+        assert!((got.m2 - want.m2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exponential_survival_is_closed_form() {
+        let ph = PhaseType::exponential(1.5);
+        for t in [0.0, 0.2, 1.0, 3.0] {
+            let want = (-1.5f64 * t).exp();
+            let got = ph.survival(t);
+            assert!((got - want).abs() < 1e-9, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn erlang_survival_is_poisson_tail() {
+        // P(Erlang(2, r) > t) = e^{-rt}(1 + rt).
+        let r = 2.0;
+        let ph = PhaseType::erlang(2, r);
+        for t in [0.1, 0.5, 1.0, 2.5] {
+            let want = (-r * t as f64).exp() * (1.0 + r * t);
+            let got = ph.survival(t);
+            assert!((got - want).abs() < 1e-9, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn survival_is_monotone_and_bounded() {
+        let cox = crate::coxian::Coxian2::new(1.0, 3.0, 0.6);
+        let ph = PhaseType::from_coxian2(&cox);
+        let mut last = 1.0;
+        for t in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let s = ph.survival(t);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= last + 1e-12, "survival must be nonincreasing");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn sampling_mean_matches_analytic() {
+        let ph = PhaseType::erlang(4, 2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += ph.sample(&mut rng);
+        }
+        let emp = acc / n as f64;
+        assert!((emp - 2.0).abs() < 0.02, "{emp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must sum to 1")]
+    fn rejects_bad_alpha() {
+        PhaseType::new(vec![0.5, 0.4], Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal of T must be negative")]
+    fn rejects_bad_diagonal() {
+        PhaseType::new(vec![1.0], Matrix::from_rows(&[&[0.0]]));
+    }
+}

@@ -1,0 +1,409 @@
+//! Arrival processes: live Poisson streams and frozen traces.
+//!
+//! The coupling experiments of Theorem 3 need *the same* arrival sequence
+//! (times, classes, and sizes) replayed under different policies, so arrival
+//! generation is separated from the simulator: a [`PoissonStream`] samples
+//! lazily, while an [`ArrivalTrace`] freezes a finite sequence that a
+//! [`TraceStream`] replays verbatim.
+
+use crate::job::JobClass;
+use eirs_queueing::distributions::SizeDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One arriving job: when, which class, how much work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival epoch.
+    pub time: f64,
+    /// Job class.
+    pub class: JobClass,
+    /// Inherent size (work).
+    pub size: f64,
+}
+
+/// A source of arrivals consumed by the simulator.
+pub trait ArrivalSource {
+    /// The next arrival, or `None` when the source is exhausted.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+}
+
+/// Two independent Poisson streams (one per class) with per-class size
+/// distributions — the stochastic model of the paper.
+pub struct PoissonStream {
+    lambda_i: f64,
+    lambda_e: f64,
+    size_i: Box<dyn SizeDistribution>,
+    size_e: Box<dyn SizeDistribution>,
+    rng: StdRng,
+    next_i: f64,
+    next_e: f64,
+}
+
+impl PoissonStream {
+    /// A stream with inelastic rate `lambda_i`, elastic rate `lambda_e`, and
+    /// the given size distributions. Rates may be zero (that class never
+    /// arrives).
+    pub fn new(
+        lambda_i: f64,
+        lambda_e: f64,
+        size_i: Box<dyn SizeDistribution>,
+        size_e: Box<dyn SizeDistribution>,
+        seed: u64,
+    ) -> Self {
+        assert!(lambda_i >= 0.0 && lambda_e >= 0.0);
+        assert!(lambda_i + lambda_e > 0.0, "at least one class must arrive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let next_i = sample_interarrival(&mut rng, lambda_i);
+        let next_e = sample_interarrival(&mut rng, lambda_e);
+        Self { lambda_i, lambda_e, size_i, size_e, rng, next_i, next_e }
+    }
+}
+
+fn sample_interarrival(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate == 0.0 {
+        f64::INFINITY
+    } else {
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / rate
+    }
+}
+
+impl ArrivalSource for PoissonStream {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let (time, class) = if self.next_i <= self.next_e {
+            (self.next_i, JobClass::Inelastic)
+        } else {
+            (self.next_e, JobClass::Elastic)
+        };
+        let size = match class {
+            JobClass::Inelastic => {
+                self.next_i = time + sample_interarrival(&mut self.rng, self.lambda_i);
+                self.size_i.sample(&mut self.rng)
+            }
+            JobClass::Elastic => {
+                self.next_e = time + sample_interarrival(&mut self.rng, self.lambda_e);
+                self.size_e.sample(&mut self.rng)
+            }
+        };
+        Some(Arrival { time, class, size })
+    }
+}
+
+
+/// Batch-Poisson ("bursty") arrivals: bursts arrive as a Poisson process
+/// and each burst delivers a geometric number of jobs at the same instant.
+///
+/// The paper's optimality proofs for IF are sample-path arguments that
+/// never use the Poisson assumption, so IF's dominance should survive
+/// bursty traffic — the `thm3_dominance` experiments use this stream to
+/// check exactly that.
+pub struct BurstyStream {
+    burst_rate: f64,
+    /// Geometric continuation probability: mean burst size `1/(1-q)`.
+    continue_prob: f64,
+    inelastic_fraction: f64,
+    size_i: Box<dyn SizeDistribution>,
+    size_e: Box<dyn SizeDistribution>,
+    rng: StdRng,
+    next_burst: f64,
+    /// Jobs still to emit from the current burst.
+    pending_in_burst: u32,
+}
+
+impl BurstyStream {
+    /// Bursts at rate `burst_rate`; each burst has `Geometric` size with
+    /// continuation probability `continue_prob ∈ [0, 1)` (mean
+    /// `1/(1-continue_prob)`); each job is inelastic with probability
+    /// `inelastic_fraction`.
+    pub fn new(
+        burst_rate: f64,
+        continue_prob: f64,
+        inelastic_fraction: f64,
+        size_i: Box<dyn SizeDistribution>,
+        size_e: Box<dyn SizeDistribution>,
+        seed: u64,
+    ) -> Self {
+        assert!(burst_rate > 0.0);
+        assert!((0.0..1.0).contains(&continue_prob));
+        assert!((0.0..=1.0).contains(&inelastic_fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let next_burst = sample_interarrival(&mut rng, burst_rate);
+        Self {
+            burst_rate,
+            continue_prob,
+            inelastic_fraction,
+            size_i,
+            size_e,
+            rng,
+            next_burst,
+            pending_in_burst: 1,
+        }
+    }
+
+    /// Mean number of jobs per burst.
+    pub fn mean_burst_size(&self) -> f64 {
+        1.0 / (1.0 - self.continue_prob)
+    }
+
+    /// Effective per-job arrival rate `burst_rate · mean_burst_size`.
+    pub fn job_rate(&self) -> f64 {
+        self.burst_rate * self.mean_burst_size()
+    }
+}
+
+impl ArrivalSource for BurstyStream {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let time = self.next_burst;
+        let class = if self.rng.random::<f64>() < self.inelastic_fraction {
+            JobClass::Inelastic
+        } else {
+            JobClass::Elastic
+        };
+        let size = match class {
+            JobClass::Inelastic => self.size_i.sample(&mut self.rng),
+            JobClass::Elastic => self.size_e.sample(&mut self.rng),
+        };
+        // Decide whether the burst continues.
+        if self.rng.random::<f64>() < self.continue_prob {
+            self.pending_in_burst += 1;
+        } else {
+            self.pending_in_burst = 1;
+            self.next_burst = time + sample_interarrival(&mut self.rng, self.burst_rate);
+        }
+        Some(Arrival { time, class, size })
+    }
+}
+
+/// A frozen, finite arrival sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// Builds a trace from explicit arrivals; sorts by time.
+    pub fn new(mut arrivals: Vec<Arrival>) -> Self {
+        assert!(arrivals.iter().all(|a| a.time >= 0.0 && a.size >= 0.0));
+        arrivals.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        Self { arrivals }
+    }
+
+    /// Records the first arrivals of a [`PoissonStream`] up to `horizon`.
+    pub fn record_poisson(
+        lambda_i: f64,
+        lambda_e: f64,
+        size_i: Box<dyn SizeDistribution>,
+        size_e: Box<dyn SizeDistribution>,
+        seed: u64,
+        horizon: f64,
+    ) -> Self {
+        let mut stream = PoissonStream::new(lambda_i, lambda_e, size_i, size_e, seed);
+        let mut arrivals = Vec::new();
+        while let Some(a) = stream.next_arrival() {
+            if a.time > horizon {
+                break;
+            }
+            arrivals.push(a);
+        }
+        Self { arrivals }
+    }
+
+    /// The arrivals, ordered by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Sum of all job sizes (total offered work).
+    pub fn total_work(&self) -> f64 {
+        self.arrivals.iter().map(|a| a.size).sum()
+    }
+
+    /// Streams this trace.
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream { trace: self, pos: 0 }
+    }
+}
+
+/// Replays an [`ArrivalTrace`].
+pub struct TraceStream<'a> {
+    trace: &'a ArrivalTrace,
+    pos: usize,
+}
+
+impl ArrivalSource for TraceStream<'_> {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = self.trace.arrivals.get(self.pos).copied();
+        self.pos += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirs_queueing::Exponential;
+
+    #[test]
+    fn poisson_stream_produces_increasing_times_per_class() {
+        let mut s = PoissonStream::new(
+            1.0,
+            2.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            3,
+        );
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let a = s.next_arrival().unwrap();
+            assert!(a.time >= last, "arrivals must be time-ordered");
+            last = a.time;
+            assert!(a.size > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_stream_rate_is_statistically_right() {
+        let mut s = PoissonStream::new(
+            3.0,
+            1.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            11,
+        );
+        let n = 40_000;
+        let mut count_i = 0usize;
+        let mut t_final = 0.0;
+        for _ in 0..n {
+            let a = s.next_arrival().unwrap();
+            if a.class == JobClass::Inelastic {
+                count_i += 1;
+            }
+            t_final = a.time;
+        }
+        let total_rate = n as f64 / t_final;
+        assert!((total_rate - 4.0).abs() < 0.15, "total rate {total_rate}");
+        let frac_i = count_i as f64 / n as f64;
+        assert!((frac_i - 0.75).abs() < 0.02, "inelastic fraction {frac_i}");
+    }
+
+    #[test]
+    fn zero_rate_class_never_arrives() {
+        let mut s = PoissonStream::new(
+            0.0,
+            1.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            5,
+        );
+        for _ in 0..500 {
+            assert_eq!(s.next_arrival().unwrap().class, JobClass::Elastic);
+        }
+    }
+
+
+    #[test]
+    fn bursty_stream_emits_time_ordered_bursts() {
+        let mut s = BurstyStream::new(
+            1.0,
+            0.6,
+            0.5,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            3,
+        );
+        let mut last = 0.0;
+        let mut same_instant = 0usize;
+        for _ in 0..5_000 {
+            let a = s.next_arrival().unwrap();
+            assert!(a.time >= last);
+            if a.time == last {
+                same_instant += 1;
+            }
+            last = a.time;
+        }
+        // With continuation probability 0.6 most arrivals share a burst
+        // instant with their predecessor.
+        assert!(same_instant > 2_000, "only {same_instant} same-instant arrivals");
+    }
+
+    #[test]
+    fn bursty_stream_mean_burst_size() {
+        let s = BurstyStream::new(
+            2.0,
+            0.75,
+            0.5,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            4,
+        );
+        assert!((s.mean_burst_size() - 4.0).abs() < 1e-12);
+        assert!((s.job_rate() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_stream_statistical_job_rate() {
+        let mut s = BurstyStream::new(
+            1.0,
+            0.5,
+            1.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            5,
+        );
+        let n = 40_000;
+        let mut t_final = 0.0;
+        for _ in 0..n {
+            t_final = s.next_arrival().unwrap().time;
+        }
+        let rate = n as f64 / t_final;
+        assert!((rate - 2.0).abs() < 0.1, "job rate {rate}");
+    }
+
+    #[test]
+    fn trace_round_trip_is_deterministic() {
+        let t1 = ArrivalTrace::record_poisson(
+            1.0,
+            1.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(2.0)),
+            7,
+            50.0,
+        );
+        let t2 = ArrivalTrace::record_poisson(
+            1.0,
+            1.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(2.0)),
+            7,
+            50.0,
+        );
+        assert_eq!(t1, t2);
+        assert!(!t1.is_empty());
+        let replayed: Vec<Arrival> = {
+            let mut s = t1.stream();
+            std::iter::from_fn(move || s.next_arrival()).collect()
+        };
+        assert_eq!(replayed.as_slice(), t1.arrivals());
+    }
+
+    #[test]
+    fn trace_sorts_out_of_order_input() {
+        let t = ArrivalTrace::new(vec![
+            Arrival { time: 2.0, class: JobClass::Elastic, size: 1.0 },
+            Arrival { time: 1.0, class: JobClass::Inelastic, size: 2.0 },
+        ]);
+        assert_eq!(t.arrivals()[0].time, 1.0);
+        assert!((t.total_work() - 3.0).abs() < 1e-12);
+    }
+}

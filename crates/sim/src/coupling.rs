@@ -1,0 +1,340 @@
+//! Coupled sample-path experiments (the experimental face of Theorem 3).
+//!
+//! Theorem 3 couples Inelastic-First with an arbitrary class-P policy on a
+//! *fixed arrival sequence* and shows the total work `W(t)` and inelastic
+//! work `W_I(t)` are pointwise smaller under IF. This module records those
+//! trajectories from the simulator and checks dominance.
+//!
+//! Work trajectories are piecewise linear between events (service drains
+//! work at the constant allocated rate) with upward jumps at arrivals, so a
+//! trajectory is stored as the sequence of event-epoch samples, recording
+//! *both* the pre-jump and post-jump value at arrival instants. Evaluation
+//! between samples is exact linear interpolation, and dominance over all
+//! `t ≥ 0` reduces to dominance at the merged epochs of the two
+//! trajectories.
+
+use crate::arrivals::{Arrival, ArrivalSource, ArrivalTrace};
+use crate::job::{Job, JobClass};
+use crate::policy::{assert_feasible, AllocationPolicy};
+use std::collections::VecDeque;
+
+/// One sampled point of a work trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkSample {
+    /// Event epoch.
+    pub time: f64,
+    /// Total remaining work in system.
+    pub total: f64,
+    /// Remaining inelastic work in system.
+    pub inelastic: f64,
+}
+
+/// A recorded piecewise-linear work trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct WorkTrajectory {
+    samples: Vec<WorkSample>,
+}
+
+impl WorkTrajectory {
+    /// Runs `policy` on `trace` (drain-to-empty) with `k` servers and
+    /// records `(W(t), W_I(t))` at every event epoch.
+    pub fn record(policy: &dyn AllocationPolicy, trace: &ArrivalTrace, k: u32) -> Self {
+        let mut stream = trace.stream();
+        Self::record_from_source(policy, &mut stream, k)
+    }
+
+    fn record_from_source(
+        policy: &dyn AllocationPolicy,
+        source: &mut dyn ArrivalSource,
+        k: u32,
+    ) -> Self {
+        let name = policy.name();
+        let mut inelastic: VecDeque<Job> = VecDeque::new();
+        let mut elastic: VecDeque<Job> = VecDeque::new();
+        let mut time = 0.0f64;
+        let mut next_id = 0u64;
+        let mut pending = source.next_arrival();
+        let mut samples = Vec::new();
+
+        let snapshot = |time: f64, inel: &VecDeque<Job>, el: &VecDeque<Job>| {
+            let wi: f64 = inel.iter().map(|j| j.remaining).sum();
+            let we: f64 = el.iter().map(|j| j.remaining).sum();
+            WorkSample { time, total: wi + we, inelastic: wi }
+        };
+        samples.push(snapshot(0.0, &inelastic, &elastic));
+
+        loop {
+            if pending.is_none() && inelastic.is_empty() && elastic.is_empty() {
+                break;
+            }
+            let i = inelastic.len();
+            let j = elastic.len();
+            let alloc = policy.allocate(i, j, k);
+            assert_feasible(alloc, i, j, k, &name);
+
+            let whole = alloc.inelastic.floor() as usize;
+            let frac = alloc.inelastic - whole as f64;
+            let rate_of = |idx: usize| -> f64 {
+                if idx < whole {
+                    1.0
+                } else if idx == whole {
+                    frac
+                } else {
+                    0.0
+                }
+            };
+
+            let mut dt = f64::INFINITY;
+            for (idx, job) in inelastic.iter().enumerate().take(whole + 1) {
+                let r = rate_of(idx);
+                if r > 0.0 {
+                    dt = dt.min(job.remaining / r);
+                }
+            }
+            if alloc.elastic > 0.0 {
+                if let Some(head) = elastic.front() {
+                    dt = dt.min(head.remaining / alloc.elastic);
+                }
+            }
+            let dt_arr = pending.map_or(f64::INFINITY, |a: Arrival| (a.time - time).max(0.0));
+            let arrival_next = dt_arr <= dt;
+            dt = dt.min(dt_arr);
+            assert!(
+                dt.is_finite(),
+                "policy {name} idles forever with jobs present in state ({i},{j})"
+            );
+
+            if dt > 0.0 {
+                for (idx, job) in inelastic.iter_mut().enumerate().take(whole + 1) {
+                    let r = rate_of(idx);
+                    if r > 0.0 {
+                        job.remaining = (job.remaining - r * dt).max(0.0);
+                    }
+                }
+                if alloc.elastic > 0.0 {
+                    if let Some(head) = elastic.front_mut() {
+                        head.remaining = (head.remaining - alloc.elastic * dt).max(0.0);
+                    }
+                }
+                time += dt;
+            }
+            if arrival_next {
+                if let Some(a) = pending {
+                    // Snap exactly onto the trace's arrival epoch: the
+                    // accumulated clock can overshoot `a.time` by an ulp,
+                    // and coupled trajectories must place the identical
+                    // arrival jump at the identical epoch or the merged
+                    // comparison reads one of them pre-jump.
+                    debug_assert!((time - a.time).abs() <= 1e-9 * (1.0 + a.time.abs()));
+                    time = a.time;
+                }
+            }
+
+            inelastic.retain(|jb| !jb.is_done());
+            elastic.retain(|jb| !jb.is_done());
+
+            // Pre-jump sample at this epoch.
+            samples.push(snapshot(time, &inelastic, &elastic));
+
+            if arrival_next {
+                if let Some(a) = pending {
+                    let job = Job::new(next_id, a.class, a.size, a.time);
+                    next_id += 1;
+                    match a.class {
+                        JobClass::Inelastic => inelastic.push_back(job),
+                        JobClass::Elastic => elastic.push_back(job),
+                    }
+                    pending = source.next_arrival();
+                    // Post-jump sample (same epoch, larger work).
+                    samples.push(snapshot(time, &inelastic, &elastic));
+                }
+            }
+        }
+        Self { samples }
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[WorkSample] {
+        &self.samples
+    }
+
+    /// Final epoch of the trajectory (system empty afterwards).
+    pub fn end_time(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.time)
+    }
+
+    /// Exact `(W(t), W_I(t))` by linear interpolation. At an arrival epoch
+    /// the post-jump value is returned; beyond the final sample the system
+    /// stays as recorded there (empty, for drained traces).
+    pub fn value_at(&self, t: f64) -> (f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let first = self.samples[0];
+        if t < first.time {
+            return (first.total, first.inelastic);
+        }
+        let last_idx = self.samples.len() - 1;
+        if self.samples[last_idx].time <= t {
+            let last = self.samples[last_idx];
+            return (last.total, last.inelastic);
+        }
+        // Maximal index with time <= t (rightmost among equal epochs, i.e.
+        // the post-jump twin); invariant samples[lo].time <= t < samples[hi].time.
+        let mut lo = 0usize;
+        let mut hi = last_idx;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.samples[mid].time <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let a = self.samples[lo];
+        if a.time == t {
+            return (a.total, a.inelastic);
+        }
+        let b = self.samples[hi];
+        let frac = (t - a.time) / (b.time - a.time);
+        (
+            a.total + frac * (b.total - a.total),
+            a.inelastic + frac * (b.inelastic - a.inelastic),
+        )
+    }
+
+    /// All distinct epochs in the trajectory.
+    pub fn epochs(&self) -> Vec<f64> {
+        let mut e: Vec<f64> = self.samples.iter().map(|s| s.time).collect();
+        e.dedup();
+        e
+    }
+}
+
+/// Checks `a.W(t) ≤ b.W(t) + tol` and `a.W_I(t) ≤ b.W_I(t) + tol` at every
+/// merged event epoch of the two trajectories (sufficient for all `t` since
+/// both are linear between merged epochs). Returns the first violating
+/// epoch, or `None` when dominance holds throughout.
+pub fn dominates_throughout(a: &WorkTrajectory, b: &WorkTrajectory, tol: f64) -> Option<f64> {
+    let mut epochs: Vec<f64> = a.epochs();
+    epochs.extend(b.epochs());
+    epochs.sort_by(|x, y| x.partial_cmp(y).expect("finite epochs"));
+    epochs.dedup();
+    for &t in &epochs {
+        let (wa, wia) = a.value_at(t);
+        let (wb, wib) = b.value_at(t);
+        if wa > wb + tol || wia > wib + tol {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ElasticFirst, FairShare, InelasticFirst, TablePolicy};
+    use eirs_queueing::Exponential;
+
+    fn sample_trace(seed: u64, horizon: f64) -> ArrivalTrace {
+        ArrivalTrace::record_poisson(
+            1.0,
+            0.8,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(0.5)),
+            seed,
+            horizon,
+        )
+    }
+
+    #[test]
+    fn trajectory_starts_at_zero_and_ends_empty() {
+        let tr = sample_trace(1, 30.0);
+        let w = WorkTrajectory::record(&InelasticFirst, &tr, 4);
+        assert_eq!(w.samples()[0].total, 0.0);
+        let last = w.samples().last().unwrap();
+        assert!(last.total < 1e-9);
+        assert!(last.inelastic < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_exact_on_a_single_job() {
+        // One inelastic job of size 2, k=1: W(t) = 2 − t on [0, 2].
+        let tr = ArrivalTrace::new(vec![Arrival {
+            time: 0.0,
+            class: JobClass::Inelastic,
+            size: 2.0,
+        }]);
+        let w = WorkTrajectory::record(&InelasticFirst, &tr, 1);
+        for t in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+            let (total, inelastic) = w.value_at(t);
+            let want = (2.0 - t).max(0.0);
+            assert!((total - want).abs() < 1e-12, "t={t}: {total} vs {want}");
+            assert!((inelastic - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arrival_jumps_are_recorded_pre_and_post() {
+        let tr = ArrivalTrace::new(vec![
+            Arrival { time: 0.0, class: JobClass::Inelastic, size: 1.0 },
+            Arrival { time: 0.5, class: JobClass::Inelastic, size: 1.0 },
+        ]);
+        let w = WorkTrajectory::record(&InelasticFirst, &tr, 1);
+        // Just after t=0.5 the work is 0.5 (old job) + 1.0 (new) = 1.5.
+        let (total, _) = w.value_at(0.5);
+        assert!((total - 1.5).abs() < 1e-12, "post-jump {total}");
+        // Just before: 0.5 + ε of work. Interpolating at 0.499 ≈ 0.501.
+        let (just_before, _) = w.value_at(0.499);
+        assert!((just_before - 0.501).abs() < 1e-9, "pre-jump {just_before}");
+    }
+
+    #[test]
+    fn if_dominates_ef_in_work_on_random_traces() {
+        // Theorem 3: IF has pointwise-minimal W and W_I among class-P
+        // policies (EF is in class P).
+        for seed in 0..8 {
+            let tr = sample_trace(seed, 60.0);
+            let wif = WorkTrajectory::record(&InelasticFirst, &tr, 4);
+            let wef = WorkTrajectory::record(&ElasticFirst, &tr, 4);
+            let violation = dominates_throughout(&wif, &wef, 1e-7);
+            assert!(violation.is_none(), "seed {seed}: violation at {violation:?}");
+        }
+    }
+
+    #[test]
+    fn if_dominates_random_class_p_policies() {
+        for seed in 0..6 {
+            let tr = sample_trace(100 + seed, 40.0);
+            let wif = WorkTrajectory::record(&InelasticFirst, &tr, 4);
+            let pol = TablePolicy::random_class_p(seed);
+            let wp = WorkTrajectory::record(&pol, &tr, 4);
+            let violation = dominates_throughout(&wif, &wp, 1e-7);
+            assert!(violation.is_none(), "seed {seed}: violation at {violation:?}");
+        }
+    }
+
+    #[test]
+    fn if_dominates_fair_share() {
+        let tr = sample_trace(55, 50.0);
+        let wif = WorkTrajectory::record(&InelasticFirst, &tr, 8);
+        let wfs = WorkTrajectory::record(&FairShare, &tr, 8);
+        assert!(dominates_throughout(&wif, &wfs, 1e-7).is_none());
+    }
+
+    #[test]
+    fn dominance_detects_real_violations() {
+        // EF does NOT dominate IF in inelastic work: inelastic work piles up
+        // while EF serves elastic jobs.
+        let tr = ArrivalTrace::new(vec![
+            Arrival { time: 0.0, class: JobClass::Inelastic, size: 1.0 },
+            Arrival { time: 0.0, class: JobClass::Elastic, size: 4.0 },
+        ]);
+        let wif = WorkTrajectory::record(&InelasticFirst, &tr, 2);
+        let wef = WorkTrajectory::record(&ElasticFirst, &tr, 2);
+        // IF should dominate EF…
+        assert!(dominates_throughout(&wif, &wef, 1e-9).is_none());
+        // …and EF must NOT dominate IF here (inelastic work ordering breaks).
+        assert!(dominates_throughout(&wef, &wif, 1e-9).is_some());
+    }
+}

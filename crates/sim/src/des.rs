@@ -1,0 +1,600 @@
+//! Job-level discrete-event simulator.
+//!
+//! Tracks the remaining work of every job in the system and advances time to
+//! the next arrival or completion. Between events every allocation is
+//! constant, so each served job's completion time is `remaining / rate`;
+//! the engine is exact (no time discretization). Sizes are fixed at arrival,
+//! so the simulator works for arbitrary size distributions — which the
+//! distribution-free coupling experiments (Theorem 3) rely on.
+//!
+//! Within each class service is FCFS: the first `⌊π_I⌋` inelastic jobs get
+//! one server each, the next inelastic job gets the fractional remainder,
+//! and the head-of-line elastic job receives the entire elastic share (for
+//! linear-speedup jobs the split within the class does not affect the
+//! class-level completion rate, and head-of-line matches the paper's EF/IF
+//! definitions).
+
+use crate::arrivals::{Arrival, ArrivalSource};
+use crate::job::{Job, JobClass};
+use crate::policy::{assert_feasible, AllocationPolicy};
+use crate::quantile::TailStats;
+use crate::stats::{TimeAverage, Welford};
+use std::collections::VecDeque;
+
+/// When a simulation run ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Stop after this many *measured* (post-warmup) departures.
+    Departures(u64),
+    /// Stop at this simulated time.
+    SimTime(f64),
+    /// Run until the arrival source is exhausted and the system is empty.
+    Drain,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DesConfig {
+    /// Number of servers `k`.
+    pub k: u32,
+    /// Termination rule.
+    pub stop: StopRule,
+    /// Departures to discard before measurement starts (warm-up).
+    pub warmup_departures: u64,
+}
+
+impl DesConfig {
+    /// Steady-state measurement: warm up for `warmup` departures, then
+    /// measure `departures` of them.
+    pub fn steady_state(k: u32, warmup: u64, departures: u64) -> Self {
+        Self { k, stop: StopRule::Departures(departures), warmup_departures: warmup }
+    }
+
+    /// Transient run: no warm-up, drain the trace.
+    pub fn drain(k: u32) -> Self {
+        Self { k, stop: StopRule::Drain, warmup_departures: 0 }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Measured departures per class `[inelastic, elastic]`.
+    pub completed: [u64; 2],
+    /// Mean response time across measured jobs of both classes.
+    pub mean_response: f64,
+    /// Mean response time of measured inelastic jobs (`NaN` if none).
+    pub mean_response_inelastic: f64,
+    /// Mean response time of measured elastic jobs (`NaN` if none).
+    pub mean_response_elastic: f64,
+    /// Sum of response times across measured jobs.
+    pub total_response: f64,
+    /// Time-average number of jobs in system over the measured window.
+    pub mean_num_in_system: f64,
+    /// Time-average number of inelastic jobs.
+    pub mean_num_inelastic: f64,
+    /// Time-average number of elastic jobs.
+    pub mean_num_elastic: f64,
+    /// Time-average total work in system `E[W]`.
+    pub mean_work: f64,
+    /// Time-average inelastic work in system `E[W_I]`.
+    pub mean_work_inelastic: f64,
+    /// Time-average fraction of busy servers.
+    pub utilization: f64,
+    /// `(P50, P95, P99)` response-time estimates over all measured jobs
+    /// (P² streaming quantiles; `NaN` with no observations).
+    pub tail_response: (f64, f64, f64),
+    /// `(P50, P95, P99)` for measured inelastic jobs.
+    pub tail_response_inelastic: (f64, f64, f64),
+    /// `(P50, P95, P99)` for measured elastic jobs.
+    pub tail_response_elastic: (f64, f64, f64),
+    /// Length of the measured window.
+    pub measured_time: f64,
+    /// Simulated end time.
+    pub end_time: f64,
+}
+
+/// The discrete-event simulation engine.
+pub struct Simulation {
+    config: DesConfig,
+    time: f64,
+    inelastic: VecDeque<Job>,
+    elastic: VecDeque<Job>,
+    next_id: u64,
+    total_departures: u64,
+    // Measurement state.
+    measuring: bool,
+    resp_all: Welford,
+    resp_i: Welford,
+    resp_e: Welford,
+    tails_all: TailStats,
+    tails_i: TailStats,
+    tails_e: TailStats,
+    total_response: f64,
+    completed: [u64; 2],
+    num_jobs: TimeAverage,
+    num_i: TimeAverage,
+    num_e: TimeAverage,
+    work: TimeAverage,
+    work_i: TimeAverage,
+    busy: TimeAverage,
+}
+
+impl Simulation {
+    /// A fresh simulation with the given configuration.
+    pub fn new(config: DesConfig) -> Self {
+        assert!(config.k >= 1, "need at least one server");
+        Self {
+            config,
+            time: 0.0,
+            inelastic: VecDeque::new(),
+            elastic: VecDeque::new(),
+            next_id: 0,
+            total_departures: 0,
+            measuring: config.warmup_departures == 0,
+            resp_all: Welford::new(),
+            resp_i: Welford::new(),
+            resp_e: Welford::new(),
+            tails_all: TailStats::new(),
+            tails_i: TailStats::new(),
+            tails_e: TailStats::new(),
+            total_response: 0.0,
+            completed: [0, 0],
+            num_jobs: TimeAverage::new(),
+            num_i: TimeAverage::new(),
+            num_e: TimeAverage::new(),
+            work: TimeAverage::new(),
+            work_i: TimeAverage::new(),
+            busy: TimeAverage::new(),
+        }
+    }
+
+    /// Seeds the system with jobs present at time zero (arrival time 0).
+    pub fn preload(&mut self, jobs: impl IntoIterator<Item = (JobClass, f64)>) {
+        assert_eq!(self.time, 0.0, "preload before running");
+        for (class, size) in jobs {
+            let job = Job::new(self.next_id, class, size, 0.0);
+            self.next_id += 1;
+            match class {
+                JobClass::Inelastic => self.inelastic.push_back(job),
+                JobClass::Elastic => self.elastic.push_back(job),
+            }
+        }
+    }
+
+    /// Runs the simulation to completion under `policy` with arrivals from
+    /// `source`.
+    pub fn run(
+        mut self,
+        policy: &dyn AllocationPolicy,
+        source: &mut dyn ArrivalSource,
+    ) -> SimReport {
+        let mut pending: Option<Arrival> = source.next_arrival();
+        let k = self.config.k;
+        let kf = k as f64;
+        let name = policy.name();
+
+        loop {
+            match self.config.stop {
+                StopRule::Departures(n) => {
+                    if self.measuring && self.completed[0] + self.completed[1] >= n {
+                        break;
+                    }
+                }
+                StopRule::SimTime(t_end) => {
+                    if self.time >= t_end {
+                        break;
+                    }
+                }
+                StopRule::Drain => {
+                    if pending.is_none() && self.inelastic.is_empty() && self.elastic.is_empty() {
+                        break;
+                    }
+                }
+            }
+
+            let i = self.inelastic.len();
+            let j = self.elastic.len();
+            let alloc = policy.allocate(i, j, k);
+            assert_feasible(alloc, i, j, k, &name);
+
+            // FCFS rate assignment within classes.
+            let whole = alloc.inelastic.floor() as usize;
+            let frac = alloc.inelastic - whole as f64;
+            let inelastic_rate = |idx: usize| -> f64 {
+                if idx < whole {
+                    1.0
+                } else if idx == whole {
+                    frac
+                } else {
+                    0.0
+                }
+            };
+
+            // Earliest completion among served jobs.
+            let mut dt_completion = f64::INFINITY;
+            for (idx, job) in self.inelastic.iter().enumerate().take(whole + 1) {
+                let rate = inelastic_rate(idx);
+                if rate > 0.0 {
+                    dt_completion = dt_completion.min(job.remaining / rate);
+                }
+            }
+            if alloc.elastic > 0.0 {
+                if let Some(head) = self.elastic.front() {
+                    dt_completion = dt_completion.min(head.remaining / alloc.elastic);
+                }
+            }
+
+            let dt_arrival = pending.map_or(f64::INFINITY, |a| a.time - self.time);
+            debug_assert!(dt_arrival >= -1e-9, "arrival in the past");
+            let mut dt = dt_completion.min(dt_arrival.max(0.0));
+            if let StopRule::SimTime(t_end) = self.config.stop {
+                dt = dt.min(t_end - self.time);
+            }
+            if !dt.is_finite() {
+                // No arrivals left and nothing in service: with jobs present
+                // this would be a permanently idle (non-progressing) policy.
+                assert!(
+                    i == 0 && j == 0,
+                    "policy {name} idles forever with jobs present (state ({i},{j}))"
+                );
+                break;
+            }
+
+            // Accumulate time-weighted statistics over [time, time+dt).
+            if self.measuring && dt > 0.0 {
+                let w_i: f64 = self.inelastic.iter().map(|x| x.remaining).sum();
+                let w_e: f64 = self.elastic.iter().map(|x| x.remaining).sum();
+                let total_rate = alloc.total();
+                // Work decreases linearly at the service rate:
+                // ∫ W dt = W₀·dt − rate·dt²/2.
+                self.num_jobs.add((i + j) as f64, dt);
+                self.num_i.add(i as f64, dt);
+                self.num_e.add(j as f64, dt);
+                self.work.add(w_i + w_e - 0.5 * total_rate * dt, dt);
+                self.work_i.add(w_i - 0.5 * alloc.inelastic * dt, dt);
+                self.busy.add(total_rate / kf, dt);
+            }
+
+            // Advance remaining work of served jobs.
+            if dt > 0.0 {
+                for (idx, job) in self.inelastic.iter_mut().enumerate().take(whole + 1) {
+                    let rate = inelastic_rate(idx);
+                    if rate > 0.0 {
+                        job.remaining = (job.remaining - rate * dt).max(0.0);
+                    }
+                }
+                if alloc.elastic > 0.0 {
+                    if let Some(head) = self.elastic.front_mut() {
+                        head.remaining = (head.remaining - alloc.elastic * dt).max(0.0);
+                    }
+                }
+                self.time += dt;
+            }
+
+            // Departures (possibly several at once).
+            self.collect_departures();
+
+            // Arrival, if this event is one.
+            if let Some(a) = pending {
+                if a.time <= self.time + 1e-12 && dt_arrival <= dt_completion {
+                    let job = Job::new(self.next_id, a.class, a.size, a.time);
+                    self.next_id += 1;
+                    self.time = self.time.max(a.time);
+                    match a.class {
+                        JobClass::Inelastic => self.inelastic.push_back(job),
+                        JobClass::Elastic => self.elastic.push_back(job),
+                    }
+                    pending = source.next_arrival();
+                    // Zero-size jobs depart immediately.
+                    self.collect_departures();
+                }
+            }
+        }
+
+        self.report()
+    }
+
+    fn collect_departures(&mut self) {
+        let time = self.time;
+        let depart = |job: Job, stats: &mut Self| {
+            stats.total_departures += 1;
+            if !stats.measuring && stats.total_departures >= stats.config.warmup_departures {
+                stats.measuring = true;
+            } else if stats.measuring {
+                let t = time - job.arrival;
+                stats.resp_all.push(t);
+                stats.tails_all.push(t);
+                stats.total_response += t;
+                match job.class {
+                    JobClass::Inelastic => {
+                        stats.resp_i.push(t);
+                        stats.tails_i.push(t);
+                        stats.completed[0] += 1;
+                    }
+                    JobClass::Elastic => {
+                        stats.resp_e.push(t);
+                        stats.tails_e.push(t);
+                        stats.completed[1] += 1;
+                    }
+                }
+            }
+        };
+        // Completed jobs can only be among the FCFS-served prefix, but a
+        // retain-style sweep is simplest and queues are short-prefix-done.
+        while let Some(front) = self.inelastic.front() {
+            if front.is_done() {
+                let job = self.inelastic.pop_front().expect("front exists");
+                depart(job, self);
+            } else {
+                break;
+            }
+        }
+        // Fractionally-served inelastic job may complete while earlier jobs
+        // have not (only when sizes differ); sweep the rest once.
+        let mut idx = 0;
+        while idx < self.inelastic.len() {
+            if self.inelastic[idx].is_done() {
+                let job = self.inelastic.remove(idx).expect("index in range");
+                depart(job, self);
+            } else {
+                idx += 1;
+            }
+        }
+        while let Some(front) = self.elastic.front() {
+            if front.is_done() {
+                let job = self.elastic.pop_front().expect("front exists");
+                depart(job, self);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    fn report(self) -> SimReport {
+        SimReport {
+            completed: self.completed,
+            mean_response: self.resp_all.mean(),
+            mean_response_inelastic: if self.resp_i.count() > 0 {
+                self.resp_i.mean()
+            } else {
+                f64::NAN
+            },
+            mean_response_elastic: if self.resp_e.count() > 0 {
+                self.resp_e.mean()
+            } else {
+                f64::NAN
+            },
+            total_response: self.total_response,
+            mean_num_in_system: self.num_jobs.average(),
+            mean_num_inelastic: self.num_i.average(),
+            mean_num_elastic: self.num_e.average(),
+            mean_work: self.work.average(),
+            mean_work_inelastic: self.work_i.average(),
+            utilization: self.busy.average(),
+            tail_response: self.tails_all.estimates(),
+            tail_response_inelastic: self.tails_i.estimates(),
+            tail_response_elastic: self.tails_e.estimates(),
+            measured_time: self.num_jobs.elapsed(),
+            end_time: self.time,
+        }
+    }
+}
+
+/// Convenience: runs one steady-state replication of the Markovian model of
+/// the paper (Poisson arrivals, exponential sizes) under `policy`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_markovian(
+    policy: &dyn AllocationPolicy,
+    k: u32,
+    lambda_i: f64,
+    lambda_e: f64,
+    mu_i: f64,
+    mu_e: f64,
+    seed: u64,
+    warmup: u64,
+    departures: u64,
+) -> SimReport {
+    use eirs_queueing::Exponential;
+    let mut source = crate::arrivals::PoissonStream::new(
+        lambda_i,
+        lambda_e,
+        Box::new(Exponential::new(mu_i)),
+        Box::new(Exponential::new(mu_e)),
+        seed,
+    );
+    Simulation::new(DesConfig::steady_state(k, warmup, departures)).run(policy, &mut source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalTrace;
+    use crate::policy::{ElasticFirst, InelasticFirst};
+
+    fn trace(entries: &[(f64, JobClass, f64)]) -> ArrivalTrace {
+        ArrivalTrace::new(
+            entries
+                .iter()
+                .map(|&(time, class, size)| Arrival { time, class, size })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn deterministic_drain_if_vs_ef_hand_computed() {
+        // k=2; at t=0: inelastic sizes {2, 1}, elastic size 1.
+        // IF: inelastic both served; sizes 1 done at t=1, size 2 at t=2;
+        //     elastic gets 1 server from t=1, needs 1 unit → done at t=2.
+        //     ΣT = 1 + 2 + 2 = 5.
+        // EF: elastic on both servers → done 0.5; then inelastic in
+        //     parallel → done at 1.5 and 2.5. ΣT = 0.5 + 1.5 + 2.5 = 4.5.
+        let tr = trace(&[
+            (0.0, JobClass::Inelastic, 2.0),
+            (0.0, JobClass::Inelastic, 1.0),
+            (0.0, JobClass::Elastic, 1.0),
+        ]);
+        let run = |policy: &dyn AllocationPolicy| {
+            let mut s = tr.stream();
+            Simulation::new(DesConfig::drain(2)).run(policy, &mut s)
+        };
+        let rif = run(&InelasticFirst);
+        let ref_ = run(&ElasticFirst);
+        assert!((rif.total_response - 5.0).abs() < 1e-9, "IF {}", rif.total_response);
+        assert!((ref_.total_response - 4.5).abs() < 1e-9, "EF {}", ref_.total_response);
+        assert_eq!(rif.completed, [2, 1]);
+        assert_eq!(ref_.completed, [2, 1]);
+    }
+
+    #[test]
+    fn elastic_parallelism_is_linear() {
+        // One elastic job of size 4 on k=4 servers finishes at t=1.
+        let tr = trace(&[(0.0, JobClass::Elastic, 4.0)]);
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(4)).run(&ElasticFirst, &mut s);
+        assert!((r.end_time - 1.0).abs() < 1e-12);
+        assert!((r.mean_response - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inelastic_cannot_use_more_than_one_server() {
+        // One inelastic job of size 3 on k=4: still takes 3 time units.
+        let tr = trace(&[(0.0, JobClass::Inelastic, 3.0)]);
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(4)).run(&InelasticFirst, &mut s);
+        assert!((r.end_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_allocation_serves_at_fractional_rate() {
+        // Policy giving 0.5 servers to a lone inelastic job: size 1 → 2s.
+        struct Half;
+        impl AllocationPolicy for Half {
+            fn allocate(&self, i: usize, _j: usize, _k: u32) -> crate::policy::ClassAllocation {
+                crate::policy::ClassAllocation {
+                    inelastic: 0.5 * (i.min(1)) as f64,
+                    elastic: 0.0,
+                }
+            }
+            fn name(&self) -> String {
+                "Half".into()
+            }
+        }
+        let tr = trace(&[(0.0, JobClass::Inelastic, 1.0)]);
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(2)).run(&Half, &mut s);
+        assert!((r.end_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_mean_response_matches_theory() {
+        // k=1, inelastic only, λ=0.5, µ=1 → E[T] = 2.
+        let r = run_markovian(&InelasticFirst, 1, 0.5, 0.0, 1.0, 1.0, 42, 20_000, 200_000);
+        let want = eirs_queueing::MM1::new(0.5, 1.0).mean_response_time();
+        assert!(
+            (r.mean_response_inelastic - want).abs() / want < 0.03,
+            "sim {} vs theory {want}",
+            r.mean_response_inelastic
+        );
+    }
+
+    #[test]
+    fn mmk_mean_response_matches_theory() {
+        // k=4, inelastic only, λ=3, µ=1.
+        let r = run_markovian(&InelasticFirst, 4, 3.0, 0.0, 1.0, 1.0, 7, 20_000, 200_000);
+        let want = eirs_queueing::MMk::new(3.0, 1.0, 4).mean_response_time();
+        assert!(
+            (r.mean_response_inelastic - want).abs() / want < 0.03,
+            "sim {} vs theory {want}",
+            r.mean_response_inelastic
+        );
+    }
+
+    #[test]
+    fn ef_elastic_class_is_mm1_at_rate_k_mu() {
+        // Elastic under EF: M/M/1 with service rate kµ_E. k=4, λ_E=2, µ_E=1.
+        let r = run_markovian(&ElasticFirst, 4, 0.0, 2.0, 1.0, 1.0, 11, 20_000, 200_000);
+        let want = eirs_queueing::MM1::new(2.0, 4.0).mean_response_time();
+        assert!(
+            (r.mean_response_elastic - want).abs() / want < 0.03,
+            "sim {} vs theory {want}",
+            r.mean_response_elastic
+        );
+    }
+
+    #[test]
+    fn littles_law_holds_within_run() {
+        let r = run_markovian(&InelasticFirst, 4, 1.5, 1.0, 1.0, 0.8, 3, 20_000, 150_000);
+        // E[N] ≈ (λ_I + λ_E) E[T] — both estimated from the same run.
+        let lhs = r.mean_num_in_system;
+        let rhs = 2.5 * r.mean_response;
+        assert!((lhs - rhs).abs() / rhs < 0.05, "N {lhs} vs λT {rhs}");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_markovian(&InelasticFirst, 2, 0.5, 0.5, 1.0, 1.0, 5, 100, 5_000);
+        let b = run_markovian(&InelasticFirst, 2, 0.5, 0.5, 1.0, 1.0, 5, 100, 5_000);
+        assert_eq!(a.mean_response, b.mean_response);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn warmup_discards_departures() {
+        let tr = trace(&[
+            (0.0, JobClass::Inelastic, 1.0),
+            (0.0, JobClass::Inelastic, 1.0),
+            (5.0, JobClass::Inelastic, 1.0),
+        ]);
+        let mut s = tr.stream();
+        let cfg = DesConfig { k: 1, stop: StopRule::Drain, warmup_departures: 2 };
+        let r = Simulation::new(cfg).run(&InelasticFirst, &mut s);
+        // Only the third departure is measured.
+        assert_eq!(r.completed, [1, 0]);
+        assert!((r.mean_response - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_time_stop_rule_ends_on_time() {
+        let cfg = DesConfig { k: 1, stop: StopRule::SimTime(100.0), warmup_departures: 0 };
+        use eirs_queueing::Exponential;
+        let mut source = crate::arrivals::PoissonStream::new(
+            0.5,
+            0.0,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            9,
+        );
+        let r = Simulation::new(cfg).run(&InelasticFirst, &mut source);
+        assert!((r.end_time - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_accounting_matches_hand_computation() {
+        // One inelastic job size 2 served alone on k=1 from t=0 to 2:
+        // ∫W dt = ∫ (2−t) dt over [0,2] = 2. Time-avg W over [0,2] = 1.
+        let tr = trace(&[(0.0, JobClass::Inelastic, 2.0)]);
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(1)).run(&InelasticFirst, &mut s);
+        assert!((r.mean_work - 1.0).abs() < 1e-9, "mean work {}", r.mean_work);
+        assert!((r.mean_work_inelastic - 1.0).abs() < 1e-9);
+        assert!((r.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preloaded_jobs_have_zero_arrival_time() {
+        let mut sim = Simulation::new(DesConfig::drain(2));
+        sim.preload([(JobClass::Inelastic, 1.0), (JobClass::Elastic, 2.0)]);
+        let empty = ArrivalTrace::default();
+        let mut s = empty.stream();
+        let r = sim.run(&InelasticFirst, &mut s);
+        // IF: inelastic done at 1 (1 server), elastic on remaining 1 server
+        // until t=1 (1 unit done), then 2 servers: remaining 1 → 0.5 → t=1.5.
+        assert!((r.total_response - 2.5).abs() < 1e-9, "{}", r.total_response);
+    }
+}

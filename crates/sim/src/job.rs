@@ -1,0 +1,76 @@
+//! Jobs and job classes.
+
+/// The two job classes of the model (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Runs on at most one server at a time.
+    Inelastic,
+    /// Parallelizes linearly across any (fractional) number of servers.
+    Elastic,
+}
+
+impl JobClass {
+    /// Both classes, in a fixed order.
+    pub const ALL: [JobClass; 2] = [JobClass::Inelastic, JobClass::Elastic];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Inelastic => "inelastic",
+            JobClass::Elastic => "elastic",
+        }
+    }
+}
+
+/// A job inside the simulated system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Unique id, in arrival order.
+    pub id: u64,
+    /// Elastic or inelastic.
+    pub class: JobClass,
+    /// Inherent work (running time on one server).
+    pub size: f64,
+    /// Work still to be done.
+    pub remaining: f64,
+    /// Time the job entered the system.
+    pub arrival: f64,
+}
+
+impl Job {
+    /// A fresh job with full remaining work.
+    pub fn new(id: u64, class: JobClass, size: f64, arrival: f64) -> Self {
+        debug_assert!(size >= 0.0 && size.is_finite());
+        Self { id, class, size, remaining: size, arrival }
+    }
+
+    /// `true` once the job has no work left (to numerical tolerance).
+    pub fn is_done(&self) -> bool {
+        self.remaining <= 1e-12 * self.size.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_job_has_full_remaining() {
+        let j = Job::new(1, JobClass::Elastic, 2.5, 0.0);
+        assert_eq!(j.remaining, 2.5);
+        assert!(!j.is_done());
+    }
+
+    #[test]
+    fn done_detection_is_tolerant() {
+        let mut j = Job::new(1, JobClass::Inelastic, 1.0, 0.0);
+        j.remaining = 1e-15;
+        assert!(j.is_done());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(JobClass::Elastic.label(), "elastic");
+        assert_eq!(JobClass::Inelastic.label(), "inelastic");
+    }
+}

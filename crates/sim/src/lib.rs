@@ -1,0 +1,44 @@
+//! Discrete-event simulation of multiserver allocation policies for elastic
+//! and inelastic jobs.
+//!
+//! This crate is the experimental testbed of the reproduction. It implements
+//! the model of Berg et al. (SPAA 2020) Section 2 — `k` unit-speed servers,
+//! two Poisson job classes, preemptible jobs, fractional server allocations —
+//! without baking in any particular policy:
+//!
+//! * [`policy`] — the [`policy::AllocationPolicy`] trait: a stationary
+//!   state-dependent allocation `(i, j) ↦ (π_I, π_E)` exactly as in the
+//!   paper, with Inelastic-First, Elastic-First, class-P table policies, and
+//!   fair-share baselines.
+//! * [`des`] — a job-level discrete-event simulator that tracks every job's
+//!   remaining work. Sizes may come from *any* distribution, which lets the
+//!   tests exercise the distribution-free sample-path results (Theorem 3).
+//! * [`coupling`] — runs several policies against one frozen arrival trace
+//!   and records total-work trajectories, the experimental twin of the
+//!   paper's coupling argument.
+//! * [`ctmc`] — a fast state-level simulator exploiting memorylessness for
+//!   mean-value validation of the analytic solver.
+//! * [`stats`] — time averages, replication confidence intervals.
+//!
+//! Reproducibility: every stochastic component takes an explicit seed, and
+//! all randomness flows through [`rand::rngs::StdRng`].
+
+pub mod arrivals;
+pub mod coupling;
+pub mod ctmc;
+pub mod des;
+pub mod job;
+pub mod policy;
+pub mod quantile;
+pub mod stats;
+
+pub use arrivals::{Arrival, ArrivalTrace, BurstyStream, PoissonStream, TraceStream};
+pub use coupling::{dominates_throughout, WorkTrajectory};
+pub use des::{DesConfig, Simulation, SimReport, StopRule};
+pub use job::{Job, JobClass};
+pub use policy::{
+    AllocationPolicy, ClassAllocation, ElasticFirst, ElasticThresholdPolicy, FairShare,
+    InelasticFirst, ReservePolicy, TablePolicy,
+};
+pub use quantile::{P2Quantile, TailStats};
+pub use stats::{BatchMeans, ConfidenceInterval, ReplicationStats, TimeAverage};

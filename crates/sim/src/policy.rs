@@ -1,0 +1,442 @@
+//! Allocation policies.
+//!
+//! A policy in the paper's model is a stationary, deterministic map from the
+//! state `(i, j)` — the numbers of inelastic and elastic jobs in system — to
+//! server allocations `(π_I(i,j), π_E(i,j))` with
+//!
+//! ```text
+//! π_I(i,j) ≤ min(i, k),    π_E(i,j) ≤ k·1{j>0},    π_I + π_E ≤ k.
+//! ```
+//!
+//! Fractional allocations are allowed (servers time-share). Within each
+//! class, service is FCFS: the first `⌊π_I⌋` inelastic jobs receive one
+//! server each and the next receives the fraction; the head-of-line elastic
+//! job receives the whole elastic share (this matches the paper's EF and IF
+//! definitions; for elastic jobs the split is irrelevant to the class-level
+//! departure rate because speedup is linear).
+
+use std::fmt;
+
+/// Per-class server shares chosen by a policy in one state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassAllocation {
+    /// Servers given to inelastic jobs in total (`≤ min(i,k)`).
+    pub inelastic: f64,
+    /// Servers given to elastic jobs in total (`≤ k`, 0 when `j = 0`).
+    pub elastic: f64,
+}
+
+impl ClassAllocation {
+    /// The all-idle allocation.
+    pub const IDLE: ClassAllocation = ClassAllocation { inelastic: 0.0, elastic: 0.0 };
+
+    /// Total allocated servers.
+    pub fn total(&self) -> f64 {
+        self.inelastic + self.elastic
+    }
+}
+
+/// A stationary, deterministic allocation policy.
+pub trait AllocationPolicy: Send + Sync {
+    /// Server shares in state `(i, j)` with `k` servers.
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation;
+
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// `true` when the policy is work conserving: all of `min(i,k)` inelastic
+    /// jobs served whenever no elastic job can soak up the slack, and no
+    /// server idles while any job is present. The default checks the
+    /// allocation on a state grid; override only to document exceptions.
+    fn is_work_conserving_on(&self, k: u32, max_i: usize, max_j: usize) -> bool {
+        let kf = k as f64;
+        for i in 0..=max_i {
+            for j in 0..=max_j {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let a = self.allocate(i, j, k);
+                let feasible = a.inelastic <= (i as f64).min(kf) + 1e-9
+                    && a.elastic <= kf + 1e-9
+                    && (j > 0 || a.elastic == 0.0)
+                    && a.total() <= kf + 1e-9;
+                if !feasible {
+                    return false;
+                }
+                let busy = if j > 0 { kf } else { (i as f64).min(kf) };
+                if a.total() < busy - 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Validates an allocation against the feasibility constraints; panics with
+/// a descriptive message on violation. Called by the simulator on every
+/// decision, so buggy policies fail fast.
+pub fn assert_feasible(a: ClassAllocation, i: usize, j: usize, k: u32, name: &str) {
+    let kf = k as f64;
+    assert!(
+        a.inelastic >= -1e-12 && a.elastic >= -1e-12,
+        "{name}: negative allocation in state ({i},{j}): {a:?}"
+    );
+    assert!(
+        a.inelastic <= (i as f64).min(kf) + 1e-9,
+        "{name}: inelastic allocation {} exceeds min(i,k) in state ({i},{j})",
+        a.inelastic
+    );
+    assert!(
+        j > 0 || a.elastic <= 1e-12,
+        "{name}: elastic allocation {} with no elastic jobs in state ({i},{j})",
+        a.elastic
+    );
+    assert!(
+        a.total() <= kf + 1e-9,
+        "{name}: total allocation {} exceeds k={k} in state ({i},{j})",
+        a.total()
+    );
+}
+
+/// **Inelastic-First (IF)**: inelastic jobs get preemptive priority — one
+/// server each, up to `k`; any leftover servers go to the head-of-line
+/// elastic job. Optimal for mean response time when `µ_I ≥ µ_E`
+/// (paper Theorems 1 and 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InelasticFirst;
+
+impl AllocationPolicy for InelasticFirst {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        let inelastic = (i as f64).min(kf);
+        let elastic = if j > 0 { kf - inelastic } else { 0.0 };
+        ClassAllocation { inelastic, elastic }
+    }
+
+    fn name(&self) -> String {
+        "Inelastic-First".into()
+    }
+}
+
+/// **Elastic-First (EF)**: the head-of-line elastic job takes all `k`
+/// servers; inelastic jobs run only when no elastic job is present.
+/// Can beat IF when `µ_I < µ_E` (paper Theorem 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElasticFirst;
+
+impl AllocationPolicy for ElasticFirst {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if j > 0 {
+            ClassAllocation { inelastic: 0.0, elastic: kf }
+        } else {
+            ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 }
+        }
+    }
+
+    fn name(&self) -> String {
+        "Elastic-First".into()
+    }
+}
+
+/// **Fair share**: every job receives an equal share `k/(i+j)` of the
+/// cluster, with inelastic jobs capped at one server each; the surplus flows
+/// to elastic jobs. A work-conserving "equipartition" baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairShare;
+
+impl AllocationPolicy for FairShare {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        let n = i + j;
+        if n == 0 {
+            return ClassAllocation::IDLE;
+        }
+        let share = kf / n as f64;
+        let per_inelastic = share.min(1.0);
+        let mut inelastic = per_inelastic * i as f64;
+        let mut elastic = if j > 0 { kf - inelastic } else { 0.0 };
+        if j == 0 {
+            inelastic = (i as f64).min(kf);
+            elastic = 0.0;
+        }
+        ClassAllocation { inelastic, elastic }
+    }
+
+    fn name(&self) -> String {
+        "Fair-Share".into()
+    }
+}
+
+
+/// **Reserve policy**: a one-parameter family interpolating between IF and
+/// EF. When elastic jobs are present, `reserve` servers are set aside for
+/// the head-of-line elastic job and inelastic jobs fill the rest
+/// (`π_I = min(i, k − reserve)`); with `reserve = 0` this is exactly
+/// Inelastic-First and with `reserve = k` exactly Elastic-First. A natural
+/// candidate family for the paper's open `µ_I < µ_E` regime (Section 6).
+#[derive(Debug, Clone, Copy)]
+pub struct ReservePolicy {
+    /// Servers reserved for elastic jobs whenever any are present.
+    pub reserve: u32,
+}
+
+impl AllocationPolicy for ReservePolicy {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if j == 0 {
+            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+        }
+        let cap = kf - (self.reserve.min(k)) as f64;
+        let inelastic = (i as f64).min(cap);
+        ClassAllocation { inelastic, elastic: kf - inelastic }
+    }
+
+    fn name(&self) -> String {
+        format!("Reserve({})", self.reserve)
+    }
+}
+
+/// **Elastic-threshold policy**: behaves like IF until the elastic queue
+/// builds up to `threshold` jobs, then flips to EF (all servers to the
+/// elastic head) until the backlog drains below the threshold. Another
+/// candidate family for the open regime: it defers parallel work (good for
+/// efficiency) but bounds how long elastic jobs can be starved.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticThresholdPolicy {
+    /// Elastic backlog at which the policy flips to elastic priority.
+    pub threshold: usize,
+}
+
+impl AllocationPolicy for ElasticThresholdPolicy {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if j == 0 {
+            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+        }
+        if j >= self.threshold.max(1) {
+            ClassAllocation { inelastic: 0.0, elastic: kf }
+        } else {
+            let inelastic = (i as f64).min(kf);
+            ClassAllocation { inelastic, elastic: kf - inelastic }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ElasticThreshold({})", self.threshold)
+    }
+}
+
+/// A policy defined by an arbitrary function `(i, j, k) → π_I`, completed to
+/// a work-conserving allocation (`π_E = k − π_I` when `j > 0`; all inelastic
+/// served when `j = 0`). With inelastic-FCFS service this is exactly the
+/// paper's class **P**.
+pub struct TablePolicy {
+    name: String,
+    inelastic_share: Box<dyn Fn(usize, usize, u32) -> f64 + Send + Sync>,
+}
+
+impl TablePolicy {
+    /// Builds a class-P policy from `π_I(i, j, k)`. The returned value is
+    /// clamped into `[0, min(i,k)]`.
+    pub fn from_fn<F>(name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(usize, usize, u32) -> f64 + Send + Sync + 'static,
+    {
+        Self { name: name.into(), inelastic_share: Box::new(f) }
+    }
+
+    /// A pseudo-random but *stationary deterministic* class-P policy: the
+    /// inelastic share in each state `(i, j)` is a reproducible hash-based
+    /// choice from `{0, 1, …, min(i,k)}`. Different seeds give different
+    /// policies; the same seed always gives the same policy.
+    pub fn random_class_p(seed: u64) -> Self {
+        Self::from_fn(format!("RandomP(seed={seed})"), move |i, j, k| {
+            let cap = (i as u64).min(k as u64);
+            if cap == 0 {
+                return 0.0;
+            }
+            // SplitMix64 on (seed, i, j) for a uniform stationary choice.
+            let mut x = seed
+                ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x % (cap + 1)) as f64
+        })
+    }
+}
+
+impl AllocationPolicy for TablePolicy {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if i == 0 && j == 0 {
+            return ClassAllocation::IDLE;
+        }
+        if j == 0 {
+            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+        }
+        let raw = (self.inelastic_share)(i, j, k);
+        let inelastic = raw.clamp(0.0, (i as f64).min(kf));
+        ClassAllocation { inelastic, elastic: kf - inelastic }
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl fmt::Debug for TablePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TablePolicy({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inelastic_first_matches_paper_definition() {
+        let p = InelasticFirst;
+        // i < k, elastic present: inelastic get i servers, elastic the rest.
+        let a = p.allocate(2, 3, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 2.0 });
+        // i >= k: all servers to inelastic.
+        let a = p.allocate(7, 3, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 4.0, elastic: 0.0 });
+        // No elastic jobs: no elastic allocation.
+        let a = p.allocate(2, 0, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 0.0 });
+    }
+
+    #[test]
+    fn elastic_first_matches_paper_definition() {
+        let p = ElasticFirst;
+        let a = p.allocate(5, 1, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 0.0, elastic: 4.0 });
+        let a = p.allocate(5, 0, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 4.0, elastic: 0.0 });
+        let a = p.allocate(2, 0, 4);
+        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 0.0 });
+    }
+
+    #[test]
+    fn fair_share_caps_inelastic_jobs_at_one_server() {
+        let p = FairShare;
+        // 2 inelastic + 2 elastic on 8 servers: share 2 each, inelastic
+        // capped at 1 → inelastic total 2, elastic 6.
+        let a = p.allocate(2, 2, 8);
+        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 6.0 });
+        // Crowded: 6+2 jobs on 4 servers: share 0.5 → inelastic 3, elastic 1.
+        let a = p.allocate(6, 2, 4);
+        assert!((a.inelastic - 3.0).abs() < 1e-12);
+        assert!((a.elastic - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builtin_policies_are_work_conserving() {
+        assert!(InelasticFirst.is_work_conserving_on(4, 12, 12));
+        assert!(ElasticFirst.is_work_conserving_on(4, 12, 12));
+        assert!(FairShare.is_work_conserving_on(4, 12, 12));
+        assert!(FairShare.is_work_conserving_on(16, 40, 40));
+    }
+
+    #[test]
+    fn random_class_p_is_work_conserving_and_stationary() {
+        for seed in 0..20 {
+            let p = TablePolicy::random_class_p(seed);
+            assert!(p.is_work_conserving_on(4, 10, 10), "seed {seed}");
+            // Stationarity: same state, same decision.
+            let a1 = p.allocate(3, 2, 4);
+            let a2 = p.allocate(3, 2, 4);
+            assert_eq!(a1, a2);
+        }
+    }
+
+    #[test]
+    fn random_class_p_policies_differ_across_seeds() {
+        let p1 = TablePolicy::random_class_p(1);
+        let p2 = TablePolicy::random_class_p(2);
+        let differs = (1..10)
+            .flat_map(|i| (1..10).map(move |j| (i, j)))
+            .any(|(i, j)| p1.allocate(i, j, 4) != p2.allocate(i, j, 4));
+        assert!(differs);
+    }
+
+    #[test]
+    fn table_policy_clamps_out_of_range_shares() {
+        let p = TablePolicy::from_fn("overcommit", |_, _, k| (k * 10) as f64);
+        let a = p.allocate(2, 1, 4);
+        assert_eq!(a.inelastic, 2.0);
+        assert_eq!(a.elastic, 2.0);
+    }
+
+    #[test]
+    fn assert_feasible_rejects_oversubscription() {
+        let result = std::panic::catch_unwind(|| {
+            assert_feasible(
+                ClassAllocation { inelastic: 3.0, elastic: 3.0 },
+                2,
+                1,
+                4,
+                "test",
+            );
+        });
+        assert!(result.is_err());
+    }
+
+
+    #[test]
+    fn reserve_policy_interpolates_between_if_and_ef() {
+        let k = 4;
+        for i in 0..10usize {
+            for j in 0..10usize {
+                let r0 = ReservePolicy { reserve: 0 }.allocate(i, j, k);
+                let rif = InelasticFirst.allocate(i, j, k);
+                assert_eq!(r0, rif, "reserve 0 != IF at ({i},{j})");
+                let rk = ReservePolicy { reserve: k }.allocate(i, j, k);
+                let ref_ = ElasticFirst.allocate(i, j, k);
+                assert_eq!(rk, ref_, "reserve k != EF at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_policy_is_work_conserving() {
+        for reserve in 0..=4 {
+            assert!(ReservePolicy { reserve }.is_work_conserving_on(4, 12, 12));
+        }
+    }
+
+    #[test]
+    fn elastic_threshold_policy_flips_at_threshold() {
+        let p = ElasticThresholdPolicy { threshold: 3 };
+        // Below threshold: IF behavior.
+        assert_eq!(p.allocate(2, 2, 4), InelasticFirst.allocate(2, 2, 4));
+        // At/above: EF behavior.
+        assert_eq!(p.allocate(2, 3, 4), ElasticFirst.allocate(2, 3, 4));
+        assert!(p.is_work_conserving_on(4, 12, 12));
+    }
+
+    #[test]
+    fn idle_policy_is_not_work_conserving() {
+        let lazy = TablePolicy::from_fn("lazy", |_, _, _| 0.0);
+        // With j = 0 TablePolicy still serves inelastic, so build a truly
+        // idling policy manually.
+        struct Idler;
+        impl AllocationPolicy for Idler {
+            fn allocate(&self, _i: usize, _j: usize, _k: u32) -> ClassAllocation {
+                ClassAllocation::IDLE
+            }
+            fn name(&self) -> String {
+                "Idler".into()
+            }
+        }
+        assert!(Idler.is_work_conserving_on(2, 4, 4) == false);
+        // The lazy table policy is still in class P (elastic absorbs slack).
+        assert!(lazy.is_work_conserving_on(4, 10, 10));
+    }
+}

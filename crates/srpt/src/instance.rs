@@ -1,0 +1,146 @@
+//! Batch instances: jobs with sizes and parallelizability caps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One batch job: inherent work `size`, parallelizable up to `cap` servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchJob {
+    /// Inherent work (runtime on one server).
+    pub size: f64,
+    /// Maximum useful number of servers `k_j ≥ 1`.
+    pub cap: u32,
+}
+
+/// A batch scheduling instance: all jobs present at time 0, `k` servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchInstance {
+    /// Number of servers.
+    pub k: u32,
+    /// The jobs.
+    pub jobs: Vec<BatchJob>,
+}
+
+impl BatchInstance {
+    /// Validated constructor: `k ≥ 1`, nonempty, positive finite sizes,
+    /// caps `≥ 1`.
+    pub fn new(k: u32, jobs: Vec<BatchJob>) -> Self {
+        assert!(k >= 1, "need at least one server");
+        assert!(!jobs.is_empty(), "instance needs at least one job");
+        for (idx, j) in jobs.iter().enumerate() {
+            assert!(j.size > 0.0 && j.size.is_finite(), "job {idx} has bad size {}", j.size);
+            assert!(j.cap >= 1, "job {idx} has zero cap");
+        }
+        Self { k, jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the instance has no jobs (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total work `Σ x_j`.
+    pub fn total_work(&self) -> f64 {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// Instance with uniformly random sizes in `[0.1, max_size]` and caps
+    /// uniform in `{1, …, k}`.
+    pub fn random_uniform(n: usize, k: u32, max_size: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..n)
+            .map(|_| BatchJob {
+                size: 0.1 + rng.random::<f64>() * (max_size - 0.1),
+                cap: 1 + (rng.random::<f64>() * k as f64) as u32,
+            })
+            .map(|j| BatchJob { cap: j.cap.min(k), ..j })
+            .collect();
+        Self::new(k, jobs)
+    }
+
+    /// Instance with heavy-tailed (bounded-Pareto-like) sizes: `x = L·u^{-1/α}`
+    /// truncated at `H`, caps uniform in `{1, …, k}`.
+    pub fn random_heavy_tailed(n: usize, k: u32, alpha: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (l, h) = (0.5, 500.0);
+        let jobs = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                let size = (l * u.powf(-1.0 / alpha)).min(h);
+                let cap = 1 + (rng.random::<f64>() * k as f64) as u32;
+                BatchJob { size, cap: cap.min(k) }
+            })
+            .collect();
+        Self::new(k, jobs)
+    }
+
+    /// The paper's motivating mixture: a fraction of small *inelastic* jobs
+    /// (cap 1) and large *elastic* jobs (cap `k`).
+    pub fn random_elastic_inelastic(
+        n: usize,
+        k: u32,
+        inelastic_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&inelastic_fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..n)
+            .map(|_| {
+                if rng.random::<f64>() < inelastic_fraction {
+                    // Small sequential job (e.g. a reduce stage / inference).
+                    BatchJob { size: 0.1 + rng.random::<f64>() * 0.9, cap: 1 }
+                } else {
+                    // Large parallel job (e.g. a map stage / training run).
+                    BatchJob { size: 2.0 + rng.random::<f64>() * 18.0, cap: k }
+                }
+            })
+            .collect();
+        Self::new(k, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_valid_instances() {
+        let a = BatchInstance::random_uniform(50, 8, 10.0, 1);
+        let b = BatchInstance::random_heavy_tailed(50, 8, 1.5, 2);
+        let c = BatchInstance::random_elastic_inelastic(50, 8, 0.5, 3);
+        for inst in [&a, &b, &c] {
+            assert_eq!(inst.len(), 50);
+            assert!(inst.total_work() > 0.0);
+            for j in &inst.jobs {
+                assert!(j.size > 0.0);
+                assert!((1..=8).contains(&j.cap));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = BatchInstance::random_uniform(10, 4, 5.0, 9);
+        let b = BatchInstance::random_uniform(10, 4, 5.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn elastic_inelastic_mixture_has_both_shapes() {
+        let inst = BatchInstance::random_elastic_inelastic(200, 16, 0.5, 4);
+        let inelastic = inst.jobs.iter().filter(|j| j.cap == 1).count();
+        let elastic = inst.jobs.iter().filter(|j| j.cap == 16).count();
+        assert!(inelastic > 50 && elastic > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad size")]
+    fn rejects_nonpositive_sizes() {
+        BatchInstance::new(2, vec![BatchJob { size: 0.0, cap: 1 }]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic batch scheduling with parallelizability caps
+//! (paper Appendix A).
+//!
+//! The worst-case companion result of the paper: when all jobs arrive at
+//! time 0 with *known* sizes and each job `j` parallelizes up to `k_j`
+//! servers (rate `min(k_j, allocated)`), the natural generalization of
+//! SRPT-k — jobs sorted by remaining size, each granted up to `k_j` servers
+//! in priority order — is a **4-approximation** for total response time.
+//!
+//! Everything the dual-fitting proof touches is implemented and checkable:
+//!
+//! * [`instance`] — batch instances and workload generators,
+//! * [`schedule`] — the event-driven SRPT-k schedule (with speed
+//!   augmentation `s`),
+//! * [`lp`] — the closed-form optimum of the LP relaxation (the lower
+//!   bound `Σ_j (U_j + x_j/2)/k + Σ_j x_j/(2k_j)`),
+//! * [`dual`] — the dual variables `α, β` of Lemma 8, their feasibility
+//!   check, and the objective inequality `Σα − ∫β ≥ (1 − 1/s)·C_s`.
+
+pub mod dual;
+pub mod instance;
+pub mod lp;
+pub mod schedule;
+
+pub use dual::{verify_dual_fitting, DualReport};
+pub use instance::{BatchInstance, BatchJob};
+pub use lp::lp_lower_bound;
+pub use schedule::{srpt_k_schedule, Schedule};

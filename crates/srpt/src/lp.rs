@@ -1,0 +1,99 @@
+//! The LP relaxation lower bound (Appendix A, `LP_primal`).
+//!
+//! With all jobs at time 0 the LP
+//!
+//! ```text
+//! min Σ_j Σ_t (t/x_j + 1/(2k_j)) y_jt
+//! s.t. Σ_t y_jt ≥ x_j,   Σ_j y_jt ≤ k,   y ≥ 0
+//! ```
+//!
+//! decouples: the `Σ y_jt/(2k_j)` term is `Σ_j x_j/(2k_j)` for any schedule
+//! that processes exactly `x_j` work, and the fractional-flow term
+//! `Σ t·y_jt/x_j` is minimized by processing jobs SRPT-fractionally on the
+//! aggregated speed-`k` machine. Sorting sizes ascending with prefix sums
+//! `U_j = Σ_{i<j} x_i` gives the closed form
+//!
+//! ```text
+//! LP* = Σ_j (U_j + x_j/2)/k + Σ_j x_j/(2k_j),
+//! ```
+//!
+//! which lower-bounds the optimal total response time.
+
+use crate::instance::BatchInstance;
+
+/// The closed-form optimum of the LP relaxation — a valid lower bound on
+/// the total response time of any feasible schedule.
+pub fn lp_lower_bound(instance: &BatchInstance) -> f64 {
+    let k = instance.k as f64;
+    let mut sizes: Vec<f64> = instance.jobs.iter().map(|j| j.size).collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite sizes"));
+    let mut prefix = 0.0;
+    let mut flow_term = 0.0;
+    for &x in &sizes {
+        flow_term += (prefix + 0.5 * x) / k;
+        prefix += x;
+    }
+    let cap_term: f64 = instance.jobs.iter().map(|j| j.size / (2.0 * j.cap as f64)).sum();
+    flow_term + cap_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::BatchJob;
+    use crate::schedule::srpt_k_schedule;
+
+    fn inst(k: u32, jobs: &[(f64, u32)]) -> BatchInstance {
+        BatchInstance::new(
+            k,
+            jobs.iter().map(|&(s, c)| BatchJob { size: s, cap: c }).collect(),
+        )
+    }
+
+    #[test]
+    fn single_fully_parallel_job_bound_is_tight() {
+        // One job, cap = k: LP* = x/(2k) + x/(2k) = x/k = its completion time.
+        let i = inst(4, &[(8.0, 4)]);
+        let lb = lp_lower_bound(&i);
+        assert!((lb - 2.0).abs() < 1e-12);
+        let s = srpt_k_schedule(&i, 1.0);
+        assert!((s.total_response_time - lb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_srpt_is_within_factor_two_of_lp() {
+        // On k = 1 SRPT is optimal; LP* halves the "self" term, so
+        // LP* ≤ OPT ≤ 2·LP*.
+        let i = inst(1, &[(1.0, 1), (2.0, 1), (3.0, 1)]);
+        let lb = lp_lower_bound(&i);
+        let opt = srpt_k_schedule(&i, 1.0).total_response_time;
+        assert!(lb <= opt + 1e-12);
+        assert!(opt <= 2.0 * lb + 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_respects_caps() {
+        // A job with cap 1 contributes at least x/2 + … even on many servers.
+        let free = lp_lower_bound(&inst(8, &[(8.0, 8)]));
+        let capped = lp_lower_bound(&inst(8, &[(8.0, 1)]));
+        assert!(capped > free);
+        assert!((capped - (0.5 + 4.0)).abs() < 1e-12); // 8/(2·8) + 8/2
+    }
+
+    #[test]
+    fn bound_is_below_every_schedule_on_random_instances() {
+        for seed in 0..10 {
+            let i = BatchInstance::random_uniform(80, 4, 10.0, seed);
+            let lb = lp_lower_bound(&i);
+            let c = srpt_k_schedule(&i, 1.0).total_response_time;
+            assert!(lb <= c + 1e-9, "seed {seed}: LB {lb} > C {c}");
+        }
+    }
+
+    #[test]
+    fn order_of_jobs_does_not_change_the_bound() {
+        let a = inst(4, &[(1.0, 2), (5.0, 1), (3.0, 4)]);
+        let b = inst(4, &[(5.0, 1), (3.0, 4), (1.0, 2)]);
+        assert!((lp_lower_bound(&a) - lp_lower_bound(&b)).abs() < 1e-12);
+    }
+}

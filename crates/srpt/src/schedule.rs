@@ -1,0 +1,181 @@
+//! Event-driven SRPT-k scheduling for capped-parallelizable batch jobs.
+//!
+//! The algorithm (Appendix A): at every moment, sort unfinished jobs by
+//! remaining work and hand out servers in that order, each job receiving up
+//! to its cap `k_j`. Between completions allocations are constant, so the
+//! schedule advances event by event; the whole schedule has at most `n`
+//! events.
+//!
+//! Speed augmentation: with speed `s`, every allocated server processes `s`
+//! units of work per second. Since all jobs are present at time 0, the
+//! speed-`s` schedule is the speed-1 schedule with time compressed by `s`
+//! (`C_1 = s·C_s`), a fact the tests verify and the 4-approximation proof
+//! uses.
+
+use crate::instance::BatchInstance;
+
+/// A completed SRPT-k schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Completion time of each job, indexed like the instance.
+    pub completion_times: Vec<f64>,
+    /// `Σ_j C_j` — total response time (all jobs arrive at 0).
+    pub total_response_time: f64,
+    /// The speed used.
+    pub speed: f64,
+}
+
+impl Schedule {
+    /// Makespan of the schedule.
+    pub fn makespan(&self) -> f64 {
+        self.completion_times.iter().fold(0.0, |a, &c| a.max(c))
+    }
+
+    /// Number of jobs in the system at time `t` (for β(t) in the dual).
+    pub fn jobs_in_system_at(&self, t: f64) -> usize {
+        self.completion_times.iter().filter(|&&c| c > t).count()
+    }
+}
+
+/// Runs generalized SRPT-k on `instance` with servers of speed `speed`.
+pub fn srpt_k_schedule(instance: &BatchInstance, speed: f64) -> Schedule {
+    assert!(speed > 0.0 && speed.is_finite());
+    let n = instance.len();
+    let k = instance.k as f64;
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.size).collect();
+    let mut completion = vec![0.0f64; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut time = 0.0f64;
+    let mut rates = vec![0.0f64; n];
+
+    while !active.is_empty() {
+        // SRPT order: ascending remaining work (stable tiebreak by index).
+        active.sort_by(|&a, &b| {
+            remaining[a]
+                .partial_cmp(&remaining[b])
+                .expect("finite remaining work")
+                .then(a.cmp(&b))
+        });
+        // Greedy allocation in priority order.
+        let mut left = k;
+        for &idx in &active {
+            if left <= 0.0 {
+                rates[idx] = 0.0;
+                continue;
+            }
+            let grant = (instance.jobs[idx].cap as f64).min(left);
+            rates[idx] = grant * speed;
+            left -= grant;
+        }
+        // Advance to the earliest completion.
+        let mut dt = f64::INFINITY;
+        for &idx in &active {
+            if rates[idx] > 0.0 {
+                dt = dt.min(remaining[idx] / rates[idx]);
+            }
+        }
+        debug_assert!(dt.is_finite() && dt > 0.0, "schedule must make progress");
+        time += dt;
+        for &idx in &active {
+            if rates[idx] > 0.0 {
+                remaining[idx] = (remaining[idx] - rates[idx] * dt).max(0.0);
+            }
+        }
+        active.retain(|&idx| {
+            if remaining[idx] <= 1e-12 * instance.jobs[idx].size.max(1.0) {
+                completion[idx] = time;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let total: f64 = completion.iter().sum();
+    Schedule { completion_times: completion, total_response_time: total, speed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::BatchJob;
+
+    fn inst(k: u32, jobs: &[(f64, u32)]) -> BatchInstance {
+        BatchInstance::new(
+            k,
+            jobs.iter().map(|&(size, cap)| BatchJob { size, cap }).collect(),
+        )
+    }
+
+    #[test]
+    fn single_fully_parallel_job_uses_all_servers() {
+        let s = srpt_k_schedule(&inst(4, &[(8.0, 4)]), 1.0);
+        assert!((s.completion_times[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_limits_the_rate() {
+        let s = srpt_k_schedule(&inst(4, &[(8.0, 2)]), 1.0);
+        assert!((s.completion_times[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srpt_order_on_sequential_jobs_single_server() {
+        // Sizes 3, 1, 2 on one server → completions 1, 3, 6 in SRPT order.
+        let s = srpt_k_schedule(&inst(1, &[(3.0, 1), (1.0, 1), (2.0, 1)]), 1.0);
+        assert!((s.completion_times[1] - 1.0).abs() < 1e-12);
+        assert!((s.completion_times[2] - 3.0).abs() < 1e-12);
+        assert!((s.completion_times[0] - 6.0).abs() < 1e-12);
+        assert!((s.total_response_time - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leftover_servers_flow_down_the_priority_list() {
+        // k=4: short job cap 1 takes one server, long job cap 4 gets 3.
+        let s = srpt_k_schedule(&inst(4, &[(1.0, 1), (9.0, 4)]), 1.0);
+        assert!((s.completion_times[0] - 1.0).abs() < 1e-12);
+        // Long job: 3 servers for 1s (3 units), then 4 servers for 1.5s.
+        assert!((s.completion_times[1] - 2.5).abs() < 1e-12, "{}", s.completion_times[1]);
+    }
+
+    #[test]
+    fn priority_can_flip_when_a_capped_job_falls_behind() {
+        // Job A: size 2, cap 1. Job B: size 3, cap 4 on k=4.
+        // t=0: A shorter → A gets 1 server, B gets 3 → B done at t=1!
+        let s = srpt_k_schedule(&inst(4, &[(2.0, 1), (3.0, 4)]), 1.0);
+        assert!((s.completion_times[1] - 1.0).abs() < 1e-12);
+        assert!((s.completion_times[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_s_compresses_time_exactly() {
+        let instance = BatchInstance::random_uniform(60, 8, 10.0, 5);
+        let s1 = srpt_k_schedule(&instance, 1.0);
+        let s2 = srpt_k_schedule(&instance, 2.0);
+        assert!(
+            (s1.total_response_time - 2.0 * s2.total_response_time).abs()
+                / s1.total_response_time
+                < 1e-9,
+            "C_1 {} vs 2·C_2 {}",
+            s1.total_response_time,
+            2.0 * s2.total_response_time
+        );
+    }
+
+    #[test]
+    fn jobs_in_system_counts_match_completions() {
+        let s = srpt_k_schedule(&inst(1, &[(1.0, 1), (2.0, 1)]), 1.0);
+        assert_eq!(s.jobs_in_system_at(0.0), 2);
+        assert_eq!(s.jobs_in_system_at(1.5), 1);
+        assert_eq!(s.jobs_in_system_at(5.0), 0);
+    }
+
+    #[test]
+    fn makespan_bounded_by_work_over_k_plus_max_size() {
+        let instance = BatchInstance::random_uniform(100, 4, 10.0, 6);
+        let s = srpt_k_schedule(&instance, 1.0);
+        let bound = instance.total_work() / 4.0
+            + instance.jobs.iter().map(|j| j.size).fold(0.0, f64::max);
+        assert!(s.makespan() <= bound + 1e-9);
+    }
+}

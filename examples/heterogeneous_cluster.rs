@@ -1,0 +1,119 @@
+//! Beyond two classes: a heterogeneous cluster with bounded elasticity
+//! (the paper's Section 6 extension, implemented in `eirs-multiclass`).
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+//!
+//! A 16-server cluster runs three kinds of work:
+//!
+//! * **queries** — tiny, strictly sequential (cap 1);
+//! * **analytics** — mid-size, parallelizable up to 4 servers (cap 4);
+//! * **batch** — huge, parallelizable across the whole cluster (cap 16).
+//!
+//! The paper's IF/EF dichotomy generalizes to priority *orders* over
+//! classes. This example evaluates every allocation order exactly on the
+//! truncated CTMC, plus a water-filling fair share via simulation, and
+//! shows the paper's lesson surviving the generalization: serve the least
+//! flexible (and small) work first; the most flexible class mops up the
+//! leftovers at almost no cost to itself.
+
+use eirs_repro::multiclass::{
+    evaluate_multiclass, least_flexible_first, most_flexible_first, simulate_multiclass,
+    ClassSpec, MultiPolicy, MultiSimConfig, MultiSystem, PriorityOrder, WaterFilling,
+};
+
+fn build_system() -> MultiSystem {
+    MultiSystem::new(
+        16,
+        vec![
+            // name, λ (jobs/s), µ (1/mean size), cap
+            ClassSpec::exponential("queries", 6.0, 4.0, 1),
+            ClassSpec::exponential("analytics", 1.5, 0.5, 4),
+            ClassSpec::exponential("batch", 0.4, 0.1, 16),
+        ],
+    )
+}
+
+fn main() {
+    let system = build_system();
+    println!(
+        "Heterogeneous cluster: k = {}, rho = {:.2}",
+        system.k,
+        system.load()
+    );
+    for c in &system.classes {
+        println!(
+            "  class {:<10} λ = {:<5} mean size = {:<5} cap = {}",
+            c.name,
+            c.lambda,
+            c.mean_size(),
+            c.cap
+        );
+    }
+
+    // All six priority orders, evaluated exactly on the truncated chain.
+    println!("\nExact truncated-CTMC evaluation of all priority orders:");
+    println!("  order                          E[T]     E[T_qry]  E[T_ana]  E[T_bat]");
+    let names = ["queries", "analytics", "batch"];
+    let mut best: Option<(String, f64)> = None;
+    for perm in [
+        [0usize, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ] {
+        let label = format!("{} > {} > {}", names[perm[0]], names[perm[1]], names[perm[2]]);
+        let policy = PriorityOrder::new(perm.to_vec(), label.clone());
+        let a = evaluate_multiclass(&system, &policy, &[60, 40, 30], 1e-7, 300_000)
+            .expect("evaluation converges");
+        println!(
+            "  {label:<30} {:<8.3} {:<9.3} {:<9.3} {:<9.3}",
+            a.overall_mean_response,
+            a.mean_response[0],
+            a.mean_response[1],
+            a.mean_response[2]
+        );
+        if best.as_ref().is_none_or(|(_, t)| a.overall_mean_response < *t) {
+            best = Some((label, a.overall_mean_response));
+        }
+    }
+    let (best_label, best_t) = best.expect("some order evaluated");
+    println!("  best order: {best_label} (E[T] = {best_t:.3})");
+
+    let lff = least_flexible_first(&system);
+    let mff = most_flexible_first(&system);
+    println!(
+        "\n  Least-Flexible-First (cap-ascending: queries > analytics > batch) is\n\
+         the generalization of the paper's optimal Inelastic-First;\n\
+         Most-Flexible-First generalizes Elastic-First."
+    );
+
+    // Simulation adds the fair-share baseline and tail latencies.
+    println!("\nSimulation (400k departures), with P99 latency per class:");
+    println!("  policy                 E[T]     P99 qry   P99 ana   P99 bat   util");
+    for policy in [&lff as &dyn MultiPolicy, &mff, &WaterFilling] {
+        let r = simulate_multiclass(
+            &system,
+            policy,
+            MultiSimConfig { seed: 42, warmup_departures: 50_000, departures: 400_000 },
+        );
+        println!(
+            "  {:<22} {:<8.3} {:<9.2} {:<9.2} {:<9.2} {:.3}",
+            policy.name(),
+            r.mean_response,
+            r.per_class[0].tail_response.2,
+            r.per_class[1].tail_response.2,
+            r.per_class[2].tail_response.2,
+            r.utilization
+        );
+    }
+    println!(
+        "\n  Serving the rigid little queries first keeps their tail latency\n\
+         close to their bare service time, while the batch class, which can\n\
+         flex across every idle server, barely notices — the two-class\n\
+         insight of the paper carries over unchanged."
+    );
+}

@@ -1,0 +1,92 @@
+//! MapReduce-style cluster scheduling (paper Section 1.3, first example).
+//!
+//! ```text
+//! cargo run --release --example mapreduce
+//! ```
+//!
+//! A cluster processes a stream of map stages (elastic: parallelize across
+//! any number of servers, lots of inherent work) and reduce stages
+//! (inelastic: sequential, little work). The paper's headline result says
+//! the cluster should run reduce stages first — preemptive priority to the
+//! inelastic jobs — and this example measures how much that buys over
+//! giving priority to the big parallel maps or fair-sharing the cluster.
+
+use eirs_repro::prelude::*;
+use eirs_repro::sim::des::run_markovian;
+use eirs_repro::sim::policy::AllocationPolicy;
+
+fn main() {
+    // A 16-server cluster. Reduce stages average 30 seconds of work
+    // (µ_I = 2/min), map stages average 4 minutes (µ_E = 0.25/min);
+    // stage arrivals are balanced so the cluster runs at 80% load.
+    let k = 16;
+    let (mu_reduce, mu_map) = (2.0, 0.25);
+    let params = SystemParams::with_equal_lambdas(k, mu_reduce, mu_map, 0.8)
+        .expect("stable parameters");
+    println!(
+        "MapReduce cluster: k = {k}, map ~Exp(µ={mu_map}) [elastic], \
+         reduce ~Exp(µ={mu_reduce}) [inelastic], ρ = {:.2}",
+        params.load()
+    );
+    println!("Stage arrival rate: {:.3}/min per type\n", params.lambda_i);
+
+    // Analysis for the two priority policies.
+    let a_if = analyze_inelastic_first(&params).unwrap();
+    let a_ef = analyze_elastic_first(&params).unwrap();
+
+    // Simulation for all policies, including the fair-share baseline the
+    // analysis does not cover.
+    let policies: Vec<(&dyn AllocationPolicy, Option<(f64, f64, f64)>)> = vec![
+        (
+            &InelasticFirst,
+            Some((a_if.mean_response, a_if.mean_response_inelastic, a_if.mean_response_elastic)),
+        ),
+        (
+            &ElasticFirst,
+            Some((a_ef.mean_response, a_ef.mean_response_inelastic, a_ef.mean_response_elastic)),
+        ),
+        (&FairShare, None),
+    ];
+
+    println!("                       ---- simulation ----          ---- analysis ----");
+    println!("  policy               E[T]    E[T_red] E[T_map]     E[T]    E[T_red] E[T_map]");
+    let mut results = Vec::new();
+    for (policy, analytic) in policies {
+        let r = run_markovian(
+            policy,
+            params.k,
+            params.lambda_i,
+            params.lambda_e,
+            params.mu_i,
+            params.mu_e,
+            7,
+            100_000,
+            800_000,
+        );
+        let analytic_str = match analytic {
+            Some((t, ti, te)) => format!("{t:<8.3}{ti:<9.3}{te:<8.3}"),
+            None => "      (no closed form)    ".to_string(),
+        };
+        println!(
+            "  {:<20} {:<8.3}{:<9.3}{:<9.3}    {}",
+            policy.name(),
+            r.mean_response,
+            r.mean_response_inelastic,
+            r.mean_response_elastic,
+            analytic_str,
+        );
+        results.push((policy.name(), r.mean_response));
+    }
+
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "\nBest policy: {} — with µ_I(reduce) ≥ µ_E(map) this is exactly what \
+         Theorem 5 predicts: run the small sequential stages first and keep \
+         the big parallel maps as background filler that soaks up every idle \
+         server.",
+        best.0
+    );
+}

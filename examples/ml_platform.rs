@@ -1,0 +1,70 @@
+//! A shared ML platform: training + inference on one cluster
+//! (paper Section 1.3, second example).
+//!
+//! ```text
+//! cargo run --release --example ml_platform
+//! ```
+//!
+//! Training jobs are elastic (distributed SGD scales across workers) and
+//! large; inference requests are inelastic (single data point, one server)
+//! and tiny but latency-sensitive. This example sweeps the platform load
+//! and shows what each allocation policy does to *inference* latency and to
+//! overall mean response time — the tension the paper resolves: giving
+//! inference strict priority costs training almost nothing and is in fact
+//! optimal for the overall mean.
+
+use eirs_repro::prelude::*;
+
+fn main() {
+    let k = 32;
+    // Inference: mean 0.2s of work (µ_I = 5/s). Training: mean 10 minutes
+    // of single-server work (µ_E = 1/600 per second).
+    let (mu_inf, mu_train) = (5.0, 1.0 / 600.0);
+    println!("ML platform: k = {k} servers, inference ~Exp({mu_inf}), training ~Exp({mu_train})");
+    println!();
+    println!("         ------- Inelastic-First -------   -------- Elastic-First --------");
+    println!("  load   E[T_inf]   E[T_train]  E[T]       E[T_inf]   E[T_train]  E[T]");
+
+    for rho in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
+        let params = SystemParams::with_equal_lambdas(k, mu_inf, mu_train, rho)
+            .expect("stable parameters");
+        let a_if = analyze_inelastic_first(&params).expect("IF analysis");
+        let a_ef = analyze_elastic_first(&params).expect("EF analysis");
+        println!(
+            "  {rho:<7.2}{:<11.4}{:<12.1}{:<11.4}{:<11.4}{:<12.1}{:<9.4}",
+            a_if.mean_response_inelastic,
+            a_if.mean_response_elastic,
+            a_if.mean_response,
+            a_ef.mean_response_inelastic,
+            a_ef.mean_response_elastic,
+            a_ef.mean_response,
+        );
+    }
+
+    println!();
+    println!(
+        "Reading the table: under Inelastic-First, inference latency stays a\n\
+         few hundred milliseconds even at 95% load (inference sees a private\n\
+         M/M/{k}), while training times barely move relative to Elastic-First.\n\
+         Because µ_I ≥ µ_E, Theorem 5 says Inelastic-First is not merely a\n\
+         good SLA trade-off — it minimizes the overall mean response time."
+    );
+
+    // Tail check by simulation at 90% load: the DES records every response.
+    let params = SystemParams::with_equal_lambdas(k, mu_inf, mu_train, 0.9).unwrap();
+    let r = eirs_repro::sim::des::run_markovian(
+        &InelasticFirst,
+        params.k,
+        params.lambda_i,
+        params.lambda_e,
+        params.mu_i,
+        params.mu_e,
+        11,
+        50_000,
+        400_000,
+    );
+    println!(
+        "\nSimulated at ρ = 0.9 under IF: E[T_inference] = {:.4}s across {} requests.",
+        r.mean_response_inelastic, r.completed[0]
+    );
+}

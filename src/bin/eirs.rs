@@ -1,0 +1,150 @@
+//! `eirs` — command-line front end for the reproduction.
+//!
+//! ```text
+//! eirs analyze   --k 4 --lambda-i 1 --lambda-e 1 --mu-i 2 --mu-e 1
+//! eirs compare   --k 4 --rho 0.7 --mu-i 0.5 --mu-e 1
+//! eirs simulate  --policy if --k 4 --rho 0.7 --mu-i 1 --mu-e 1 \
+//!                --departures 500000 --seed 1
+//! eirs counterexample --ratio 2
+//! ```
+//!
+//! Every command is a thin wrapper over the library; see `README.md`.
+
+use eirs_repro::core::counterexample::expected_total_response_closed;
+use eirs_repro::core::prelude::*;
+use eirs_repro::cli::{CliArgs, CliError};
+use eirs_repro::sim::des::run_markovian;
+use eirs_repro::sim::policy::{
+    AllocationPolicy, ElasticFirst, FairShare, InelasticFirst, ReservePolicy,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: eirs <command> [--flag value]...");
+    eprintln!("commands:");
+    eprintln!("  analyze         exact E[T] under IF and EF for explicit rates");
+    eprintln!("                  --k --lambda-i --lambda-e --mu-i --mu-e");
+    eprintln!("  compare         IF vs EF at a target load (lambda_i = lambda_e)");
+    eprintln!("                  --k --rho --mu-i --mu-e");
+    eprintln!("  simulate        DES run of one policy (if|ef|fairshare|reserve:<r>)");
+    eprintln!("                  --policy --k --rho --mu-i --mu-e --departures --seed");
+    eprintln!("  counterexample  Theorem 6 closed system --ratio (mu_e/mu_i)");
+}
+
+fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
+    let k = args.get_parsed_or("k", 4u32).map_err(stringify)?;
+    let mu_i = args.get_parsed_or("mu-i", 1.0).map_err(stringify)?;
+    let mu_e = args.get_parsed_or("mu-e", 1.0).map_err(stringify)?;
+    if let Some(rho_raw) = args.get("rho") {
+        let rho: f64 = rho_raw.parse().map_err(|_| format!("bad --rho '{rho_raw}'"))?;
+        SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).map_err(|e| e.to_string())
+    } else {
+        let lambda_i = args.get_parsed_or("lambda-i", 0.5).map_err(stringify)?;
+        let lambda_e = args.get_parsed_or("lambda-e", 0.5).map_err(stringify)?;
+        SystemParams::new(k, lambda_i, lambda_e, mu_i, mu_e).map_err(|e| e.to_string())
+    }
+}
+
+fn stringify(e: CliError) -> String {
+    e.to_string()
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = CliArgs::parse(raw).map_err(stringify)?;
+    match args.command.as_str() {
+        "analyze" => {
+            let p = parse_params(&args)?;
+            let a_if = analyze_inelastic_first(&p).map_err(|e| e.to_string())?;
+            let a_ef = analyze_elastic_first(&p).map_err(|e| e.to_string())?;
+            println!(
+                "k={} lambda_i={:.4} lambda_e={:.4} mu_i={} mu_e={} rho={:.3}",
+                p.k, p.lambda_i, p.lambda_e, p.mu_i, p.mu_e, p.load()
+            );
+            println!("policy           E[T]      E[T_I]    E[T_E]");
+            for (name, a) in [("Inelastic-First", a_if), ("Elastic-First", a_ef)] {
+                println!(
+                    "{name:<16} {:<9.4} {:<9.4} {:<9.4}",
+                    a.mean_response, a.mean_response_inelastic, a.mean_response_elastic
+                );
+            }
+            Ok(())
+        }
+        "compare" => {
+            let p = parse_params(&args)?;
+            let c = eirs_repro::core::experiments::compare(&p).map_err(|e| e.to_string())?;
+            println!(
+                "E[T] IF = {:.4}   E[T] EF = {:.4}   winner: {:?}",
+                c.mrt_if, c.mrt_ef, c.winner
+            );
+            if p.inelastic_first_provably_optimal() {
+                println!("mu_i >= mu_e: Theorem 5 guarantees Inelastic-First is optimal.");
+            } else {
+                println!("mu_i < mu_e: outside the proved-optimal regime (see Theorem 6).");
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let p = parse_params(&args)?;
+            let departures = args.get_parsed_or("departures", 200_000u64).map_err(stringify)?;
+            let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
+            let policy_name = args.get_or("policy", "if");
+            let policy: Box<dyn AllocationPolicy> = match policy_name.as_str() {
+                "if" => Box::new(InelasticFirst),
+                "ef" => Box::new(ElasticFirst),
+                "fairshare" => Box::new(FairShare),
+                other => {
+                    if let Some(r) = other.strip_prefix("reserve:") {
+                        let reserve: u32 =
+                            r.parse().map_err(|_| format!("bad reserve '{r}'"))?;
+                        Box::new(ReservePolicy { reserve })
+                    } else {
+                        return Err(format!("unknown policy '{other}'"));
+                    }
+                }
+            };
+            let r = run_markovian(
+                policy.as_ref(),
+                p.k,
+                p.lambda_i,
+                p.lambda_e,
+                p.mu_i,
+                p.mu_e,
+                seed,
+                departures / 10,
+                departures,
+            );
+            println!("policy: {}", policy.name());
+            println!("E[T] = {:.4} (inelastic {:.4}, elastic {:.4})",
+                r.mean_response, r.mean_response_inelastic, r.mean_response_elastic);
+            let (p50, p95, p99) = r.tail_response;
+            println!("tails: P50 = {p50:.4}  P95 = {p95:.4}  P99 = {p99:.4}");
+            println!("E[N] = {:.4}   utilization = {:.3}", r.mean_num_in_system, r.utilization);
+            Ok(())
+        }
+        "counterexample" => {
+            let ratio = args.get_parsed_or("ratio", 2.0).map_err(stringify)?;
+            let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio)
+                .map_err(|e| e.to_string())?;
+            let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio)
+                .map_err(|e| e.to_string())?;
+            println!("Theorem 6 closed system (k=2, start 2 inelastic + 1 elastic, mu_i=1, mu_e={ratio}):");
+            println!("E[sum T] IF = {g_if:.6}");
+            println!("E[sum T] EF = {g_ef:.6}");
+            println!("better: {}", if g_ef < g_if { "Elastic-First" } else { "Inelastic-First (or tie)" });
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

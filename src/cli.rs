@@ -1,0 +1,136 @@
+//! Flag parsing for the `eirs` command-line binary.
+//!
+//! Deliberately minimal (the approved dependency set has no argument
+//! parser): flags are `--key value` pairs collected into a map, with typed
+//! accessors and defaults. The binary in `src/bin/eirs.rs` stays a thin
+//! wiring layer over the library.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// First positional argument (the subcommand).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from flag parsing or typed access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a value, or a stray positional token.
+    Malformed(String),
+    /// A flag failed to parse as the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand"),
+            CliError::Malformed(tok) => write!(f, "malformed argument: {tok}"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "cannot parse --{flag} value '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliArgs {
+    /// Parses `args` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or(CliError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(CliError::Malformed(command));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(CliError::Malformed(tok));
+            };
+            let value = it.next().ok_or_else(|| CliError::Malformed(tok.clone()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// String flag with default.
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_string()
+    }
+
+    /// Typed flag with default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::BadValue {
+                flag: name.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["analyze", "--k", "4", "--rho", "0.7"]).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.get("k"), Some("4"));
+        assert_eq!(a.get_parsed_or("rho", 0.0).unwrap(), 0.7);
+        assert_eq!(a.get_parsed_or::<u32>("k", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_flags() {
+        let a = parse(&["compare"]).unwrap();
+        assert_eq!(a.get_parsed_or("k", 4u32).unwrap(), 4);
+        assert_eq!(a.get_or("policy", "if"), "if");
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(parse(&[]), Err(CliError::MissingCommand));
+        assert!(matches!(parse(&["--k", "4"]), Err(CliError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(matches!(parse(&["analyze", "--k"]), Err(CliError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_unparsable_value() {
+        let a = parse(&["analyze", "--k", "four"]).unwrap();
+        assert!(matches!(
+            a.get_parsed_or::<u32>("k", 1),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+}

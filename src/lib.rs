@@ -1,0 +1,44 @@
+//! # eirs — Elastic/Inelastic Resource Scheduling
+//!
+//! Workspace façade for the reproduction of Berg, Harchol-Balter, Moseley,
+//! Wang & Whitehouse, *"Optimal Resource Allocation for Elastic and
+//! Inelastic Jobs"* (SPAA 2020). Re-exports every sub-crate under one roof
+//! so examples and downstream users can depend on a single package:
+//!
+//! * [`core`] (`eirs-core`) — model parameters, EF/IF response-time
+//!   analysis, the Theorem 6 counterexample, experiment parameterizations;
+//! * [`sim`] (`eirs-sim`) — allocation policies and the discrete-event /
+//!   state-level simulators;
+//! * [`markov`] (`eirs-markov`) — CTMC and QBD matrix-analytic solvers;
+//! * [`queueing`] (`eirs-queueing`) — M/M/1, M/M/k, phase-type
+//!   distributions, Coxian busy-period fitting;
+//! * [`mdp`] (`eirs-mdp`) — truncated average-cost MDP (numerical
+//!   optimality);
+//! * [`srpt`] (`eirs-srpt`) — Appendix A batch scheduling and dual fitting;
+//! * [`multiclass`] (`eirs-multiclass`) — the Section 6 extension: many
+//!   classes with bounded elasticity;
+//! * [`numerics`] (`eirs-numerics`) — the dense linear-algebra substrate.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results of every figure.
+
+pub mod cli;
+
+pub use eirs_core as core;
+pub use eirs_markov as markov;
+pub use eirs_mdp as mdp;
+pub use eirs_multiclass as multiclass;
+pub use eirs_numerics as numerics;
+pub use eirs_queueing as queueing;
+pub use eirs_sim as sim;
+pub use eirs_srpt as srpt;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use eirs_core::prelude::*;
+    pub use eirs_queueing::{Exponential, MM1, MMk};
+    pub use eirs_sim::des::{run_markovian, DesConfig, Simulation, StopRule};
+    pub use eirs_sim::{
+        Arrival, ArrivalTrace, JobClass, PoissonStream, WorkTrajectory,
+    };
+}

@@ -1,0 +1,67 @@
+//! Property tests for Appendix A: the generalized SRPT-k 4-approximation
+//! and the dual-fitting machinery behind it.
+
+use eirs_srpt::{lp_lower_bound, srpt_k_schedule, verify_dual_fitting, BatchInstance, BatchJob};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = BatchInstance> {
+    (2u32..=8, prop::collection::vec((0.05f64..20.0, 1u32..=8), 1..60)).prop_map(|(k, raw)| {
+        let jobs = raw
+            .into_iter()
+            .map(|(size, cap)| BatchJob { size, cap: cap.min(k) })
+            .collect();
+        BatchInstance::new(k, jobs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn srpt_k_is_within_factor_four_of_the_lp_bound(instance in arb_instance()) {
+        let c1 = srpt_k_schedule(&instance, 1.0).total_response_time;
+        let lb = lp_lower_bound(&instance);
+        prop_assert!(lb > 0.0);
+        prop_assert!(c1 >= lb - 1e-9, "schedule beats its own lower bound: {c1} < {lb}");
+        prop_assert!(c1 <= 4.0 * lb + 1e-9, "ratio {} exceeds 4", c1 / lb);
+    }
+
+    #[test]
+    fn dual_solution_is_feasible_and_strong_enough(instance in arb_instance()) {
+        let r = verify_dual_fitting(&instance);
+        prop_assert!(r.is_feasible(1e-9), "violation {}", r.max_constraint_violation);
+        prop_assert!(r.lemma8_holds(1e-9), "Σα − ∫β = {} < C₂/2 = {}", r.dual_objective, r.speed2_total_response / 2.0);
+        prop_assert!(r.weak_duality_holds(1e-9), "dual {} > LP {}", r.dual_objective, r.lp_bound);
+    }
+
+    #[test]
+    fn speed_scaling_is_exact(instance in arb_instance()) {
+        let c1 = srpt_k_schedule(&instance, 1.0).total_response_time;
+        let c2 = srpt_k_schedule(&instance, 2.0).total_response_time;
+        prop_assert!((c1 - 2.0 * c2).abs() / c1 < 1e-9);
+    }
+
+    #[test]
+    fn completions_cover_all_jobs(instance in arb_instance()) {
+        let s = srpt_k_schedule(&instance, 1.0);
+        prop_assert_eq!(s.completion_times.len(), instance.len());
+        for (idx, &c) in s.completion_times.iter().enumerate() {
+            // No job can finish faster than its own size over its cap.
+            let floor = instance.jobs[idx].size / instance.jobs[idx].cap as f64;
+            prop_assert!(c >= floor - 1e-9, "job {idx} done at {c} < floor {floor}");
+        }
+    }
+}
+
+#[test]
+fn chain_of_inequalities_from_the_proof_holds_end_to_end() {
+    // (1−1/2)·C₂ ≤ Σα − ∫β ≤ LP* ≤ C₁ and C₁ = 2·C₂ ⇒ C₁ ≤ 4·LP*.
+    for seed in 0..20 {
+        let i = BatchInstance::random_elastic_inelastic(120, 8, 0.5, seed);
+        let r = verify_dual_fitting(&i);
+        assert!(0.5 * r.speed2_total_response <= r.dual_objective + 1e-9);
+        assert!(r.dual_objective <= r.lp_bound + 1e-9);
+        assert!(r.lp_bound <= r.speed1_total_response + 1e-9);
+        assert!(r.approx_ratio <= 4.0 + 1e-9);
+    }
+}

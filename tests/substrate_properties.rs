@@ -1,0 +1,156 @@
+//! Property-based tests of the numerical substrates: linear algebra,
+//! root finding, queueing formulas, Coxian fitting, and the QBD engine.
+//! These invariants protect every figure harness in the repository.
+
+use eirs_repro::markov::Qbd;
+use eirs_repro::numerics::roots::solve_quadratic;
+use eirs_repro::numerics::{lu, Matrix};
+use eirs_repro::queueing::coxian::fit_busy_period;
+use eirs_repro::queueing::{MM1, MMk};
+use proptest::prelude::*;
+
+fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        // Diagonal dominance keeps instances invertible and well conditioned.
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_transpose_of_product(a in arb_matrix(4), b in arb_matrix(4)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_distributivity(a in arb_matrix(3), b in arb_matrix(3), c in arb_matrix(3)) {
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-11);
+    }
+
+    #[test]
+    fn lu_solve_round_trip(a in arb_matrix(6), x in prop::collection::vec(-5.0f64..5.0, 6)) {
+        let b = a.matvec(&x);
+        let solved = lu::solve(&a, &b).expect("well-conditioned by construction");
+        for (got, want) in solved.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lu_determinant_of_product(a in arb_matrix(4), b in arb_matrix(4)) {
+        let da = lu::LuDecomposition::new(&a).expect("nonsingular").determinant();
+        let db = lu::LuDecomposition::new(&b).expect("nonsingular").determinant();
+        let dab = lu::LuDecomposition::new(&a.matmul(&b)).expect("nonsingular").determinant();
+        prop_assert!((dab - da * db).abs() / dab.abs().max(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_recovers_planted_roots(r1 in -50.0f64..50.0, gap in 0.01f64..100.0) {
+        let r2 = r1 + gap;
+        let roots = solve_quadratic(1.0, -(r1 + r2), r1 * r2);
+        prop_assert_eq!(roots.len(), 2);
+        prop_assert!((roots[0] - r1).abs() < 1e-6 * (1.0 + r1.abs()), "{} vs {r1}", roots[0]);
+        prop_assert!((roots[1] - r2).abs() < 1e-6 * (1.0 + r2.abs()), "{} vs {r2}", roots[1]);
+    }
+
+    #[test]
+    fn busy_period_fit_round_trips(rho in 0.01f64..0.99, mu in 0.1f64..20.0) {
+        let q = MM1::new(rho * mu, mu);
+        let target = q.busy_period_moments();
+        let cox = fit_busy_period(&q).expect("busy periods are representable");
+        let got = cox.moments();
+        prop_assert!((got.m1 - target.m1).abs() / target.m1 < 1e-7);
+        prop_assert!((got.m2 - target.m2).abs() / target.m2 < 1e-7);
+        prop_assert!((got.m3 - target.m3).abs() / target.m3 < 1e-7);
+        prop_assert!((0.0..=1.0).contains(&cox.q()));
+    }
+
+    #[test]
+    fn mm1_busy_period_cv2_identity(rho in 0.01f64..0.99) {
+        let q = MM1::new(rho, 1.0);
+        let cv2 = q.busy_period_moments().cv2();
+        let want = (1.0 + rho) / (1.0 - rho);
+        prop_assert!((cv2 - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_c_is_a_probability_and_mmk_beats_mm1_split(
+        rho in 0.05f64..0.95,
+        k in 1u32..40,
+    ) {
+        let lambda = rho * k as f64;
+        let mmk = MMk::new(lambda, 1.0, k);
+        let c = mmk.erlang_c();
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Resource pooling: one fast M/M/k beats k split M/M/1s in E[T_Q]
+        // comparison … the classical ordering E[T_Q](M/M/k) ≤ E[T_Q] of a
+        // single M/M/1 with the same per-server load.
+        let single = MM1::new(rho, 1.0);
+        let wait_mm1 = single.mean_response_time() - 1.0;
+        prop_assert!(mmk.mean_wait() <= wait_mm1 + 1e-9);
+    }
+
+    #[test]
+    fn qbd_mm1_levels_are_geometric(rho in 0.05f64..0.95) {
+        let qbd = Qbd::new(
+            vec![Matrix::from_rows(&[&[rho]])],
+            vec![Matrix::zeros(1, 1)],
+            vec![],
+            Matrix::from_rows(&[&[rho]]),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[1.0]]),
+        )
+        .expect("valid blocks");
+        let sol = qbd.solve().expect("stable");
+        prop_assert!((sol.total_probability() - 1.0).abs() < 1e-9);
+        let mean = sol.mean_level();
+        let want = rho / (1.0 - rho);
+        prop_assert!((mean - want).abs() / want.max(1e-6) < 1e-7, "{mean} vs {want}");
+    }
+
+    #[test]
+    fn qbd_mmk_matches_erlang_formulas(rho in 0.1f64..0.9, k in 2u32..12) {
+        let lambda = rho * k as f64;
+        let up = vec![Matrix::from_rows(&[&[lambda]]); k as usize];
+        let local = vec![Matrix::zeros(1, 1); k as usize];
+        let down = (1..k as usize)
+            .map(|l| Matrix::from_rows(&[&[l as f64]]))
+            .collect();
+        let qbd = Qbd::new(
+            up,
+            local,
+            down,
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[k as f64]]),
+        )
+        .expect("valid blocks");
+        let sol = qbd.solve().expect("stable");
+        let want = MMk::new(lambda, 1.0, k).mean_number_in_system();
+        prop_assert!(
+            (sol.mean_level() - want).abs() / want < 1e-7,
+            "{} vs {want}",
+            sol.mean_level()
+        );
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    // The whole analytic pipeline must be bit-reproducible run to run.
+    use eirs_repro::core::prelude::*;
+    let p = SystemParams::with_equal_lambdas(4, 0.5, 1.0, 0.9).unwrap();
+    let a = analyze_inelastic_first(&p).unwrap();
+    let b = analyze_inelastic_first(&p).unwrap();
+    assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+}

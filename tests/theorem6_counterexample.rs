@@ -1,0 +1,104 @@
+//! Integration test for Theorem 6: with `k = 2`, `µ_E = 2µ_I`, no arrivals,
+//! and initial state (2 inelastic, 1 elastic), Elastic-First strictly beats
+//! Inelastic-First — so IF is not optimal when `µ_I < µ_E`.
+//!
+//! Three independent routes to the same numbers:
+//! exact absorbing-chain analysis, the paper's closed forms (35/12 and
+//! 33/12), and Monte-Carlo replications of the job-level DES.
+
+use eirs_core::counterexample::{expected_total_response_closed, theorem6_values};
+use eirs_queueing::distributions::SizeDistribution;
+use eirs_queueing::Exponential;
+use eirs_sim::des::{DesConfig, Simulation};
+use eirs_sim::policy::{AllocationPolicy, ElasticFirst, InelasticFirst};
+use eirs_sim::stats::ReplicationStats;
+use eirs_sim::{ArrivalTrace, JobClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn exact_values_match_paper_closed_forms() {
+    let mu_i = 1.0;
+    let (want_if, want_ef) = theorem6_values(mu_i);
+    let got_if =
+        expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
+    let got_ef =
+        expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
+    assert!((got_if - want_if).abs() < 1e-12, "IF {got_if} vs {want_if}");
+    assert!((got_ef - want_ef).abs() < 1e-12, "EF {got_ef} vs {want_ef}");
+    assert!(got_ef < got_if);
+}
+
+fn monte_carlo_total_response(policy: &dyn AllocationPolicy, reps: u64, seed: u64) -> ReplicationStats {
+    let exp_i = Exponential::new(1.0);
+    let exp_e = Exponential::new(2.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = ReplicationStats::new();
+    let empty = ArrivalTrace::default();
+    for _ in 0..reps {
+        let mut sim = Simulation::new(DesConfig::drain(2));
+        sim.preload([
+            (JobClass::Inelastic, exp_i.sample(&mut rng)),
+            (JobClass::Inelastic, exp_i.sample(&mut rng)),
+            (JobClass::Elastic, exp_e.sample(&mut rng)),
+        ]);
+        let mut stream = empty.stream();
+        let r = sim.run(policy, &mut stream);
+        stats.push(r.total_response);
+    }
+    stats
+}
+
+#[test]
+fn monte_carlo_confirms_both_closed_forms() {
+    let reps = 60_000;
+    let s_if = monte_carlo_total_response(&InelasticFirst, reps, 41);
+    let s_ef = monte_carlo_total_response(&ElasticFirst, reps, 42);
+    let (want_if, want_ef) = theorem6_values(1.0);
+    let ci_if = s_if.confidence_interval();
+    let ci_ef = s_ef.confidence_interval();
+    // Allow 2x the CI half-width for coverage slack.
+    assert!(
+        (ci_if.mean - want_if).abs() < 2.0 * ci_if.half_width.max(0.01),
+        "IF MC {} ± {} vs exact {want_if}",
+        ci_if.mean,
+        ci_if.half_width
+    );
+    assert!(
+        (ci_ef.mean - want_ef).abs() < 2.0 * ci_ef.half_width.max(0.01),
+        "EF MC {} ± {} vs exact {want_ef}",
+        ci_ef.mean,
+        ci_ef.half_width
+    );
+    assert!(ci_ef.mean < ci_if.mean, "EF must beat IF in Monte Carlo too");
+}
+
+#[test]
+fn counterexample_region_requires_mu_i_below_mu_e() {
+    // Scan the rate ratio: EF beats IF only once µ_E is sufficiently above
+    // µ_I; at and below equality IF is at least as good (Theorems 1/5).
+    for ratio in [0.5, 0.8, 1.0] {
+        let g_if =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        assert!(g_if <= g_ef + 1e-12, "ratio {ratio}: IF {g_if} vs EF {g_ef}");
+    }
+    for ratio in [1.8, 2.0, 3.0] {
+        let g_if =
+            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        assert!(g_ef < g_if, "ratio {ratio}: EF {g_ef} should beat IF {g_if}");
+    }
+}
+
+#[test]
+fn larger_closed_systems_show_the_same_reversal() {
+    // The counterexample generalizes: more inelastic jobs, larger k.
+    let g_if = expected_total_response_closed(&InelasticFirst, 4, 4, 2, 1.0, 4.0).unwrap();
+    let g_ef = expected_total_response_closed(&ElasticFirst, 4, 4, 2, 1.0, 4.0).unwrap();
+    assert!(g_ef < g_if, "EF {g_ef} vs IF {g_if}");
+    // And reverses back for µ_I > µ_E.
+    let g_if = expected_total_response_closed(&InelasticFirst, 4, 4, 2, 4.0, 1.0).unwrap();
+    let g_ef = expected_total_response_closed(&ElasticFirst, 4, 4, 2, 4.0, 1.0).unwrap();
+    assert!(g_if < g_ef);
+}
