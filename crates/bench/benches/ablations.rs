@@ -65,10 +65,20 @@ fn main() {
             max_j: 40,
             allow_idling: false,
         };
-        let idling = MdpConfig { allow_idling: true, ..base };
-        let g0 = solve_optimal(&base, 1e-9, 600_000).expect("VI converges").average_cost;
-        let g1 = solve_optimal(&idling, 1e-9, 600_000).expect("VI converges").average_cost;
-        println!("  {mu_i:<5.2} {mu_e:<5.2} | {g0:<16.6} {g1:<17.6} {:+.2e}", g1 - g0);
+        let idling = MdpConfig {
+            allow_idling: true,
+            ..base
+        };
+        let g0 = solve_optimal(&base, 1e-9, 600_000)
+            .expect("VI converges")
+            .average_cost;
+        let g1 = solve_optimal(&idling, 1e-9, 600_000)
+            .expect("VI converges")
+            .average_cost;
+        println!(
+            "  {mu_i:<5.2} {mu_e:<5.2} | {g0:<16.6} {g1:<17.6} {:+.2e}",
+            g1 - g0
+        );
         assert!((g0 - g1).abs() < 1e-5, "idling changed the optimum");
     }
 
@@ -101,20 +111,18 @@ fn main() {
         for i in 0..k {
             a2[(i, i)] = (k - i) as f64 * p.mu_e;
         }
-        let qbd = eirs_markov::Qbd::new(
-            vec![up.clone()],
-            vec![local.clone()],
-            vec![],
-            up,
-            local,
-            a2,
-        )
-        .expect("valid QBD");
+        let qbd =
+            eirs_markov::Qbd::new(vec![up.clone()], vec![local.clone()], vec![], up, local, a2)
+                .expect("valid QBD");
         let t0 = Instant::now();
-        let r_lr = qbd.solve_r(eirs_markov::RSolver::LogarithmicReduction).expect("LR solves");
+        let r_lr = qbd
+            .solve_r(eirs_markov::RSolver::LogarithmicReduction)
+            .expect("LR solves");
         let t_lr = t0.elapsed();
         let t0 = Instant::now();
-        let r_fp = qbd.solve_r(eirs_markov::RSolver::FixedPoint).expect("FP solves");
+        let r_fp = qbd
+            .solve_r(eirs_markov::RSolver::FixedPoint)
+            .expect("FP solves");
         let t_fp = t0.elapsed();
         println!(
             "  {rho:<6.2} {:<18.2e} {:<18.1?} {:?}",

@@ -36,15 +36,21 @@ fn main() {
 
     family_stats(
         "uniform sizes, mixed caps",
-        (0..40).map(|s| BatchInstance::random_uniform(200, 8, 10.0, s)).collect(),
+        (0..40)
+            .map(|s| BatchInstance::random_uniform(200, 8, 10.0, s))
+            .collect(),
     );
     family_stats(
         "heavy-tailed (alpha=1.3)",
-        (0..40).map(|s| BatchInstance::random_heavy_tailed(200, 8, 1.3, 100 + s)).collect(),
+        (0..40)
+            .map(|s| BatchInstance::random_heavy_tailed(200, 8, 1.3, 100 + s))
+            .collect(),
     );
     family_stats(
         "heavy-tailed (alpha=0.9)",
-        (0..40).map(|s| BatchInstance::random_heavy_tailed(200, 8, 0.9, 200 + s)).collect(),
+        (0..40)
+            .map(|s| BatchInstance::random_heavy_tailed(200, 8, 0.9, 200 + s))
+            .collect(),
     );
     family_stats(
         "elastic/inelastic mixture",

@@ -17,7 +17,10 @@ fn main() {
     let rhos = [0.5, 0.7, 0.9];
 
     let curves = parallel_map(rhos.to_vec(), default_threads().min(3), |&rho| {
-        (rho, figure5_curve(k, rho, &mu_values).expect("analysis succeeds"))
+        (
+            rho,
+            figure5_curve(k, rho, &mu_values).expect("analysis succeeds"),
+        )
     });
 
     for (rho, curve) in &curves {
@@ -36,7 +39,11 @@ fn main() {
                 }
             }
             last_sign = Some(sign);
-            let marker = if (p.mu_i - 1.0).abs() < 1e-9 { "  <- µ_I = µ_E" } else { "" };
+            let marker = if (p.mu_i - 1.0).abs() < 1e-9 {
+                "  <- µ_I = µ_E"
+            } else {
+                ""
+            };
             println!(
                 "  {:<9.2} {:<12.4} {:<12.4} {winner}{marker}",
                 p.mu_i, p.mrt_if, p.mrt_ef

@@ -15,10 +15,7 @@ use eirs_core::experiments::figure6_curve;
 fn main() {
     let rho = 0.9;
     let ks: Vec<u32> = (2..=16).collect();
-    for (panel, mu_i, mu_e, expect) in [
-        ('a', 0.25, 1.0, "EF"),
-        ('b', 3.25, 1.0, "IF"),
-    ] {
+    for (panel, mu_i, mu_e, expect) in [('a', 0.25, 1.0, "EF"), ('b', 3.25, 1.0, "IF")] {
         section(&format!(
             "Figure 6({panel}): E[T] vs k at rho = {rho}, µ_I = {mu_i}, µ_E = {mu_e}"
         ));
@@ -39,7 +36,11 @@ fn main() {
             );
         }
         let last = curve.last().expect("non-empty");
-        let winner = if last.mrt_if < last.mrt_ef { "IF" } else { "EF" };
+        let winner = if last.mrt_if < last.mrt_ef {
+            "IF"
+        } else {
+            "EF"
+        };
         println!("  winner at k = 16: {winner} (paper: {expect})");
         assert_eq!(winner, expect, "Figure 6({panel}) winner changed");
         let (lo, hi) = if last.mrt_if < last.mrt_ef {

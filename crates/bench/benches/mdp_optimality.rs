@@ -23,9 +23,7 @@ fn main() {
     section(&format!(
         "MDP optimality map (k = {k}, rho = {rho}, λ_I = λ_E, truncation 60x60)"
     ));
-    println!(
-        "  µ_I   µ_E   | E[T] opt   E[T] IF    E[T] EF   | IF gap%  EF gap%  IF optimal?"
-    );
+    println!("  µ_I   µ_E   | E[T] opt   E[T] IF    E[T] EF   | IF gap%  EF gap%  IF optimal?");
 
     let rows = parallel_map(grid, default_threads(), |&(mu_i, mu_e)| {
         let p = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).expect("stable");
@@ -43,7 +41,13 @@ fn main() {
         let g_if = evaluate_policy(&cfg, &if_allocation(k), 1e-9, 600_000).expect("eval IF");
         let g_ef = evaluate_policy(&cfg, &ef_allocation(k), 1e-9, 600_000).expect("eval EF");
         let lambda = p.total_lambda();
-        (mu_i, mu_e, opt.average_cost / lambda, g_if / lambda, g_ef / lambda)
+        (
+            mu_i,
+            mu_e,
+            opt.average_cost / lambda,
+            g_if / lambda,
+            g_ef / lambda,
+        )
     });
 
     for (mu_i, mu_e, t_opt, t_if, t_ef) in &rows {

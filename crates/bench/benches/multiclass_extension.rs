@@ -35,9 +35,7 @@ fn main() {
         qbd.mean_response,
         100.0 * (multi.overall_mean_response - qbd.mean_response).abs() / qbd.mean_response
     );
-    assert!(
-        (multi.overall_mean_response - qbd.mean_response).abs() / qbd.mean_response < 0.01
-    );
+    assert!((multi.overall_mean_response - qbd.mean_response).abs() / qbd.mean_response < 0.01);
 
     section("Priority-order sweep over a 3-class workload (k = 8)");
     let system = MultiSystem::new(
@@ -52,11 +50,18 @@ fn main() {
     let names = ["rigid", "semi", "fluid"];
     println!("  order                   E[T]      E[T_rigid]  E[T_semi]  E[T_fluid]");
     let mut results = Vec::new();
-    for perm in [[0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+    for perm in [
+        [0usize, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ] {
         let label = format!("{}>{}>{}", names[perm[0]], names[perm[1]], names[perm[2]]);
         let policy = PriorityOrder::new(perm.to_vec(), label.clone());
-        let a = evaluate_multiclass(&system, &policy, &[50, 40, 30], 1e-7, 300_000)
-            .expect("converges");
+        let a =
+            evaluate_multiclass(&system, &policy, &[50, 40, 30], 1e-7, 300_000).expect("converges");
         println!(
             "  {label:<23} {:<9.4} {:<11.4} {:<10.4} {:<9.4}",
             a.overall_mean_response, a.mean_response[0], a.mean_response[1], a.mean_response[2]
@@ -67,7 +72,10 @@ fn main() {
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         .expect("non-empty");
-    println!("  best order: {} — cap-ascending, the IF generalization", best.0);
+    println!(
+        "  best order: {} — cap-ascending, the IF generalization",
+        best.0
+    );
     assert_eq!(best.0, "rigid>semi>fluid");
 
     section("Bounded elasticity: sweeping the 'elastic' cap from 1 to k (k = 8)");

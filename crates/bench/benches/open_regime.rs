@@ -53,12 +53,20 @@ fn main() {
         let opt = solve_optimal(&cfg, 1e-9, 700_000).expect("VI converges");
         let t_opt = opt.mean_response(lambda);
         let reserves: Vec<(u32, f64)> = (0..=k)
-            .map(|r| (r, policy_mean_response(&cfg, &ReservePolicy { reserve: r }, lambda)))
+            .map(|r| {
+                (
+                    r,
+                    policy_mean_response(&cfg, &ReservePolicy { reserve: r }, lambda),
+                )
+            })
             .collect();
         let thresholds: Vec<(usize, f64)> = [1usize, 2, 3, 5, 8]
             .iter()
             .map(|&m| {
-                (m, policy_mean_response(&cfg, &ElasticThresholdPolicy { threshold: m }, lambda))
+                (
+                    m,
+                    policy_mean_response(&cfg, &ElasticThresholdPolicy { threshold: m }, lambda),
+                )
             })
             .collect();
         (mu_i, mu_e, rho, t_opt, reserves, thresholds)
@@ -75,7 +83,10 @@ fn main() {
                 }
                 _ => format!("Reserve({r})"),
             };
-            println!("    {label:<20} {t:<9.4} {:+.2}%", 100.0 * (t / t_opt - 1.0));
+            println!(
+                "    {label:<20} {t:<9.4} {:+.2}%",
+                100.0 * (t / t_opt - 1.0)
+            );
         }
         for (m, t) in thresholds {
             println!(
@@ -92,7 +103,10 @@ fn main() {
             "    best static family member is {:.2}% above the state-dependent optimum",
             100.0 * (best_static / t_opt - 1.0)
         );
-        assert!(best_static >= *t_opt - 1e-6, "a static policy beat the optimum");
+        assert!(
+            best_static >= *t_opt - 1e-6,
+            "a static policy beat the optimum"
+        );
     }
 
     println!(

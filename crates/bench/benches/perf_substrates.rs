@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the substrates: how fast are the pieces
+//! PERF — micro-benchmarks of the substrates: how fast are the pieces
 //! that every figure harness leans on?
 //!
 //! Run: `cargo bench -p eirs-bench --bench perf_substrates`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eirs_bench::harness::Bench;
+use eirs_bench::section;
 use eirs_core::params::SystemParams;
 use eirs_core::{analyze_elastic_first, analyze_inelastic_first};
 use eirs_queueing::coxian::fit_busy_period;
@@ -12,69 +13,53 @@ use eirs_sim::ctmc::{simulate_state_level, CtmcSimConfig};
 use eirs_sim::des::run_markovian;
 use eirs_sim::policy::InelasticFirst;
 use eirs_srpt::{srpt_k_schedule, BatchInstance};
-use std::hint::black_box;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
+fn main() {
+    let mut bench = Bench::new();
+
+    section("analysis (busy-period transformation + QBD solve)");
     for k in [4u32, 16, 64] {
         let p = SystemParams::with_equal_lambdas(k, 0.5, 1.0, 0.8).unwrap();
-        group.bench_function(format!("analyze_if_k{k}"), |b| {
-            b.iter(|| analyze_inelastic_first(black_box(&p)).unwrap())
+        bench.time(&format!("analyze_if_k{k}"), 10, || {
+            analyze_inelastic_first(&p).unwrap()
         });
-        group.bench_function(format!("analyze_ef_k{k}"), |b| {
-            b.iter(|| analyze_elastic_first(black_box(&p)).unwrap())
+        bench.time(&format!("analyze_ef_k{k}"), 10, || {
+            analyze_elastic_first(&p).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_coxian_fit(c: &mut Criterion) {
+    section("coxian busy-period fit");
     let q = MM1::new(0.9, 1.0);
-    c.bench_function("coxian_busy_period_fit", |b| {
-        b.iter(|| fit_busy_period(black_box(&q)).unwrap())
+    bench.time("coxian_busy_period_fit", 1000, || {
+        fit_busy_period(&q).unwrap()
     });
-}
 
-fn bench_simulators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulators");
-    group.sample_size(10);
-    group.bench_function("state_level_1M_jumps", |b| {
-        b.iter(|| {
-            simulate_state_level(
-                &InelasticFirst,
-                CtmcSimConfig {
-                    k: 4,
-                    lambda_i: 1.0,
-                    lambda_e: 0.8,
-                    mu_i: 1.0,
-                    mu_e: 0.8,
-                    jumps: 1_000_000,
-                    warmup_jumps: 0,
-                    seed: 1,
-                },
-            )
-        })
+    section("simulators");
+    let mut sim_bench = Bench::with_samples(3);
+    sim_bench.time("state_level_1M_jumps", 1, || {
+        simulate_state_level(
+            &InelasticFirst,
+            CtmcSimConfig {
+                k: 4,
+                lambda_i: 1.0,
+                lambda_e: 0.8,
+                mu_i: 1.0,
+                mu_e: 0.8,
+                jumps: 1_000_000,
+                warmup_jumps: 0,
+                seed: 1,
+            },
+        )
     });
-    group.bench_function("job_level_100k_departures", |b| {
-        b.iter(|| run_markovian(&InelasticFirst, 4, 1.0, 0.8, 1.0, 0.8, 1, 0, 100_000))
+    sim_bench.time("job_level_100k_departures", 1, || {
+        run_markovian(&InelasticFirst, 4, 1.0, 0.8, 1.0, 0.8, 1, 0, 100_000)
     });
-    group.finish();
-}
 
-fn bench_srpt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("srpt");
+    section("srpt batch schedules");
     for n in [100usize, 1000] {
         let inst = BatchInstance::random_uniform(n, 8, 10.0, 7);
-        group.bench_function(format!("schedule_n{n}"), |b| {
-            b.iter_batched(
-                || inst.clone(),
-                |i| srpt_k_schedule(black_box(&i), 1.0),
-                BatchSize::SmallInput,
-            )
+        bench.time(&format!("schedule_n{n}"), 20, || {
+            srpt_k_schedule(&inst, 1.0)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis, bench_coxian_fit, bench_simulators, bench_srpt);
-criterion_main!(benches);

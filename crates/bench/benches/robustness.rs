@@ -39,7 +39,11 @@ fn main() {
 
     section("Size-distribution robustness (k = 4, rho = 0.7, E[S_I] = 0.5, E[S_E] = 1)");
     println!("  size law (both classes)   E[T] IF    E[T] EF    E[T] FairShare  IF wins?");
-    type DistPair = (&'static str, Box<dyn Fn() -> Box<dyn SizeDistribution>>, Box<dyn Fn() -> Box<dyn SizeDistribution>>);
+    type DistPair = (
+        &'static str,
+        Box<dyn Fn() -> Box<dyn SizeDistribution>>,
+        Box<dyn Fn() -> Box<dyn SizeDistribution>>,
+    );
     let cases: Vec<DistPair> = vec![
         (
             "Exponential (CV2 = 1)",

@@ -1,0 +1,239 @@
+//! PERF — the sweep-engine and hot-path speedup record.
+//!
+//! Measures, on the current machine:
+//!
+//! 1. the Figure 4 heat-map grid (3 loads × 196 (µ_I, µ_E) cells, two QBD
+//!    analyses per cell) serially and through the parallel sweep engine,
+//!    verifying on the way that the parallel cells are **bit-identical**
+//!    to the serial ones;
+//! 2. single-threaded QBD `R`-matrix solves: the allocation-free workspace
+//!    path vs the allocation-per-step reference implementation;
+//! 3. parallel vs serial simulation replications (per-replication seed
+//!    streams).
+//!
+//! Results print as text and are written to `BENCH_sweeps.json` at the
+//! workspace root so the perf trajectory is recorded PR over PR.
+//!
+//! Run: `cargo bench -p eirs-bench --bench sweep_speedup`
+
+use eirs_bench::harness::{pretty_seconds, Bench};
+use eirs_bench::json::Json;
+use eirs_bench::section;
+use eirs_core::experiments::{figure4_heatmap_serial, figure4_heatmap_with_threads, HeatMapCell};
+use eirs_markov::{Qbd, QbdWorkspace, RSolver};
+use eirs_numerics::Matrix;
+use eirs_sim::des::run_markovian;
+use eirs_sim::policy::InelasticFirst;
+use eirs_sim::replicate::run_replications_with_threads;
+
+const RHOS: [f64; 3] = [0.5, 0.7, 0.9];
+const K: u32 = 4;
+
+fn grid_cells(threads: usize) -> Vec<HeatMapCell> {
+    RHOS.iter()
+        .flat_map(|&rho| {
+            if threads == 1 {
+                figure4_heatmap_serial(K, rho).expect("grid solves")
+            } else {
+                figure4_heatmap_with_threads(K, rho, threads).expect("grid solves")
+            }
+        })
+        .collect()
+}
+
+fn cells_bit_identical(a: &[HeatMapCell], b: &[HeatMapCell]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.comparison.mrt_if.to_bits() == y.comparison.mrt_if.to_bits()
+                && x.comparison.mrt_ef.to_bits() == y.comparison.mrt_ef.to_bits()
+                && x.comparison.winner == y.comparison.winner
+        })
+}
+
+/// An M/E_p/1 QBD (Erlang-p service tracked by phase): phase dimension `p`,
+/// stable for `lambda < mu`. Exercises the R iterations at a controllable
+/// phase dimension.
+fn erlang_qbd(p: usize, lambda: f64, mu: f64) -> Qbd {
+    let stage_rate = p as f64 * mu;
+    let a0 = Matrix::identity(p).scaled(lambda);
+    let mut a1 = Matrix::zeros(p, p);
+    for i in 0..p - 1 {
+        a1[(i, i + 1)] = stage_rate;
+    }
+    let mut a2 = Matrix::zeros(p, p);
+    a2[(p - 1, 0)] = stage_rate;
+    let mut u0 = Matrix::zeros(p, p);
+    for i in 0..p {
+        u0[(i, 0)] = lambda;
+    }
+    Qbd::new(vec![u0], vec![Matrix::zeros(p, p)], vec![], a0, a1, a2).expect("valid blocks")
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep_threads = eirs_bench::default_threads();
+    let mut report = Json::object();
+    report.set("schema", "eirs-bench-sweeps/v1");
+    let mut hw = Json::object();
+    hw.set("available_parallelism", cores)
+        .set("sweep_threads", sweep_threads)
+        .set(
+            "threads_env",
+            std::env::var("EIRS_THREADS").map_or(Json::Null, Json::from),
+        );
+    report.set("hardware", hw);
+
+    // ---- 1. Figure 4 grid: serial vs parallel sweep -------------------
+    section(&format!(
+        "Figure 4 grid sweep (k = {K}, rho in {RHOS:?}, 588 cells, 1176 QBD analyses)"
+    ));
+    let serial_cells = grid_cells(1);
+    let parallel_cells = grid_cells(sweep_threads);
+    let identical = cells_bit_identical(&serial_cells, &parallel_cells);
+    println!("  parallel output bit-identical to serial: {identical}");
+    assert!(identical, "parallel sweep diverged from serial");
+
+    let mut bench = Bench::with_samples(5);
+    let serial = bench
+        .time("figure4_grid_serial", 1, || grid_cells(1))
+        .clone();
+    let parallel = bench
+        .time(
+            &format!("figure4_grid_parallel_t{sweep_threads}"),
+            1,
+            || grid_cells(sweep_threads),
+        )
+        .clone();
+    let parallel8 = bench
+        .time("figure4_grid_parallel_t8", 1, || grid_cells(8))
+        .clone();
+    let speedup = serial.median_s / parallel.median_s;
+    let speedup8 = serial.median_s / parallel8.median_s;
+    println!(
+        "  speedup: {speedup:.2}x at {sweep_threads} threads, {speedup8:.2}x at 8 threads \
+         (machine has {cores} cores)"
+    );
+    let mut fig4 = Json::object();
+    fig4.set("cells", serial_cells.len())
+        .set("qbd_analyses", 2 * serial_cells.len())
+        .set("bit_identical", identical)
+        .set("serial", &serial)
+        .set("parallel", &parallel)
+        .set("parallel_8_threads", &parallel8)
+        .set("speedup_at_sweep_threads", speedup)
+        .set("speedup_at_8_threads", speedup8);
+    report.set("figure4_grid", fig4);
+
+    // ---- 2. Single-threaded QBD solve: workspace vs reference ---------
+    section("QBD R solve, single thread: allocation-free workspace vs reference");
+    let mut qbd_rows = Vec::new();
+    let cases: [(&str, RSolver, usize, u64); 4] = [
+        ("fp", RSolver::FixedPoint, 6, 30),
+        ("lr", RSolver::LogarithmicReduction, 6, 200),
+        ("lr", RSolver::LogarithmicReduction, 18, 60),
+        ("lr", RSolver::LogarithmicReduction, 34, 20),
+    ];
+    for (tag, solver, p, iters) in cases {
+        let qbd = erlang_qbd(p, 0.8, 1.0);
+        let mut ws = QbdWorkspace::new(p);
+        let mut b = Bench::with_samples(5);
+        let reference = b
+            .time(&format!("qbd_{tag}_reference_p{p}"), iters, || {
+                qbd.solve_r_reference(solver).unwrap()
+            })
+            .clone();
+        let workspace = b
+            .time(&format!("qbd_{tag}_workspace_p{p}"), iters, || {
+                qbd.solve_r_with_workspace(solver, &mut ws).unwrap()
+            })
+            .clone();
+        let speedup = reference.median_s / workspace.median_s;
+        println!("  {tag} p = {p}: {speedup:.2}x over reference");
+        let mut row = Json::object();
+        row.set("solver", tag)
+            .set("phases", p)
+            .set("reference", &reference)
+            .set("workspace", &workspace)
+            .set("speedup", speedup);
+        qbd_rows.push(row);
+    }
+    report.set("qbd_single_thread", qbd_rows);
+
+    // ---- 3. Parallel simulation replications --------------------------
+    section("simulation replications: parallel vs serial (8 x 50k departures)");
+    let replicate = |threads: usize| {
+        run_replications_with_threads(42, 8, threads, |seed| {
+            run_markovian(&InelasticFirst, 4, 1.2, 0.9, 1.0, 0.7, seed, 5_000, 50_000).mean_response
+        })
+    };
+    let serial_reports = replicate(1);
+    let parallel_reports = replicate(sweep_threads);
+    let rep_identical = serial_reports
+        .iter()
+        .zip(&parallel_reports)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(rep_identical, "parallel replications diverged from serial");
+    println!("  parallel replications bit-identical to serial: {rep_identical}");
+    let mut b = Bench::with_samples(3);
+    let rep_serial = b.time("replications_serial", 1, || replicate(1)).clone();
+    let rep_parallel = b
+        .time(
+            &format!("replications_parallel_t{sweep_threads}"),
+            1,
+            || replicate(sweep_threads),
+        )
+        .clone();
+    let rep_speedup = rep_serial.median_s / rep_parallel.median_s;
+    println!("  speedup: {rep_speedup:.2}x at {sweep_threads} threads");
+    let mut rep = Json::object();
+    rep.set("replications", 8u64)
+        .set("departures_each", 50_000u64)
+        .set("bit_identical", rep_identical)
+        .set("serial", &rep_serial)
+        .set("parallel", &rep_parallel)
+        .set("speedup", rep_speedup);
+    report.set("replications", rep);
+
+    // ---- Targets vs this machine --------------------------------------
+    // The PR-1 perf targets assume a multi-core runner: >= 4x on the
+    // Figure 4 grid at 8 threads needs >= 8 physical cores. Record how the
+    // current hardware relates to the targets so the committed artifact is
+    // interpretable wherever it was produced.
+    let mut targets = Json::object();
+    targets
+        .set("figure4_grid_parallel_target_speedup", 4.0)
+        .set("figure4_grid_parallel_target_threads", 8u64)
+        .set("figure4_grid_parallel_target_requires_cores", 8u64)
+        .set("qbd_single_thread_target_speedup", 1.5)
+        .set(
+            "parallel_note",
+            if cores >= 8 {
+                "machine satisfies the 8-core assumption of the parallel target"
+            } else {
+                "machine has fewer cores than the 8-core parallel target assumes; \
+                 parallel speedups above reflect hardware, not the engine — rerun \
+                 `cargo bench -p eirs-bench --bench sweep_speedup` on a multi-core \
+                 host to measure real scaling"
+            },
+        )
+        .set(
+            "qbd_single_thread_note",
+            "the workspace-vs-reference ratio is hardware-independent: \
+             allocation overhead dominates only at small phase dimensions \
+             (the Figure 4 grid runs at p = k + 2 = 6, where the measured \
+             gain is ~1.3-1.4x); at p >= 18 the solve is flop-bound and the \
+             allocation-free path is at parity, short of the 1.5x target — \
+             see qbd_single_thread rows for the per-dimension record",
+        );
+    report.set("targets", targets);
+
+    // ---- Write the artifact -------------------------------------------
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweeps.json");
+    std::fs::write(out_path, report.pretty()).expect("write BENCH_sweeps.json");
+    println!();
+    println!(
+        "wrote {out_path} (grid serial {} -> parallel {})",
+        pretty_seconds(serial.median_s),
+        pretty_seconds(parallel.median_s)
+    );
+}

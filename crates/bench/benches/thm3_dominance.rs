@@ -29,7 +29,11 @@ fn random_trace(seed: u64, n: usize, dist: &dyn SizeDistribution) -> ArrivalTrac
                 } else {
                     JobClass::Elastic
                 };
-                Arrival { time: t, class, size: dist.sample(&mut rng) }
+                Arrival {
+                    time: t,
+                    class,
+                    size: dist.sample(&mut rng),
+                }
             })
             .collect(),
     )
@@ -40,7 +44,10 @@ fn main() {
     let distributions: Vec<(&str, Box<dyn SizeDistribution>)> = vec![
         ("Exp(1)", Box::new(Exponential::new(1.0))),
         ("Uniform[0.1, 3]", Box::new(UniformSize::new(0.1, 3.0))),
-        ("BoundedPareto(1.3)", Box::new(BoundedPareto::new(1.3, 0.2, 50.0))),
+        (
+            "BoundedPareto(1.3)",
+            Box::new(BoundedPareto::new(1.3, 0.2, 50.0)),
+        ),
     ];
     let k = 4;
     println!("  size law             competitor        traces  epochs checked  violations");
@@ -51,7 +58,10 @@ fn main() {
                 ("Fair-Share".into(), Box::new(FairShare)),
             ];
             for s in 0..5u64 {
-                v.push((format!("RandomP#{s}"), Box::new(TablePolicy::random_class_p(s))));
+                v.push((
+                    format!("RandomP#{s}"),
+                    Box::new(TablePolicy::random_class_p(s)),
+                ));
             }
             v
         };
@@ -68,10 +78,11 @@ fn main() {
                     violations += 1;
                 }
             }
-            println!(
-                "  {dist_name:<20} {comp_name:<17} {traces:<7} {epochs:<15} {violations}"
+            println!("  {dist_name:<20} {comp_name:<17} {traces:<7} {epochs:<15} {violations}");
+            assert_eq!(
+                violations, 0,
+                "dominance violated: {dist_name} vs {comp_name}"
             );
-            assert_eq!(violations, 0, "dominance violated: {dist_name} vs {comp_name}");
         }
     }
     println!(

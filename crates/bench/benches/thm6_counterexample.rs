@@ -19,7 +19,13 @@ use eirs_sim::{ArrivalTrace, JobClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn monte_carlo(policy: &dyn AllocationPolicy, mu_i: f64, mu_e: f64, reps: u64, seed: u64) -> ReplicationStats {
+fn monte_carlo(
+    policy: &dyn AllocationPolicy,
+    mu_i: f64,
+    mu_e: f64,
+    reps: u64,
+    seed: u64,
+) -> ReplicationStats {
     let di = Exponential::new(mu_i);
     let de = Exponential::new(mu_e);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -42,8 +48,7 @@ fn main() {
     section("Theorem 6: exact E[ΣT], k = 2, start (2 inelastic, 1 elastic), no arrivals");
     println!("  µ_E/µ_I    E[ΣT] IF      E[ΣT] EF      better");
     for ratio in [0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0] {
-        let g_if =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
         let better = if g_ef < g_if - 1e-12 {
             "EF"
@@ -69,8 +74,14 @@ fn main() {
     let mc_ef = monte_carlo(&ElasticFirst, 1.0, 2.0, 100_000, 2);
     let ci_if = mc_if.confidence_interval();
     let ci_ef = mc_ef.confidence_interval();
-    println!("  IF: {:.4} ± {:.4} (exact {want_if:.4})", ci_if.mean, ci_if.half_width);
-    println!("  EF: {:.4} ± {:.4} (exact {want_ef:.4})", ci_ef.mean, ci_ef.half_width);
+    println!(
+        "  IF: {:.4} ± {:.4} (exact {want_if:.4})",
+        ci_if.mean, ci_if.half_width
+    );
+    println!(
+        "  EF: {:.4} ± {:.4} (exact {want_ef:.4})",
+        ci_ef.mean, ci_ef.half_width
+    );
     assert!(ci_ef.mean < ci_if.mean, "EF must beat IF");
     println!("\n  IF is NOT optimal when µ_I < µ_E — exactly Theorem 6.");
 }

@@ -38,7 +38,13 @@ fn main() {
     let rows = parallel_map(points, default_threads(), |&(k, mu_i, mu_e, rho)| {
         let p = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).expect("stable");
         let seed = (k as u64) * 1000 + (mu_i * 100.0) as u64 + (rho * 10.0) as u64;
-        (k, mu_i, mu_e, rho, validate_point(&p, jumps_for(rho), seed).expect("validates"))
+        (
+            k,
+            mu_i,
+            mu_e,
+            rho,
+            validate_point(&p, jumps_for(rho), seed).expect("validates"),
+        )
     });
 
     let mut worst: f64 = 0.0;

@@ -1,0 +1,146 @@
+//! Minimal micro-benchmark timer (criterion is unavailable offline).
+//!
+//! Methodology: a warm-up pass, then `samples` timed passes of
+//! `iters_per_sample` iterations each; the reported statistic is the
+//! **median** of per-iteration times (robust to scheduler noise on shared
+//! machines), with min/max retained for dispersion. Results print as an
+//! aligned table and can be serialized through [`crate::json`].
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub label: String,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Fastest sample (seconds per iteration).
+    pub min_s: f64,
+    /// Slowest sample (seconds per iteration).
+    pub max_s: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Timed samples.
+    pub samples: u64,
+}
+
+impl Measurement {
+    /// Human-readable per-iteration time.
+    pub fn pretty_time(&self) -> String {
+        pretty_seconds(self.median_s)
+    }
+}
+
+/// Formats seconds adaptively (s / ms / µs / ns).
+pub fn pretty_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Benchmark runner with fixed sample counts.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    samples: u64,
+    results: Vec<Measurement>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A runner with the default 7 samples per benchmark.
+    pub fn new() -> Self {
+        Self {
+            samples: 7,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn with_samples(samples: u64) -> Self {
+        assert!(samples >= 1);
+        Self {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, running it `iters` times per sample. The closure's result
+    /// is passed through [`black_box`] so the optimizer cannot elide work.
+    pub fn time<R>(&mut self, label: &str, iters: u64, mut f: impl FnMut() -> R) -> &Measurement {
+        assert!(iters >= 1);
+        // Warm-up: one untimed sample.
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let m = Measurement {
+            label: label.to_string(),
+            median_s: per_iter[per_iter.len() / 2],
+            min_s: per_iter[0],
+            max_s: *per_iter.last().expect("at least one sample"),
+            iters,
+            samples: self.samples,
+        };
+        println!(
+            "  {:<44} {:>12}   (min {}, max {}, {} x {} iters)",
+            m.label,
+            m.pretty_time(),
+            pretty_seconds(m.min_s),
+            pretty_seconds(m.max_s),
+            m.samples,
+            m.iters,
+        );
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements so far, in run order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_runs_and_orders_statistics() {
+        let mut b = Bench::with_samples(3);
+        let m = b.time("spin", 10, || (0..100u64).sum::<u64>()).clone();
+        assert_eq!(m.samples, 3);
+        assert!(m.min_s <= m.median_s && m.median_s <= m.max_s);
+        assert!(m.min_s > 0.0);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn pretty_formatting_picks_units() {
+        assert!(pretty_seconds(2.0).ends_with(" s"));
+        assert!(pretty_seconds(2e-3).ends_with("ms"));
+        assert!(pretty_seconds(2e-6).ends_with("µs"));
+        assert!(pretty_seconds(2e-9).ends_with("ns"));
+    }
+}

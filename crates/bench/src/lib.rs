@@ -5,8 +5,16 @@
 //! reports (as aligned text, since the original artifacts are MATLAB
 //! plots). `cargo bench -p eirs-bench` therefore *is* the reproduction run;
 //! see `EXPERIMENTS.md` at the workspace root for the recorded outputs.
+//!
+//! Also here: [`harness`], the dependency-free micro-benchmark timer used
+//! by `perf_substrates` and `sweep_speedup` (the offline build environment
+//! rules out criterion), and [`json`], a minimal writer for the
+//! `BENCH_*.json` perf-trajectory artifacts.
 
-use parking_lot::Mutex;
+use eirs_numerics::parallel;
+
+pub mod harness;
+pub mod json;
 
 /// Renders one row of an aligned text table.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
@@ -24,8 +32,8 @@ pub fn section(title: &str) {
 }
 
 /// Maps `f` over `items` on `threads` scoped worker threads, preserving
-/// input order. The figure sweeps are embarrassingly parallel; crossbeam's
-/// scoped threads let the closures borrow locals without `'static` bounds.
+/// input order. Delegates to the workspace's sweep substrate
+/// (`eirs_numerics::parallel`), which the figure sweeps share.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -33,38 +41,13 @@ where
     F: Fn(&T) -> R + Sync,
 {
     assert!(threads >= 1);
-    let n = items.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let results = Mutex::new(slots);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= work.len() {
-                    break;
-                }
-                let (slot, item) = &work[idx];
-                let r = f(item);
-                results.lock()[*slot] = Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    parallel::par_map_ordered(&items, threads, f)
 }
 
-/// Number of worker threads to use for sweeps on this machine.
+/// Number of worker threads to use for sweeps on this machine
+/// (`EIRS_THREADS` or all available cores).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(2, |n| n.get())
+    parallel::num_threads()
 }
 
 #[cfg(test)]

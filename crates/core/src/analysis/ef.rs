@@ -16,7 +16,7 @@ use crate::params::SystemParams;
 use eirs_markov::qbd::Qbd;
 use eirs_numerics::Matrix;
 use eirs_queueing::coxian::fit_busy_period;
-use eirs_queueing::{MM1, MMk};
+use eirs_queueing::{MMk, MM1};
 
 /// Number of Coxian phases tracked alongside the "no elastic" phase.
 const PHASES: usize = 3;
@@ -27,7 +27,11 @@ pub fn analyze_elastic_first(params: &SystemParams) -> Result<PolicyAnalysis, An
 
     // Elastic class: exact M/M/1 at service rate kµ_E.
     let elastic_queue = MM1::new(params.lambda_e, k * params.mu_e);
-    let n_e = if params.lambda_e > 0.0 { elastic_queue.mean_number_in_system() } else { 0.0 };
+    let n_e = if params.lambda_e > 0.0 {
+        elastic_queue.mean_number_in_system()
+    } else {
+        0.0
+    };
 
     // Degenerate cases avoid the QBD entirely.
     if params.lambda_i == 0.0 {
@@ -36,7 +40,11 @@ pub fn analyze_elastic_first(params: &SystemParams) -> Result<PolicyAnalysis, An
     if params.lambda_e == 0.0 {
         // No elastic jobs ever: inelastic class is an exact M/M/k.
         let mmk = MMk::new(params.lambda_i, params.mu_i, params.k);
-        return Ok(PolicyAnalysis::from_class_means(params, mmk.mean_number_in_system(), 0.0));
+        return Ok(PolicyAnalysis::from_class_means(
+            params,
+            mmk.mean_number_in_system(),
+            0.0,
+        ));
     }
 
     let n_i = inelastic_mean_number(params)?;
@@ -138,9 +146,7 @@ mod tests {
     fn mean_numbers_satisfy_littles_law() {
         let p = SystemParams::with_equal_lambdas(4, 1.0, 1.0, 0.7).unwrap();
         let a = analyze_elastic_first(&p).unwrap();
-        assert!(
-            (a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9
-        );
+        assert!((a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9);
         assert!((a.mean_num_elastic - p.lambda_e * a.mean_response_elastic).abs() < 1e-9);
     }
 }

@@ -20,7 +20,7 @@ use crate::params::SystemParams;
 use eirs_markov::qbd::Qbd;
 use eirs_numerics::Matrix;
 use eirs_queueing::coxian::fit_busy_period;
-use eirs_queueing::{MM1, MMk};
+use eirs_queueing::{MMk, MM1};
 
 /// Mean response time (and class means) under **Inelastic-First**.
 pub fn analyze_inelastic_first(params: &SystemParams) -> Result<PolicyAnalysis, AnalysisError> {
@@ -85,14 +85,7 @@ fn elastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
         a2[(i, i)] = (kf - i as f64) * params.mu_e;
     }
 
-    let qbd = Qbd::new(
-        vec![up.clone()],
-        vec![local.clone()],
-        vec![],
-        up,
-        local,
-        a2,
-    )?;
+    let qbd = Qbd::new(vec![up.clone()], vec![local.clone()], vec![], up, local, a2)?;
     let sol = qbd.solve()?;
     debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
     Ok(sol.mean_level())
@@ -150,9 +143,7 @@ mod tests {
         let p = SystemParams::with_equal_lambdas(4, 2.0, 1.0, 0.7).unwrap();
         let a = analyze_inelastic_first(&p).unwrap();
         assert!((a.mean_num_elastic - p.lambda_e * a.mean_response_elastic).abs() < 1e-9);
-        assert!(
-            (a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9
-        );
+        assert!((a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9);
     }
 
     #[test]

@@ -55,8 +55,16 @@ impl PolicyAnalysis {
     }
 
     pub(crate) fn from_class_means(params: &SystemParams, n_i: f64, n_e: f64) -> Self {
-        let t_i = if params.lambda_i > 0.0 { n_i / params.lambda_i } else { f64::NAN };
-        let t_e = if params.lambda_e > 0.0 { n_e / params.lambda_e } else { f64::NAN };
+        let t_i = if params.lambda_i > 0.0 {
+            n_i / params.lambda_i
+        } else {
+            f64::NAN
+        };
+        let t_e = if params.lambda_e > 0.0 {
+            n_e / params.lambda_e
+        } else {
+            f64::NAN
+        };
         let mean_response = (n_i + n_e) / params.total_lambda();
         PolicyAnalysis {
             mean_response,

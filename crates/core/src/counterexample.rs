@@ -97,15 +97,8 @@ mod tests {
     #[test]
     fn theorem6_if_value_is_35_twelfths() {
         for mu_i in [1.0, 0.5, 3.0] {
-            let got = expected_total_response_closed(
-                &InelasticFirst,
-                2,
-                2,
-                1,
-                mu_i,
-                2.0 * mu_i,
-            )
-            .unwrap();
+            let got =
+                expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
             let want = 35.0 / 12.0 / mu_i;
             assert!((got - want).abs() < 1e-10, "mu_i={mu_i}: {got} vs {want}");
         }
@@ -115,8 +108,7 @@ mod tests {
     fn theorem6_ef_value_is_33_twelfths() {
         for mu_i in [1.0, 0.5, 3.0] {
             let got =
-                expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i)
-                    .unwrap();
+                expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
             let want = 33.0 / 12.0 / mu_i;
             assert!((got - want).abs() < 1e-10, "mu_i={mu_i}: {got} vs {want}");
         }
@@ -125,8 +117,7 @@ mod tests {
     #[test]
     fn ef_beats_if_exactly_as_in_the_paper() {
         let (v_if, v_ef) = theorem6_values(1.0);
-        let g_if =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
+        let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, 2.0).unwrap();
         assert!((g_if - v_if).abs() < 1e-10);
         assert!((g_ef - v_ef).abs() < 1e-10);
@@ -136,8 +127,7 @@ mod tests {
     #[test]
     fn if_beats_ef_in_the_reverse_regime() {
         // µ_I > µ_E: the Theorem 5 regime, here in transient form.
-        let g_if =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 2.0, 1.0).unwrap();
+        let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 2.0, 1.0).unwrap();
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 2.0, 1.0).unwrap();
         assert!(g_if < g_ef, "IF {g_if} vs EF {g_ef}");
     }
@@ -145,10 +135,13 @@ mod tests {
     #[test]
     fn equal_rates_make_if_no_worse_than_alternatives() {
         // µ_I = µ_E: Theorem 1 regime.
-        for policy in [&InelasticFirst as &dyn AllocationPolicy, &ElasticFirst, &FairShare] {
+        for policy in [
+            &InelasticFirst as &dyn AllocationPolicy,
+            &ElasticFirst,
+            &FairShare,
+        ] {
             let g = expected_total_response_closed(policy, 2, 2, 2, 1.0, 1.0).unwrap();
-            let g_if =
-                expected_total_response_closed(&InelasticFirst, 2, 2, 2, 1.0, 1.0).unwrap();
+            let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 2, 1.0, 1.0).unwrap();
             assert!(g_if <= g + 1e-10, "{}: IF {g_if} vs {g}", policy.name());
         }
     }
@@ -177,8 +170,7 @@ mod tests {
             + 2.0 / (mu_i + mu_e)
             + (mu_i / (mu_i + mu_e)) * (1.0 / (2.0 * mu_e))
             + (mu_e / (mu_i + mu_e)) * (1.0 / mu_i);
-        let got =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, mu_e).unwrap();
+        let got = expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, mu_e).unwrap();
         assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
     }
 }

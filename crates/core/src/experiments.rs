@@ -4,9 +4,16 @@
 //! of Figures 4–6), which [`SystemParams::with_equal_lambdas`] implements.
 //! The sweep functions here return plain data that the bench harnesses in
 //! `eirs-bench` format into the paper's rows/series.
+//!
+//! Every grid driver fans its points out through [`crate::sweep`], so the
+//! hundreds of independent QBD solves behind a figure run on all cores;
+//! each driver also keeps a `*_serial` twin (same code, one thread) whose
+//! output the workspace tests require to be **bit-identical** to the
+//! parallel path.
 
 use crate::analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError};
 use crate::params::SystemParams;
+use crate::sweep;
 
 /// Which policy wins a head-to-head mean-response-time comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +64,12 @@ pub fn compare(params: &SystemParams) -> Result<Comparison, AnalysisError> {
     } else {
         Winner::ElasticFirst
     };
-    Ok(Comparison { params: *params, mrt_if, mrt_ef, winner })
+    Ok(Comparison {
+        params: *params,
+        mrt_if,
+        mrt_ef,
+        winner,
+    })
 }
 
 /// The µ grid of Figure 4: `0.25, 0.50, …, 3.50`.
@@ -77,18 +89,41 @@ pub struct HeatMapCell {
 }
 
 /// Computes one Figure 4 heat map: winner over the `(µ_I, µ_E)` grid at
-/// fixed `k` and load `ρ` with `λ_I = λ_E`.
+/// fixed `k` and load `ρ` with `λ_I = λ_E`. The `grid.len()²` independent
+/// QBD solves fan out over all cores.
 pub fn figure4_heatmap(k: u32, rho: f64) -> Result<Vec<HeatMapCell>, AnalysisError> {
+    figure4_heatmap_with_threads(k, rho, sweep::threads())
+}
+
+/// The serial reference path of [`figure4_heatmap`] (one thread, same
+/// cell order). Used by the bit-identity property tests and the
+/// `sweep_speedup` benchmark baseline.
+pub fn figure4_heatmap_serial(k: u32, rho: f64) -> Result<Vec<HeatMapCell>, AnalysisError> {
+    figure4_heatmap_with_threads(k, rho, 1)
+}
+
+/// [`figure4_heatmap`] with an explicit worker-thread count.
+pub fn figure4_heatmap_with_threads(
+    k: u32,
+    rho: f64,
+    threads: usize,
+) -> Result<Vec<HeatMapCell>, AnalysisError> {
     let grid = figure4_mu_grid();
-    let mut cells = Vec::with_capacity(grid.len() * grid.len());
-    for &mu_e in &grid {
-        for &mu_i in &grid {
-            let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
-                .expect("grid parameters are stable by construction");
-            cells.push(HeatMapCell { mu_i, mu_e, comparison: compare(&params)? });
-        }
-    }
-    Ok(cells)
+    let points: Vec<(f64, f64)> = grid
+        .iter()
+        .flat_map(|&mu_e| grid.iter().map(move |&mu_i| (mu_i, mu_e)))
+        .collect();
+    sweep::sweep_with_threads(&points, threads, |&(mu_i, mu_e)| {
+        let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
+            .expect("grid parameters are stable by construction");
+        Ok(HeatMapCell {
+            mu_i,
+            mu_e,
+            comparison: compare(&params)?,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One point of a Figure 5 curve.
@@ -103,21 +138,34 @@ pub struct ResponseCurvePoint {
 }
 
 /// Computes one Figure 5 panel: `E[T]` under IF and EF as `µ_I` sweeps with
-/// `µ_E = 1`, fixed `k` and `ρ`, `λ_I = λ_E`.
+/// `µ_E = 1`, fixed `k` and `ρ`, `λ_I = λ_E`. Points fan out over all
+/// cores.
+pub fn figure5_response_curve(
+    k: u32,
+    rho: f64,
+    mu_i_values: &[f64],
+) -> Result<Vec<ResponseCurvePoint>, AnalysisError> {
+    sweep::sweep(mu_i_values, |&mu_i| {
+        let params =
+            SystemParams::with_equal_lambdas(k, mu_i, 1.0, rho).expect("stable by construction");
+        let c = compare(&params)?;
+        Ok(ResponseCurvePoint {
+            mu_i,
+            mrt_if: c.mrt_if,
+            mrt_ef: c.mrt_ef,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Original name of [`figure5_response_curve`], kept for callers.
 pub fn figure5_curve(
     k: u32,
     rho: f64,
     mu_i_values: &[f64],
 ) -> Result<Vec<ResponseCurvePoint>, AnalysisError> {
-    mu_i_values
-        .iter()
-        .map(|&mu_i| {
-            let params = SystemParams::with_equal_lambdas(k, mu_i, 1.0, rho)
-                .expect("stable by construction");
-            let c = compare(&params)?;
-            Ok(ResponseCurvePoint { mu_i, mrt_if: c.mrt_if, mrt_ef: c.mrt_ef })
-        })
-        .collect()
+    figure5_response_curve(k, rho, mu_i_values)
 }
 
 /// The default µ_I sweep of Figure 5: `0.1` to `3.5`.
@@ -139,21 +187,36 @@ pub struct ServerScalingPoint {
 }
 
 /// Computes one Figure 6 panel: `E[T]` under IF and EF as `k` grows at
-/// constant load `ρ` and fixed `(µ_I, µ_E)`, `λ_I = λ_E`.
+/// constant load `ρ` and fixed `(µ_I, µ_E)`, `λ_I = λ_E`. Points fan out
+/// over all cores.
+pub fn figure6_server_scaling(
+    ks: &[u32],
+    rho: f64,
+    mu_i: f64,
+    mu_e: f64,
+) -> Result<Vec<ServerScalingPoint>, AnalysisError> {
+    sweep::sweep(ks, |&k| {
+        let params =
+            SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).expect("stable by construction");
+        let c = compare(&params)?;
+        Ok(ServerScalingPoint {
+            k,
+            mrt_if: c.mrt_if,
+            mrt_ef: c.mrt_ef,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Original name of [`figure6_server_scaling`], kept for callers.
 pub fn figure6_curve(
     ks: &[u32],
     rho: f64,
     mu_i: f64,
     mu_e: f64,
 ) -> Result<Vec<ServerScalingPoint>, AnalysisError> {
-    ks.iter()
-        .map(|&k| {
-            let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
-                .expect("stable by construction");
-            let c = compare(&params)?;
-            Ok(ServerScalingPoint { k, mrt_if: c.mrt_if, mrt_ef: c.mrt_ef })
-        })
-        .collect()
+    figure6_server_scaling(ks, rho, mu_i, mu_e)
 }
 
 #[cfg(test)]
@@ -201,7 +264,11 @@ mod tests {
         let pts = figure6_curve(&ks, 0.9, 3.25, 1.0).unwrap();
         assert_eq!(pts.len(), ks.len());
         for p in &pts {
-            assert!(p.mrt_if <= p.mrt_ef, "IF should win at µ_I=3.25 (k={})", p.k);
+            assert!(
+                p.mrt_if <= p.mrt_ef,
+                "IF should win at µ_I=3.25 (k={})",
+                p.k
+            );
         }
     }
 

@@ -27,6 +27,8 @@
 //!   `k = 2`, starting from two inelastic and one elastic job).
 //! * [`experiments`] — parameterizations used by every figure of the paper
 //!   (`λ_I = λ_E` chosen to pin the load ρ).
+//! * [`sweep`] — the deterministic parallel sweep engine the experiment
+//!   drivers fan out through (ordered, bit-identical to serial).
 //! * [`validation`] — analytic-vs-simulation comparison harness.
 //!
 //! Policies themselves (IF, EF, class-P, …) live in [`eirs_sim::policy`]
@@ -49,6 +51,7 @@ pub mod analysis;
 pub mod counterexample;
 pub mod experiments;
 pub mod params;
+pub mod sweep;
 pub mod validation;
 
 pub use analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError, PolicyAnalysis};

@@ -3,7 +3,6 @@
 /// The five parameters of the stochastic model: `k` servers, per-class
 /// Poisson arrival rates, and per-class exponential size rates.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemParams {
     /// Number of servers `k ≥ 1`.
     pub k: u32,
@@ -68,7 +67,13 @@ impl SystemParams {
                 return Err(ParamError::InvalidRate(name, v));
             }
         }
-        let p = Self { k, lambda_i, lambda_e, mu_i, mu_e };
+        let p = Self {
+            k,
+            lambda_i,
+            lambda_e,
+            mu_i,
+            mu_e,
+        };
         if p.load() >= 1.0 {
             return Err(ParamError::Overloaded { rho: p.load() });
         }

@@ -1,0 +1,104 @@
+//! Deterministic parallel sweep engine for parameter-grid experiments.
+//!
+//! Every headline artifact of the paper is an embarrassingly parallel map
+//! over a parameter grid: Figure 4 solves 196 QBD pairs per heat map,
+//! Figure 5 one pair per `µ_I` value, Figure 6 one pair per server count,
+//! and the robustness/open-regime studies multiply those by simulation
+//! replications. This module gives all of them one fan-out primitive with
+//! two guarantees:
+//!
+//! 1. **Ordered results** — `sweep(points, f)[i]` is `f(&points[i])`,
+//!    regardless of worker scheduling.
+//! 2. **Bit-determinism** — because each point is evaluated by a pure
+//!    function of the point alone (the QBD solver is deterministic, and
+//!    simulation replications carry their own seeded RNG streams), the
+//!    parallel result vector is bit-identical to the serial one. The
+//!    workspace's property tests assert this for the Figure 4 grid.
+//!
+//! Thread count comes from [`threads()`]: the `EIRS_THREADS` environment
+//! variable when set, otherwise all available cores. `EIRS_THREADS=1`
+//! forces the inline serial path (no worker threads at all), which is also
+//! available directly as [`sweep_serial`] for differential testing.
+
+use eirs_numerics::parallel;
+
+/// Default worker-thread count for sweeps (`EIRS_THREADS` or all cores).
+pub fn threads() -> usize {
+    parallel::num_threads()
+}
+
+/// Maps `f` over `points` in parallel on [`threads()`] workers, returning
+/// results in input order.
+pub fn sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    sweep_with_threads(points, threads(), f)
+}
+
+/// Like [`sweep`] with an explicit worker count. `threads <= 1` runs
+/// inline on the caller's thread.
+pub fn sweep_with_threads<T, R, F>(points: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel::par_map_ordered(points, threads, f)
+}
+
+/// The serial reference path: same contract as [`sweep`], no threads.
+pub fn sweep_serial<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel::par_map_ordered(points, 1, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_results_are_ordered() {
+        let points: Vec<u32> = (0..100).collect();
+        let out = sweep_with_threads(&points, 4, |&x| x * 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3 * i as u32);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // A numerically nontrivial pure function: parallel evaluation must
+        // not perturb a single bit.
+        let points: Vec<f64> = (1..200).map(|i| i as f64 * 0.013).collect();
+        let f = |x: &f64| (x.ln() * x.exp() / (1.0 + x * x)).to_bits();
+        let serial = sweep_serial(&points, f);
+        let parallel = sweep_with_threads(&points, 8, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_propagates_result_types() {
+        let points = [1.0f64, -1.0, 4.0];
+        let out: Vec<Result<f64, String>> = sweep_with_threads(&points, 2, |&x| {
+            if x >= 0.0 {
+                Ok(x.sqrt())
+            } else {
+                Err(format!("negative point {x}"))
+            }
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn threads_respects_minimum() {
+        assert!(threads() >= 1);
+    }
+}

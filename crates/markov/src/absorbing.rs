@@ -34,7 +34,11 @@ impl AbsorbingCtmc {
     /// A chain with `n` transient states and no transitions yet.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        Self { n, rates: Matrix::zeros(n, n), to_absorbing: vec![0.0; n] }
+        Self {
+            n,
+            rates: Matrix::zeros(n, n),
+            to_absorbing: vec![0.0; n],
+        }
     }
 
     /// Number of transient states.
@@ -67,10 +71,7 @@ impl AbsorbingCtmc {
     ///
     /// Fails when some transient state cannot reach absorption (the system
     /// is then singular).
-    pub fn expected_cost_to_absorption(
-        &self,
-        cost_rates: &[f64],
-    ) -> Result<Vec<f64>, LinAlgError> {
+    pub fn expected_cost_to_absorption(&self, cost_rates: &[f64]) -> Result<Vec<f64>, LinAlgError> {
         assert_eq!(cost_rates.len(), self.n);
         let mut neg_qt = Matrix::zeros(self.n, self.n);
         for i in 0..self.n {

@@ -19,7 +19,10 @@ impl FiniteCtmc {
     /// An empty chain on `n` states.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "chain needs at least one state");
-        Self { n, rates: Matrix::zeros(n, n) }
+        Self {
+            n,
+            rates: Matrix::zeros(n, n),
+        }
     }
 
     /// Number of states.
@@ -37,7 +40,10 @@ impl FiniteCtmc {
     pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) {
         assert!(from < self.n && to < self.n, "state out of range");
         assert_ne!(from, to, "self-loops are not allowed in a CTMC generator");
-        assert!(rate >= 0.0 && rate.is_finite(), "rates must be nonnegative, got {rate}");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rates must be nonnegative, got {rate}"
+        );
         self.rates[(from, to)] += rate;
     }
 

@@ -24,5 +24,5 @@ pub mod transient;
 
 pub use absorbing::AbsorbingCtmc;
 pub use ctmc::FiniteCtmc;
-pub use qbd::{Qbd, QbdError, QbdSolution, RSolver};
+pub use qbd::{Qbd, QbdError, QbdSolution, QbdWorkspace, RSolver};
 pub use transient::{transient_distribution, transient_mean};

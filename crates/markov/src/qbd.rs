@@ -64,7 +64,10 @@ impl std::fmt::Display for QbdError {
             QbdError::Unstable { spectral_radius } => {
                 write!(f, "QBD is unstable: sp(R) = {spectral_radius:.6} >= 1")
             }
-            QbdError::NotConverged { iterations, residual } => {
+            QbdError::NotConverged {
+                iterations,
+                residual,
+            } => {
                 write!(f, "R iteration did not converge after {iterations} iterations (residual {residual:.3e})")
             }
             QbdError::LinAlg(e) => write!(f, "QBD linear algebra failure: {e}"),
@@ -111,7 +114,9 @@ impl Qbd {
         let p = a0.rows();
         let m = boundary_local.len();
         if m == 0 {
-            return Err(QbdError::Dimension("need at least one boundary level".into()));
+            return Err(QbdError::Dimension(
+                "need at least one boundary level".into(),
+            ));
         }
         if boundary_up.len() != m {
             return Err(QbdError::Dimension(format!(
@@ -140,10 +145,19 @@ impl Qbd {
                 )));
             }
             if b.as_slice().iter().any(|&v| v < 0.0 || !v.is_finite()) {
-                return Err(QbdError::Dimension("blocks must be nonnegative and finite".into()));
+                return Err(QbdError::Dimension(
+                    "blocks must be nonnegative and finite".into(),
+                ));
             }
         }
-        Ok(Self { boundary_up, boundary_local, boundary_down, a0, a1, a2 })
+        Ok(Self {
+            boundary_up,
+            boundary_local,
+            boundary_down,
+            a0,
+            a1,
+            a2,
+        })
     }
 
     /// Phase dimension `p`.
@@ -170,22 +184,108 @@ impl Qbd {
         a1h
     }
 
-    /// Computes the rate matrix `R` with the requested algorithm.
+    /// Computes the rate matrix `R` with the requested algorithm, using a
+    /// fresh scratch workspace.
     pub fn solve_r(&self, solver: RSolver) -> Result<Matrix, QbdError> {
+        let mut ws = QbdWorkspace::new(self.phases());
+        self.solve_r_with_workspace(solver, &mut ws)
+    }
+
+    /// Computes the rate matrix `R`, reusing `ws` as scratch storage so
+    /// that the iteration allocates nothing per step. This is the hot path
+    /// behind every figure sweep; callers solving many QBDs of the same
+    /// phase dimension should reuse one workspace across solves.
+    pub fn solve_r_with_workspace(
+        &self,
+        solver: RSolver,
+        ws: &mut QbdWorkspace,
+    ) -> Result<Matrix, QbdError> {
         let a1h = self.a1_hat();
+        ws.reset(self.phases());
         let r = match solver {
-            RSolver::FixedPoint => self.r_fixed_point(&a1h)?,
-            RSolver::LogarithmicReduction => self.r_logarithmic_reduction(&a1h)?,
+            RSolver::FixedPoint => self.r_fixed_point(&a1h, ws)?,
+            RSolver::LogarithmicReduction => self.r_logarithmic_reduction(&a1h, ws)?,
         };
         // Positive recurrence check: sp(R) < 1.
-        let sp = spectral_radius_estimate(&r);
+        let sp = spectral_radius_estimate_into(&r, &mut ws.pv, &mut ws.pw);
         if sp >= 1.0 - 1e-10 {
-            return Err(QbdError::Unstable { spectral_radius: sp });
+            return Err(QbdError::Unstable {
+                spectral_radius: sp,
+            });
         }
         Ok(r)
     }
 
-    fn r_fixed_point(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
+    /// Computes `R` with the original allocation-per-step implementation.
+    ///
+    /// Kept as an independent reference for differential tests (the
+    /// workspace path must reproduce it bit for bit) and for the
+    /// `sweep_speedup` benchmark that records the speedup of the
+    /// allocation-free path. Not for production use.
+    pub fn solve_r_reference(&self, solver: RSolver) -> Result<Matrix, QbdError> {
+        let a1h = self.a1_hat();
+        let r = match solver {
+            RSolver::FixedPoint => self.r_fixed_point_reference(&a1h)?,
+            RSolver::LogarithmicReduction => self.r_logarithmic_reduction_reference(&a1h)?,
+        };
+        let sp = spectral_radius_estimate(&r);
+        if sp >= 1.0 - 1e-10 {
+            return Err(QbdError::Unstable {
+                spectral_radius: sp,
+            });
+        }
+        Ok(r)
+    }
+
+    /// Fixed point `R ← C0 + R² C2` with `C0 = −A0 Â1^{-1}`,
+    /// `C2 = −A2 Â1^{-1}`. The constant `Â1` is LU-factored exactly once,
+    /// before the loop; each iteration then runs entirely in workspace
+    /// buffers (two `mul_into`, one copy, one AXPY — zero allocations).
+    fn r_fixed_point(&self, a1h: &Matrix, ws: &mut QbdWorkspace) -> Result<Matrix, QbdError> {
+        // One-time factorization of the constant Â1, done before the loop.
+        ws.lu.refactor(a1h)?;
+        ws.lu.inverse_into(&mut ws.w, &mut ws.col)?;
+        // C0 = −A0 Â1^{-1}, C2 = −A2 Â1^{-1}: the loop constants.
+        self.a0.mul_into(&ws.w, &mut ws.c0);
+        ws.c0.scale_mut(-1.0);
+        self.a2.mul_into(&ws.w, &mut ws.c2);
+        ws.c2.scale_mut(-1.0);
+
+        ws.r.fill(0.0);
+        let max_iter = 500_000;
+        for it in 0..max_iter {
+            // R² into m0, then (R²)C2 into m2, then next = C0 + R²C2.
+            Matrix::mul_into(&ws.r, &ws.r, &mut ws.m0);
+            ws.m0.mul_into(&ws.c2, &mut ws.m2);
+            ws.next.copy_from(&ws.c0);
+            ws.next.add_assign(&ws.m2);
+            let diff = ws.next.max_abs_diff(&ws.r);
+            std::mem::swap(&mut ws.r, &mut ws.next);
+            if diff < 1e-14 {
+                return Ok(ws.r.clone());
+            }
+            if !ws.r.is_finite() {
+                return Err(QbdError::NotConverged {
+                    iterations: it,
+                    residual: f64::INFINITY,
+                });
+            }
+        }
+        let residual = self.r_residual_with(a1h, ws);
+        // Accept a slightly loose fixed point only if the defining equation
+        // is satisfied tightly.
+        if residual < 1e-9 {
+            Ok(ws.r.clone())
+        } else {
+            Err(QbdError::NotConverged {
+                iterations: max_iter,
+                residual,
+            })
+        }
+    }
+
+    /// Reference implementation of [`Qbd::r_fixed_point`] (allocating).
+    fn r_fixed_point_reference(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
         let p = self.phases();
         let a1h_inv = LuDecomposition::new(a1h)?.inverse()?;
         // R ← C0 + R² C2 with C0 = −A0 Â1^{-1}, C2 = −A2 Â1^{-1}.
@@ -202,20 +302,94 @@ impl Qbd {
                 return Ok(r);
             }
             if !r.is_finite() {
-                return Err(QbdError::NotConverged { iterations: it, residual: f64::INFINITY });
+                return Err(QbdError::NotConverged {
+                    iterations: it,
+                    residual: f64::INFINITY,
+                });
             }
         }
         let residual = self.r_residual(&r, a1h);
-        // Accept a slightly loose fixed point only if the defining equation
-        // is satisfied tightly.
         if residual < 1e-9 {
             Ok(r)
         } else {
-            Err(QbdError::NotConverged { iterations: max_iter, residual })
+            Err(QbdError::NotConverged {
+                iterations: max_iter,
+                residual,
+            })
         }
     }
 
-    fn r_logarithmic_reduction(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
+    /// Latouche–Ramaswami logarithmic reduction in workspace buffers: each
+    /// of the ~`log₂(1/ε)` iterations performs six `mul_into`, one LU
+    /// refactorization into reused storage, and one in-place inverse —
+    /// zero allocations per step.
+    fn r_logarithmic_reduction(
+        &self,
+        a1h: &Matrix,
+        ws: &mut QbdWorkspace,
+    ) -> Result<Matrix, QbdError> {
+        // (−Â1)^{-1}, factored into the workspace decomposition.
+        ws.scratch.copy_from(a1h);
+        ws.scratch.scale_mut(-1.0);
+        ws.lu.refactor(&ws.scratch)?;
+        ws.lu.inverse_into(&mut ws.w, &mut ws.col)?;
+        // Probabilistic blocks: B0 = (−Â1)^{-1} A0, B2 = (−Â1)^{-1} A2.
+        ws.w.mul_into(&self.a0, &mut ws.b0);
+        ws.w.mul_into(&self.a2, &mut ws.b2);
+        ws.g.copy_from(&ws.b2);
+        ws.t.copy_from(&ws.b0);
+        ws.identity.set_identity();
+        let max_iter = 200;
+        for _ in 0..max_iter {
+            // U = B0 B2 + B2 B0.
+            ws.b0.mul_into(&ws.b2, &mut ws.u);
+            ws.b2.mul_into(&ws.b0, &mut ws.tmp);
+            ws.u.add_assign(&ws.tmp);
+            // M0 = B0², M2 = B2².
+            ws.b0.mul_into(&ws.b0, &mut ws.m0);
+            ws.b2.mul_into(&ws.b2, &mut ws.m2);
+            // W = (I − U)^{-1}, then B0 ← W M0, B2 ← W M2. (Explicit
+            // inverse + matmul beats direct LU solves here: at these block
+            // sizes the vectorized matmul outruns sequential substitution,
+            // and it keeps the path bit-identical to the reference.)
+            ws.identity.sub_into(&ws.u, &mut ws.scratch);
+            ws.lu.refactor(&ws.scratch)?;
+            ws.lu.inverse_into(&mut ws.w, &mut ws.col)?;
+            ws.w.mul_into(&ws.m0, &mut ws.b0);
+            ws.w.mul_into(&ws.m2, &mut ws.b2);
+            // G ← G + T B2,  T ← T B0.
+            ws.t.mul_into(&ws.b2, &mut ws.tmp);
+            ws.g.add_assign(&ws.tmp);
+            let increment_max = ws.tmp.max_abs();
+            ws.t.mul_into(&ws.b0, &mut ws.next);
+            std::mem::swap(&mut ws.t, &mut ws.next);
+            if ws.t.max_abs() < 1e-15 || increment_max < 1e-15 {
+                break;
+            }
+            // For nearly-unstable chains logarithmic reduction can stall;
+            // the residual check below catches a bad G either way.
+        }
+        // R = A0 · (−(Â1 + A0 G))^{-1}.
+        self.a0.mul_into(&ws.g, &mut ws.tmp);
+        ws.scratch.copy_from(a1h);
+        ws.scratch.add_assign(&ws.tmp);
+        ws.scratch.scale_mut(-1.0);
+        ws.lu.refactor(&ws.scratch)?;
+        ws.lu.inverse_into(&mut ws.w, &mut ws.col)?;
+        self.a0.mul_into(&ws.w, &mut ws.r);
+        let residual = self.r_residual_with(a1h, ws);
+        if residual > 1e-8 * (1.0 + a1h.max_abs()) {
+            return Err(QbdError::NotConverged {
+                iterations: max_iter,
+                residual,
+            });
+        }
+        Ok(ws.r.clone())
+    }
+
+    /// Reference implementation of [`Qbd::r_logarithmic_reduction`]
+    /// (allocating).
+    fn r_logarithmic_reduction_reference(&self, a1h: &Matrix) -> Result<Matrix, QbdError> {
         let p = self.phases();
         let neg_a1h_inv = LuDecomposition::new(&(-a1h))?.inverse()?;
         // Probabilistic blocks: B0 = (−Â1)^{-1} A0, B2 = (−Â1)^{-1} A2.
@@ -225,7 +399,6 @@ impl Qbd {
         let mut t = b0.clone();
         let identity = Matrix::identity(p);
         let max_iter = 200;
-        let mut converged = false;
         for _ in 0..max_iter {
             let u = &b0.matmul(&b2) + &b2.matmul(&b0);
             let m0 = b0.matmul(&b0);
@@ -237,13 +410,8 @@ impl Qbd {
             g = &g + &increment;
             t = t.matmul(&b0);
             if t.max_abs() < 1e-15 || increment.max_abs() < 1e-15 {
-                converged = true;
                 break;
             }
-        }
-        if !converged {
-            // For nearly-unstable chains logarithmic reduction can stall;
-            // check G quality below anyway.
         }
         // R = A0 · (−(Â1 + A0 G))^{-1}.
         let inner = -&(a1h + &self.a0.matmul(&g));
@@ -251,7 +419,10 @@ impl Qbd {
         let r = self.a0.matmul(&inner_inv);
         let residual = self.r_residual(&r, a1h);
         if residual > 1e-8 * (1.0 + a1h.max_abs()) {
-            return Err(QbdError::NotConverged { iterations: max_iter, residual });
+            return Err(QbdError::NotConverged {
+                iterations: max_iter,
+                residual,
+            });
         }
         Ok(r)
     }
@@ -262,6 +433,18 @@ impl Qbd {
         lhs.max_abs()
     }
 
+    /// [`Qbd::r_residual`] on `ws.r`, evaluated entirely in workspace
+    /// buffers (same operations, same order, zero allocations).
+    fn r_residual_with(&self, a1h: &Matrix, ws: &mut QbdWorkspace) -> f64 {
+        ws.r.mul_into(a1h, &mut ws.m0); // R Â1
+        Matrix::mul_into(&ws.r, &ws.r, &mut ws.m2); // R²
+        ws.m2.mul_into(&self.a2, &mut ws.next); // R² A2
+        ws.scratch.copy_from(&self.a0);
+        ws.scratch.add_assign(&ws.m0);
+        ws.scratch.add_assign(&ws.next);
+        ws.scratch.max_abs()
+    }
+
     /// Solves the QBD: computes `R`, the boundary probabilities, and wraps
     /// them in a [`QbdSolution`].
     pub fn solve(&self) -> Result<QbdSolution, QbdError> {
@@ -270,9 +453,20 @@ impl Qbd {
 
     /// Like [`Qbd::solve`] but with an explicit choice of R algorithm.
     pub fn solve_with(&self, solver: RSolver) -> Result<QbdSolution, QbdError> {
+        let mut ws = QbdWorkspace::new(self.phases());
+        self.solve_with_workspace(solver, &mut ws)
+    }
+
+    /// Like [`Qbd::solve_with`], reusing `ws` for the R iteration scratch —
+    /// the path for sweeps that solve many same-dimension chains.
+    pub fn solve_with_workspace(
+        &self,
+        solver: RSolver,
+        ws: &mut QbdWorkspace,
+    ) -> Result<QbdSolution, QbdError> {
         let p = self.phases();
         let m = self.boundary_levels();
-        let r = self.solve_r(solver)?;
+        let r = self.solve_r_with_workspace(solver, ws)?;
         let a1h = self.a1_hat();
         let identity = Matrix::identity(p);
         let i_minus_r_inv = LuDecomposition::new(&(&identity - &r))?.inverse()?;
@@ -288,7 +482,11 @@ impl Qbd {
         for level in 0..m {
             let up = &self.boundary_up[level];
             let local = &self.boundary_local[level];
-            let down = if level >= 1 { Some(&self.boundary_down[level - 1]) } else { None };
+            let down = if level >= 1 {
+                Some(&self.boundary_down[level - 1])
+            } else {
+                None
+            };
             for i in 0..p {
                 let mut exit = 0.0;
                 for j in 0..p {
@@ -349,32 +547,123 @@ impl Qbd {
         // Numerical noise can leave tiny negative entries; clamp them.
         for v in &mut x {
             if *v < 0.0 {
-                debug_assert!(*v > -1e-8, "boundary solve produced negative probability {v}");
+                debug_assert!(
+                    *v > -1e-8,
+                    "boundary solve produced negative probability {v}"
+                );
                 *v = 0.0;
             }
         }
-        Ok(QbdSolution { p, m, boundary: x, r, i_minus_r_inv })
+        Ok(QbdSolution {
+            p,
+            m,
+            boundary: x,
+            r,
+            i_minus_r_inv,
+        })
+    }
+}
+
+/// Reusable scratch storage for the QBD `R`-matrix iterations.
+///
+/// Holds every intermediate the fixed-point and logarithmic-reduction
+/// algorithms need — matrices, an LU factorization with reusable storage,
+/// and a substitution column — so that a solve performs **zero heap
+/// allocations per iteration**. Construct once and pass to
+/// [`Qbd::solve_r_with_workspace`] (or let [`Qbd::solve_r`] build a
+/// throwaway one); a workspace automatically regrows when handed a chain
+/// with a different phase dimension.
+#[derive(Debug, Clone)]
+pub struct QbdWorkspace {
+    p: usize,
+    lu: LuDecomposition,
+    col: Vec<f64>,
+    pv: Vec<f64>,
+    pw: Vec<f64>,
+    r: Matrix,
+    next: Matrix,
+    c0: Matrix,
+    c2: Matrix,
+    b0: Matrix,
+    b2: Matrix,
+    g: Matrix,
+    t: Matrix,
+    u: Matrix,
+    tmp: Matrix,
+    m0: Matrix,
+    m2: Matrix,
+    w: Matrix,
+    scratch: Matrix,
+    identity: Matrix,
+}
+
+impl QbdWorkspace {
+    /// A workspace for chains with phase dimension `p`.
+    pub fn new(p: usize) -> Self {
+        let z = || Matrix::zeros(p, p);
+        Self {
+            p,
+            lu: LuDecomposition::identity(p.max(1)),
+            col: vec![0.0; p],
+            pv: vec![0.0; p],
+            pw: vec![0.0; p],
+            r: z(),
+            next: z(),
+            c0: z(),
+            c2: z(),
+            b0: z(),
+            b2: z(),
+            g: z(),
+            t: z(),
+            u: z(),
+            tmp: z(),
+            m0: z(),
+            m2: z(),
+            w: z(),
+            scratch: z(),
+            identity: Matrix::identity(p.max(1)),
+        }
+    }
+
+    /// Phase dimension the buffers are currently sized for.
+    pub fn phases(&self) -> usize {
+        self.p
+    }
+
+    /// Regrows the buffers when the phase dimension changes.
+    fn reset(&mut self, p: usize) {
+        if self.p != p || self.identity.rows() != p {
+            *self = Self::new(p);
+        }
     }
 }
 
 /// Spectral radius estimate by power iteration on |R|.
 fn spectral_radius_estimate(r: &Matrix) -> f64 {
     let p = r.rows();
-    let mut v = vec![1.0; p];
+    spectral_radius_estimate_into(r, &mut vec![1.0; p], &mut vec![0.0; p])
+}
+
+/// [`spectral_radius_estimate`] into caller-provided buffers: `v` and `w`
+/// must have length `r.rows()`; no allocation per power-iteration step.
+/// Performs the same floating-point operations in the same order as
+/// allocating afresh.
+fn spectral_radius_estimate_into(r: &Matrix, v: &mut [f64], w: &mut [f64]) -> f64 {
+    v.fill(1.0);
     let mut lambda = 0.0;
     for _ in 0..500 {
-        let w = r.vecmat(&v);
+        r.vecmat_into(v, w);
         let norm = w.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
         if norm == 0.0 {
             return 0.0;
         }
-        let next: Vec<f64> = w.iter().map(|x| x / norm).collect();
-        let delta: f64 = next
-            .iter()
-            .zip(&v)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
-        v = next;
+        let mut delta: f64 = 0.0;
+        for (wi, vi) in w.iter().zip(v.iter()) {
+            delta = delta.max((wi / norm - vi).abs());
+        }
+        for (vi, wi) in v.iter_mut().zip(w.iter()) {
+            *vi = wi / norm;
+        }
         lambda = norm;
         if delta < 1e-13 {
             break;
@@ -490,7 +779,11 @@ impl QbdSolution {
         let identity = Matrix::identity(self.p);
         let s0w = inv.row_sums();
         let s1w = self.r.matmul(&inv2).row_sums();
-        let s2w = self.r.matmul(&(&identity + &self.r)).matmul(&inv3).row_sums();
+        let s2w = self
+            .r
+            .matmul(&(&identity + &self.r))
+            .matmul(&inv3)
+            .row_sums();
         let s0: f64 = pim.iter().zip(&s0w).map(|(pi, w)| pi * w).sum();
         let s1: f64 = pim.iter().zip(&s1w).map(|(pi, w)| pi * w).sum();
         let s2: f64 = pim.iter().zip(&s2w).map(|(pi, w)| pi * w).sum();
@@ -544,7 +837,11 @@ mod tests {
         let rho: f64 = lambda / mu;
         let mean = rho / (1.0 - rho);
         let second = rho * (1.0 + rho) / ((1.0 - rho) * (1.0 - rho));
-        assert!((sol.mean_level() - mean).abs() < 1e-10, "mean {}", sol.mean_level());
+        assert!(
+            (sol.mean_level() - mean).abs() < 1e-10,
+            "mean {}",
+            sol.mean_level()
+        );
         assert!(
             (sol.second_moment_level() - second).abs() < 1e-9,
             "second {}",
@@ -621,6 +918,49 @@ mod tests {
         let r_lr = qbd.solve_r(RSolver::LogarithmicReduction).unwrap();
         let r_fp = qbd.solve_r(RSolver::FixedPoint).unwrap();
         assert!(r_lr.max_abs_diff(&r_fp) < 1e-9);
+    }
+
+    #[test]
+    fn workspace_path_reproduces_reference_bit_for_bit() {
+        // The allocation-free iterations perform the same floating-point
+        // operations in the same order as the reference, so R must match
+        // exactly — not just to tolerance.
+        let chains = [
+            mcox1_qbd(0.4, (2.0, 0.5, 0.3)),
+            mcox1_qbd(0.7, (1.5, 0.8, 0.6)),
+        ];
+        for qbd in &chains {
+            for solver in [RSolver::FixedPoint, RSolver::LogarithmicReduction] {
+                let fast = qbd.solve_r(solver).unwrap();
+                let reference = qbd.solve_r_reference(solver).unwrap();
+                assert_eq!(
+                    fast.as_slice(),
+                    reference.as_slice(),
+                    "{solver:?} diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_solves_and_dimensions() {
+        let mut ws = QbdWorkspace::new(2);
+        let cox = mcox1_qbd(0.4, (2.0, 0.5, 0.3));
+        let first = cox
+            .solve_r_with_workspace(RSolver::LogarithmicReduction, &mut ws)
+            .unwrap();
+        // Same chain again through the dirty workspace: identical result.
+        let second = cox
+            .solve_r_with_workspace(RSolver::LogarithmicReduction, &mut ws)
+            .unwrap();
+        assert_eq!(first.as_slice(), second.as_slice());
+        // A 1-phase chain through the same workspace: buffers regrow.
+        let mm1 = mm1_qbd(0.5, 1.0);
+        let r = mm1
+            .solve_r_with_workspace(RSolver::FixedPoint, &mut ws)
+            .unwrap();
+        assert!((r[(0, 0)] - 0.5).abs() < 1e-12);
+        assert_eq!(ws.phases(), 1);
     }
 
     #[test]

@@ -20,17 +20,15 @@ use crate::ctmc::FiniteCtmc;
 ///
 /// `tol` bounds the neglected Poisson tail mass (default callers use
 /// `1e-12`).
-pub fn transient_distribution(
-    chain: &FiniteCtmc,
-    pi0: &[f64],
-    t: f64,
-    tol: f64,
-) -> Vec<f64> {
+pub fn transient_distribution(chain: &FiniteCtmc, pi0: &[f64], t: f64, tol: f64) -> Vec<f64> {
     let n = chain.len();
     assert_eq!(pi0.len(), n, "initial distribution length mismatch");
     assert!(t >= 0.0 && t.is_finite());
     let total: f64 = pi0.iter().sum();
-    assert!((total - 1.0).abs() < 1e-9, "initial distribution must sum to 1");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "initial distribution must sum to 1"
+    );
     if t == 0.0 {
         return pi0.to_vec();
     }

@@ -22,6 +22,6 @@
 mod solver;
 
 pub use solver::{
-    ef_allocation, evaluate_policy, if_allocation, solve_optimal, MdpConfig, MdpError,
-    MdpSolution, PolicyFn,
+    ef_allocation, evaluate_policy, if_allocation, solve_optimal, MdpConfig, MdpError, MdpSolution,
+    PolicyFn,
 };

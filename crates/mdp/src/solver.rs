@@ -152,11 +152,7 @@ fn candidate_actions(cfg: &MdpConfig, i: usize, j: usize, out: &mut Vec<(u32, u3
 /// Ties in the Bellman minimization are broken toward *larger* inelastic
 /// allocations, so in the `µ_I = µ_E` regime (where many allocations are
 /// optimal) the extracted policy is IF itself.
-pub fn solve_optimal(
-    cfg: &MdpConfig,
-    tol: f64,
-    max_iter: usize,
-) -> Result<MdpSolution, MdpError> {
+pub fn solve_optimal(cfg: &MdpConfig, tol: f64, max_iter: usize) -> Result<MdpSolution, MdpError> {
     cfg.validate();
     let n = cfg.states();
     let lam = cfg.uniformization_rate();
@@ -174,8 +170,16 @@ pub fn solve_optimal(
                 let s = cfg.index(i, j);
                 let cost = (i + j) as f64;
                 // Arrival terms are action-independent.
-                let up_i = if i < cfg.max_i { h[cfg.index(i + 1, j)] } else { h[s] };
-                let up_j = if j < cfg.max_j { h[cfg.index(i, j + 1)] } else { h[s] };
+                let up_i = if i < cfg.max_i {
+                    h[cfg.index(i + 1, j)]
+                } else {
+                    h[s]
+                };
+                let up_j = if j < cfg.max_j {
+                    h[cfg.index(i, j + 1)]
+                } else {
+                    h[s]
+                };
                 let base = cost + cfg.lambda_i * up_i + cfg.lambda_e * up_j;
 
                 candidate_actions(cfg, i, j, &mut candidates);
@@ -190,9 +194,7 @@ pub fn solve_optimal(
                     debug_assert!(stay >= -1e-9);
                     let v = base + d_i * down_i + d_e * down_j + stay * h[s];
                     // Strictly-better or tie-with-larger-a wins.
-                    if v < best - 1e-12
-                        || (v < best + 1e-12 && (a, e) > best_action)
-                    {
+                    if v < best - 1e-12 || (v < best + 1e-12 && (a, e) > best_action) {
                         if v < best {
                             best = v;
                         }
@@ -234,7 +236,12 @@ pub fn solve_optimal(
 /// its long-run average number in system `E[N]`.
 ///
 /// Allocations may be fractional; they are clamped to the feasible polytope.
-pub fn evaluate_policy(cfg: &MdpConfig, policy: PolicyFn<'_>, tol: f64, max_iter: usize) -> Result<f64, MdpError> {
+pub fn evaluate_policy(
+    cfg: &MdpConfig,
+    policy: PolicyFn<'_>,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, MdpError> {
     cfg.validate();
     let n = cfg.states();
     let lam = cfg.uniformization_rate();
@@ -260,8 +267,16 @@ pub fn evaluate_policy(cfg: &MdpConfig, policy: PolicyFn<'_>, tol: f64, max_iter
         for i in 0..=cfg.max_i {
             for j in 0..=cfg.max_j {
                 let s = cfg.index(i, j);
-                let up_i = if i < cfg.max_i { h[cfg.index(i + 1, j)] } else { h[s] };
-                let up_j = if j < cfg.max_j { h[cfg.index(i, j + 1)] } else { h[s] };
+                let up_i = if i < cfg.max_i {
+                    h[cfg.index(i + 1, j)]
+                } else {
+                    h[s]
+                };
+                let up_j = if j < cfg.max_j {
+                    h[cfg.index(i, j + 1)]
+                } else {
+                    h[s]
+                };
                 let down_i = if i > 0 { h[cfg.index(i - 1, j)] } else { 0.0 };
                 let down_j = if j > 0 { h[cfg.index(i, j - 1)] } else { 0.0 };
                 let d_i = rate_i[s];
@@ -290,7 +305,10 @@ pub fn evaluate_policy(cfg: &MdpConfig, policy: PolicyFn<'_>, tol: f64, max_iter
             return Ok(g);
         }
         if it == max_iter - 1 {
-            return Err(MdpError::NotConverged { iterations: max_iter, span: span * lam });
+            return Err(MdpError::NotConverged {
+                iterations: max_iter,
+                span: span * lam,
+            });
         }
     }
     unreachable!("loop returns");
@@ -402,7 +420,10 @@ mod tests {
         // with idling vertices does not lower the optimal cost.
         for (mi, me) in [(1.0, 1.0), (0.5, 1.0), (2.0, 1.0)] {
             let base = cfg(2, 0.4, 0.4, mi, me, 30);
-            let idling = MdpConfig { allow_idling: true, ..base };
+            let idling = MdpConfig {
+                allow_idling: true,
+                ..base
+            };
             let g_base = solve_optimal(&base, 1e-9, 400_000).unwrap().average_cost;
             let g_idle = solve_optimal(&idling, 1e-9, 400_000).unwrap().average_cost;
             assert!(

@@ -102,7 +102,11 @@ pub fn evaluate_multiclass(
                         cost = n as f64;
                     }
                     // Arrival of class idx.
-                    let up = if n < trunc[idx] { hv[s + strides[idx]] } else { hv[s] };
+                    let up = if n < trunc[idx] {
+                        hv[s + strides[idx]]
+                    } else {
+                        hv[s]
+                    };
                     acc += lambdas[idx] * up;
                     exit += lambdas[idx];
                     // Departure of class idx.
@@ -177,8 +181,8 @@ mod tests {
         let lff = least_flexible_first(&s);
         let a = evaluate_multiclass(&s, &lff, &[70, 70], 1e-9, 400_000).unwrap();
         let reference = eirs_core::analyze_inelastic_first(&p2).unwrap();
-        let rel = (a.overall_mean_response - reference.mean_response).abs()
-            / reference.mean_response;
+        let rel =
+            (a.overall_mean_response - reference.mean_response).abs() / reference.mean_response;
         assert!(
             rel < 0.01,
             "multiclass {} vs QBD {}",
@@ -194,8 +198,8 @@ mod tests {
         let mff = most_flexible_first(&s);
         let a = evaluate_multiclass(&s, &mff, &[70, 70], 1e-9, 400_000).unwrap();
         let reference = eirs_core::analyze_elastic_first(&p2).unwrap();
-        let rel = (a.overall_mean_response - reference.mean_response).abs()
-            / reference.mean_response;
+        let rel =
+            (a.overall_mean_response - reference.mean_response).abs() / reference.mean_response;
         assert!(
             rel < 0.01,
             "multiclass {} vs QBD {}",
@@ -220,10 +224,13 @@ mod tests {
         let r = crate::des::simulate_multiclass(
             &s,
             &p,
-            crate::des::MultiSimConfig { seed: 8, warmup_departures: 50_000, departures: 400_000 },
+            crate::des::MultiSimConfig {
+                seed: 8,
+                warmup_departures: 50_000,
+                departures: 400_000,
+            },
         );
-        let rel =
-            (a.overall_mean_response - r.mean_response).abs() / r.mean_response;
+        let rel = (a.overall_mean_response - r.mean_response).abs() / r.mean_response;
         assert!(
             rel < 0.03,
             "analysis {} vs DES {}",

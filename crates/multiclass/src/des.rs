@@ -191,7 +191,10 @@ pub fn simulate_multiclass(
                 size,
                 arrival: time,
             });
-            debug_assert_eq!(queues[arr_class].back().expect("just pushed").class, arr_class);
+            debug_assert_eq!(
+                queues[arr_class].back().expect("just pushed").class,
+                arr_class
+            );
             next_arrival[arr_class] = time + sample_exp(&mut rng, class.lambda);
         }
     }
@@ -201,7 +204,11 @@ pub fn simulate_multiclass(
             .map(|idx| ClassReport {
                 name: system.classes[idx].name.clone(),
                 completed: completed[idx],
-                mean_response: if resp[idx].count() > 0 { resp[idx].mean() } else { f64::NAN },
+                mean_response: if resp[idx].count() > 0 {
+                    resp[idx].mean()
+                } else {
+                    f64::NAN
+                },
                 tail_response: tails[idx].estimates(),
                 mean_in_system: in_system[idx].average(),
             })
@@ -227,7 +234,11 @@ mod tests {
     use crate::spec::{ClassSpec, MultiSystem};
 
     fn cfg(seed: u64) -> MultiSimConfig {
-        MultiSimConfig { seed, warmup_departures: 20_000, departures: 200_000 }
+        MultiSimConfig {
+            seed,
+            warmup_departures: 20_000,
+            departures: 200_000,
+        }
     }
 
     #[test]
@@ -269,7 +280,12 @@ mod tests {
             200_000,
         );
         let rel = (r_multi.mean_response - r_two.mean_response).abs() / r_two.mean_response;
-        assert!(rel < 0.05, "multi {} vs two-class {}", r_multi.mean_response, r_two.mean_response);
+        assert!(
+            rel < 0.05,
+            "multi {} vs two-class {}",
+            r_multi.mean_response,
+            r_two.mean_response
+        );
     }
 
     #[test]
@@ -283,7 +299,11 @@ mod tests {
         let r = simulate_multiclass(
             &s,
             &p,
-            MultiSimConfig { seed: 5, warmup_departures: 100, departures: 20_000 },
+            MultiSimConfig {
+                seed: 5,
+                warmup_departures: 100,
+                departures: 20_000,
+            },
         );
         // Mean size 2, cap 2 → service time 1 at negligible load.
         let got = r.per_class[0].mean_response;
@@ -339,7 +359,11 @@ mod tests {
     fn deterministic_given_seed() {
         let s = MultiSystem::two_class(2, 0.5, 0.5, 1.0, 1.0);
         let p = least_flexible_first(&s);
-        let small = MultiSimConfig { seed: 9, warmup_departures: 100, departures: 5_000 };
+        let small = MultiSimConfig {
+            seed: 9,
+            warmup_departures: 100,
+            departures: 5_000,
+        };
         let a = simulate_multiclass(&s, &p, small);
         let b = simulate_multiclass(&s, &p, small);
         assert_eq!(a.mean_response, b.mean_response);

@@ -34,7 +34,11 @@ pub fn assert_feasible(alloc: &[f64], counts: &[usize], system: &MultiSystem, na
     let kf = system.k as f64;
     let mut total = 0.0;
     for ((a, &n), class) in alloc.iter().zip(counts).zip(&system.classes) {
-        assert!(*a >= -1e-12, "{name}: negative allocation for {}", class.name);
+        assert!(
+            *a >= -1e-12,
+            "{name}: negative allocation for {}",
+            class.name
+        );
         let absorb = (n as f64 * class.cap as f64).min(kf);
         assert!(
             *a <= absorb + 1e-9,
@@ -43,7 +47,11 @@ pub fn assert_feasible(alloc: &[f64], counts: &[usize], system: &MultiSystem, na
         );
         total += a;
     }
-    assert!(total <= kf + 1e-9, "{name}: total {total} exceeds k = {}", system.k);
+    assert!(
+        total <= kf + 1e-9,
+        "{name}: total {total} exceeds k = {}",
+        system.k
+    );
 }
 
 /// Strict preemptive priority by a fixed order of class indices.
@@ -58,13 +66,20 @@ impl PriorityOrder {
     /// a permutation of `0..M` (checked at allocation time against the
     /// system).
     pub fn new(order: Vec<usize>, label: impl Into<String>) -> Self {
-        Self { order, label: label.into() }
+        Self {
+            order,
+            label: label.into(),
+        }
     }
 }
 
 impl MultiPolicy for PriorityOrder {
     fn allocate(&self, counts: &[usize], system: &MultiSystem) -> Vec<f64> {
-        debug_assert_eq!(self.order.len(), counts.len(), "priority order must cover all classes");
+        debug_assert_eq!(
+            self.order.len(),
+            counts.len(),
+            "priority order must cover all classes"
+        );
         let mut alloc = vec![0.0; counts.len()];
         let mut left = system.k as f64;
         for &m in &self.order {
@@ -93,9 +108,11 @@ pub fn least_flexible_first(system: &MultiSystem) -> PriorityOrder {
     order.sort_by(|&a, &b| {
         let ca = &system.classes[a];
         let cb = &system.classes[b];
-        ca.cap
-            .cmp(&cb.cap)
-            .then(ca.mean_size().partial_cmp(&cb.mean_size()).expect("finite means"))
+        ca.cap.cmp(&cb.cap).then(
+            ca.mean_size()
+                .partial_cmp(&cb.mean_size())
+                .expect("finite means"),
+        )
     });
     PriorityOrder::new(order, "Least-Flexible-First")
 }
@@ -106,9 +123,11 @@ pub fn most_flexible_first(system: &MultiSystem) -> PriorityOrder {
     order.sort_by(|&a, &b| {
         let ca = &system.classes[a];
         let cb = &system.classes[b];
-        cb.cap
-            .cmp(&ca.cap)
-            .then(ca.mean_size().partial_cmp(&cb.mean_size()).expect("finite means"))
+        cb.cap.cmp(&ca.cap).then(
+            ca.mean_size()
+                .partial_cmp(&cb.mean_size())
+                .expect("finite means"),
+        )
     });
     PriorityOrder::new(order, "Most-Flexible-First")
 }
@@ -221,11 +240,17 @@ mod tests {
             for j in 0..8usize {
                 let a = lff.allocate(&[i, j], &s);
                 let reference = InelasticFirst.allocate(i, j, 4);
-                assert!((a[0] - reference.inelastic).abs() < 1e-12, "LFF≠IF at ({i},{j})");
+                assert!(
+                    (a[0] - reference.inelastic).abs() < 1e-12,
+                    "LFF≠IF at ({i},{j})"
+                );
                 assert!((a[1] - reference.elastic).abs() < 1e-12);
                 let a = mff.allocate(&[i, j], &s);
                 let reference = ElasticFirst.allocate(i, j, 4);
-                assert!((a[0] - reference.inelastic).abs() < 1e-12, "MFF≠EF at ({i},{j})");
+                assert!(
+                    (a[0] - reference.inelastic).abs() < 1e-12,
+                    "MFF≠EF at ({i},{j})"
+                );
                 assert!((a[1] - reference.elastic).abs() < 1e-12);
             }
         }

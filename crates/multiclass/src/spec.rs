@@ -20,7 +20,12 @@ impl ClassSpec {
     /// A class with exponential sizes — the Markovian special case used by
     /// the analysis module.
     pub fn exponential(name: impl Into<String>, lambda: f64, mu: f64, cap: u32) -> Self {
-        Self { name: name.into(), lambda, size: Box::new(Exponential::new(mu)), cap }
+        Self {
+            name: name.into(),
+            lambda,
+            size: Box::new(Exponential::new(mu)),
+            cap,
+        }
     }
 
     /// Mean size `E[S_m]`.
@@ -61,7 +66,11 @@ impl MultiSystem {
         for c in &classes {
             assert!(c.lambda >= 0.0 && c.lambda.is_finite(), "{}: bad λ", c.name);
             assert!(c.mean_size() > 0.0, "{}: bad mean size", c.name);
-            assert!(c.cap >= 1 && c.cap <= k, "{}: cap must be in [1, k]", c.name);
+            assert!(
+                c.cap >= 1 && c.cap <= k,
+                "{}: cap must be in [1, k]",
+                c.name
+            );
         }
         Self { k, classes }
     }
@@ -73,7 +82,11 @@ impl MultiSystem {
 
     /// System load `ρ = Σ_m λ_m E[S_m] / k` (generalizes paper Eq. (1)).
     pub fn load(&self) -> f64 {
-        self.classes.iter().map(|c| c.lambda * c.mean_size()).sum::<f64>() / self.k as f64
+        self.classes
+            .iter()
+            .map(|c| c.lambda * c.mean_size())
+            .sum::<f64>()
+            / self.k as f64
     }
 
     /// `true` when `ρ < 1`.

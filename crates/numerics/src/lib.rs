@@ -21,6 +21,7 @@
 pub mod approx;
 pub mod lu;
 pub mod matrix;
+pub mod parallel;
 pub mod roots;
 pub mod sum;
 

@@ -37,7 +37,10 @@ impl std::fmt::Display for LinAlgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinAlgError::Singular { column } => {
-                write!(f, "matrix is singular to working precision (column {column})")
+                write!(
+                    f,
+                    "matrix is singular to working precision (column {column})"
+                )
             }
             LinAlgError::NotSquare { rows, cols } => {
                 write!(f, "operation requires a square matrix, got {rows}x{cols}")
@@ -66,14 +69,71 @@ impl LuDecomposition {
     /// Factorizes `a`. Fails when `a` is not square or is singular to working
     /// precision (pivot smaller than `n * eps * max_abs(a)`).
     pub fn new(a: &Matrix) -> Result<Self, LinAlgError> {
+        Self::from_matrix(a.clone())
+    }
+
+    /// Factorizes `a`, consuming it as the factor storage (no clone).
+    pub fn from_matrix(a: Matrix) -> Result<Self, LinAlgError> {
         if !a.is_square() {
-            return Err(LinAlgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinAlgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-        let tol = (n as f64) * f64::EPSILON * a.max_abs().max(f64::MIN_POSITIVE);
+        let mut this = Self {
+            lu: a,
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        };
+        this.factorize_in_place()?;
+        Ok(this)
+    }
+
+    /// The (trivial) factorization of the `n x n` identity: `L = U = I`,
+    /// no pivoting. O(n²) storage initialization with no elimination work —
+    /// use it to preallocate a decomposition whose storage will be filled
+    /// by [`LuDecomposition::refactor`] before any solve.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            lu: Matrix::identity(n),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        }
+    }
+
+    /// Re-factorizes `a` into this decomposition's existing storage —
+    /// the allocation-free path for solver loops that factor a same-sized
+    /// matrix every iteration. `a` must have the dimension of the original
+    /// factorization.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<(), LinAlgError> {
+        if !a.is_square() {
+            return Err(LinAlgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if a.rows() != self.dim() {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: self.dim(),
+                got: a.rows(),
+            });
+        }
+        self.lu.copy_from(a);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = 1.0;
+        self.factorize_in_place()
+    }
+
+    /// Gaussian elimination with partial pivoting over `self.lu`, which holds
+    /// the input matrix on entry and the packed factors on success.
+    fn factorize_in_place(&mut self) -> Result<(), LinAlgError> {
+        let n = self.lu.rows();
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
+        let tol = (n as f64) * f64::EPSILON * lu.max_abs().max(f64::MIN_POSITIVE);
 
         for col in 0..n {
             // Pivot search over rows col..n.
@@ -91,7 +151,7 @@ impl LuDecomposition {
             }
             if pivot_row != col {
                 perm.swap(col, pivot_row);
-                perm_sign = -perm_sign;
+                self.perm_sign = -self.perm_sign;
                 for c in 0..n {
                     let tmp = lu[(col, c)];
                     lu[(col, c)] = lu[(pivot_row, c)];
@@ -110,7 +170,7 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(Self { lu, perm, perm_sign })
+        Ok(())
     }
 
     /// Dimension of the factorized matrix.
@@ -120,12 +180,39 @@ impl LuDecomposition {
 
     /// Solves `A x = b` for a single right-hand side.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (no allocation).
+    /// `x` must have length `dim()`; `b` is left untouched.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinAlgError> {
         let n = self.dim();
         if b.len() != n {
-            return Err(LinAlgError::DimensionMismatch { expected: n, got: b.len() });
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        if x.len() != n {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n,
+                got: x.len(),
+            });
         }
         // Apply permutation, then forward- and back-substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        self.substitute_in_place(x);
+        Ok(())
+    }
+
+    /// Forward- and back-substitution on a vector that already holds the
+    /// permuted right-hand side.
+    fn substitute_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
         for i in 1..n {
             let mut acc = x[i];
             for (j, &xj) in x.iter().enumerate().take(i) {
@@ -140,32 +227,91 @@ impl LuDecomposition {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
     }
 
     /// Solves `A X = B` column by column.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinAlgError> {
+        let mut out = Matrix::zeros(self.dim(), b.cols());
+        let mut col = vec![0.0; self.dim()];
+        self.solve_matrix_into(b, &mut out, &mut col)?;
+        Ok(out)
+    }
+
+    /// Solves `A X = B` into a caller-provided matrix using one length-`n`
+    /// scratch column (no allocation). `out` must be `dim() x b.cols()`.
+    pub fn solve_matrix_into(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        col: &mut [f64],
+    ) -> Result<(), LinAlgError> {
         let n = self.dim();
         if b.rows() != n {
-            return Err(LinAlgError::DimensionMismatch { expected: n, got: b.rows() });
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n,
+                got: b.rows(),
+            });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        let mut col = vec![0.0; n];
+        if out.rows() != n || out.cols() != b.cols() {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n * b.cols(),
+                got: out.rows() * out.cols(),
+            });
+        }
+        if col.len() != n {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n,
+                got: col.len(),
+            });
+        }
         for c in 0..b.cols() {
-            for r in 0..n {
-                col[r] = b[(r, c)];
+            // Build the permuted right-hand side directly in the scratch.
+            for (r, &p) in self.perm.iter().enumerate() {
+                col[r] = b[(p, c)];
             }
-            let x = self.solve(&col)?;
+            self.substitute_in_place(col);
             for r in 0..n {
-                out[(r, c)] = x[r];
+                out[(r, c)] = col[r];
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The inverse matrix `A^{-1}`.
     pub fn inverse(&self) -> Result<Matrix, LinAlgError> {
-        self.solve_matrix(&Matrix::identity(self.dim()))
+        let mut out = Matrix::zeros(self.dim(), self.dim());
+        let mut col = vec![0.0; self.dim()];
+        self.inverse_into(&mut out, &mut col)?;
+        Ok(out)
+    }
+
+    /// Writes `A^{-1}` into `out` using one length-`n` scratch column (no
+    /// allocation). `out` must be `dim() x dim()`.
+    pub fn inverse_into(&self, out: &mut Matrix, col: &mut [f64]) -> Result<(), LinAlgError> {
+        let n = self.dim();
+        if out.rows() != n || out.cols() != n {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n * n,
+                got: out.rows() * out.cols(),
+            });
+        }
+        if col.len() != n {
+            return Err(LinAlgError::DimensionMismatch {
+                expected: n,
+                got: col.len(),
+            });
+        }
+        for c in 0..n {
+            // Permuted unit vector e_c: entry r is 1 exactly when perm[r] = c.
+            for (r, &p) in self.perm.iter().enumerate() {
+                col[r] = if p == c { 1.0 } else { 0.0 };
+            }
+            self.substitute_in_place(col);
+            for r in 0..n {
+                out[(r, c)] = col[r];
+            }
+        }
+        Ok(())
     }
 
     /// Determinant of the factorized matrix.
@@ -217,11 +363,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let inv = inverse(&a).unwrap();
         let prod = a.matmul(&inv);
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
@@ -265,7 +407,10 @@ mod tests {
         let lu = LuDecomposition::new(&a).unwrap();
         assert!(matches!(
             lu.solve(&[1.0, 2.0]),
-            Err(LinAlgError::DimensionMismatch { expected: 3, got: 2 })
+            Err(LinAlgError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 
@@ -276,6 +421,82 @@ mod tests {
         let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
         let back = a.matmul(&x);
         assert!(back.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_fresh_factorization() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mut lu = LuDecomposition::new(&a).unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = LuDecomposition::new(&b).unwrap();
+        assert_eq!(
+            lu.solve(&[2.0, 5.0]).unwrap(),
+            fresh.solve(&[2.0, 5.0]).unwrap()
+        );
+        assert!(approx_eq(lu.determinant(), fresh.determinant(), 1e-15));
+        // And back again: permutation state fully resets.
+        lu.refactor(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        assert_vec_close(&x, &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn refactor_rejects_wrong_dimension() {
+        let mut lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            lu.refactor(&Matrix::identity(3)),
+            Err(LinAlgError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn in_place_solves_match_allocating_forms() {
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let mut x = [0.0; 3];
+        lu.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), lu.solve(&b).unwrap());
+
+        let rhs = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[3.0, -1.0]]);
+        let mut out = Matrix::zeros(3, 2);
+        let mut col = [0.0; 3];
+        lu.solve_matrix_into(&rhs, &mut out, &mut col).unwrap();
+        assert_eq!(out, lu.solve_matrix(&rhs).unwrap());
+
+        let mut inv = Matrix::zeros(3, 3);
+        lu.inverse_into(&mut inv, &mut col).unwrap();
+        assert_eq!(inv, lu.inverse().unwrap());
+    }
+
+    #[test]
+    fn identity_decomposition_solves_trivially_and_refactors() {
+        let lu = LuDecomposition::identity(3);
+        assert_eq!(lu.solve(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(approx_eq(lu.determinant(), 1.0, 1e-15));
+        let mut lu = lu;
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        lu.refactor(&a).unwrap();
+        let x = [0.5, -1.0, 2.0];
+        let b = a.matvec(&x);
+        assert_vec_close(&lu.solve(&b).unwrap(), &x, 1e-12);
+    }
+
+    #[test]
+    fn from_matrix_consumes_without_clone() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuDecomposition::from_matrix(a.clone()).unwrap();
+        assert_eq!(
+            lu.solve(&[3.0, 5.0]).unwrap(),
+            LuDecomposition::new(&a)
+                .unwrap()
+                .solve(&[3.0, 5.0])
+                .unwrap()
+        );
     }
 
     #[test]

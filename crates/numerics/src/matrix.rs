@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -51,7 +55,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -121,20 +129,97 @@ impl Matrix {
     }
 
     /// Returns `self * s` without mutating.
+    #[must_use]
     pub fn scaled(&self, s: f64) -> Self {
-        let mut m = self.clone();
-        m.scale_mut(s);
-        m
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Overwrites every entry with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Overwrites `self` with the identity (requires a square matrix).
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "set_identity requires a square matrix");
+        self.data.fill(0.0);
+        for i in 0..self.rows {
+            self[(i, i)] = 1.0;
+        }
+    }
+
+    /// Copies `src` into `self`. Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// In-place entrywise sum `self += rhs`. Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place entrywise difference `self -= rhs`. Panics on shape mismatch.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// In-place scaled accumulation `self += s * rhs` — the AXPY kernel of
+    /// the allocation-free QBD iterations. Panics on shape mismatch.
+    pub fn add_assign_scaled(&mut self, rhs: &Matrix, s: f64) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Writes `self - rhs` into `out` without allocating. Panics on shape
+    /// mismatch.
+    pub fn sub_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        assert_eq!((self.rows, self.cols), (out.rows, out.cols));
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a - b;
+        }
     }
 
     /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.mul_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self * rhs` into `out` without allocating. `out` must already
+    /// have shape `self.rows x rhs.cols` and must not alias either operand.
+    /// Panics on dimension mismatch.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "mul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
         // i-k-j loop order keeps both the `rhs` row and the output row
         // streaming contiguously.
         for i in 0..self.rows {
@@ -150,13 +235,20 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Row-vector times matrix: `x * self`, with `x.len() == rows`.
     pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "vecmat dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.vecmat_into(x, &mut out);
+        out
+    }
+
+    /// Writes `x * self` into `out` without allocating (`out.len() == cols`).
+    pub fn vecmat_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat dimension mismatch");
+        assert_eq!(out.len(), self.cols, "vecmat output length mismatch");
+        out.fill(0.0);
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
@@ -165,7 +257,6 @@ impl Matrix {
                 *o += xi * m;
             }
         }
-        out
     }
 
     /// Matrix times column vector: `self * x`, with `x.len() == cols`.
@@ -231,8 +322,17 @@ impl Add<&Matrix> for &Matrix {
 
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -241,8 +341,17 @@ impl Sub<&Matrix> for &Matrix {
 
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -352,6 +461,58 @@ mod tests {
         assert_eq!(sum, Matrix::from_rows(&[&[5.0, 5.0], &[5.0, 5.0]]));
         assert_eq!(diff, Matrix::from_rows(&[&[-3.0, -1.0], &[1.0, 3.0]]));
         assert_eq!((&a).neg()[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn mul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let mut out = Matrix::from_rows(&[&[99.0, 99.0], &[99.0, 99.0]]); // stale
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn in_place_kernels_match_operator_forms() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 3.0], &[2.0, 1.0]]);
+
+        let mut sum = a.clone();
+        sum.add_assign(&b);
+        assert_eq!(sum, &a + &b);
+
+        let mut diff = a.clone();
+        diff.sub_assign(&b);
+        assert_eq!(diff, &a - &b);
+
+        let mut axpy = a.clone();
+        axpy.add_assign_scaled(&b, 2.0);
+        assert_eq!(axpy, &a + &b.scaled(2.0));
+
+        let mut out = Matrix::zeros(2, 2);
+        a.sub_into(&b, &mut out);
+        assert_eq!(out, &a - &b);
+    }
+
+    #[test]
+    fn fill_set_identity_copy_from() {
+        let mut m = Matrix::zeros(3, 3);
+        m.fill(2.5);
+        assert_eq!(m[(1, 2)], 2.5);
+        m.set_identity();
+        assert_eq!(m, Matrix::identity(3));
+        let src = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_into output shape mismatch")]
+    fn mul_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.mul_into(&b, &mut out);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Deterministic fork-join parallelism on scoped OS threads.
+//!
+//! This is the substrate under `eirs_core::sweep` (figure-grid fan-out) and
+//! `eirs_sim::replicate` (replication fan-out). It is intentionally tiny:
+//! a work queue over an index counter, scoped `std::thread` workers (so
+//! closures may borrow locals), and slot-addressed result storage so output
+//! order always equals input order no matter how the OS schedules workers.
+//! Determinism therefore reduces to the mapped function being a pure
+//! function of its input — which every sweep point and seeded replication
+//! in this workspace is.
+//!
+//! No work-stealing, no rayon: the workloads here are hundreds of
+//! independent, multi-millisecond solves, where a shared atomic counter
+//! already balances load to within one item.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "EIRS_THREADS";
+
+/// Worker threads to use by default: `EIRS_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on `threads` scoped worker threads, returning
+/// results in input order. With `threads <= 1` (or fewer than two items)
+/// the map runs inline on the caller's thread with no synchronization —
+/// the serial reference path.
+///
+/// Panics in `f` propagate to the caller once all workers have stopped.
+pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let results = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let r = f(&items[idx]);
+                results.lock().expect("no poisoned result lock")[idx] = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("no poisoned result lock")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map_ordered(&items, 4, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_is_inline() {
+        let items = vec![1, 2, 3];
+        let out = par_map_ordered(&items, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e6).to_bits();
+        let serial = par_map_ordered(&items, 1, f);
+        let parallel = par_map_ordered(&items, 8, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_ordered(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map_ordered(&[7], 4, |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn closures_may_borrow_locals() {
+        let offset = 10;
+        let items = vec![1, 2, 3];
+        let out = par_map_ordered(&items, 2, |&x| x + offset);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

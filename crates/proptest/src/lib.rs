@@ -1,0 +1,326 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest` API
+//! this workspace's property tests use.
+//!
+//! The build environment is offline, so instead of the crates.io `proptest`
+//! this path dependency provides the same surface backed by plain seeded
+//! random sampling:
+//!
+//! * [`Strategy`] with [`Strategy::prop_map`], range strategies for the
+//!   numeric types the tests draw, tuple strategies, and
+//!   [`prop::collection::vec`];
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! per-test seed (derived from the test name, so failures reproduce), and
+//! there is **no shrinking** — a failing case panics with the assertion
+//! message directly. That trade keeps the workspace self-contained while
+//! preserving the tests' semantics.
+
+use rand::prelude::*;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases sampled per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A value generator: the sampling core of a proptest strategy.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.random();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategy modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::prelude::*;
+        use std::ops::Range;
+
+        /// Admissible length specs for [`vec`]: a fixed count or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<i32> for SizeRange {
+            fn from(n: i32) -> Self {
+                usize::try_from(n).expect("nonnegative length").into()
+            }
+        }
+
+        impl From<Range<i32>> for SizeRange {
+            fn from(r: Range<i32>) -> Self {
+                let lo = usize::try_from(r.start).expect("nonnegative length");
+                let hi = usize::try_from(r.end).expect("nonnegative length");
+                (lo..hi).into()
+            }
+        }
+
+        /// Vectors of `element` with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy produced by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo
+                    + if span > 0 {
+                        (rng.next_u64() % span) as usize
+                    } else {
+                        0
+                    };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Deterministic per-test RNG derived from the test's name (FNV-1a), so a
+/// failing case reproduces run to run.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Assertion inside a property body (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1u32..10, y in -2.0f64..3.0, z in 5u64..=6) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..3.0).contains(&y));
+            prop_assert!(z == 5 || z == 6);
+        }
+
+        #[test]
+        fn vec_lengths_and_maps(v in prop::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(pair in (1u32..4, 0.0f64..1.0)) {
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u32..5).prop_map(|x| x * 2);
+        let mut rng = super::test_rng("prop_map_transforms");
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_stable_per_name() {
+        use rand::RngCore;
+        let a = super::test_rng("x").next_u64();
+        let b = super::test_rng("x").next_u64();
+        let c = super::test_rng("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

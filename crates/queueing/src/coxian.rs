@@ -50,7 +50,10 @@ impl std::fmt::Display for CoxianFitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoxianFitError::InfeasibleMoments(m) => {
-                write!(f, "moments {m:?} are not moments of a nonnegative random variable")
+                write!(
+                    f,
+                    "moments {m:?} are not moments of a nonnegative random variable"
+                )
             }
             CoxianFitError::NotRepresentable(m) => {
                 write!(f, "moments {m:?} are not representable by a 2-phase Coxian")

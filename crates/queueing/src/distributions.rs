@@ -47,7 +47,10 @@ pub struct Exponential {
 impl Exponential {
     /// Exponential with rate `rate > 0`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         Self { rate }
     }
 
@@ -209,7 +212,10 @@ impl HyperExponential {
         assert_eq!(probs.len(), rates.len());
         assert!(!probs.is_empty());
         let total: f64 = probs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
         assert!(probs.iter().all(|&p| p >= 0.0));
         assert!(rates.iter().all(|&r| r > 0.0));
         Self { probs, rates }
@@ -309,7 +315,11 @@ impl SizeDistribution for BoundedPareto {
     }
 
     fn moments(&self) -> Moments {
-        Moments::new(self.raw_moment(1.0), self.raw_moment(2.0), self.raw_moment(3.0))
+        Moments::new(
+            self.raw_moment(1.0),
+            self.raw_moment(2.0),
+            self.raw_moment(3.0),
+        )
     }
 
     fn label(&self) -> String {
@@ -388,7 +398,11 @@ mod tests {
             let d = HyperExponential::balanced(3.0, cv2);
             let m = d.moments();
             assert!((m.m1 - 3.0).abs() < 1e-9, "mean for cv2={cv2}");
-            assert!((m.cv2() - cv2).abs() < 1e-9, "cv2 for cv2={cv2}: got {}", m.cv2());
+            assert!(
+                (m.cv2() - cv2).abs() < 1e-9,
+                "cv2 for cv2={cv2}: got {}",
+                m.cv2()
+            );
         }
     }
 
@@ -404,7 +418,11 @@ mod tests {
         let d = BoundedPareto::new(1.5, 1.0, 1000.0);
         let m = d.moments();
         let emp = empirical_mean(&d, 5);
-        assert!((emp - m.m1).abs() / m.m1 < 0.05, "emp {emp} vs analytic {}", m.m1);
+        assert!(
+            (emp - m.m1).abs() / m.m1 < 0.05,
+            "emp {emp} vs analytic {}",
+            m.m1
+        );
         assert!(m.cv2() > 1.0);
     }
 
@@ -438,7 +456,11 @@ mod tests {
             Box::new(BoundedPareto::new(1.2, 0.1, 50.0)),
         ];
         for d in &dists {
-            assert!(d.moments().is_feasible(), "{} produced infeasible moments", d.label());
+            assert!(
+                d.moments().is_feasible(),
+                "{} produced infeasible moments",
+                d.label()
+            );
         }
     }
 }

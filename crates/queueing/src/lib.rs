@@ -31,6 +31,6 @@ pub use distributions::{
     UniformSize,
 };
 pub use mm1::MM1;
-pub use phase_type::PhaseType;
 pub use mmk::MMk;
 pub use moments::Moments;
+pub use phase_type::PhaseType;

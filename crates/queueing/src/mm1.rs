@@ -28,7 +28,10 @@ pub struct MM1 {
 impl MM1 {
     /// New M/M/1; requires `λ ≥ 0`, `µ > 0`.
     pub fn new(lambda: f64, mu: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "need λ ≥ 0, got {lambda}");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "need λ ≥ 0, got {lambda}"
+        );
         assert!(mu > 0.0 && mu.is_finite(), "need µ > 0, got {mu}");
         Self { lambda, mu }
     }
@@ -186,7 +189,10 @@ mod tests {
         let h = 1e-6;
         let slope = (q.busy_period_lst(2.0 * h) - q.busy_period_lst(0.0)) / (2.0 * h);
         let m1 = q.busy_period_moments().m1;
-        assert!(((-slope) - m1).abs() / m1 < 1e-3, "slope {slope} vs m1 {m1}");
+        assert!(
+            ((-slope) - m1).abs() / m1 < 1e-3,
+            "slope {slope} vs m1 {m1}"
+        );
     }
 
     #[test]

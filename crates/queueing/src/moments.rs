@@ -40,7 +40,10 @@ impl Moments {
 
     /// Estimates raw moments from data.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "cannot estimate moments of an empty sample");
+        assert!(
+            !samples.is_empty(),
+            "cannot estimate moments of an empty sample"
+        );
         let n = samples.len() as f64;
         let mut s1 = 0.0;
         let mut s2 = 0.0;
@@ -50,7 +53,11 @@ impl Moments {
             s2 += x * x;
             s3 += x * x * x;
         }
-        Self { m1: s1 / n, m2: s2 / n, m3: s3 / n }
+        Self {
+            m1: s1 / n,
+            m2: s2 / n,
+            m3: s3 / n,
+        }
     }
 
     /// `true` when the moments could belong to a nonnegative random
@@ -58,9 +65,7 @@ impl Moments {
     /// ordered by Jensen (`m2 ≥ m1^2`, `m3 ≥ m2^2/m1` by Cauchy–Schwarz on
     /// `X^{1/2}·X^{3/2}`).
     pub fn is_feasible(&self) -> bool {
-        self.m1 > 0.0
-            && self.m2 >= self.m1 * self.m1
-            && self.m1 * self.m3 >= self.m2 * self.m2
+        self.m1 > 0.0 && self.m2 >= self.m1 * self.m1 && self.m1 * self.m3 >= self.m2 * self.m2
     }
 }
 

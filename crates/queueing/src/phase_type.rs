@@ -35,11 +35,17 @@ impl PhaseType {
         assert!(p > 0, "need at least one phase");
         assert!(t.is_square() && t.rows() == p, "T must be p x p");
         let total: f64 = alpha.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "alpha must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "alpha must sum to 1, got {total}"
+        );
         assert!(alpha.iter().all(|&a| a >= 0.0));
         let mut exit = Vec::with_capacity(p);
         for i in 0..p {
-            assert!(t[(i, i)] < 0.0, "diagonal of T must be negative (phase {i})");
+            assert!(
+                t[(i, i)] < 0.0,
+                "diagonal of T must be negative (phase {i})"
+            );
             let mut row_sum = 0.0;
             for j in 0..p {
                 if i != j {
@@ -227,10 +233,9 @@ mod tests {
     #[test]
     fn erlang_ph_moments_match_distribution_module() {
         let ph = PhaseType::erlang(3, 1.5);
-        let reference =
-            crate::distributions::SizeDistribution::moments(&crate::distributions::Erlang::new(
-                3, 1.5,
-            ));
+        let reference = crate::distributions::SizeDistribution::moments(
+            &crate::distributions::Erlang::new(3, 1.5),
+        );
         let m = ph.moments();
         assert!((m.m1 - reference.m1).abs() < 1e-12);
         assert!((m.m2 - reference.m2).abs() < 1e-12);
@@ -277,7 +282,7 @@ mod tests {
         let r = 2.0;
         let ph = PhaseType::erlang(2, r);
         for t in [0.1, 0.5, 1.0, 2.5] {
-            let want = (-r * t as f64).exp() * (1.0 + r * t);
+            let want = (-r * t).exp() * (1.0 + r * t);
             let got = ph.survival(t);
             assert!((got - want).abs() < 1e-9, "t={t}: {got} vs {want}");
         }
@@ -312,7 +317,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must sum to 1")]
     fn rejects_bad_alpha() {
-        PhaseType::new(vec![0.5, 0.4], Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]));
+        PhaseType::new(
+            vec![0.5, 0.4],
+            Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]),
+        );
     }
 
     #[test]

@@ -56,7 +56,15 @@ impl PoissonStream {
         let mut rng = StdRng::seed_from_u64(seed);
         let next_i = sample_interarrival(&mut rng, lambda_i);
         let next_e = sample_interarrival(&mut rng, lambda_e);
-        Self { lambda_i, lambda_e, size_i, size_e, rng, next_i, next_e }
+        Self {
+            lambda_i,
+            lambda_e,
+            size_i,
+            size_e,
+            rng,
+            next_i,
+            next_e,
+        }
     }
 }
 
@@ -89,7 +97,6 @@ impl ArrivalSource for PoissonStream {
         Some(Arrival { time, class, size })
     }
 }
-
 
 /// Batch-Poisson ("bursty") arrivals: bursts arrive as a Poisson process
 /// and each burst delivers a geometric number of jobs at the same instant.
@@ -231,7 +238,10 @@ impl ArrivalTrace {
 
     /// Streams this trace.
     pub fn stream(&self) -> TraceStream<'_> {
-        TraceStream { trace: self, pos: 0 }
+        TraceStream {
+            trace: self,
+            pos: 0,
+        }
     }
 }
 
@@ -311,7 +321,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn bursty_stream_emits_time_ordered_bursts() {
         let mut s = BurstyStream::new(
@@ -334,7 +343,10 @@ mod tests {
         }
         // With continuation probability 0.6 most arrivals share a burst
         // instant with their predecessor.
-        assert!(same_instant > 2_000, "only {same_instant} same-instant arrivals");
+        assert!(
+            same_instant > 2_000,
+            "only {same_instant} same-instant arrivals"
+        );
     }
 
     #[test]
@@ -400,8 +412,16 @@ mod tests {
     #[test]
     fn trace_sorts_out_of_order_input() {
         let t = ArrivalTrace::new(vec![
-            Arrival { time: 2.0, class: JobClass::Elastic, size: 1.0 },
-            Arrival { time: 1.0, class: JobClass::Inelastic, size: 2.0 },
+            Arrival {
+                time: 2.0,
+                class: JobClass::Elastic,
+                size: 1.0,
+            },
+            Arrival {
+                time: 1.0,
+                class: JobClass::Inelastic,
+                size: 2.0,
+            },
         ]);
         assert_eq!(t.arrivals()[0].time, 1.0);
         assert!((t.total_work() - 3.0).abs() < 1e-12);

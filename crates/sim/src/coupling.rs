@@ -59,7 +59,11 @@ impl WorkTrajectory {
         let snapshot = |time: f64, inel: &VecDeque<Job>, el: &VecDeque<Job>| {
             let wi: f64 = inel.iter().map(|j| j.remaining).sum();
             let we: f64 = el.iter().map(|j| j.remaining).sum();
-            WorkSample { time, total: wi + we, inelastic: wi }
+            WorkSample {
+                time,
+                total: wi + we,
+                inelastic: wi,
+            }
         };
         samples.push(snapshot(0.0, &inelastic, &elastic));
 
@@ -277,8 +281,16 @@ mod tests {
     #[test]
     fn arrival_jumps_are_recorded_pre_and_post() {
         let tr = ArrivalTrace::new(vec![
-            Arrival { time: 0.0, class: JobClass::Inelastic, size: 1.0 },
-            Arrival { time: 0.5, class: JobClass::Inelastic, size: 1.0 },
+            Arrival {
+                time: 0.0,
+                class: JobClass::Inelastic,
+                size: 1.0,
+            },
+            Arrival {
+                time: 0.5,
+                class: JobClass::Inelastic,
+                size: 1.0,
+            },
         ]);
         let w = WorkTrajectory::record(&InelasticFirst, &tr, 1);
         // Just after t=0.5 the work is 0.5 (old job) + 1.0 (new) = 1.5.
@@ -298,7 +310,10 @@ mod tests {
             let wif = WorkTrajectory::record(&InelasticFirst, &tr, 4);
             let wef = WorkTrajectory::record(&ElasticFirst, &tr, 4);
             let violation = dominates_throughout(&wif, &wef, 1e-7);
-            assert!(violation.is_none(), "seed {seed}: violation at {violation:?}");
+            assert!(
+                violation.is_none(),
+                "seed {seed}: violation at {violation:?}"
+            );
         }
     }
 
@@ -310,7 +325,10 @@ mod tests {
             let pol = TablePolicy::random_class_p(seed);
             let wp = WorkTrajectory::record(&pol, &tr, 4);
             let violation = dominates_throughout(&wif, &wp, 1e-7);
-            assert!(violation.is_none(), "seed {seed}: violation at {violation:?}");
+            assert!(
+                violation.is_none(),
+                "seed {seed}: violation at {violation:?}"
+            );
         }
     }
 
@@ -327,8 +345,16 @@ mod tests {
         // EF does NOT dominate IF in inelastic work: inelastic work piles up
         // while EF serves elastic jobs.
         let tr = ArrivalTrace::new(vec![
-            Arrival { time: 0.0, class: JobClass::Inelastic, size: 1.0 },
-            Arrival { time: 0.0, class: JobClass::Elastic, size: 4.0 },
+            Arrival {
+                time: 0.0,
+                class: JobClass::Inelastic,
+                size: 1.0,
+            },
+            Arrival {
+                time: 0.0,
+                class: JobClass::Elastic,
+                size: 4.0,
+            },
         ]);
         let wif = WorkTrajectory::record(&InelasticFirst, &tr, 2);
         let wef = WorkTrajectory::record(&ElasticFirst, &tr, 2);

@@ -95,8 +95,16 @@ pub fn simulate_state_level(policy: &dyn AllocationPolicy, cfg: CtmcSimConfig) -
         mean_n_i,
         mean_n_e,
         mean_response: (mean_n_i + mean_n_e) / lambda,
-        mean_response_i: if cfg.lambda_i > 0.0 { mean_n_i / cfg.lambda_i } else { f64::NAN },
-        mean_response_e: if cfg.lambda_e > 0.0 { mean_n_e / cfg.lambda_e } else { f64::NAN },
+        mean_response_i: if cfg.lambda_i > 0.0 {
+            mean_n_i / cfg.lambda_i
+        } else {
+            f64::NAN
+        },
+        mean_response_e: if cfg.lambda_e > 0.0 {
+            mean_n_e / cfg.lambda_e
+        } else {
+            f64::NAN
+        },
         elapsed: n_i.elapsed(),
     }
 }
@@ -130,14 +138,22 @@ mod tests {
     fn mmk_mean_number_matches_erlang_c() {
         let r = simulate_state_level(&InelasticFirst, cfg(4, 3.0, 0.0, 1.0, 1.0, 2));
         let want = eirs_queueing::MMk::new(3.0, 1.0, 4).mean_number_in_system();
-        assert!((r.mean_n_i - want).abs() / want < 0.02, "{} vs {want}", r.mean_n_i);
+        assert!(
+            (r.mean_n_i - want).abs() / want < 0.02,
+            "{} vs {want}",
+            r.mean_n_i
+        );
     }
 
     #[test]
     fn ef_elastic_is_mm1_at_rate_k_mu() {
         let r = simulate_state_level(&ElasticFirst, cfg(4, 0.0, 2.0, 1.0, 1.0, 3));
         let want = eirs_queueing::MM1::new(2.0, 4.0).mean_number_in_system();
-        assert!((r.mean_n_e - want).abs() / want < 0.03, "{} vs {want}", r.mean_n_e);
+        assert!(
+            (r.mean_n_e - want).abs() / want < 0.03,
+            "{} vs {want}",
+            r.mean_n_e
+        );
     }
 
     #[test]

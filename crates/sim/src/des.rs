@@ -47,12 +47,20 @@ impl DesConfig {
     /// Steady-state measurement: warm up for `warmup` departures, then
     /// measure `departures` of them.
     pub fn steady_state(k: u32, warmup: u64, departures: u64) -> Self {
-        Self { k, stop: StopRule::Departures(departures), warmup_departures: warmup }
+        Self {
+            k,
+            stop: StopRule::Departures(departures),
+            warmup_departures: warmup,
+        }
     }
 
     /// Transient run: no warm-up, drain the trace.
     pub fn drain(k: u32) -> Self {
-        Self { k, stop: StopRule::Drain, warmup_departures: 0 }
+        Self {
+            k,
+            stop: StopRule::Drain,
+            warmup_departures: 0,
+        }
     }
 }
 
@@ -102,6 +110,12 @@ pub struct Simulation {
     elastic: VecDeque<Job>,
     next_id: u64,
     total_departures: u64,
+    // Remaining work per class, maintained incrementally (O(1) per event
+    // instead of an O(n) queue scan): arrivals add their size, the advance
+    // loop subtracts exactly the work it removes from served jobs, and
+    // departures subtract the numerical residual of the departing job.
+    work_total_i: f64,
+    work_total_e: f64,
     // Measurement state.
     measuring: bool,
     resp_all: Welford,
@@ -127,10 +141,12 @@ impl Simulation {
         Self {
             config,
             time: 0.0,
-            inelastic: VecDeque::new(),
-            elastic: VecDeque::new(),
+            inelastic: VecDeque::with_capacity(64),
+            elastic: VecDeque::with_capacity(64),
             next_id: 0,
             total_departures: 0,
+            work_total_i: 0.0,
+            work_total_e: 0.0,
             measuring: config.warmup_departures == 0,
             resp_all: Welford::new(),
             resp_i: Welford::new(),
@@ -156,8 +172,14 @@ impl Simulation {
             let job = Job::new(self.next_id, class, size, 0.0);
             self.next_id += 1;
             match class {
-                JobClass::Inelastic => self.inelastic.push_back(job),
-                JobClass::Elastic => self.elastic.push_back(job),
+                JobClass::Inelastic => {
+                    self.work_total_i += size;
+                    self.inelastic.push_back(job);
+                }
+                JobClass::Elastic => {
+                    self.work_total_e += size;
+                    self.elastic.push_back(job);
+                }
             }
         }
     }
@@ -243,8 +265,8 @@ impl Simulation {
 
             // Accumulate time-weighted statistics over [time, time+dt).
             if self.measuring && dt > 0.0 {
-                let w_i: f64 = self.inelastic.iter().map(|x| x.remaining).sum();
-                let w_e: f64 = self.elastic.iter().map(|x| x.remaining).sum();
+                let w_i = self.work_total_i;
+                let w_e = self.work_total_e;
                 let total_rate = alloc.total();
                 // Work decreases linearly at the service rate:
                 // ∫ W dt = W₀·dt − rate·dt²/2.
@@ -256,17 +278,25 @@ impl Simulation {
                 self.busy.add(total_rate / kf, dt);
             }
 
-            // Advance remaining work of served jobs.
+            // Advance remaining work of served jobs, keeping the class work
+            // totals in sync with exactly the work removed (clamps at zero
+            // included), so the totals never drift from the queue contents.
             if dt > 0.0 {
+                let mut reduced_i = 0.0;
                 for (idx, job) in self.inelastic.iter_mut().enumerate().take(whole + 1) {
                     let rate = inelastic_rate(idx);
                     if rate > 0.0 {
-                        job.remaining = (job.remaining - rate * dt).max(0.0);
+                        let before = job.remaining;
+                        job.remaining = (before - rate * dt).max(0.0);
+                        reduced_i += before - job.remaining;
                     }
                 }
+                self.work_total_i -= reduced_i;
                 if alloc.elastic > 0.0 {
                     if let Some(head) = self.elastic.front_mut() {
-                        head.remaining = (head.remaining - alloc.elastic * dt).max(0.0);
+                        let before = head.remaining;
+                        head.remaining = (before - alloc.elastic * dt).max(0.0);
+                        self.work_total_e -= before - head.remaining;
                     }
                 }
                 self.time += dt;
@@ -282,8 +312,14 @@ impl Simulation {
                     self.next_id += 1;
                     self.time = self.time.max(a.time);
                     match a.class {
-                        JobClass::Inelastic => self.inelastic.push_back(job),
-                        JobClass::Elastic => self.elastic.push_back(job),
+                        JobClass::Inelastic => {
+                            self.work_total_i += a.size;
+                            self.inelastic.push_back(job);
+                        }
+                        JobClass::Elastic => {
+                            self.work_total_e += a.size;
+                            self.elastic.push_back(job);
+                        }
                     }
                     pending = source.next_arrival();
                     // Zero-size jobs depart immediately.
@@ -298,6 +334,12 @@ impl Simulation {
     fn collect_departures(&mut self) {
         let time = self.time;
         let depart = |job: Job, stats: &mut Self| {
+            // Remove the numerical residual (is_done() tolerates ~1e-12) so
+            // the incremental work totals exactly track the queue contents.
+            match job.class {
+                JobClass::Inelastic => stats.work_total_i -= job.remaining,
+                JobClass::Elastic => stats.work_total_e -= job.remaining,
+            }
             stats.total_departures += 1;
             if !stats.measuring && stats.total_departures >= stats.config.warmup_departures {
                 stats.measuring = true;
@@ -445,8 +487,16 @@ mod tests {
         };
         let rif = run(&InelasticFirst);
         let ref_ = run(&ElasticFirst);
-        assert!((rif.total_response - 5.0).abs() < 1e-9, "IF {}", rif.total_response);
-        assert!((ref_.total_response - 4.5).abs() < 1e-9, "EF {}", ref_.total_response);
+        assert!(
+            (rif.total_response - 5.0).abs() < 1e-9,
+            "IF {}",
+            rif.total_response
+        );
+        assert!(
+            (ref_.total_response - 4.5).abs() < 1e-9,
+            "EF {}",
+            ref_.total_response
+        );
         assert_eq!(rif.completed, [2, 1]);
         assert_eq!(ref_.completed, [2, 1]);
     }
@@ -552,7 +602,11 @@ mod tests {
             (5.0, JobClass::Inelastic, 1.0),
         ]);
         let mut s = tr.stream();
-        let cfg = DesConfig { k: 1, stop: StopRule::Drain, warmup_departures: 2 };
+        let cfg = DesConfig {
+            k: 1,
+            stop: StopRule::Drain,
+            warmup_departures: 2,
+        };
         let r = Simulation::new(cfg).run(&InelasticFirst, &mut s);
         // Only the third departure is measured.
         assert_eq!(r.completed, [1, 0]);
@@ -561,7 +615,11 @@ mod tests {
 
     #[test]
     fn sim_time_stop_rule_ends_on_time() {
-        let cfg = DesConfig { k: 1, stop: StopRule::SimTime(100.0), warmup_departures: 0 };
+        let cfg = DesConfig {
+            k: 1,
+            stop: StopRule::SimTime(100.0),
+            warmup_departures: 0,
+        };
         use eirs_queueing::Exponential;
         let mut source = crate::arrivals::PoissonStream::new(
             0.5,
@@ -581,7 +639,11 @@ mod tests {
         let tr = trace(&[(0.0, JobClass::Inelastic, 2.0)]);
         let mut s = tr.stream();
         let r = Simulation::new(DesConfig::drain(1)).run(&InelasticFirst, &mut s);
-        assert!((r.mean_work - 1.0).abs() < 1e-9, "mean work {}", r.mean_work);
+        assert!(
+            (r.mean_work - 1.0).abs() < 1e-9,
+            "mean work {}",
+            r.mean_work
+        );
         assert!((r.mean_work_inelastic - 1.0).abs() < 1e-9);
         assert!((r.utilization - 1.0).abs() < 1e-9);
     }
@@ -595,6 +657,10 @@ mod tests {
         let r = sim.run(&InelasticFirst, &mut s);
         // IF: inelastic done at 1 (1 server), elastic on remaining 1 server
         // until t=1 (1 unit done), then 2 servers: remaining 1 → 0.5 → t=1.5.
-        assert!((r.total_response - 2.5).abs() < 1e-9, "{}", r.total_response);
+        assert!(
+            (r.total_response - 2.5).abs() < 1e-9,
+            "{}",
+            r.total_response
+        );
     }
 }

@@ -41,7 +41,13 @@ impl Job {
     /// A fresh job with full remaining work.
     pub fn new(id: u64, class: JobClass, size: f64, arrival: f64) -> Self {
         debug_assert!(size >= 0.0 && size.is_finite());
-        Self { id, class, size, remaining: size, arrival }
+        Self {
+            id,
+            class,
+            size,
+            remaining: size,
+            arrival,
+        }
     }
 
     /// `true` once the job has no work left (to numerical tolerance).

@@ -30,15 +30,17 @@ pub mod des;
 pub mod job;
 pub mod policy;
 pub mod quantile;
+pub mod replicate;
 pub mod stats;
 
 pub use arrivals::{Arrival, ArrivalTrace, BurstyStream, PoissonStream, TraceStream};
 pub use coupling::{dominates_throughout, WorkTrajectory};
-pub use des::{DesConfig, Simulation, SimReport, StopRule};
+pub use des::{DesConfig, SimReport, Simulation, StopRule};
 pub use job::{Job, JobClass};
 pub use policy::{
     AllocationPolicy, ClassAllocation, ElasticFirst, ElasticThresholdPolicy, FairShare,
     InelasticFirst, ReservePolicy, TablePolicy,
 };
 pub use quantile::{P2Quantile, TailStats};
+pub use replicate::{replication_seeds, run_markovian_replications, run_replications};
 pub use stats::{BatchMeans, ConfidenceInterval, ReplicationStats, TimeAverage};

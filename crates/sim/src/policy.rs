@@ -28,7 +28,10 @@ pub struct ClassAllocation {
 
 impl ClassAllocation {
     /// The all-idle allocation.
-    pub const IDLE: ClassAllocation = ClassAllocation { inelastic: 0.0, elastic: 0.0 };
+    pub const IDLE: ClassAllocation = ClassAllocation {
+        inelastic: 0.0,
+        elastic: 0.0,
+    };
 
     /// Total allocated servers.
     pub fn total(&self) -> f64 {
@@ -129,9 +132,15 @@ impl AllocationPolicy for ElasticFirst {
     fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
         let kf = k as f64;
         if j > 0 {
-            ClassAllocation { inelastic: 0.0, elastic: kf }
+            ClassAllocation {
+                inelastic: 0.0,
+                elastic: kf,
+            }
         } else {
-            ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 }
+            ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            }
         }
     }
 
@@ -169,7 +178,6 @@ impl AllocationPolicy for FairShare {
     }
 }
 
-
 /// **Reserve policy**: a one-parameter family interpolating between IF and
 /// EF. When elastic jobs are present, `reserve` servers are set aside for
 /// the head-of-line elastic job and inelastic jobs fill the rest
@@ -186,11 +194,17 @@ impl AllocationPolicy for ReservePolicy {
     fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
         let kf = k as f64;
         if j == 0 {
-            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+            return ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            };
         }
         let cap = kf - (self.reserve.min(k)) as f64;
         let inelastic = (i as f64).min(cap);
-        ClassAllocation { inelastic, elastic: kf - inelastic }
+        ClassAllocation {
+            inelastic,
+            elastic: kf - inelastic,
+        }
     }
 
     fn name(&self) -> String {
@@ -213,13 +227,22 @@ impl AllocationPolicy for ElasticThresholdPolicy {
     fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
         let kf = k as f64;
         if j == 0 {
-            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+            return ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            };
         }
         if j >= self.threshold.max(1) {
-            ClassAllocation { inelastic: 0.0, elastic: kf }
+            ClassAllocation {
+                inelastic: 0.0,
+                elastic: kf,
+            }
         } else {
             let inelastic = (i as f64).min(kf);
-            ClassAllocation { inelastic, elastic: kf - inelastic }
+            ClassAllocation {
+                inelastic,
+                elastic: kf - inelastic,
+            }
         }
     }
 
@@ -244,7 +267,10 @@ impl TablePolicy {
     where
         F: Fn(usize, usize, u32) -> f64 + Send + Sync + 'static,
     {
-        Self { name: name.into(), inelastic_share: Box::new(f) }
+        Self {
+            name: name.into(),
+            inelastic_share: Box::new(f),
+        }
     }
 
     /// A pseudo-random but *stationary deterministic* class-P policy: the
@@ -276,11 +302,17 @@ impl AllocationPolicy for TablePolicy {
             return ClassAllocation::IDLE;
         }
         if j == 0 {
-            return ClassAllocation { inelastic: (i as f64).min(kf), elastic: 0.0 };
+            return ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            };
         }
         let raw = (self.inelastic_share)(i, j, k);
         let inelastic = raw.clamp(0.0, (i as f64).min(kf));
-        ClassAllocation { inelastic, elastic: kf - inelastic }
+        ClassAllocation {
+            inelastic,
+            elastic: kf - inelastic,
+        }
     }
 
     fn name(&self) -> String {
@@ -303,24 +335,60 @@ mod tests {
         let p = InelasticFirst;
         // i < k, elastic present: inelastic get i servers, elastic the rest.
         let a = p.allocate(2, 3, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 2.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 2.0,
+                elastic: 2.0
+            }
+        );
         // i >= k: all servers to inelastic.
         let a = p.allocate(7, 3, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 4.0, elastic: 0.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 4.0,
+                elastic: 0.0
+            }
+        );
         // No elastic jobs: no elastic allocation.
         let a = p.allocate(2, 0, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 0.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 2.0,
+                elastic: 0.0
+            }
+        );
     }
 
     #[test]
     fn elastic_first_matches_paper_definition() {
         let p = ElasticFirst;
         let a = p.allocate(5, 1, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 0.0, elastic: 4.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 0.0,
+                elastic: 4.0
+            }
+        );
         let a = p.allocate(5, 0, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 4.0, elastic: 0.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 4.0,
+                elastic: 0.0
+            }
+        );
         let a = p.allocate(2, 0, 4);
-        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 0.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 2.0,
+                elastic: 0.0
+            }
+        );
     }
 
     #[test]
@@ -329,7 +397,13 @@ mod tests {
         // 2 inelastic + 2 elastic on 8 servers: share 2 each, inelastic
         // capped at 1 → inelastic total 2, elastic 6.
         let a = p.allocate(2, 2, 8);
-        assert_eq!(a, ClassAllocation { inelastic: 2.0, elastic: 6.0 });
+        assert_eq!(
+            a,
+            ClassAllocation {
+                inelastic: 2.0,
+                elastic: 6.0
+            }
+        );
         // Crowded: 6+2 jobs on 4 servers: share 0.5 → inelastic 3, elastic 1.
         let a = p.allocate(6, 2, 4);
         assert!((a.inelastic - 3.0).abs() < 1e-12);
@@ -378,7 +452,10 @@ mod tests {
     fn assert_feasible_rejects_oversubscription() {
         let result = std::panic::catch_unwind(|| {
             assert_feasible(
-                ClassAllocation { inelastic: 3.0, elastic: 3.0 },
+                ClassAllocation {
+                    inelastic: 3.0,
+                    elastic: 3.0,
+                },
                 2,
                 1,
                 4,
@@ -387,7 +464,6 @@ mod tests {
         });
         assert!(result.is_err());
     }
-
 
     #[test]
     fn reserve_policy_interpolates_between_if_and_ef() {
@@ -435,7 +511,7 @@ mod tests {
                 "Idler".into()
             }
         }
-        assert!(Idler.is_work_conserving_on(2, 4, 4) == false);
+        assert!(!Idler.is_work_conserving_on(2, 4, 4));
         // The lazy table policy is still in class P (elastic absorbs slack).
         assert!(lazy.is_work_conserving_on(4, 10, 10));
     }

@@ -162,7 +162,11 @@ impl TailStats {
 
     /// `(P50, P95, P99)` estimates.
     pub fn estimates(&self) -> (f64, f64, f64) {
-        (self.p50.estimate(), self.p95.estimate(), self.p99.estimate())
+        (
+            self.p50.estimate(),
+            self.p95.estimate(),
+            self.p99.estimate(),
+        )
     }
 
     /// Observations seen.
@@ -200,7 +204,11 @@ mod tests {
         }
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let exact = exact_quantile(&all, 0.5);
-        assert!((est.estimate() - exact).abs() < 0.01, "{} vs {exact}", est.estimate());
+        assert!(
+            (est.estimate() - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.estimate()
+        );
     }
 
     #[test]

@@ -143,10 +143,12 @@ impl ReplicationStats {
         assert!(n >= 2, "confidence interval needs at least 2 replications");
         let t = t_critical_95(n - 1);
         let se = (self.w.variance() / n as f64).sqrt();
-        ConfidenceInterval { mean: self.w.mean(), half_width: t * se }
+        ConfidenceInterval {
+            mean: self.w.mean(),
+            half_width: t * se,
+        }
     }
 }
-
 
 /// Batch-means confidence intervals from a *single* long run.
 ///
@@ -205,9 +207,9 @@ impl BatchMeans {
 /// Two-sided 95% Student-t critical values by degrees of freedom.
 fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -259,7 +261,6 @@ mod tests {
         assert!(ci.contains(10.0), "{ci:?}");
         assert!(ci.half_width > 0.0);
     }
-
 
     #[test]
     fn batch_means_groups_observations() {

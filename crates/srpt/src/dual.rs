@@ -130,11 +130,33 @@ mod tests {
 
     fn check(instance: &BatchInstance, label: &str) {
         let r = verify_dual_fitting(instance);
-        assert!(r.is_feasible(1e-9), "{label}: violation {}", r.max_constraint_violation);
-        assert!(r.lemma8_holds(1e-9), "{label}: Σα−∫β = {} < C₂/2 = {}", r.dual_objective, 0.5 * r.speed2_total_response);
-        assert!(r.weak_duality_holds(1e-9), "{label}: dual {} > LP {}", r.dual_objective, r.lp_bound);
-        assert!(r.approx_ratio <= 4.0 + 1e-9, "{label}: ratio {}", r.approx_ratio);
-        assert!(r.approx_ratio >= 1.0 - 1e-9, "{label}: ratio {} < 1", r.approx_ratio);
+        assert!(
+            r.is_feasible(1e-9),
+            "{label}: violation {}",
+            r.max_constraint_violation
+        );
+        assert!(
+            r.lemma8_holds(1e-9),
+            "{label}: Σα−∫β = {} < C₂/2 = {}",
+            r.dual_objective,
+            0.5 * r.speed2_total_response
+        );
+        assert!(
+            r.weak_duality_holds(1e-9),
+            "{label}: dual {} > LP {}",
+            r.dual_objective,
+            r.lp_bound
+        );
+        assert!(
+            r.approx_ratio <= 4.0 + 1e-9,
+            "{label}: ratio {}",
+            r.approx_ratio
+        );
+        assert!(
+            r.approx_ratio >= 1.0 - 1e-9,
+            "{label}: ratio {} < 1",
+            r.approx_ratio
+        );
         // Exact time scaling C₁ = 2 C₂.
         assert!(
             (r.speed1_total_response - 2.0 * r.speed2_total_response).abs()
@@ -176,12 +198,18 @@ mod tests {
         let i = BatchInstance::new(
             4,
             (0..12)
-                .map(|t| BatchJob { size: 1.0, cap: if t % 2 == 0 { 1 } else { 4 } })
+                .map(|t| BatchJob {
+                    size: 1.0,
+                    cap: if t % 2 == 0 { 1 } else { 4 },
+                })
                 .collect(),
         );
         check(&i, "ties");
         // One giant job behind many tiny ones.
-        let mut jobs = vec![BatchJob { size: 100.0, cap: 2 }];
+        let mut jobs = vec![BatchJob {
+            size: 100.0,
+            cap: 2,
+        }];
         jobs.extend((0..20).map(|_| BatchJob { size: 0.01, cap: 1 }));
         check(&BatchInstance::new(4, jobs), "giant");
     }

@@ -28,7 +28,11 @@ impl BatchInstance {
         assert!(k >= 1, "need at least one server");
         assert!(!jobs.is_empty(), "instance needs at least one job");
         for (idx, j) in jobs.iter().enumerate() {
-            assert!(j.size > 0.0 && j.size.is_finite(), "job {idx} has bad size {}", j.size);
+            assert!(
+                j.size > 0.0 && j.size.is_finite(),
+                "job {idx} has bad size {}",
+                j.size
+            );
             assert!(j.cap >= 1, "job {idx} has zero cap");
         }
         Self { k, jobs }
@@ -58,7 +62,10 @@ impl BatchInstance {
                 size: 0.1 + rng.random::<f64>() * (max_size - 0.1),
                 cap: 1 + (rng.random::<f64>() * k as f64) as u32,
             })
-            .map(|j| BatchJob { cap: j.cap.min(k), ..j })
+            .map(|j| BatchJob {
+                cap: j.cap.min(k),
+                ..j
+            })
             .collect();
         Self::new(k, jobs)
     }
@@ -73,7 +80,10 @@ impl BatchInstance {
                 let u: f64 = rng.random::<f64>().max(1e-12);
                 let size = (l * u.powf(-1.0 / alpha)).min(h);
                 let cap = 1 + (rng.random::<f64>() * k as f64) as u32;
-                BatchJob { size, cap: cap.min(k) }
+                BatchJob {
+                    size,
+                    cap: cap.min(k),
+                }
             })
             .collect();
         Self::new(k, jobs)
@@ -81,22 +91,23 @@ impl BatchInstance {
 
     /// The paper's motivating mixture: a fraction of small *inelastic* jobs
     /// (cap 1) and large *elastic* jobs (cap `k`).
-    pub fn random_elastic_inelastic(
-        n: usize,
-        k: u32,
-        inelastic_fraction: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn random_elastic_inelastic(n: usize, k: u32, inelastic_fraction: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&inelastic_fraction));
         let mut rng = StdRng::seed_from_u64(seed);
         let jobs = (0..n)
             .map(|_| {
                 if rng.random::<f64>() < inelastic_fraction {
                     // Small sequential job (e.g. a reduce stage / inference).
-                    BatchJob { size: 0.1 + rng.random::<f64>() * 0.9, cap: 1 }
+                    BatchJob {
+                        size: 0.1 + rng.random::<f64>() * 0.9,
+                        cap: 1,
+                    }
                 } else {
                     // Large parallel job (e.g. a map stage / training run).
-                    BatchJob { size: 2.0 + rng.random::<f64>() * 18.0, cap: k }
+                    BatchJob {
+                        size: 2.0 + rng.random::<f64>() * 18.0,
+                        cap: k,
+                    }
                 }
             })
             .collect();

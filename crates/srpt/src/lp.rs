@@ -33,7 +33,11 @@ pub fn lp_lower_bound(instance: &BatchInstance) -> f64 {
         flow_term += (prefix + 0.5 * x) / k;
         prefix += x;
     }
-    let cap_term: f64 = instance.jobs.iter().map(|j| j.size / (2.0 * j.cap as f64)).sum();
+    let cap_term: f64 = instance
+        .jobs
+        .iter()
+        .map(|j| j.size / (2.0 * j.cap as f64))
+        .sum();
     flow_term + cap_term
 }
 
@@ -46,7 +50,9 @@ mod tests {
     fn inst(k: u32, jobs: &[(f64, u32)]) -> BatchInstance {
         BatchInstance::new(
             k,
-            jobs.iter().map(|&(s, c)| BatchJob { size: s, cap: c }).collect(),
+            jobs.iter()
+                .map(|&(s, c)| BatchJob { size: s, cap: c })
+                .collect(),
         )
     }
 

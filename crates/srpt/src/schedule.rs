@@ -92,7 +92,11 @@ pub fn srpt_k_schedule(instance: &BatchInstance, speed: f64) -> Schedule {
     }
 
     let total: f64 = completion.iter().sum();
-    Schedule { completion_times: completion, total_response_time: total, speed }
+    Schedule {
+        completion_times: completion,
+        total_response_time: total,
+        speed,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +107,9 @@ mod tests {
     fn inst(k: u32, jobs: &[(f64, u32)]) -> BatchInstance {
         BatchInstance::new(
             k,
-            jobs.iter().map(|&(size, cap)| BatchJob { size, cap }).collect(),
+            jobs.iter()
+                .map(|&(size, cap)| BatchJob { size, cap })
+                .collect(),
         )
     }
 
@@ -135,7 +141,11 @@ mod tests {
         let s = srpt_k_schedule(&inst(4, &[(1.0, 1), (9.0, 4)]), 1.0);
         assert!((s.completion_times[0] - 1.0).abs() < 1e-12);
         // Long job: 3 servers for 1s (3 units), then 4 servers for 1.5s.
-        assert!((s.completion_times[1] - 2.5).abs() < 1e-12, "{}", s.completion_times[1]);
+        assert!(
+            (s.completion_times[1] - 2.5).abs() < 1e-12,
+            "{}",
+            s.completion_times[1]
+        );
     }
 
     #[test]
@@ -153,8 +163,7 @@ mod tests {
         let s1 = srpt_k_schedule(&instance, 1.0);
         let s2 = srpt_k_schedule(&instance, 2.0);
         assert!(
-            (s1.total_response_time - 2.0 * s2.total_response_time).abs()
-                / s1.total_response_time
+            (s1.total_response_time - 2.0 * s2.total_response_time).abs() / s1.total_response_time
                 < 1e-9,
             "C_1 {} vs 2·C_2 {}",
             s1.total_response_time,
@@ -174,8 +183,8 @@ mod tests {
     fn makespan_bounded_by_work_over_k_plus_max_size() {
         let instance = BatchInstance::random_uniform(100, 4, 10.0, 6);
         let s = srpt_k_schedule(&instance, 1.0);
-        let bound = instance.total_work() / 4.0
-            + instance.jobs.iter().map(|j| j.size).fold(0.0, f64::max);
+        let bound =
+            instance.total_work() / 4.0 + instance.jobs.iter().map(|j| j.size).fold(0.0, f64::max);
         assert!(s.makespan() <= bound + 1e-9);
     }
 }

@@ -48,8 +48,11 @@ fn main() {
     let min_stable = (lambda_i / mu_i + lambda_e / mu_e).ceil() as u32;
     println!("Bare stability needs k > {min_stable} servers.\n");
 
-    let if_mrt =
-        |p: &SystemParams| analyze_inelastic_first(p).expect("IF analysis").mean_response;
+    let if_mrt = |p: &SystemParams| {
+        analyze_inelastic_first(p)
+            .expect("IF analysis")
+            .mean_response
+    };
     let ef_mrt = |p: &SystemParams| analyze_elastic_first(p).expect("EF analysis").mean_response;
 
     println!("  SLA E[T] ≤   k (IF)   achieved    k (EF)   achieved");
@@ -67,11 +70,7 @@ fn main() {
     println!("  k      E[T] IF    E[T] EF");
     for k in (2..=16).step_by(2) {
         let p = SystemParams::with_equal_lambdas(k, 0.25, 1.0, 0.9).expect("stable");
-        println!(
-            "  {k:<7}{:<11.3}{:<11.3}",
-            if_mrt(&p),
-            ef_mrt(&p)
-        );
+        println!("  {k:<7}{:<11.3}{:<11.3}", if_mrt(&p), ef_mrt(&p));
     }
     println!(
         "\nEven at k = 16 the gap between the policies stays large — the\n\

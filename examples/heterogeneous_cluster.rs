@@ -19,8 +19,8 @@
 //! leftovers at almost no cost to itself.
 
 use eirs_repro::multiclass::{
-    evaluate_multiclass, least_flexible_first, most_flexible_first, simulate_multiclass,
-    ClassSpec, MultiPolicy, MultiSimConfig, MultiSystem, PriorityOrder, WaterFilling,
+    evaluate_multiclass, least_flexible_first, most_flexible_first, simulate_multiclass, ClassSpec,
+    MultiPolicy, MultiSimConfig, MultiSystem, PriorityOrder, WaterFilling,
 };
 
 fn build_system() -> MultiSystem {
@@ -65,18 +65,21 @@ fn main() {
         [2, 0, 1],
         [2, 1, 0],
     ] {
-        let label = format!("{} > {} > {}", names[perm[0]], names[perm[1]], names[perm[2]]);
+        let label = format!(
+            "{} > {} > {}",
+            names[perm[0]], names[perm[1]], names[perm[2]]
+        );
         let policy = PriorityOrder::new(perm.to_vec(), label.clone());
         let a = evaluate_multiclass(&system, &policy, &[60, 40, 30], 1e-7, 300_000)
             .expect("evaluation converges");
         println!(
             "  {label:<30} {:<8.3} {:<9.3} {:<9.3} {:<9.3}",
-            a.overall_mean_response,
-            a.mean_response[0],
-            a.mean_response[1],
-            a.mean_response[2]
+            a.overall_mean_response, a.mean_response[0], a.mean_response[1], a.mean_response[2]
         );
-        if best.as_ref().is_none_or(|(_, t)| a.overall_mean_response < *t) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, t)| a.overall_mean_response < *t)
+        {
             best = Some((label, a.overall_mean_response));
         }
     }
@@ -98,7 +101,11 @@ fn main() {
         let r = simulate_multiclass(
             &system,
             policy,
-            MultiSimConfig { seed: 42, warmup_departures: 50_000, departures: 400_000 },
+            MultiSimConfig {
+                seed: 42,
+                warmup_departures: 50_000,
+                departures: 400_000,
+            },
         );
         println!(
             "  {:<22} {:<8.3} {:<9.2} {:<9.2} {:<9.2} {:.3}",

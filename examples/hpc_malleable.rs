@@ -26,7 +26,11 @@ fn main() {
             .expect("closed system solves");
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio)
             .expect("closed system solves");
-        let better = if g_ef < g_if - 1e-12 { "EF" } else { "IF (or tie)" };
+        let better = if g_ef < g_if - 1e-12 {
+            "EF"
+        } else {
+            "IF (or tie)"
+        };
         println!("  {ratio:<10.1}{g_if:<13.6}{g_ef:<13.6}{better}");
     }
     println!("  (at µ_E = 2µ_I these are the paper's 35/12 and 33/12)\n");

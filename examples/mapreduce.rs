@@ -21,8 +21,8 @@ fn main() {
     // stage arrivals are balanced so the cluster runs at 80% load.
     let k = 16;
     let (mu_reduce, mu_map) = (2.0, 0.25);
-    let params = SystemParams::with_equal_lambdas(k, mu_reduce, mu_map, 0.8)
-        .expect("stable parameters");
+    let params =
+        SystemParams::with_equal_lambdas(k, mu_reduce, mu_map, 0.8).expect("stable parameters");
     println!(
         "MapReduce cluster: k = {k}, map ~Exp(µ={mu_map}) [elastic], \
          reduce ~Exp(µ={mu_reduce}) [inelastic], ρ = {:.2}",
@@ -36,14 +36,23 @@ fn main() {
 
     // Simulation for all policies, including the fair-share baseline the
     // analysis does not cover.
+    #[allow(clippy::type_complexity)]
     let policies: Vec<(&dyn AllocationPolicy, Option<(f64, f64, f64)>)> = vec![
         (
             &InelasticFirst,
-            Some((a_if.mean_response, a_if.mean_response_inelastic, a_if.mean_response_elastic)),
+            Some((
+                a_if.mean_response,
+                a_if.mean_response_inelastic,
+                a_if.mean_response_elastic,
+            )),
         ),
         (
             &ElasticFirst,
-            Some((a_ef.mean_response, a_ef.mean_response_inelastic, a_ef.mean_response_elastic)),
+            Some((
+                a_ef.mean_response,
+                a_ef.mean_response_inelastic,
+                a_ef.mean_response_elastic,
+            )),
         ),
         (&FairShare, None),
     ];

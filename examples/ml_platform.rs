@@ -26,8 +26,8 @@ fn main() {
     println!("  load   E[T_inf]   E[T_train]  E[T]       E[T_inf]   E[T_train]  E[T]");
 
     for rho in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
-        let params = SystemParams::with_equal_lambdas(k, mu_inf, mu_train, rho)
-            .expect("stable parameters");
+        let params =
+            SystemParams::with_equal_lambdas(k, mu_inf, mu_train, rho).expect("stable parameters");
         let a_if = analyze_inelastic_first(&params).expect("IF analysis");
         let a_ef = analyze_elastic_first(&params).expect("EF analysis");
         println!(

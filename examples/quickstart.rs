@@ -15,10 +15,15 @@ fn main() {
     // A 4-server cluster at 70% load. Inelastic jobs are 2x smaller on
     // average than elastic jobs (µ_I = 2, µ_E = 1) — the common case the
     // paper motivates with MapReduce and ML-serving workloads.
-    let params = SystemParams::with_equal_lambdas(4, 2.0, 1.0, 0.7)
-        .expect("parameters are stable");
-    println!("System: k = {}, λ_I = λ_E = {:.4}, µ_I = {}, µ_E = {}, ρ = {:.2}",
-        params.k, params.lambda_i, params.mu_i, params.mu_e, params.load());
+    let params = SystemParams::with_equal_lambdas(4, 2.0, 1.0, 0.7).expect("parameters are stable");
+    println!(
+        "System: k = {}, λ_I = λ_E = {:.4}, µ_I = {}, µ_E = {}, ρ = {:.2}",
+        params.k,
+        params.lambda_i,
+        params.mu_i,
+        params.mu_e,
+        params.load()
+    );
     println!();
 
     // Analytic mean response times (busy-period transformation + QBD).

@@ -10,9 +10,9 @@
 //!
 //! Every command is a thin wrapper over the library; see `README.md`.
 
+use eirs_repro::cli::{CliArgs, CliError};
 use eirs_repro::core::counterexample::expected_total_response_closed;
 use eirs_repro::core::prelude::*;
-use eirs_repro::cli::{CliArgs, CliError};
 use eirs_repro::sim::des::run_markovian;
 use eirs_repro::sim::policy::{
     AllocationPolicy, ElasticFirst, FairShare, InelasticFirst, ReservePolicy,
@@ -48,7 +48,9 @@ fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
     let mu_i = args.get_parsed_or("mu-i", 1.0).map_err(stringify)?;
     let mu_e = args.get_parsed_or("mu-e", 1.0).map_err(stringify)?;
     if let Some(rho_raw) = args.get("rho") {
-        let rho: f64 = rho_raw.parse().map_err(|_| format!("bad --rho '{rho_raw}'"))?;
+        let rho: f64 = rho_raw
+            .parse()
+            .map_err(|_| format!("bad --rho '{rho_raw}'"))?;
         SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).map_err(|e| e.to_string())
     } else {
         let lambda_i = args.get_parsed_or("lambda-i", 0.5).map_err(stringify)?;
@@ -70,7 +72,12 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             let a_ef = analyze_elastic_first(&p).map_err(|e| e.to_string())?;
             println!(
                 "k={} lambda_i={:.4} lambda_e={:.4} mu_i={} mu_e={} rho={:.3}",
-                p.k, p.lambda_i, p.lambda_e, p.mu_i, p.mu_e, p.load()
+                p.k,
+                p.lambda_i,
+                p.lambda_e,
+                p.mu_i,
+                p.mu_e,
+                p.load()
             );
             println!("policy           E[T]      E[T_I]    E[T_E]");
             for (name, a) in [("Inelastic-First", a_if), ("Elastic-First", a_ef)] {
@@ -97,7 +104,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         }
         "simulate" => {
             let p = parse_params(&args)?;
-            let departures = args.get_parsed_or("departures", 200_000u64).map_err(stringify)?;
+            let departures = args
+                .get_parsed_or("departures", 200_000u64)
+                .map_err(stringify)?;
             let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
             let policy_name = args.get_or("policy", "if");
             let policy: Box<dyn AllocationPolicy> = match policy_name.as_str() {
@@ -106,8 +115,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 "fairshare" => Box::new(FairShare),
                 other => {
                     if let Some(r) = other.strip_prefix("reserve:") {
-                        let reserve: u32 =
-                            r.parse().map_err(|_| format!("bad reserve '{r}'"))?;
+                        let reserve: u32 = r.parse().map_err(|_| format!("bad reserve '{r}'"))?;
                         Box::new(ReservePolicy { reserve })
                     } else {
                         return Err(format!("unknown policy '{other}'"));
@@ -126,11 +134,16 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 departures,
             );
             println!("policy: {}", policy.name());
-            println!("E[T] = {:.4} (inelastic {:.4}, elastic {:.4})",
-                r.mean_response, r.mean_response_inelastic, r.mean_response_elastic);
+            println!(
+                "E[T] = {:.4} (inelastic {:.4}, elastic {:.4})",
+                r.mean_response, r.mean_response_inelastic, r.mean_response_elastic
+            );
             let (p50, p95, p99) = r.tail_response;
             println!("tails: P50 = {p50:.4}  P95 = {p95:.4}  P99 = {p99:.4}");
-            println!("E[N] = {:.4}   utilization = {:.3}", r.mean_num_in_system, r.utilization);
+            println!(
+                "E[N] = {:.4}   utilization = {:.3}",
+                r.mean_num_in_system, r.utilization
+            );
             Ok(())
         }
         "counterexample" => {
@@ -142,7 +155,14 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             println!("Theorem 6 closed system (k=2, start 2 inelastic + 1 elastic, mu_i=1, mu_e={ratio}):");
             println!("E[sum T] IF = {g_if:.6}");
             println!("E[sum T] EF = {g_ef:.6}");
-            println!("better: {}", if g_ef < g_if { "Elastic-First" } else { "Inelastic-First (or tie)" });
+            println!(
+                "better: {}",
+                if g_ef < g_if {
+                    "Elastic-First"
+                } else {
+                    "Inelastic-First (or tie)"
+                }
+            );
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

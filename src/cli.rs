@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn rejects_dangling_flag() {
-        assert!(matches!(parse(&["analyze", "--k"]), Err(CliError::Malformed(_))));
+        assert!(matches!(
+            parse(&["analyze", "--k"]),
+            Err(CliError::Malformed(_))
+        ));
     }
 
     #[test]

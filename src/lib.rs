@@ -36,9 +36,7 @@ pub use eirs_srpt as srpt;
 /// One-stop imports for examples and quick experiments.
 pub mod prelude {
     pub use eirs_core::prelude::*;
-    pub use eirs_queueing::{Exponential, MM1, MMk};
+    pub use eirs_queueing::{Exponential, MMk, MM1};
     pub use eirs_sim::des::{run_markovian, DesConfig, Simulation, StopRule};
-    pub use eirs_sim::{
-        Arrival, ArrivalTrace, JobClass, PoissonStream, WorkTrajectory,
-    };
+    pub use eirs_sim::{Arrival, ArrivalTrace, JobClass, PoissonStream, WorkTrajectory};
 }

@@ -104,7 +104,12 @@ fn job_level_and_analytic_agree_end_to_end() {
         600_000,
     );
     let rel = (a.mean_response - r.mean_response).abs() / r.mean_response;
-    assert!(rel < 0.03, "analytic {} vs DES {} (rel {rel:.4})", a.mean_response, r.mean_response);
+    assert!(
+        rel < 0.03,
+        "analytic {} vs DES {} (rel {rel:.4})",
+        a.mean_response,
+        r.mean_response
+    );
 }
 
 #[test]

@@ -29,7 +29,10 @@ fn truncated_if_evaluation_matches_matrix_analytic() {
     let cfg = mdp_cfg(&p, 70);
     let truncated = evaluate_policy(&cfg, &if_allocation(p.k), 1e-9, 400_000).unwrap();
     let rel = (analytic - truncated).abs() / truncated;
-    assert!(rel < 0.01, "QBD {analytic} vs MDP {truncated} (rel {rel:.4})");
+    assert!(
+        rel < 0.01,
+        "QBD {analytic} vs MDP {truncated} (rel {rel:.4})"
+    );
 }
 
 #[test]
@@ -39,7 +42,10 @@ fn truncated_ef_evaluation_matches_matrix_analytic() {
     let cfg = mdp_cfg(&p, 70);
     let truncated = evaluate_policy(&cfg, &ef_allocation(p.k), 1e-9, 400_000).unwrap();
     let rel = (analytic - truncated).abs() / truncated;
-    assert!(rel < 0.01, "QBD {analytic} vs MDP {truncated} (rel {rel:.4})");
+    assert!(
+        rel < 0.01,
+        "QBD {analytic} vs MDP {truncated} (rel {rel:.4})"
+    );
 }
 
 #[test]

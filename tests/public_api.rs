@@ -25,7 +25,12 @@ fn quickstart_flow_works() {
         200_000,
     );
     let rel = (report.mean_response - mrt_if.mean_response).abs() / report.mean_response;
-    assert!(rel < 0.05, "sim {} vs analysis {}", report.mean_response, mrt_if.mean_response);
+    assert!(
+        rel < 0.05,
+        "sim {} vs analysis {}",
+        report.mean_response,
+        mrt_if.mean_response
+    );
 }
 
 #[test]
@@ -52,8 +57,9 @@ fn all_subcrates_are_reachable() {
         max_j: 1,
         allow_idling: false,
     };
-    let g = eirs_repro::mdp::evaluate_policy(&cfg, &eirs_repro::mdp::if_allocation(1), 1e-9, 100_000)
-        .unwrap();
+    let g =
+        eirs_repro::mdp::evaluate_policy(&cfg, &eirs_repro::mdp::if_allocation(1), 1e-9, 100_000)
+            .unwrap();
     assert!((g - 1.0).abs() < 1e-4);
     // SRPT.
     let inst = eirs_repro::srpt::BatchInstance::random_uniform(10, 2, 5.0, 1);

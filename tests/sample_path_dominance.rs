@@ -7,9 +7,7 @@
 //! property is tested over exponential, uniform, and heavy-tailed job sizes
 //! and over randomized class-P policies.
 
-use eirs_queueing::distributions::{
-    BoundedPareto, Exponential, SizeDistribution, UniformSize,
-};
+use eirs_queueing::distributions::{BoundedPareto, Exponential, SizeDistribution, UniformSize};
 use eirs_sim::coupling::{dominates_throughout, WorkTrajectory};
 use eirs_sim::policy::{ElasticFirst, FairShare, InelasticFirst, TablePolicy};
 use eirs_sim::{Arrival, ArrivalTrace, JobClass};
@@ -29,7 +27,11 @@ fn random_trace(seed: u64, n: usize, dist: &dyn SizeDistribution, mean_gap: f64)
             } else {
                 JobClass::Elastic
             };
-            Arrival { time: t, class, size: dist.sample(&mut rng) }
+            Arrival {
+                time: t,
+                class,
+                size: dist.sample(&mut rng),
+            }
         })
         .collect();
     ArrivalTrace::new(arrivals)
@@ -110,12 +112,16 @@ fn steady_state_work_ordering_holds_in_expectation() {
 fn lemma4_links_work_and_number_in_system() {
     // Lemma 4: E[W_I] = E[N_I]/µ_I and E[W_E] = E[N_E]/µ_E for any policy.
     for (policy, seed) in [
-        (&InelasticFirst as &dyn eirs_sim::policy::AllocationPolicy, 11u64),
+        (
+            &InelasticFirst as &dyn eirs_sim::policy::AllocationPolicy,
+            11u64,
+        ),
         (&ElasticFirst, 12),
         (&FairShare, 13),
     ] {
         let (mu_i, mu_e) = (1.5, 0.75);
-        let r = eirs_sim::des::run_markovian(policy, 4, 1.0, 0.8, mu_i, mu_e, seed, 30_000, 300_000);
+        let r =
+            eirs_sim::des::run_markovian(policy, 4, 1.0, 0.8, mu_i, mu_e, seed, 30_000, 300_000);
         let w_i_pred = r.mean_num_inelastic / mu_i;
         assert!(
             (r.mean_work_inelastic - w_i_pred).abs() / w_i_pred < 0.04,
@@ -151,7 +157,10 @@ fn ef_does_not_dominate_if_ever_in_inelastic_work() {
             break;
         }
     }
-    assert!(found_violation, "EF never violated dominance over IF — check the comparator");
+    assert!(
+        found_violation,
+        "EF never violated dominance over IF — check the comparator"
+    );
 }
 
 #[test]
@@ -184,6 +193,9 @@ fn dominance_survives_bursty_arrivals() {
             );
         }
         let w_ef = WorkTrajectory::record(&ElasticFirst, &trace, 4);
-        assert!(dominates_throughout(&w_if, &w_ef, 1e-7).is_none(), "seed {seed} vs EF");
+        assert!(
+            dominates_throughout(&w_if, &w_ef, 1e-7).is_none(),
+            "seed {seed} vs EF"
+        );
     }
 }

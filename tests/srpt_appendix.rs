@@ -5,13 +5,20 @@ use eirs_srpt::{lp_lower_bound, srpt_k_schedule, verify_dual_fitting, BatchInsta
 use proptest::prelude::*;
 
 fn arb_instance() -> impl Strategy<Value = BatchInstance> {
-    (2u32..=8, prop::collection::vec((0.05f64..20.0, 1u32..=8), 1..60)).prop_map(|(k, raw)| {
-        let jobs = raw
-            .into_iter()
-            .map(|(size, cap)| BatchJob { size, cap: cap.min(k) })
-            .collect();
-        BatchInstance::new(k, jobs)
-    })
+    (
+        2u32..=8,
+        prop::collection::vec((0.05f64..20.0, 1u32..=8), 1..60),
+    )
+        .prop_map(|(k, raw)| {
+            let jobs = raw
+                .into_iter()
+                .map(|(size, cap)| BatchJob {
+                    size,
+                    cap: cap.min(k),
+                })
+                .collect();
+            BatchInstance::new(k, jobs)
+        })
 }
 
 proptest! {

@@ -6,7 +6,7 @@ use eirs_repro::markov::Qbd;
 use eirs_repro::numerics::roots::solve_quadratic;
 use eirs_repro::numerics::{lu, Matrix};
 use eirs_repro::queueing::coxian::fit_busy_period;
-use eirs_repro::queueing::{MM1, MMk};
+use eirs_repro::queueing::{MMk, MM1};
 use proptest::prelude::*;
 
 fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {

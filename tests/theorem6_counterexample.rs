@@ -22,14 +22,17 @@ fn exact_values_match_paper_closed_forms() {
     let (want_if, want_ef) = theorem6_values(mu_i);
     let got_if =
         expected_total_response_closed(&InelasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
-    let got_ef =
-        expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
+    let got_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, mu_i, 2.0 * mu_i).unwrap();
     assert!((got_if - want_if).abs() < 1e-12, "IF {got_if} vs {want_if}");
     assert!((got_ef - want_ef).abs() < 1e-12, "EF {got_ef} vs {want_ef}");
     assert!(got_ef < got_if);
 }
 
-fn monte_carlo_total_response(policy: &dyn AllocationPolicy, reps: u64, seed: u64) -> ReplicationStats {
+fn monte_carlo_total_response(
+    policy: &dyn AllocationPolicy,
+    reps: u64,
+    seed: u64,
+) -> ReplicationStats {
     let exp_i = Exponential::new(1.0);
     let exp_e = Exponential::new(2.0);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -70,7 +73,10 @@ fn monte_carlo_confirms_both_closed_forms() {
         ci_ef.mean,
         ci_ef.half_width
     );
-    assert!(ci_ef.mean < ci_if.mean, "EF must beat IF in Monte Carlo too");
+    assert!(
+        ci_ef.mean < ci_if.mean,
+        "EF must beat IF in Monte Carlo too"
+    );
 }
 
 #[test]
@@ -78,16 +84,20 @@ fn counterexample_region_requires_mu_i_below_mu_e() {
     // Scan the rate ratio: EF beats IF only once µ_E is sufficiently above
     // µ_I; at and below equality IF is at least as good (Theorems 1/5).
     for ratio in [0.5, 0.8, 1.0] {
-        let g_if =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
-        assert!(g_if <= g_ef + 1e-12, "ratio {ratio}: IF {g_if} vs EF {g_ef}");
+        assert!(
+            g_if <= g_ef + 1e-12,
+            "ratio {ratio}: IF {g_if} vs EF {g_ef}"
+        );
     }
     for ratio in [1.8, 2.0, 3.0] {
-        let g_if =
-            expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
+        let g_if = expected_total_response_closed(&InelasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
         let g_ef = expected_total_response_closed(&ElasticFirst, 2, 2, 1, 1.0, ratio).unwrap();
-        assert!(g_ef < g_if, "ratio {ratio}: EF {g_ef} should beat IF {g_if}");
+        assert!(
+            g_ef < g_if,
+            "ratio {ratio}: EF {g_ef} should beat IF {g_if}"
+        );
     }
 }
 
