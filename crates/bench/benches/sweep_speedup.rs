@@ -74,14 +74,7 @@ fn main() {
     let sweep_threads = eirs_bench::default_threads();
     let mut report = Json::object();
     report.set("schema", "eirs-bench-sweeps/v1");
-    let mut hw = Json::object();
-    hw.set("available_parallelism", cores)
-        .set("sweep_threads", sweep_threads)
-        .set(
-            "threads_env",
-            std::env::var("EIRS_THREADS").map_or(Json::Null, Json::from),
-        );
-    report.set("hardware", hw);
+    report.set("hardware", eirs_bench::json::run_metadata());
 
     // ---- 1. Figure 4 grid: serial vs parallel sweep -------------------
     section(&format!(

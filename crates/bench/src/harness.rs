@@ -59,18 +59,34 @@ impl Default for Bench {
     }
 }
 
+/// Warns (once per process, to stderr) when benchmarks are about to run
+/// on a single core: parallel-speedup numbers recorded that way are
+/// meaningless for the perf trajectory, and the committed artifacts carry
+/// a `single_core` metadata flag for exactly this situation.
+pub fn warn_if_single_core() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores <= 1 {
+            eprintln!(
+                "warning: running benchmarks on a single core; parallel speedups will be ~1x \
+                 and recorded BENCH_*.json artifacts will be tagged single_core=true. \
+                 Re-run on a multi-core host for meaningful scaling numbers."
+            );
+        }
+    });
+}
+
 impl Bench {
     /// A runner with the default 7 samples per benchmark.
     pub fn new() -> Self {
-        Self {
-            samples: 7,
-            results: Vec::new(),
-        }
+        Self::with_samples(7)
     }
 
     /// Overrides the number of timed samples.
     pub fn with_samples(samples: u64) -> Self {
         assert!(samples >= 1);
+        warn_if_single_core();
         Self {
             samples,
             results: Vec::new(),

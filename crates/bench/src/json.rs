@@ -162,6 +162,27 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+/// The standard machine/threading metadata block every `BENCH_*.json`
+/// artifact should embed: sweep worker count
+/// ([`eirs_core::sweep::threads`]), detected parallelism, the
+/// `EIRS_THREADS` environment override if any, and a `single_core` flag.
+/// Readers of the perf trajectory use it to tell real regressions from
+/// "this run happened on a 1-core container" (the PR-1 `BENCH_sweeps.json`
+/// was silently recorded on one).
+pub fn run_metadata() -> Json {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = eirs_core::sweep::threads();
+    let mut o = Json::object();
+    o.set("sweep_threads", threads)
+        .set("available_parallelism", cores)
+        .set(
+            "threads_env",
+            std::env::var(eirs_numerics::parallel::THREADS_ENV).map_or(Json::Null, Json::from),
+        )
+        .set("single_core", cores <= 1 || threads <= 1);
+    o
+}
+
 impl From<&crate::harness::Measurement> for Json {
     fn from(m: &crate::harness::Measurement) -> Json {
         let mut o = Json::object();
@@ -207,6 +228,28 @@ mod tests {
         o.set("cfg \"fast\"\n", 1.0);
         let s = o.pretty();
         assert!(s.contains("\"cfg \\\"fast\\\"\\n\": 1"), "{s}");
+    }
+
+    #[test]
+    fn run_metadata_reports_threading_context() {
+        let m = run_metadata();
+        let Json::Obj(entries) = &m else {
+            panic!("metadata must be an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "sweep_threads",
+                "available_parallelism",
+                "threads_env",
+                "single_core"
+            ]
+        );
+        let lookup = |k: &str| entries.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert!(matches!(lookup("sweep_threads"), Json::Num(n) if n >= 1.0));
+        assert!(matches!(lookup("available_parallelism"), Json::Num(n) if n >= 1.0));
+        assert!(matches!(lookup("single_core"), Json::Bool(_)));
     }
 
     #[test]

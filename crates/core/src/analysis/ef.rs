@@ -10,90 +10,25 @@
 //!
 //! The Coxian `(γ1, γ2, γ3)` matches the first three moments of the
 //! M/M/1(λ_E, kµ_E) busy period, exactly as in Figure 3(c).
+//!
+//! Since the policy-layer refactor this is a thin wrapper: the chain is
+//! assembled by the policy-generic generator from [`ElasticFirst`]'s
+//! allocation map, bit-identically to the old hand-built construction
+//! (kept in [`super::reference`] for the differential tests).
 
 use super::{AnalysisError, PolicyAnalysis};
 use crate::params::SystemParams;
-use eirs_markov::qbd::Qbd;
-use eirs_numerics::Matrix;
-use eirs_queueing::coxian::fit_busy_period;
-use eirs_queueing::{MMk, MM1};
-
-/// Number of Coxian phases tracked alongside the "no elastic" phase.
-const PHASES: usize = 3;
+use eirs_sim::policy::ElasticFirst;
 
 /// Mean response time (and class means) under **Elastic-First**.
 pub fn analyze_elastic_first(params: &SystemParams) -> Result<PolicyAnalysis, AnalysisError> {
-    let k = params.k as f64;
-
-    // Elastic class: exact M/M/1 at service rate kµ_E.
-    let elastic_queue = MM1::new(params.lambda_e, k * params.mu_e);
-    let n_e = if params.lambda_e > 0.0 {
-        elastic_queue.mean_number_in_system()
-    } else {
-        0.0
-    };
-
-    // Degenerate cases avoid the QBD entirely.
-    if params.lambda_i == 0.0 {
-        return Ok(PolicyAnalysis::from_class_means(params, 0.0, n_e));
-    }
-    if params.lambda_e == 0.0 {
-        // No elastic jobs ever: inelastic class is an exact M/M/k.
-        let mmk = MMk::new(params.lambda_i, params.mu_i, params.k);
-        return Ok(PolicyAnalysis::from_class_means(
-            params,
-            mmk.mean_number_in_system(),
-            0.0,
-        ));
-    }
-
-    let n_i = inelastic_mean_number(params)?;
-    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
-}
-
-/// Builds and solves the busy-period-transformed EF chain, returning
-/// `E[N_I]`.
-fn inelastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
-    let k = params.k as usize;
-    let kf = params.k as f64;
-    let cox = fit_busy_period(&MM1::new(params.lambda_e, kf * params.mu_e))?;
-    let (g1, g2, g3) = cox.gamma_rates();
-
-    // Phase transitions shared by all levels (Figure 3c):
-    //   0 --λ_E--> b1,   b1 --γ1--> 0,   b1 --γ2--> b2,   b2 --γ3--> 0.
-    let mut local = Matrix::zeros(PHASES, PHASES);
-    local[(0, 1)] = params.lambda_e;
-    local[(1, 0)] = g1;
-    local[(1, 2)] = g2;
-    local[(2, 0)] = g3;
-
-    // Inelastic arrivals at rate λ_I in every phase.
-    let up = Matrix::diag(&[params.lambda_i; PHASES]);
-
-    // Boundary levels 0..k-1: inelastic service i·µ_I only in phase 0.
-    let boundary_up = vec![up.clone(); k];
-    let boundary_local = vec![local.clone(); k];
-    let boundary_down = (1..k)
-        .map(|i| {
-            let mut d = Matrix::zeros(PHASES, PHASES);
-            d[(0, 0)] = i as f64 * params.mu_i;
-            d
-        })
-        .collect();
-
-    // Repeating blocks (levels ≥ k): service saturates at k·µ_I.
-    let mut a2 = Matrix::zeros(PHASES, PHASES);
-    a2[(0, 0)] = kf * params.mu_i;
-
-    let qbd = Qbd::new(boundary_up, boundary_local, boundary_down, up, local, a2)?;
-    let sol = qbd.solve()?;
-    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
-    Ok(sol.mean_level())
+    super::generator::analyze_elastic_priority(&ElasticFirst, params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eirs_queueing::{MMk, MM1};
 
     #[test]
     fn elastic_class_is_exact_mm1() {
@@ -148,5 +83,20 @@ mod tests {
         let a = analyze_elastic_first(&p).unwrap();
         assert!((a.mean_num_inelastic - p.lambda_i * a.mean_response_inelastic).abs() < 1e-9);
         assert!((a.mean_num_elastic - p.lambda_e * a.mean_response_elastic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapper_is_bit_identical_to_the_reference_implementation() {
+        for (k, mu_i, mu_e, rho) in [
+            (4, 2.0, 1.0, 0.5),
+            (4, 0.25, 1.0, 0.9),
+            (1, 1.0, 1.0, 0.7),
+            (16, 0.25, 1.0, 0.9),
+        ] {
+            let p = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).unwrap();
+            let new = analyze_elastic_first(&p).unwrap();
+            let old = super::super::reference::analyze_elastic_first_reference(&p).unwrap();
+            assert_eq!(new, old, "k={k} µI={mu_i} µE={mu_e} ρ={rho}");
+        }
     }
 }

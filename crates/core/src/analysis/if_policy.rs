@@ -14,86 +14,25 @@
 //! M/M/1(λ_I, kµ_I) busy period: once all `k` servers hold inelastic jobs,
 //! further inelastic arrivals queue and the excursion back down to `k − 1`
 //! inelastic jobs is exactly such a busy period (Figure 7b → 7c).
+//!
+//! Since the policy-layer refactor this is a thin wrapper: the chain is
+//! assembled by the policy-generic generator from [`InelasticFirst`]'s
+//! allocation map, bit-identically to the old hand-built construction
+//! (kept in [`super::reference`] for the differential tests).
 
 use super::{AnalysisError, PolicyAnalysis};
 use crate::params::SystemParams;
-use eirs_markov::qbd::Qbd;
-use eirs_numerics::Matrix;
-use eirs_queueing::coxian::fit_busy_period;
-use eirs_queueing::{MMk, MM1};
+use eirs_sim::policy::InelasticFirst;
 
 /// Mean response time (and class means) under **Inelastic-First**.
 pub fn analyze_inelastic_first(params: &SystemParams) -> Result<PolicyAnalysis, AnalysisError> {
-    let kf = params.k as f64;
-
-    // Inelastic class: exact M/M/k.
-    let n_i = if params.lambda_i > 0.0 {
-        MMk::new(params.lambda_i, params.mu_i, params.k).mean_number_in_system()
-    } else {
-        0.0
-    };
-
-    if params.lambda_e == 0.0 {
-        return Ok(PolicyAnalysis::from_class_means(params, n_i, 0.0));
-    }
-    if params.lambda_i == 0.0 {
-        // Elastic jobs alone: M/M/1 at rate kµ_E.
-        let n_e = MM1::new(params.lambda_e, kf * params.mu_e).mean_number_in_system();
-        return Ok(PolicyAnalysis::from_class_means(params, 0.0, n_e));
-    }
-
-    let n_e = elastic_mean_number(params)?;
-    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
-}
-
-/// Builds and solves the busy-period-transformed IF chain, returning
-/// `E[N_E]`.
-fn elastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
-    let k = params.k as usize;
-    let kf = params.k as f64;
-    let phases = k + 2; // 0..k-1 inelastic counts, then b1, b2.
-    let b1 = k;
-    let b2 = k + 1;
-
-    let cox = fit_busy_period(&MM1::new(params.lambda_i, kf * params.mu_i))?;
-    let (g1, g2, g3) = cox.gamma_rates();
-
-    // Phase process shared by every level (Figure 7c): births of inelastic
-    // jobs up to the busy-period states and deaths back down.
-    let mut local = Matrix::zeros(phases, phases);
-    for i in 0..k {
-        if i + 1 < k {
-            local[(i, i + 1)] = params.lambda_i;
-        } else {
-            local[(i, b1)] = params.lambda_i; // k-1 --λ_I--> busy period
-        }
-        if i >= 1 {
-            local[(i, i - 1)] = i as f64 * params.mu_i;
-        }
-    }
-    local[(b1, k - 1)] = g1;
-    local[(b1, b2)] = g2;
-    local[(b2, k - 1)] = g3;
-
-    // Elastic arrivals in every phase.
-    let up = Matrix::diag(&vec![params.lambda_e; phases]);
-
-    // Elastic service: the head-of-line elastic job gets the k − i servers
-    // left over by inelastic jobs; nothing during a busy period.
-    let mut a2 = Matrix::zeros(phases, phases);
-    for i in 0..k {
-        a2[(i, i)] = (kf - i as f64) * params.mu_e;
-    }
-
-    let qbd = Qbd::new(vec![up.clone()], vec![local.clone()], vec![], up, local, a2)?;
-    let sol = qbd.solve()?;
-    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
-    Ok(sol.mean_level())
+    super::generator::analyze_inelastic_priority(&InelasticFirst, params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eirs_queueing::{MMk, MM1};
 
     #[test]
     fn inelastic_class_is_exact_mmk() {
@@ -186,5 +125,20 @@ mod tests {
         let p = SystemParams::with_equal_lambdas(64, 2.0, 1.0, 0.8).unwrap();
         let a = analyze_inelastic_first(&p).unwrap();
         assert!(a.mean_response.is_finite() && a.mean_response > 0.0);
+    }
+
+    #[test]
+    fn wrapper_is_bit_identical_to_the_reference_implementation() {
+        for (k, mu_i, mu_e, rho) in [
+            (4, 2.0, 1.0, 0.5),
+            (4, 0.25, 1.0, 0.9),
+            (1, 1.0, 1.0, 0.7),
+            (16, 2.0, 1.0, 0.8),
+        ] {
+            let p = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).unwrap();
+            let new = analyze_inelastic_first(&p).unwrap();
+            let old = super::super::reference::analyze_inelastic_first_reference(&p).unwrap();
+            assert_eq!(new, old, "k={k} µI={mu_i} µE={mu_e} ρ={rho}");
+        }
     }
 }

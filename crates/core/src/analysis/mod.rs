@@ -1,36 +1,123 @@
-//! Response-time analysis of Elastic-First and Inelastic-First
-//! (paper Section 5 and Appendix D).
+//! Policy-generic response-time analysis (paper Section 5 and Appendix D,
+//! generalized to arbitrary allocation policies).
 //!
-//! Both policies give one class strict preemptive priority, so that class is
-//! a classical queue in isolation:
+//! The entry point is [`analyze_policy`]: hand it **any**
+//! [`AllocationPolicy`](eirs_sim::policy::AllocationPolicy) — EF, IF, a
+//! threshold or switching-curve policy, a fractional water-filling policy,
+//! or the MDP-optimal `TabularPolicy` — and it returns the stationary mean
+//! response times. One policy-generic pipeline replaces what used to be
+//! two hardcoded EF/IF constructions:
 //!
-//! * **EF**: elastic jobs form an M/M/1 with service rate `kµ_E`
-//!   (Observation 1); inelastic jobs see a 2D-infinite chain.
-//! * **IF**: inelastic jobs form an M/M/k (Appendix D); elastic jobs see a
-//!   2D-infinite chain.
+//! 1. The policy's allocation map is **probed** and classified
+//!    ([`PolicyStructure`]). Strict-priority policies get the paper's
+//!    exact chains; everything else gets a truncated-phase QBD built
+//!    directly from the allocation map (see [`generator`] for the three
+//!    chain shapes and their accuracy contracts).
+//! 2. The chain is assembled through [`eirs_markov::qbd::Qbd::from_rate_fns`],
+//!    which turns per-`(level, phase)` rate closures — here, allocation
+//!    shares times service rates — into QBD blocks.
+//! 3. The QBD is solved with matrix-analytic methods and mean response
+//!    times follow from the mean level / phase marginals via Little's law.
 //!
-//! The low-priority class's chain is collapsed to a 1D-infinite QBD by the
-//! **busy-period transformation**: the region where the low-priority class
-//! receives no service is replaced by phase states whose sojourn is a
-//! two-phase Coxian matched to the first three moments of the relevant
-//! M/M/1 busy period (Observations 2–3; the Coxian fit lives in
-//! [`eirs_queueing::coxian`]). The QBD is then solved with matrix-analytic
-//! methods ([`eirs_markov::qbd`]), and mean response times follow from the
-//! mean level via Little's law.
+//! For the two priority policies the pipeline reproduces the paper
+//! exactly: the high-priority class is a classical queue in isolation
+//! (**EF**: elastic M/M/1 at rate `kµ_E`, Observation 1; **IF**: inelastic
+//! M/M/k, Appendix D), and the low-priority class's 2D-infinite chain is
+//! collapsed to a 1D-infinite QBD by the **busy-period transformation**:
+//! the region where the low-priority class receives no service is replaced
+//! by phase states whose sojourn is a two-phase Coxian matched to the
+//! first three moments of the relevant M/M/1 busy period (Observations
+//! 2–3; the Coxian fit lives in [`eirs_queueing::coxian`]). The
+//! transformation is an approximation only in the busy-period shape; the
+//! paper reports <1% error against simulation, which the workspace
+//! integration tests reproduce. [`analyze_elastic_first`] and
+//! [`analyze_inelastic_first`] are thin wrappers over [`analyze_policy`]
+//! and are **bit-identical** to the pre-refactor hardcoded
+//! implementations (asserted by the workspace differential tests against
+//! `analysis::reference`).
 //!
-//! The transformation is an approximation only in the busy-period shape
-//! (three moments instead of the full law); the paper reports <1% error
-//! against simulation, which the workspace integration tests reproduce.
+//! For general policies the truncated-phase chain trades the busy-period
+//! trick for an explicit elastic-phase cap (the same kind of truncation
+//! the MDP grid uses); [`AnalyzeOptions`] controls the cap and the
+//! level-homogenization probe, and the `policy_families` bench records
+//! cross-substrate agreement (analysis vs DES vs MDP grid) for every
+//! shipped family.
 
 mod ef;
+pub mod generator;
 mod if_policy;
+pub mod reference;
 
 pub use ef::analyze_elastic_first;
+pub use generator::{detect_structure, PolicyStructure};
 pub use if_policy::analyze_inelastic_first;
 
 use crate::params::SystemParams;
 use eirs_markov::qbd::QbdError;
 use eirs_queueing::coxian::CoxianFitError;
+use eirs_sim::policy::AllocationPolicy;
+
+/// Tuning knobs for [`analyze_policy`]'s general (non-priority) path.
+///
+/// The defaults are sized for loads up to ~0.8 on small clusters; raise
+/// [`AnalyzeOptions::phase_cap`] (and, for slowly-varying fractional
+/// policies, [`AnalyzeOptions::max_level_cut`]) for heavier traffic, at
+/// cubically growing solve cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Elastic-phase truncation `j ≤ phase_cap` for the general chain
+    /// (elastic arrivals at the cap are rejected).
+    pub phase_cap: usize,
+    /// Saturation level for allocation maps that never become
+    /// `i`-homogeneous (e.g. water-filling): levels beyond the cut reuse
+    /// the cut level's allocation.
+    pub max_level_cut: usize,
+    /// How many consecutive levels must agree before the map counts as
+    /// homogeneous from a level.
+    pub homogeneity_window: usize,
+    /// Skip structure detection and always use the general truncated
+    /// chain — for policies that only look like strict priority inside
+    /// the probed window.
+    pub force_general: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self {
+            phase_cap: 64,
+            max_level_cut: 32,
+            homogeneity_window: 8,
+            force_general: false,
+        }
+    }
+}
+
+/// Analytic mean response times of an arbitrary allocation policy, with
+/// default [`AnalyzeOptions`].
+pub fn analyze_policy(
+    policy: &dyn AllocationPolicy,
+    params: &SystemParams,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    analyze_policy_with(policy, params, &AnalyzeOptions::default())
+}
+
+/// [`analyze_policy`] with explicit options.
+pub fn analyze_policy_with(
+    policy: &dyn AllocationPolicy,
+    params: &SystemParams,
+    opts: &AnalyzeOptions,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    let structure = if opts.force_general {
+        PolicyStructure::General
+    } else {
+        detect_structure(policy, params.k, opts)
+    };
+    match structure {
+        PolicyStructure::ElasticPriority => generator::analyze_elastic_priority(policy, params),
+        PolicyStructure::InelasticPriority => generator::analyze_inelastic_priority(policy, params),
+        PolicyStructure::General => generator::analyze_general(policy, params, opts),
+    }
+}
 
 /// Mean-value results of an analytic policy evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,162 @@
+//! The pre-refactor, hardcoded EF/IF analyses — kept verbatim as
+//! independent references.
+//!
+//! [`super::analyze_policy`] assembles these same chains through the
+//! policy-generic generator; the workspace differential tests require the
+//! generic path to reproduce these implementations **bit for bit** (same
+//! matrices in, same solver, same floating-point operations). Following
+//! the same pattern as `Qbd::solve_r_reference`, these are not for
+//! production use.
+
+use super::{AnalysisError, PolicyAnalysis};
+use crate::params::SystemParams;
+use eirs_markov::qbd::Qbd;
+use eirs_numerics::Matrix;
+use eirs_queueing::coxian::fit_busy_period;
+use eirs_queueing::{MMk, MM1};
+
+/// Number of Coxian phases tracked alongside the "no elastic" phase (EF).
+const PHASES: usize = 3;
+
+/// Pre-refactor **Elastic-First** analysis (hand-built Figure 3c blocks).
+pub fn analyze_elastic_first_reference(
+    params: &SystemParams,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    let k = params.k as f64;
+
+    // Elastic class: exact M/M/1 at service rate kµ_E.
+    let elastic_queue = MM1::new(params.lambda_e, k * params.mu_e);
+    let n_e = if params.lambda_e > 0.0 {
+        elastic_queue.mean_number_in_system()
+    } else {
+        0.0
+    };
+
+    // Degenerate cases avoid the QBD entirely.
+    if params.lambda_i == 0.0 {
+        return Ok(PolicyAnalysis::from_class_means(params, 0.0, n_e));
+    }
+    if params.lambda_e == 0.0 {
+        // No elastic jobs ever: inelastic class is an exact M/M/k.
+        let mmk = MMk::new(params.lambda_i, params.mu_i, params.k);
+        return Ok(PolicyAnalysis::from_class_means(
+            params,
+            mmk.mean_number_in_system(),
+            0.0,
+        ));
+    }
+
+    let n_i = ef_inelastic_mean_number(params)?;
+    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
+}
+
+/// Builds and solves the busy-period-transformed EF chain, returning
+/// `E[N_I]`.
+fn ef_inelastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
+    let k = params.k as usize;
+    let kf = params.k as f64;
+    let cox = fit_busy_period(&MM1::new(params.lambda_e, kf * params.mu_e))?;
+    let (g1, g2, g3) = cox.gamma_rates();
+
+    // Phase transitions shared by all levels (Figure 3c):
+    //   0 --λ_E--> b1,   b1 --γ1--> 0,   b1 --γ2--> b2,   b2 --γ3--> 0.
+    let mut local = Matrix::zeros(PHASES, PHASES);
+    local[(0, 1)] = params.lambda_e;
+    local[(1, 0)] = g1;
+    local[(1, 2)] = g2;
+    local[(2, 0)] = g3;
+
+    // Inelastic arrivals at rate λ_I in every phase.
+    let up = Matrix::diag(&[params.lambda_i; PHASES]);
+
+    // Boundary levels 0..k-1: inelastic service i·µ_I only in phase 0.
+    let boundary_up = vec![up.clone(); k];
+    let boundary_local = vec![local.clone(); k];
+    let boundary_down = (1..k)
+        .map(|i| {
+            let mut d = Matrix::zeros(PHASES, PHASES);
+            d[(0, 0)] = i as f64 * params.mu_i;
+            d
+        })
+        .collect();
+
+    // Repeating blocks (levels ≥ k): service saturates at k·µ_I.
+    let mut a2 = Matrix::zeros(PHASES, PHASES);
+    a2[(0, 0)] = kf * params.mu_i;
+
+    let qbd = Qbd::new(boundary_up, boundary_local, boundary_down, up, local, a2)?;
+    let sol = qbd.solve()?;
+    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
+    Ok(sol.mean_level())
+}
+
+/// Pre-refactor **Inelastic-First** analysis (hand-built Figure 7c blocks).
+pub fn analyze_inelastic_first_reference(
+    params: &SystemParams,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    let kf = params.k as f64;
+
+    // Inelastic class: exact M/M/k.
+    let n_i = if params.lambda_i > 0.0 {
+        MMk::new(params.lambda_i, params.mu_i, params.k).mean_number_in_system()
+    } else {
+        0.0
+    };
+
+    if params.lambda_e == 0.0 {
+        return Ok(PolicyAnalysis::from_class_means(params, n_i, 0.0));
+    }
+    if params.lambda_i == 0.0 {
+        // Elastic jobs alone: M/M/1 at rate kµ_E.
+        let n_e = MM1::new(params.lambda_e, kf * params.mu_e).mean_number_in_system();
+        return Ok(PolicyAnalysis::from_class_means(params, 0.0, n_e));
+    }
+
+    let n_e = if_elastic_mean_number(params)?;
+    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
+}
+
+/// Builds and solves the busy-period-transformed IF chain, returning
+/// `E[N_E]`.
+fn if_elastic_mean_number(params: &SystemParams) -> Result<f64, AnalysisError> {
+    let k = params.k as usize;
+    let kf = params.k as f64;
+    let phases = k + 2; // 0..k-1 inelastic counts, then b1, b2.
+    let b1 = k;
+    let b2 = k + 1;
+
+    let cox = fit_busy_period(&MM1::new(params.lambda_i, kf * params.mu_i))?;
+    let (g1, g2, g3) = cox.gamma_rates();
+
+    // Phase process shared by every level (Figure 7c): births of inelastic
+    // jobs up to the busy-period states and deaths back down.
+    let mut local = Matrix::zeros(phases, phases);
+    for i in 0..k {
+        if i + 1 < k {
+            local[(i, i + 1)] = params.lambda_i;
+        } else {
+            local[(i, b1)] = params.lambda_i; // k-1 --λ_I--> busy period
+        }
+        if i >= 1 {
+            local[(i, i - 1)] = i as f64 * params.mu_i;
+        }
+    }
+    local[(b1, k - 1)] = g1;
+    local[(b1, b2)] = g2;
+    local[(b2, k - 1)] = g3;
+
+    // Elastic arrivals in every phase.
+    let up = Matrix::diag(&vec![params.lambda_e; phases]);
+
+    // Elastic service: the head-of-line elastic job gets the k − i servers
+    // left over by inelastic jobs; nothing during a busy period.
+    let mut a2 = Matrix::zeros(phases, phases);
+    for i in 0..k {
+        a2[(i, i)] = (kf - i as f64) * params.mu_e;
+    }
+
+    let qbd = Qbd::new(vec![up.clone()], vec![local.clone()], vec![], up, local, a2)?;
+    let sol = qbd.solve()?;
+    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
+    Ok(sol.mean_level())
+}

@@ -219,6 +219,46 @@ pub fn figure6_curve(
     figure6_server_scaling(ks, rho, mu_i, mu_e)
 }
 
+/// One point of a policy-family sweep: a policy evaluated analytically at
+/// one parameter point.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySweepPoint {
+    /// Parameters of the point.
+    pub params: SystemParams,
+    /// The policy's analytic evaluation at those parameters.
+    pub analysis: crate::analysis::PolicyAnalysis,
+}
+
+/// Evaluates `policy` analytically over a parameter grid, fanning the
+/// independent QBD solves out through the parallel sweep engine exactly
+/// like the figure drivers. This is the substrate the `eirs policy`
+/// subcommand and the `policy_families` bench share.
+pub fn policy_sweep(
+    policy: &dyn eirs_sim::policy::AllocationPolicy,
+    points: &[SystemParams],
+    opts: &crate::analysis::AnalyzeOptions,
+) -> Result<Vec<PolicySweepPoint>, AnalysisError> {
+    policy_sweep_with_threads(policy, points, opts, sweep::threads())
+}
+
+/// [`policy_sweep`] with an explicit worker-thread count (`threads = 1`
+/// is the serial reference path, bit-identical to the parallel one).
+pub fn policy_sweep_with_threads(
+    policy: &dyn eirs_sim::policy::AllocationPolicy,
+    points: &[SystemParams],
+    opts: &crate::analysis::AnalyzeOptions,
+    threads: usize,
+) -> Result<Vec<PolicySweepPoint>, AnalysisError> {
+    sweep::sweep_with_threads(points, threads, |params| {
+        Ok(PolicySweepPoint {
+            params: *params,
+            analysis: crate::analysis::analyze_policy_with(policy, params, opts)?,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +308,36 @@ mod tests {
                 p.mrt_if <= p.mrt_ef,
                 "IF should win at µ_I=3.25 (k={})",
                 p.k
+            );
+        }
+    }
+
+    #[test]
+    fn policy_sweep_matches_pointwise_analysis_and_is_deterministic() {
+        use crate::analysis::{analyze_policy_with, AnalyzeOptions};
+        use eirs_sim::policy::ElasticThresholdPolicy;
+
+        let policy = ElasticThresholdPolicy { threshold: 3 };
+        let opts = AnalyzeOptions {
+            phase_cap: 24,
+            ..AnalyzeOptions::default()
+        };
+        let points: Vec<SystemParams> = [0.3, 0.5, 0.6]
+            .iter()
+            .map(|&rho| SystemParams::with_equal_lambdas(3, 0.5, 1.0, rho).unwrap())
+            .collect();
+        let parallel = policy_sweep_with_threads(&policy, &points, &opts, 4).unwrap();
+        let serial = policy_sweep_with_threads(&policy, &points, &opts, 1).unwrap();
+        assert_eq!(parallel.len(), points.len());
+        for ((par, ser), params) in parallel.iter().zip(&serial).zip(&points) {
+            let direct = analyze_policy_with(&policy, params, &opts).unwrap();
+            assert_eq!(
+                par.analysis.mean_response.to_bits(),
+                direct.mean_response.to_bits()
+            );
+            assert_eq!(
+                par.analysis.mean_response.to_bits(),
+                ser.analysis.mean_response.to_bits()
             );
         }
     }

@@ -16,12 +16,19 @@
 //!
 //! * [`params::SystemParams`] — the five model parameters with load and
 //!   stability accounting (`ρ = λ_I/(kµ_I) + λ_E/(kµ_E) < 1`, Appendix C).
+//! * [`policy`] — the shared policy layer: the [`AllocationPolicy`]
+//!   trait (absorbed from `eirs_sim::policy`), every shipped family, the
+//!   registry, and the CLI policy parser. Every substrate — analysis,
+//!   simulation, MDP grid — is generic over this one abstraction.
 //! * [`analysis`] — the paper's Section 5 / Appendix D response-time
-//!   analysis of Elastic-First and Inelastic-First: busy-period
-//!   transformation of the 2D-infinite chain to a 1D-infinite QBD (Coxian
-//!   matched to three M/M/1 busy-period moments) solved by matrix-analytic
-//!   methods. Accuracy vs simulation is ~1% or better (validated in the
-//!   workspace integration tests and the `validation_table` bench).
+//!   analysis, generalized: [`analysis::analyze_policy`] evaluates *any*
+//!   allocation policy (strict-priority policies get the exact
+//!   busy-period transformation — Coxian matched to three M/M/1
+//!   busy-period moments, solved by matrix-analytic methods; everything
+//!   else a truncated-phase QBD built from the allocation map). Accuracy
+//!   vs simulation is ~1% or better (validated in the workspace
+//!   integration tests and the `validation_table` / `policy_families`
+//!   benches).
 //! * [`counterexample`] — exact transient analysis behind Theorem 6:
 //!   with `µ_I < µ_E`, EF can beat IF (35/12 vs 33/12 when `µ_E = 2µ_I`,
 //!   `k = 2`, starting from two inelastic and one elastic job).
@@ -30,9 +37,6 @@
 //! * [`sweep`] — the deterministic parallel sweep engine the experiment
 //!   drivers fan out through (ordered, bit-identical to serial).
 //! * [`validation`] — analytic-vs-simulation comparison harness.
-//!
-//! Policies themselves (IF, EF, class-P, …) live in [`eirs_sim::policy`]
-//! and are re-exported here.
 //!
 //! ## Quick start
 //!
@@ -51,23 +55,31 @@ pub mod analysis;
 pub mod counterexample;
 pub mod experiments;
 pub mod params;
+pub mod policy;
 pub mod sweep;
 pub mod validation;
 
-pub use analysis::{analyze_elastic_first, analyze_inelastic_first, AnalysisError, PolicyAnalysis};
+pub use analysis::{
+    analyze_elastic_first, analyze_inelastic_first, analyze_policy, analyze_policy_with,
+    AnalysisError, AnalyzeOptions, PolicyAnalysis,
+};
 pub use counterexample::{expected_total_response_closed, theorem6_values};
 pub use params::SystemParams;
+pub use policy::AllocationPolicy;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::analysis::{
-        self, analyze_elastic_first, analyze_inelastic_first, PolicyAnalysis,
+        self, analyze_elastic_first, analyze_inelastic_first, analyze_policy, analyze_policy_with,
+        AnalyzeOptions, PolicyAnalysis,
     };
     pub use crate::counterexample;
     pub use crate::experiments;
     pub use crate::params::SystemParams;
-    pub use crate::validation;
-    pub use eirs_sim::policy::{
-        AllocationPolicy, ElasticFirst, FairShare, InelasticFirst, TablePolicy,
+    pub use crate::policy::{
+        AllocationPolicy, ClassAllocation, ElasticFirst, ElasticThresholdPolicy, FairShare,
+        InelasticFirst, ReservePolicy, SwitchingCurvePolicy, TablePolicy, TabularPolicy,
+        WeightedWaterFilling,
     };
+    pub use crate::validation;
 }

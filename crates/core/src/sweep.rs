@@ -15,16 +15,25 @@
 //!    parallel result vector is bit-identical to the serial one. The
 //!    workspace's property tests assert this for the Figure 4 grid.
 //!
-//! Thread count comes from [`threads()`]: the `EIRS_THREADS` environment
-//! variable when set, otherwise all available cores. `EIRS_THREADS=1`
-//! forces the inline serial path (no worker threads at all), which is also
-//! available directly as [`sweep_serial`] for differential testing.
+//! Thread count comes from [`threads()`]: the [`set_threads`] override
+//! when one was installed (the `eirs --threads N` flag uses this), else
+//! the `EIRS_THREADS` environment variable when set, otherwise all
+//! available cores. A count of 1 forces the inline serial path (no worker
+//! threads at all), which is also available directly as [`sweep_serial`]
+//! for differential testing.
 
 use eirs_numerics::parallel;
 
-/// Default worker-thread count for sweeps (`EIRS_THREADS` or all cores).
+/// Default worker-thread count for sweeps ([`set_threads`] override,
+/// `EIRS_THREADS`, or all cores — in that order).
 pub fn threads() -> usize {
     parallel::num_threads()
+}
+
+/// Installs a process-wide worker-thread count for all subsequent sweeps,
+/// overriding `EIRS_THREADS` and core detection; `None` clears it.
+pub fn set_threads(threads: Option<usize>) {
+    parallel::set_num_threads(threads);
 }
 
 /// Maps `f` over `points` in parallel on [`threads()`] workers, returning

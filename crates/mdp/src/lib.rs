@@ -19,9 +19,18 @@
 //! `e = 0` (and free `a` at `j = 0`), which lets the tests verify
 //! Appendix B (there is always a non-idling optimal policy) numerically.
 
+//!
+//! The solved policy is not a dead end: [`MdpSolution::tabular_policy`]
+//! packs the optimal actions into an
+//! [`eirs_sim::policy::TabularPolicy`], so the numerically-optimal policy
+//! can be run through the DES, the state-level CTMC simulator, and the
+//! policy-generic QBD analysis in `eirs-core` like any hand-written
+//! policy; [`evaluate_allocation_policy`] goes the other way and scores
+//! any shared-layer policy on this crate's truncated grid.
+
 mod solver;
 
 pub use solver::{
-    ef_allocation, evaluate_policy, if_allocation, solve_optimal, MdpConfig, MdpError, MdpSolution,
-    PolicyFn,
+    ef_allocation, evaluate_allocation_policy, evaluate_policy, if_allocation, solve_optimal,
+    MdpConfig, MdpError, MdpSolution, PolicyFn,
 };

@@ -1,5 +1,7 @@
 //! Relative value iteration on the uniformized, truncated chain.
 
+use eirs_sim::policy::{AllocationPolicy, TabularPolicy};
+
 /// Configuration of the truncated MDP.
 #[derive(Debug, Clone, Copy)]
 pub struct MdpConfig {
@@ -82,6 +84,8 @@ pub struct MdpSolution {
     /// Optimal integer inelastic allocation per state (row-major over
     /// `(i, j)`), paired with the elastic allocation actually used.
     actions: Vec<(u32, u32)>,
+    k: u32,
+    max_i: usize,
     max_j: usize,
     /// Iterations used.
     pub iterations: usize,
@@ -91,6 +95,25 @@ impl MdpSolution {
     /// The optimal action `(a, e)` in state `(i, j)`.
     pub fn action(&self, i: usize, j: usize) -> (u32, u32) {
         self.actions[i * (self.max_j + 1) + j]
+    }
+
+    /// Packs the optimal actions into a [`TabularPolicy`] — the bridge that
+    /// turns solver output into an [`AllocationPolicy`] every substrate
+    /// understands. States beyond the truncation grid clamp to the grid
+    /// edge (the standard extension; boundary actions there react to
+    /// rejected arrivals, so downstream analyses should use a grid
+    /// comfortably larger than the region that carries probability mass).
+    pub fn tabular_policy(&self) -> TabularPolicy {
+        TabularPolicy::from_fn(
+            format!("MdpOptimal(k={})", self.k),
+            self.k,
+            self.max_i,
+            self.max_j,
+            |i, j| {
+                let (a, e) = self.action(i, j);
+                (a as f64, e as f64)
+            },
+        )
     }
 
     /// `true` when the extracted policy allocates like Inelastic-First on
@@ -221,6 +244,8 @@ pub fn solve_optimal(cfg: &MdpConfig, tol: f64, max_iter: usize) -> Result<MdpSo
             return Ok(MdpSolution {
                 average_cost: g_estimate,
                 actions,
+                k: cfg.k,
+                max_i: cfg.max_i,
                 max_j: cfg.max_j,
                 iterations: it + 1,
             });
@@ -312,6 +337,29 @@ pub fn evaluate_policy(
         }
     }
     unreachable!("loop returns");
+}
+
+/// [`evaluate_policy`] for a shared-layer [`AllocationPolicy`]: evaluates
+/// the policy's allocation map on the truncated grid, returning its
+/// long-run average number in system `E[N]`. This is the third substrate
+/// (after the QBD analysis and the simulators) on which any policy from
+/// the shared registry can be scored.
+pub fn evaluate_allocation_policy(
+    cfg: &MdpConfig,
+    policy: &dyn AllocationPolicy,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, MdpError> {
+    let k = cfg.k;
+    evaluate_policy(
+        cfg,
+        &move |i, j| {
+            let a = policy.allocate(i, j, k);
+            (a.inelastic, a.elastic)
+        },
+        tol,
+        max_iter,
+    )
 }
 
 /// The IF allocation as a [`PolicyFn`]-compatible closure target.
@@ -431,6 +479,34 @@ mod tests {
                 "(µI={mi}, µE={me}): non-idling {g_base} vs idling {g_idle}"
             );
         }
+    }
+
+    #[test]
+    fn tabular_bridge_reproduces_the_optimal_average_cost() {
+        // Re-evaluating the solver's own policy through the TabularPolicy
+        // bridge must return the optimal average cost: solver → policy →
+        // evaluator closes the loop.
+        let c = cfg(2, 0.5, 0.5, 0.25, 1.0, 40);
+        let opt = solve_optimal(&c, 1e-9, 400_000).unwrap();
+        let policy = opt.tabular_policy();
+        assert_eq!(policy.k(), 2);
+        assert_eq!((policy.max_i(), policy.max_j()), (40, 40));
+        let g = evaluate_allocation_policy(&c, &policy, 1e-9, 400_000).unwrap();
+        assert!(
+            (g - opt.average_cost).abs() < 1e-6,
+            "bridge {g} vs optimal {}",
+            opt.average_cost
+        );
+    }
+
+    #[test]
+    fn allocation_policy_evaluation_matches_closure_evaluation() {
+        let c = cfg(2, 0.4, 0.4, 1.0, 1.2, 40);
+        let g_closure = evaluate_policy(&c, &if_allocation(2), 1e-9, 200_000).unwrap();
+        let g_policy =
+            evaluate_allocation_policy(&c, &eirs_sim::policy::InelasticFirst, 1e-9, 200_000)
+                .unwrap();
+        assert_eq!(g_closure.to_bits(), g_policy.to_bits());
     }
 
     #[test]

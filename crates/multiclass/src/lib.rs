@@ -34,6 +34,7 @@ pub mod spec;
 pub use analysis::{evaluate_multiclass, MulticlassAnalysis};
 pub use des::{simulate_multiclass, MultiReport, MultiSimConfig};
 pub use policy::{
-    least_flexible_first, most_flexible_first, MultiPolicy, PriorityOrder, WaterFilling,
+    check_feasible, least_flexible_first, most_flexible_first, FeasibilityError, MultiPolicy,
+    PriorityOrder, WaterFilling,
 };
 pub use spec::{ClassSpec, MultiSystem};

@@ -28,30 +28,70 @@ pub trait MultiPolicy: Send + Sync {
     fn name(&self) -> String;
 }
 
-/// Validates an allocation; panics with a descriptive message on violation.
-pub fn assert_feasible(alloc: &[f64], counts: &[usize], system: &MultiSystem, name: &str) {
-    assert_eq!(alloc.len(), counts.len(), "{name}: wrong allocation length");
+/// A feasibility violation found by [`check_feasible`]. The message
+/// carries the offending policy, class, and quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityError(String);
+
+impl std::fmt::Display for FeasibilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FeasibilityError {}
+
+/// Validates an allocation against the multi-class feasibility
+/// constraints, returning the first violation as an error. Use this to
+/// *probe* a policy (the shared policy layer's feasibility tests do);
+/// simulation hot paths use the asserting wrapper [`assert_feasible`].
+pub fn check_feasible(
+    alloc: &[f64],
+    counts: &[usize],
+    system: &MultiSystem,
+    name: &str,
+) -> Result<(), FeasibilityError> {
+    if alloc.len() != counts.len() {
+        return Err(FeasibilityError(format!(
+            "{name}: allocation has {} entries for {} classes",
+            alloc.len(),
+            counts.len()
+        )));
+    }
     let kf = system.k as f64;
     let mut total = 0.0;
     for ((a, &n), class) in alloc.iter().zip(counts).zip(&system.classes) {
-        assert!(
-            *a >= -1e-12,
-            "{name}: negative allocation for {}",
-            class.name
-        );
+        if *a < -1e-12 {
+            return Err(FeasibilityError(format!(
+                "{name}: negative allocation {a} for {}",
+                class.name
+            )));
+        }
         let absorb = (n as f64 * class.cap as f64).min(kf);
-        assert!(
-            *a <= absorb + 1e-9,
-            "{name}: class {} gets {a} > absorbable {absorb}",
-            class.name
-        );
+        if *a > absorb + 1e-9 {
+            return Err(FeasibilityError(format!(
+                "{name}: class {} gets {a} > absorbable {absorb}",
+                class.name
+            )));
+        }
         total += a;
     }
-    assert!(
-        total <= kf + 1e-9,
-        "{name}: total {total} exceeds k = {}",
-        system.k
-    );
+    if total > kf + 1e-9 {
+        return Err(FeasibilityError(format!(
+            "{name}: total {total} exceeds k = {}",
+            system.k
+        )));
+    }
+    Ok(())
+}
+
+/// Validates an allocation; panics with a descriptive message on
+/// violation. Thin wrapper over [`check_feasible`], called by the
+/// simulator on every decision so buggy policies fail fast.
+pub fn assert_feasible(alloc: &[f64], counts: &[usize], system: &MultiSystem, name: &str) {
+    if let Err(e) = check_feasible(alloc, counts, system, name) {
+        panic!("{e}");
+    }
 }
 
 /// Strict preemptive priority by a fixed order of class indices.
@@ -287,6 +327,27 @@ mod tests {
         let a = WaterFilling.allocate(&[1, 1, 0], &s);
         assert!((a[0] - 1.0).abs() < 1e-12);
         assert!((a[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_feasible_reports_violations_without_panicking() {
+        let s = three_class();
+        // Oversubscription.
+        let err = check_feasible(&[5.0, 4.0, 4.0], &[5, 1, 1], &s, "bad").unwrap_err();
+        assert!(err.to_string().contains("exceeds k"), "{err}");
+        // Absorption limit: one rigid job cannot take two servers.
+        let err = check_feasible(&[2.0, 0.0, 0.0], &[1, 0, 0], &s, "bad").unwrap_err();
+        assert!(err.to_string().contains("absorbable"), "{err}");
+        // Negative and wrong-length allocations.
+        assert!(check_feasible(&[-1.0, 0.0, 0.0], &[1, 0, 0], &s, "bad").is_err());
+        assert!(check_feasible(&[0.0, 0.0], &[1, 0, 0], &s, "bad").is_err());
+        // A valid allocation passes.
+        assert!(check_feasible(&[1.0, 4.0, 3.0], &[1, 1, 1], &s, "ok").is_ok());
+        // And the asserting wrapper still panics on violations.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert_feasible(&[5.0, 4.0, 4.0], &[5, 1, 1], &s, "bad");
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

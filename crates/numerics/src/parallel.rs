@@ -19,9 +19,25 @@ use std::sync::Mutex;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "EIRS_THREADS";
 
-/// Worker threads to use by default: `EIRS_THREADS` if set and positive,
-/// otherwise the machine's available parallelism.
+/// Process-wide programmatic override (0 = unset). Takes precedence over
+/// [`THREADS_ENV`] so a command-line flag can win over the environment.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets a process-wide worker-thread count, overriding both the
+/// `EIRS_THREADS` environment variable and the detected core count.
+/// `None` clears the override. Used by the `eirs --threads N` flag.
+pub fn set_num_threads(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Worker threads to use by default: the [`set_num_threads`] override if
+/// set, else `EIRS_THREADS` if set and positive, otherwise the machine's
+/// available parallelism.
 pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced >= 1 {
+        return forced;
+    }
     if let Ok(raw) = std::env::var(THREADS_ENV) {
         if let Ok(n) = raw.trim().parse::<usize>() {
             if n >= 1 {
@@ -120,6 +136,17 @@ mod tests {
 
     #[test]
     fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn programmatic_override_wins_and_clears() {
+        // Note: other tests in this module do not touch the override, so
+        // setting and clearing it here is race-free in practice (and the
+        // assertion with the override set is exact either way).
+        set_num_threads(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_num_threads(None);
         assert!(num_threads() >= 1);
     }
 }

@@ -39,7 +39,8 @@ pub use des::{DesConfig, SimReport, Simulation, StopRule};
 pub use job::{Job, JobClass};
 pub use policy::{
     AllocationPolicy, ClassAllocation, ElasticFirst, ElasticThresholdPolicy, FairShare,
-    InelasticFirst, ReservePolicy, TablePolicy,
+    InelasticFirst, ReservePolicy, SwitchingCurvePolicy, TablePolicy, TabularPolicy,
+    WeightedWaterFilling,
 };
 pub use quantile::{P2Quantile, TailStats};
 pub use replicate::{replication_seeds, run_markovian_replications, run_replications};

@@ -251,6 +251,175 @@ impl AllocationPolicy for ElasticThresholdPolicy {
     }
 }
 
+/// **Switching-curve policy**: flips from IF-mode to EF-mode along a linear
+/// curve in the state space — elastic priority whenever
+/// `j ≥ intercept + slope·i`, inelastic priority below the curve. With
+/// `slope = 0` this is exactly [`ElasticThresholdPolicy`]; a positive slope
+/// demands more elastic backlog before preempting a *longer* inelastic
+/// queue, a natural shape for the paper's open `µ_I < µ_E` regime
+/// (Section 6) where the MDP-optimal policy is itself a switching curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchingCurvePolicy {
+    /// Elastic backlog that flips an empty inelastic queue to EF-mode
+    /// (clamped to ≥ 1 so EF-mode never triggers with `j = 0`).
+    pub intercept: usize,
+    /// Additional elastic backlog required per queued inelastic job.
+    pub slope: f64,
+}
+
+impl AllocationPolicy for SwitchingCurvePolicy {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if j == 0 {
+            return ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            };
+        }
+        let curve = self.intercept.max(1) as f64 + self.slope * i as f64;
+        if j as f64 >= curve {
+            ClassAllocation {
+                inelastic: 0.0,
+                elastic: kf,
+            }
+        } else {
+            let inelastic = (i as f64).min(kf);
+            ClassAllocation {
+                inelastic,
+                elastic: kf - inelastic,
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("SwitchingCurve({}+{}i)", self.intercept, self.slope)
+    }
+}
+
+/// **Weighted water-filling**: the fractional 2-class fair-share family.
+/// Every inelastic job weighs 1 and every elastic job weighs
+/// `elastic_weight` when splitting the cluster, so each inelastic job gets
+/// `min(k / (i + w·j), 1)` servers and the elastic class soaks up the rest
+/// (work conserving). `elastic_weight = 1` recovers [`FairShare`]; larger
+/// weights shift servers toward elastic jobs, interpolating continuously
+/// toward Elastic-First as `w → ∞`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedWaterFilling {
+    /// Relative weight of one elastic job (`> 0`).
+    pub elastic_weight: f64,
+}
+
+impl AllocationPolicy for WeightedWaterFilling {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        if j == 0 {
+            return ClassAllocation {
+                inelastic: (i as f64).min(kf),
+                elastic: 0.0,
+            };
+        }
+        let w = self.elastic_weight;
+        debug_assert!(w > 0.0 && w.is_finite(), "elastic weight must be positive");
+        let share = (kf / (i as f64 + w * j as f64)).min(1.0);
+        let inelastic = share * i as f64;
+        ClassAllocation {
+            inelastic,
+            elastic: kf - inelastic,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("WaterFilling(w={})", self.elastic_weight)
+    }
+}
+
+/// A **tabular policy**: allocations stored densely on a state grid
+/// `(i, j) ∈ [0, max_i] × [0, max_j]`, with states beyond the grid clamped
+/// to the nearest edge. This is the bridge from solved MDPs to the shared
+/// policy layer — `eirs_mdp::MdpSolution::tabular_policy` packs its optimal
+/// actions into one of these, after which the numerically-optimal policy
+/// runs on every substrate (analysis, DES, state-level CTMC) like any
+/// hand-written policy.
+#[derive(Debug, Clone)]
+pub struct TabularPolicy {
+    name: String,
+    k: u32,
+    max_i: usize,
+    max_j: usize,
+    table: Vec<ClassAllocation>,
+}
+
+impl TabularPolicy {
+    /// Builds a table by evaluating `f(i, j) → (π_I, π_E)` on the grid.
+    /// Entries are clamped into the feasible polytope for `k` servers.
+    pub fn from_fn(
+        name: impl Into<String>,
+        k: u32,
+        max_i: usize,
+        max_j: usize,
+        f: impl Fn(usize, usize) -> (f64, f64),
+    ) -> Self {
+        let kf = k as f64;
+        let mut table = Vec::with_capacity((max_i + 1) * (max_j + 1));
+        for i in 0..=max_i {
+            for j in 0..=max_j {
+                let (a, e) = f(i, j);
+                let inelastic = a.clamp(0.0, (i as f64).min(kf));
+                let elastic = if j > 0 {
+                    e.clamp(0.0, kf - inelastic)
+                } else {
+                    0.0
+                };
+                table.push(ClassAllocation { inelastic, elastic });
+            }
+        }
+        Self {
+            name: name.into(),
+            k,
+            max_i,
+            max_j,
+            table,
+        }
+    }
+
+    /// Servers the table was built for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Grid bound in `i`; states with larger `i` are clamped to the edge.
+    pub fn max_i(&self) -> usize {
+        self.max_i
+    }
+
+    /// Grid bound in `j`; states with larger `j` are clamped to the edge.
+    pub fn max_j(&self) -> usize {
+        self.max_j
+    }
+}
+
+impl AllocationPolicy for TabularPolicy {
+    fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+        let kf = k as f64;
+        let entry = self.table[i.min(self.max_i) * (self.max_j + 1) + j.min(self.max_j)];
+        // Re-clamp against the *actual* state: edge-clamping `i` can only
+        // shrink `min(i, k)`, but a caller may query with a different `k`
+        // than the table was built for, and `j = 0` must yield no elastic
+        // share even though the clamped column is feasible by construction.
+        let inelastic = entry.inelastic.clamp(0.0, (i as f64).min(kf));
+        let elastic = if j > 0 {
+            entry.elastic.clamp(0.0, kf - inelastic)
+        } else {
+            0.0
+        };
+        ClassAllocation { inelastic, elastic }
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
 /// A policy defined by an arbitrary function `(i, j, k) → π_I`, completed to
 /// a work-conserving allocation (`π_E = k − π_I` when `j > 0`; all inelastic
 /// served when `j = 0`). With inelastic-FCFS service this is exactly the
@@ -495,6 +664,105 @@ mod tests {
         // At/above: EF behavior.
         assert_eq!(p.allocate(2, 3, 4), ElasticFirst.allocate(2, 3, 4));
         assert!(p.is_work_conserving_on(4, 12, 12));
+    }
+
+    #[test]
+    fn switching_curve_reduces_to_threshold_at_zero_slope() {
+        let curve = SwitchingCurvePolicy {
+            intercept: 3,
+            slope: 0.0,
+        };
+        let threshold = ElasticThresholdPolicy { threshold: 3 };
+        for i in 0..10usize {
+            for j in 0..10usize {
+                assert_eq!(curve.allocate(i, j, 4), threshold.allocate(i, j, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn switching_curve_demands_more_backlog_for_longer_inelastic_queues() {
+        let p = SwitchingCurvePolicy {
+            intercept: 2,
+            slope: 1.0,
+        };
+        // i = 0: flips at j = 2.
+        assert_eq!(p.allocate(0, 2, 4), ElasticFirst.allocate(0, 2, 4));
+        // i = 3: curve at j = 5; j = 4 still IF-mode.
+        assert_eq!(p.allocate(3, 4, 4), InelasticFirst.allocate(3, 4, 4));
+        assert_eq!(p.allocate(3, 5, 4), ElasticFirst.allocate(3, 5, 4));
+        assert!(p.is_work_conserving_on(4, 12, 12));
+    }
+
+    #[test]
+    fn weighted_water_filling_interpolates_between_fair_share_and_ef() {
+        let w1 = WeightedWaterFilling {
+            elastic_weight: 1.0,
+        };
+        for i in 0..12usize {
+            for j in 0..12usize {
+                let a = w1.allocate(i, j, 4);
+                let b = FairShare.allocate(i, j, 4);
+                assert!(
+                    (a.inelastic - b.inelastic).abs() < 1e-12,
+                    "w=1 diverges from FairShare at ({i},{j})"
+                );
+            }
+        }
+        // Heavy elastic weight starves inelastic jobs toward EF.
+        let heavy = WeightedWaterFilling {
+            elastic_weight: 1e6,
+        };
+        let a = heavy.allocate(6, 2, 4);
+        assert!(a.inelastic < 1e-4 && a.elastic > 4.0 - 1e-4);
+        for w in [0.25, 1.0, 2.0, 8.0] {
+            assert!(WeightedWaterFilling { elastic_weight: w }.is_work_conserving_on(4, 12, 12));
+        }
+    }
+
+    #[test]
+    fn weighted_water_filling_allocations_are_genuinely_fractional() {
+        let p = WeightedWaterFilling {
+            elastic_weight: 2.0,
+        };
+        // (3, 2) on k=4: share = 4/(3+4) = 4/7 < 1 → π_I = 12/7.
+        let a = p.allocate(3, 2, 4);
+        assert!((a.inelastic - 12.0 / 7.0).abs() < 1e-12);
+        assert!((a.elastic - (4.0 - 12.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabular_policy_clamps_beyond_grid_and_stays_feasible() {
+        // Table mimicking IF on a small grid.
+        let t = TabularPolicy::from_fn("tab-if", 4, 6, 6, |i, j| {
+            let a = (i as f64).min(4.0);
+            (a, if j > 0 { 4.0 - a } else { 0.0 })
+        });
+        assert_eq!(t.k(), 4);
+        assert_eq!((t.max_i(), t.max_j()), (6, 6));
+        // Inside the grid: exactly IF.
+        assert_eq!(t.allocate(2, 3, 4), InelasticFirst.allocate(2, 3, 4));
+        // Beyond the grid: clamped to the edge, still IF here.
+        assert_eq!(t.allocate(50, 80, 4), InelasticFirst.allocate(50, 80, 4));
+        // j = 0 never receives an elastic share even off-grid.
+        assert_eq!(t.allocate(9, 0, 4).elastic, 0.0);
+        assert!(t.is_work_conserving_on(4, 12, 12));
+    }
+
+    #[test]
+    fn tabular_policy_from_fn_clamps_infeasible_entries() {
+        let t = TabularPolicy::from_fn("greedy", 4, 4, 4, |_, _| (100.0, 100.0));
+        let a = t.allocate(2, 1, 4);
+        assert_eq!(a.inelastic, 2.0);
+        assert_eq!(a.elastic, 2.0);
+        let result = std::panic::catch_unwind(|| {
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_feasible(t.allocate(i, j, 4), i, j, 4, "greedy");
+                }
+            }
+        });
+        assert!(result.is_ok());
     }
 
     #[test]

@@ -150,6 +150,19 @@ impl ReplicationStats {
     }
 }
 
+impl FromIterator<f64> for ReplicationStats {
+    /// Collects replication point estimates, so callers of the
+    /// replication drivers can go straight from reports to a CI:
+    /// `reports.iter().map(|r| r.mean_response).collect()`.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = Self::new();
+        for estimate in iter {
+            stats.push(estimate);
+        }
+        stats
+    }
+}
+
 /// Batch-means confidence intervals from a *single* long run.
 ///
 /// Consecutive observations from a steady-state simulation are

@@ -3,20 +3,24 @@
 //! ```text
 //! eirs analyze   --k 4 --lambda-i 1 --lambda-e 1 --mu-i 2 --mu-e 1
 //! eirs compare   --k 4 --rho 0.7 --mu-i 0.5 --mu-e 1
+//! eirs policy    --policy threshold:3 --k 4 --rho 0.7 --mu-i 0.5 --mu-e 1
 //! eirs simulate  --policy if --k 4 --rho 0.7 --mu-i 1 --mu-e 1 \
 //!                --departures 500000 --seed 1
 //! eirs counterexample --ratio 2
 //! ```
 //!
-//! Every command is a thin wrapper over the library; see `README.md`.
+//! All commands accept a global `--threads N` to pin the sweep worker
+//! count (otherwise `EIRS_THREADS` or all cores). Every command is a thin
+//! wrapper over the library; see `README.md`.
 
 use eirs_repro::cli::{CliArgs, CliError};
 use eirs_repro::core::counterexample::expected_total_response_closed;
+use eirs_repro::core::policy::parse_policy;
 use eirs_repro::core::prelude::*;
+use eirs_repro::core::sweep;
 use eirs_repro::sim::des::run_markovian;
-use eirs_repro::sim::policy::{
-    AllocationPolicy, ElasticFirst, FairShare, InelasticFirst, ReservePolicy,
-};
+use eirs_repro::sim::replicate::run_markovian_replications;
+use eirs_repro::sim::stats::ReplicationStats;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,15 +36,21 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: eirs <command> [--flag value]...");
+    eprintln!("usage: eirs <command> [--flag value]... [--threads N]");
     eprintln!("commands:");
     eprintln!("  analyze         exact E[T] under IF and EF for explicit rates");
     eprintln!("                  --k --lambda-i --lambda-e --mu-i --mu-e");
     eprintln!("  compare         IF vs EF at a target load (lambda_i = lambda_e)");
     eprintln!("                  --k --rho --mu-i --mu-e");
-    eprintln!("  simulate        DES run of one policy (if|ef|fairshare|reserve:<r>)");
+    eprintln!("  policy          analytic + DES evaluation of any policy spec");
+    eprintln!("                  --policy --k --rho --mu-i --mu-e [--reps --departures");
+    eprintln!("                  --seed --phase-cap --level-cut --force-general true]");
+    eprintln!("  simulate        DES run of one policy spec");
     eprintln!("                  --policy --k --rho --mu-i --mu-e --departures --seed");
     eprintln!("  counterexample  Theorem 6 closed system --ratio (mu_e/mu_i)");
+    eprintln!();
+    eprintln!("policy specs: if | ef | fairshare | reserve:<r> | threshold:<t>");
+    eprintln!("              | curve:<a>+<b>i | waterfill:<w> | random:<seed>");
 }
 
 fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
@@ -65,6 +75,9 @@ fn stringify(e: CliError) -> String {
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = CliArgs::parse(raw).map_err(stringify)?;
+    if let Some(n) = args.threads().map_err(stringify)? {
+        sweep::set_threads(Some(n));
+    }
     match args.command.as_str() {
         "analyze" => {
             let p = parse_params(&args)?;
@@ -102,26 +115,87 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "policy" => {
+            let p = parse_params(&args)?;
+            let policy = parse_policy(&args.get_or("policy", "if"))?;
+            let reps = args.get_parsed_or("reps", 8usize).map_err(stringify)?;
+            if reps < 2 {
+                return Err(format!(
+                    "--reps {reps} is too few: confidence intervals need at least 2 replications"
+                ));
+            }
+            let departures = args
+                .get_parsed_or("departures", 200_000u64)
+                .map_err(stringify)?;
+            let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
+            let defaults = AnalyzeOptions::default();
+            let opts = AnalyzeOptions {
+                phase_cap: args
+                    .get_parsed_or("phase-cap", defaults.phase_cap)
+                    .map_err(stringify)?,
+                max_level_cut: args
+                    .get_parsed_or("level-cut", defaults.max_level_cut)
+                    .map_err(stringify)?,
+                // Escape hatch for policies that only look like strict
+                // priority inside the probed window (e.g. a threshold
+                // beyond --phase-cap): skip detection entirely.
+                force_general: args
+                    .get_parsed_or("force-general", defaults.force_general)
+                    .map_err(stringify)?,
+                ..defaults
+            };
+            println!(
+                "policy: {}   (k={} lambda_i={:.4} lambda_e={:.4} mu_i={} mu_e={} rho={:.3})",
+                policy.name(),
+                p.k,
+                p.lambda_i,
+                p.lambda_e,
+                p.mu_i,
+                p.mu_e,
+                p.load()
+            );
+            let a = analyze_policy_with(policy.as_ref(), &p, &opts).map_err(|e| e.to_string())?;
+            println!(
+                "analysis:   E[T] = {:.4} (inelastic {:.4}, elastic {:.4})",
+                a.mean_response, a.mean_response_inelastic, a.mean_response_elastic
+            );
+            // DES replications on decorrelated seed streams, fanned out
+            // over the sweep workers.
+            let reports = run_markovian_replications(
+                policy.as_ref(),
+                p.k,
+                p.lambda_i,
+                p.lambda_e,
+                p.mu_i,
+                p.mu_e,
+                seed,
+                reps,
+                departures / 10,
+                departures,
+            );
+            let stats: ReplicationStats = reports.iter().map(|r| r.mean_response).collect();
+            let ci = stats.confidence_interval();
+            println!(
+                "simulation: E[T] = {:.4} +- {:.4}  ({} reps x {} departures, 95% CI)",
+                stats.mean(),
+                ci.half_width,
+                reps,
+                departures
+            );
+            let inside = ci.contains(a.mean_response);
+            println!(
+                "agreement:  analysis {} the replication confidence interval",
+                if inside { "inside" } else { "OUTSIDE" }
+            );
+            Ok(())
+        }
         "simulate" => {
             let p = parse_params(&args)?;
             let departures = args
                 .get_parsed_or("departures", 200_000u64)
                 .map_err(stringify)?;
             let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
-            let policy_name = args.get_or("policy", "if");
-            let policy: Box<dyn AllocationPolicy> = match policy_name.as_str() {
-                "if" => Box::new(InelasticFirst),
-                "ef" => Box::new(ElasticFirst),
-                "fairshare" => Box::new(FairShare),
-                other => {
-                    if let Some(r) = other.strip_prefix("reserve:") {
-                        let reserve: u32 = r.parse().map_err(|_| format!("bad reserve '{r}'"))?;
-                        Box::new(ReservePolicy { reserve })
-                    } else {
-                        return Err(format!("unknown policy '{other}'"));
-                    }
-                }
-            };
+            let policy = parse_policy(&args.get_or("policy", "if"))?;
             let r = run_markovian(
                 policy.as_ref(),
                 p.k,

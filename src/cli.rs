@@ -88,6 +88,23 @@ impl CliArgs {
             }),
         }
     }
+
+    /// The global `--threads N` flag: the sweep worker count, as an
+    /// explicit alternative to the `EIRS_THREADS` environment variable.
+    /// `None` when absent; zero is rejected (a sweep needs at least one
+    /// worker).
+    pub fn threads(&self) -> Result<Option<usize>, CliError> {
+        match self.get("threads") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(CliError::BadValue {
+                    flag: "threads".to_string(),
+                    value: raw.to_string(),
+                }),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +143,23 @@ mod tests {
             parse(&["analyze", "--k"]),
             Err(CliError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        // Absent: no override requested.
+        assert_eq!(parse(&["analyze"]).unwrap().threads(), Ok(None));
+        // Present: explicit worker count.
+        let a = parse(&["compare", "--threads", "6"]).unwrap();
+        assert_eq!(a.threads(), Ok(Some(6)));
+        // Zero workers and garbage are rejected.
+        for bad in ["0", "many", "-2"] {
+            let a = parse(&["compare", "--threads", bad]).unwrap();
+            assert!(
+                matches!(a.threads(), Err(CliError::BadValue { .. })),
+                "--threads {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -5,15 +5,18 @@
 //! Inelastic Jobs"* (SPAA 2020). Re-exports every sub-crate under one roof
 //! so examples and downstream users can depend on a single package:
 //!
-//! * [`core`] (`eirs-core`) — model parameters, EF/IF response-time
-//!   analysis, the Theorem 6 counterexample, experiment parameterizations;
+//! * [`core`] (`eirs-core`) — model parameters, the shared policy layer
+//!   (`core::policy`), the policy-generic response-time analysis
+//!   (`core::analysis::analyze_policy`), the Theorem 6 counterexample,
+//!   experiment parameterizations;
 //! * [`sim`] (`eirs-sim`) — allocation policies and the discrete-event /
 //!   state-level simulators;
 //! * [`markov`] (`eirs-markov`) — CTMC and QBD matrix-analytic solvers;
 //! * [`queueing`] (`eirs-queueing`) — M/M/1, M/M/k, phase-type
 //!   distributions, Coxian busy-period fitting;
 //! * [`mdp`] (`eirs-mdp`) — truncated average-cost MDP (numerical
-//!   optimality);
+//!   optimality), bridged into the policy layer via
+//!   `MdpSolution::tabular_policy`;
 //! * [`srpt`] (`eirs-srpt`) — Appendix A batch scheduling and dual fitting;
 //! * [`multiclass`] (`eirs-multiclass`) — the Section 6 extension: many
 //!   classes with bounded elasticity;

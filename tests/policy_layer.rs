@@ -1,0 +1,161 @@
+//! Property tests of the shared policy layer (PR 2 tentpole):
+//!
+//! 1. every policy in the shared registry produces feasible allocations
+//!    (`π_I ≤ min(i,k)`, `π_I + π_E ≤ k`, `π_E = 0` when `j = 0`) over
+//!    randomized states — checked both by the 2-class rules and by the
+//!    multiclass `check_feasible` on the two-class reduction, so the two
+//!    policy layers enforce the same constraints;
+//! 2. `analyze_policy` on the EF/IF wrappers is **bit-identical** to the
+//!    pre-refactor hardcoded implementations (`analysis::reference`) over
+//!    randomized parameters.
+
+use eirs_repro::core::analysis::{self, analyze_policy, reference};
+use eirs_repro::core::policy::registry;
+use eirs_repro::core::SystemParams;
+use eirs_repro::multiclass::{check_feasible, MultiSystem};
+use proptest::prelude::*;
+
+fn assert_bits_equal(a: &analysis::PolicyAnalysis, b: &analysis::PolicyAnalysis, label: &str) {
+    for (x, y, field) in [
+        (a.mean_response, b.mean_response, "mean_response"),
+        (
+            a.mean_response_inelastic,
+            b.mean_response_inelastic,
+            "mean_response_inelastic",
+        ),
+        (
+            a.mean_response_elastic,
+            b.mean_response_elastic,
+            "mean_response_elastic",
+        ),
+        (
+            a.mean_num_inelastic,
+            b.mean_num_inelastic,
+            "mean_num_inelastic",
+        ),
+        (a.mean_num_elastic, b.mean_num_elastic, "mean_num_elastic"),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: {field} diverged ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn registry_policies_are_feasible_on_randomized_states(
+        k in 1u32..9,
+        i in 0usize..60,
+        j in 0usize..60,
+    ) {
+        let kf = k as f64;
+        // The multiclass reduction needs rates, not just k; allocations do
+        // not depend on them.
+        let system = MultiSystem::two_class(k, 0.1, 0.1, 1.0, 1.0);
+        for policy in registry(k) {
+            let a = policy.allocate(i, j, k);
+            let name = policy.name();
+            // The 2-class feasibility constraints, verbatim.
+            prop_assert!(
+                a.inelastic >= 0.0 && a.elastic >= 0.0,
+                "{name}: negative allocation at ({i},{j},{k})"
+            );
+            prop_assert!(
+                a.inelastic <= (i as f64).min(kf) + 1e-9,
+                "{name}: pi_I {} > min(i,k) at ({i},{j},{k})", a.inelastic
+            );
+            prop_assert!(
+                a.inelastic + a.elastic <= kf + 1e-9,
+                "{name}: total {} > k at ({i},{j},{k})", a.inelastic + a.elastic
+            );
+            prop_assert!(
+                j > 0 || a.elastic == 0.0,
+                "{name}: elastic share {} with j = 0 at ({i},{k})", a.elastic
+            );
+            // And the multiclass checker on the two-class reduction agrees.
+            let checked = check_feasible(&[a.inelastic, a.elastic], &[i, j], &system, &name);
+            prop_assert!(checked.is_ok(), "{name}: {checked:?}");
+        }
+    }
+
+    #[test]
+    fn ef_and_if_wrappers_are_bit_identical_to_prerefactor_paths(
+        k in 1u32..12,
+        mu_i_q in 1u32..15,
+        mu_e_q in 1u32..9,
+        rho_q in 1u32..10,
+    ) {
+        // Discrete grids keep the parameters in the numerically-stable
+        // region the pre-refactor code was specified on.
+        let mu_i = mu_i_q as f64 * 0.25;
+        let mu_e = mu_e_q as f64 * 0.25;
+        let rho = rho_q as f64 * 0.1;
+        let p = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho).unwrap();
+
+        let ef_new = analysis::analyze_elastic_first(&p).unwrap();
+        let ef_old = reference::analyze_elastic_first_reference(&p).unwrap();
+        assert_bits_equal(&ef_new, &ef_old, "EF wrapper vs reference");
+        // analyze_policy routes EF through the same exact chain.
+        let ef_generic = analyze_policy(&eirs_repro::sim::policy::ElasticFirst, &p).unwrap();
+        assert_bits_equal(&ef_generic, &ef_old, "analyze_policy(EF) vs reference");
+
+        let if_new = analysis::analyze_inelastic_first(&p).unwrap();
+        let if_old = reference::analyze_inelastic_first_reference(&p).unwrap();
+        assert_bits_equal(&if_new, &if_old, "IF wrapper vs reference");
+        let if_generic = analyze_policy(&eirs_repro::sim::policy::InelasticFirst, &p).unwrap();
+        assert_bits_equal(&if_generic, &if_old, "analyze_policy(IF) vs reference");
+    }
+}
+
+#[test]
+fn zero_rate_degenerate_cases_match_reference_exactly() {
+    // The wrappers' shortcut branches (λ_I = 0, λ_E = 0) are part of the
+    // bit-identity contract too.
+    for (li, le) in [(0.0, 2.0), (3.0, 0.0)] {
+        let p = SystemParams::new(4, li, le, 1.0, 1.0).unwrap();
+        let ef_new = analysis::analyze_elastic_first(&p).unwrap();
+        let ef_old = reference::analyze_elastic_first_reference(&p).unwrap();
+        let if_new = analysis::analyze_inelastic_first(&p).unwrap();
+        let if_old = reference::analyze_inelastic_first_reference(&p).unwrap();
+        for ((a, b), label) in [(&ef_new, &ef_old), (&if_new, &if_old)]
+            .into_iter()
+            .zip(["EF", "IF"])
+        {
+            assert_eq!(
+                a.mean_num_inelastic.to_bits(),
+                b.mean_num_inelastic.to_bits(),
+                "{label} λI={li} λE={le}"
+            );
+            assert_eq!(
+                a.mean_num_elastic.to_bits(),
+                b.mean_num_elastic.to_bits(),
+                "{label} λI={li} λE={le}"
+            );
+        }
+    }
+}
+
+#[test]
+fn structure_detection_is_consistent_with_the_exact_paths() {
+    use eirs_repro::core::analysis::{detect_structure, AnalyzeOptions, PolicyStructure};
+    use eirs_repro::sim::policy::{ElasticFirst, InelasticFirst, ReservePolicy};
+    let opts = AnalyzeOptions::default();
+    for k in [1u32, 2, 4, 7] {
+        assert_eq!(
+            detect_structure(&ElasticFirst, k, &opts),
+            PolicyStructure::ElasticPriority
+        );
+        assert_eq!(
+            detect_structure(&InelasticFirst, k, &opts),
+            PolicyStructure::InelasticPriority
+        );
+        assert_eq!(
+            detect_structure(&ReservePolicy { reserve: k }, k, &opts),
+            PolicyStructure::ElasticPriority
+        );
+    }
+}
