@@ -324,6 +324,113 @@ pub(crate) fn analyze_general(
     Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
 }
 
+/// Truncated-phase analysis of an arbitrary policy under **MAP arrivals**
+/// (exponential service): the workload-scenario generalization of
+/// [`analyze_general`].
+///
+/// The arriving stream is a Markovian arrival process `map` whose
+/// stationary rate must equal `λ_I + λ_E`; each arrival is inelastic with
+/// probability `λ_I / (λ_I + λ_E)` (independent marking). The QBD level is
+/// the inelastic count `i`; the phase is the pair (elastic count
+/// `j ≤ phase_cap`, MAP phase `m`), indexed `m·(phase_cap+1) + j`:
+///
+/// * **up** — a marked-inelastic arrival transition `f·D1[m][m']`;
+/// * **local** — a marked-elastic arrival `(1−f)·D1[m][m']` (`j → j+1`;
+///   at the cap the job is rejected but the phase still moves), a silent
+///   phase change `D0[m][m']`, or an elastic service completion at the
+///   policy's allocation rate;
+/// * **down** — an inelastic completion at the policy's allocation rate.
+///
+/// With a one-phase MAP this chain is *identical* to the one
+/// [`analyze_general`] builds (the scenario property tests assert the
+/// results agree bit for bit).
+pub(crate) fn analyze_general_map(
+    policy: &dyn AllocationPolicy,
+    params: &SystemParams,
+    map: &eirs_queueing::MapProcess,
+    opts: &AnalyzeOptions,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    let total = params.total_lambda();
+    let map_rate = map.arrival_rate();
+    if (map_rate - total).abs() > 1e-6 * total.max(1.0) {
+        return Err(AnalysisError::BadInput(format!(
+            "MAP stationary rate {map_rate} != lambda_I + lambda_E = {total}; \
+             normalize with MapProcess::scaled_to_rate first"
+        )));
+    }
+    let f = params.lambda_i / total;
+    let k = params.k;
+    let jmax = if params.lambda_e > 0.0 {
+        opts.phase_cap.max(1)
+    } else {
+        0
+    };
+    let cut = if params.lambda_i > 0.0 {
+        find_level_cut(policy, k, jmax, opts)
+    } else {
+        1
+    };
+    let p_m = map.phases();
+    let width = jmax + 1;
+    let (d0, d1) = (map.d0(), map.d1());
+    let (mu_i, mu_e) = (params.mu_i, params.mu_e);
+    let split = |idx: usize| (idx / width, idx % width);
+
+    let qbd = Qbd::from_rate_fns(
+        p_m * width,
+        cut,
+        |_, a, b| {
+            let ((m, j), (m2, j2)) = (split(a), split(b));
+            if j == j2 {
+                f * d1[(m, m2)]
+            } else {
+                0.0
+            }
+        },
+        |level, a, b| {
+            if a == b {
+                return 0.0;
+            }
+            let ((m, j), (m2, j2)) = (split(a), split(b));
+            let mut rate = 0.0;
+            if j2 == j + 1 {
+                // Accepted elastic arrival (any accompanying phase move).
+                rate += (1.0 - f) * d1[(m, m2)];
+            }
+            if j == j2 && m != m2 {
+                // Silent phase change, plus elastic arrivals rejected
+                // at the cap (the phase still moves).
+                rate += d0[(m, m2)];
+                if j == jmax {
+                    rate += (1.0 - f) * d1[(m, m2)];
+                }
+            }
+            if m == m2 && j >= 1 && j2 + 1 == j {
+                rate += policy.allocate(level.min(cut), j, k).elastic * mu_e;
+            }
+            rate
+        },
+        |level, a, b| {
+            let ((m, j), (m2, j2)) = (split(a), split(b));
+            if m == m2 && j == j2 {
+                policy.allocate(level.min(cut), j, k).inelastic * mu_i
+            } else {
+                0.0
+            }
+        },
+    )?;
+    let sol = qbd.solve()?;
+    debug_assert!((sol.total_probability() - 1.0).abs() < 1e-8);
+    let n_i = sol.mean_level();
+    let n_e: f64 = sol
+        .marginal_phases()
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| (idx % width) as f64 * p)
+        .sum();
+    Ok(PolicyAnalysis::from_class_means(params, n_i, n_e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +513,52 @@ mod tests {
             (a.mean_num_inelastic - want).abs() < 1e-9,
             "{} vs {want}",
             a.mean_num_inelastic
+        );
+    }
+
+    #[test]
+    fn map_chain_with_one_phase_is_bit_identical_to_the_general_chain() {
+        use eirs_queueing::MapProcess;
+        let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.6).unwrap();
+        let map = MapProcess::poisson(params.total_lambda());
+        let o = AnalyzeOptions {
+            phase_cap: 24,
+            ..opts()
+        };
+        for policy in [&FairShare as &dyn AllocationPolicy, &InelasticFirst] {
+            let general = analyze_general(policy, &params, &o).unwrap();
+            let via_map = analyze_general_map(policy, &params, &map, &o).unwrap();
+            assert_eq!(
+                general.mean_response.to_bits(),
+                via_map.mean_response.to_bits(),
+                "{}: {} vs {}",
+                policy.name(),
+                general.mean_response,
+                via_map.mean_response
+            );
+            assert_eq!(
+                general.mean_num_elastic.to_bits(),
+                via_map.mean_num_elastic.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn map_chain_burstiness_increases_mean_response() {
+        use eirs_queueing::MapProcess;
+        let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.6).unwrap();
+        let o = AnalyzeOptions {
+            phase_cap: 32,
+            ..opts()
+        };
+        let poisson = analyze_general(&FairShare, &params, &o).unwrap();
+        let bursty = MapProcess::mmpp2(1.0, 1.0, 9.0, 1.0).scaled_to_rate(params.total_lambda());
+        let modulated = analyze_general_map(&FairShare, &params, &bursty, &o).unwrap();
+        assert!(
+            modulated.mean_response > poisson.mean_response * 1.05,
+            "MMPP {} vs Poisson {}",
+            modulated.mean_response,
+            poisson.mean_response
         );
     }
 

@@ -2,7 +2,7 @@
 //! generalized to arbitrary allocation policies).
 //!
 //! The entry point is [`analyze_policy`]: hand it **any**
-//! [`AllocationPolicy`](eirs_sim::policy::AllocationPolicy) — EF, IF, a
+//! [`AllocationPolicy`] — EF, IF, a
 //! threshold or switching-curve policy, a fractional water-filling policy,
 //! or the MDP-optimal `TabularPolicy` — and it returns the stationary mean
 //! response times. One policy-generic pipeline replaces what used to be
@@ -119,6 +119,25 @@ pub fn analyze_policy_with(
     }
 }
 
+/// Analytic evaluation of an arbitrary policy under **MAP arrivals** with
+/// exponential service — the workload-scenario counterpart of
+/// [`analyze_policy`].
+///
+/// `map` must be normalized to the stationary rate `λ_I + λ_E` of
+/// `params` (see `eirs_queueing::MapProcess::scaled_to_rate`); arrivals
+/// are marked inelastic with probability `λ_I / (λ_I + λ_E)`. The chain
+/// is the truncated-phase QBD of the general path with the phase extended
+/// by the MAP phase; a one-phase MAP reproduces [`analyze_policy_with`]'s
+/// general chain bit for bit.
+pub fn analyze_policy_map(
+    policy: &dyn AllocationPolicy,
+    params: &SystemParams,
+    map: &eirs_queueing::MapProcess,
+    opts: &AnalyzeOptions,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    generator::analyze_general_map(policy, params, map, opts)
+}
+
 /// Mean-value results of an analytic policy evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyAnalysis {
@@ -171,6 +190,9 @@ pub enum AnalysisError {
     Coxian(CoxianFitError),
     /// The QBD solve failed (instability or numerical breakdown).
     Qbd(QbdError),
+    /// A caller-supplied input violated a documented precondition (e.g. a
+    /// MAP not normalized to the model's arrival rate).
+    BadInput(String),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -178,6 +200,7 @@ impl std::fmt::Display for AnalysisError {
         match self {
             AnalysisError::Coxian(e) => write!(f, "busy-period fit failed: {e}"),
             AnalysisError::Qbd(e) => write!(f, "QBD solve failed: {e}"),
+            AnalysisError::BadInput(msg) => write!(f, "bad analysis input: {msg}"),
         }
     }
 }

@@ -259,6 +259,138 @@ pub fn policy_sweep_with_threads(
     .collect()
 }
 
+/// One point of a scenario sweep: a `(workload, policy)` pair evaluated
+/// by DES replications and — when tractable — by the matching analytic
+/// chain.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweepPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Parameters of the point.
+    pub params: SystemParams,
+    /// Which analytic route applied.
+    pub tractability: crate::scenario::Tractability,
+    /// Analytic mean response time, when tractable.
+    pub analysis_mean_response: Option<f64>,
+    /// Replication mean of the DES mean response time.
+    pub des_mean_response: f64,
+    /// 95% CI half-width across replications (`0.0` for deterministic
+    /// trace-replay workloads, which run a single exact replication).
+    pub des_ci_half_width: f64,
+    /// How many DES replications actually ran (`1` for deterministic
+    /// trace replay, `cfg.replications` otherwise).
+    pub des_replications: usize,
+    /// Whether the analysis landed inside the DES replication CI
+    /// (`None` when intractable).
+    pub analysis_inside_ci: Option<bool>,
+}
+
+/// Configuration of a [`scenario_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSweepConfig {
+    /// DES replications per `(workload, policy)` pair (`≥ 2` for a CI).
+    pub replications: usize,
+    /// Measured departures per replication.
+    pub departures: u64,
+    /// Warm-up departures per replication.
+    pub warmup: u64,
+    /// Base seed; each pair derives decorrelated replication streams.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioSweepConfig {
+    fn default() -> Self {
+        Self {
+            replications: 8,
+            departures: 100_000,
+            warmup: 10_000,
+            base_seed: 42,
+        }
+    }
+}
+
+/// Evaluates every `(workload, policy)` pair on the DES (replications with
+/// a 95% CI) and, where tractable, on the matching analytic chain —
+/// fanning the pairs out through the parallel sweep engine. This is the
+/// substrate the `eirs scenario` subcommand and the `workload_scenarios`
+/// bench share.
+pub fn scenario_sweep(
+    workloads: &[crate::scenario::Workload],
+    policies: &[Box<dyn eirs_sim::policy::AllocationPolicy>],
+    params: &SystemParams,
+    opts: &crate::analysis::AnalyzeOptions,
+    cfg: &ScenarioSweepConfig,
+) -> Result<Vec<ScenarioSweepPoint>, String> {
+    scenario_sweep_with_threads(workloads, policies, params, opts, cfg, sweep::threads())
+}
+
+/// [`scenario_sweep`] with an explicit worker-thread count (`threads = 1`
+/// is the serial reference path, bit-identical to the parallel one).
+pub fn scenario_sweep_with_threads(
+    workloads: &[crate::scenario::Workload],
+    policies: &[Box<dyn eirs_sim::policy::AllocationPolicy>],
+    params: &SystemParams,
+    opts: &crate::analysis::AnalyzeOptions,
+    cfg: &ScenarioSweepConfig,
+    threads: usize,
+) -> Result<Vec<ScenarioSweepPoint>, String> {
+    assert!(cfg.replications >= 2, "confidence intervals need >= 2 reps");
+    let pairs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..policies.len()).map(move |p| (w, p)))
+        .collect();
+    sweep::sweep_with_threads(&pairs, threads, |&(wi, pi)| {
+        let workload = &workloads[wi];
+        let policy = policies[pi].as_ref();
+        // Decorrelate pairs without coupling their replication streams.
+        let pair_seed = cfg.base_seed.wrapping_add(
+            0x9e37_79b9_7f4a_7c15u64.wrapping_mul((wi * policies.len() + pi) as u64 + 1),
+        );
+        let reports = workload.replications(
+            policy,
+            params,
+            pair_seed,
+            cfg.replications,
+            cfg.warmup,
+            cfg.departures,
+        )?;
+        // Deterministic workloads (external trace replay) return a single
+        // report: its value is exact for that trace, so the "interval" is
+        // the point itself rather than a fabricated spread.
+        let ci = if reports.len() >= 2 {
+            let stats: eirs_sim::stats::ReplicationStats =
+                reports.iter().map(|r| r.mean_response).collect();
+            stats.confidence_interval()
+        } else {
+            eirs_sim::stats::ConfidenceInterval {
+                mean: reports[0].mean_response,
+                half_width: 0.0,
+            }
+        };
+        let tractability = workload.tractability(policy, params);
+        let analysis = workload
+            .analyze(policy, params, opts)
+            .map_err(|e| format!("{}/{}: {e}", workload.name, policy.name()))?;
+        let analysis_mean_response = analysis.map(|a| a.mean_response);
+        let analysis_inside_ci =
+            analysis_mean_response.map(|m| (m - ci.mean).abs() <= ci.half_width);
+        Ok(ScenarioSweepPoint {
+            workload: workload.name.clone(),
+            policy: policy.name(),
+            params: *params,
+            tractability,
+            analysis_mean_response,
+            des_mean_response: ci.mean,
+            des_ci_half_width: ci.half_width,
+            des_replications: reports.len(),
+            analysis_inside_ci,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +471,65 @@ mod tests {
                 par.analysis.mean_response.to_bits(),
                 ser.analysis.mean_response.to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_is_deterministic_and_covers_the_grid() {
+        use crate::policy::parse_policy;
+        use crate::scenario::{registry, Tractability};
+
+        let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.5).unwrap();
+        let workloads: Vec<_> = registry()
+            .into_iter()
+            .filter(|w| ["poisson", "bursty"].contains(&w.name.as_str()))
+            .collect();
+        let policies: Vec<_> = ["if", "fairshare"]
+            .iter()
+            .map(|s| parse_policy(s).unwrap())
+            .collect();
+        let opts = crate::analysis::AnalyzeOptions {
+            phase_cap: 24,
+            ..Default::default()
+        };
+        let cfg = ScenarioSweepConfig {
+            replications: 3,
+            departures: 3_000,
+            warmup: 300,
+            base_seed: 7,
+        };
+        let run = |threads| {
+            scenario_sweep_with_threads(&workloads, &policies, &params, &opts, &cfg, threads)
+                .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload, p.workload);
+            assert_eq!(s.policy, p.policy);
+            assert_eq!(
+                s.des_mean_response.to_bits(),
+                p.des_mean_response.to_bits(),
+                "{}/{} diverged across thread counts",
+                s.workload,
+                s.policy
+            );
+        }
+        for pt in &serial {
+            match pt.workload.as_str() {
+                "poisson" => {
+                    assert_eq!(pt.tractability, Tractability::PoissonExp);
+                    assert!(pt.analysis_mean_response.is_some());
+                }
+                "bursty" => {
+                    assert_eq!(pt.tractability, Tractability::Intractable);
+                    assert!(pt.analysis_mean_response.is_none());
+                    assert!(pt.analysis_inside_ci.is_none());
+                }
+                other => panic!("unexpected workload {other}"),
+            }
+            assert!(pt.des_mean_response.is_finite() && pt.des_ci_half_width >= 0.0);
         }
     }
 

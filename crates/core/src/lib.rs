@@ -56,16 +56,18 @@ pub mod counterexample;
 pub mod experiments;
 pub mod params;
 pub mod policy;
+pub mod scenario;
 pub mod sweep;
 pub mod validation;
 
 pub use analysis::{
-    analyze_elastic_first, analyze_inelastic_first, analyze_policy, analyze_policy_with,
-    AnalysisError, AnalyzeOptions, PolicyAnalysis,
+    analyze_elastic_first, analyze_inelastic_first, analyze_policy, analyze_policy_map,
+    analyze_policy_with, AnalysisError, AnalyzeOptions, PolicyAnalysis,
 };
 pub use counterexample::{expected_total_response_closed, theorem6_values};
 pub use params::SystemParams;
 pub use policy::AllocationPolicy;
+pub use scenario::{ArrivalSpec, ServiceSpec, Tractability, Workload};
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
@@ -81,5 +83,6 @@ pub mod prelude {
         InelasticFirst, ReservePolicy, SwitchingCurvePolicy, TablePolicy, TabularPolicy,
         WeightedWaterFilling,
     };
+    pub use crate::scenario::{self, ArrivalSpec, ServiceSpec, Tractability, Workload};
     pub use crate::validation;
 }

@@ -15,7 +15,31 @@
 //!   `(A0, A1, A2)` after a finite level-dependent boundary, solved by
 //!   matrix-analytic methods (Neuts; Latouche & Ramaswami). This is the
 //!   engine behind the paper's Section 5 response-time analysis: the
-//!   busy-period-transformed EF and IF chains are exactly such QBDs.
+//!   busy-period-transformed EF and IF chains are exactly such QBDs, and
+//!   the workload scenario engine assembles MAP×phase-type chains through
+//!   [`qbd::Qbd::from_rate_fns`] and [`qbd::Qbd::map_ph1`].
+//!
+//! # Example: the M/M/1 queue as a one-phase QBD
+//!
+//! The level is the number in system; arrivals go up at rate `λ`, services
+//! down at rate `µ`. Solving the chain recovers the classical mean queue
+//! length `ρ/(1−ρ)`:
+//!
+//! ```
+//! use eirs_markov::Qbd;
+//!
+//! let (lambda, mu) = (0.5, 1.0);
+//! let qbd = Qbd::from_rate_fns(
+//!     1,                                              // one phase
+//!     1,                                              // boundary = level 0
+//!     |_, _, _| lambda,                               // up
+//!     |_, _, _| 0.0,                                  // within level
+//!     |_, _, _| mu,                                   // down
+//! ).unwrap();
+//! let solution = qbd.solve().unwrap();
+//! let rho = lambda / mu;
+//! assert!((solution.mean_level() - rho / (1.0 - rho)).abs() < 1e-10);
+//! ```
 
 pub mod absorbing;
 pub mod ctmc;

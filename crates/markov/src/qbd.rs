@@ -222,6 +222,92 @@ impl Qbd {
         Self::new(boundary_up, boundary_local, boundary_down, a0, a1, a2)
     }
 
+    /// Assembles the classical **MAP/PH/1** queue as a QBD: arrivals from a
+    /// Markovian arrival process `(d0, d1)` on `p_a` phases, service times
+    /// phase-type `PH(alpha, s)` on `p_s` phases, one server.
+    ///
+    /// Level `n` is the number of jobs in system; the phase is the pair
+    /// (arrival phase `m`, service phase `j`), indexed `m·p_s + j`:
+    ///
+    /// * **up** — an arrival transition `d1[m][m']` (service phase kept);
+    /// * **local** — a silent arrival-phase change `d0[m][m']` or an
+    ///   internal service transition `s[j][j']` (at level 0 nothing is in
+    ///   service, so only the arrival part runs);
+    /// * **down** — a service completion `s⁰[j]·alpha[j']`, pre-drawing
+    ///   the next job's initial service phase from `alpha`.
+    ///
+    /// The chain is level-homogeneous from level 1, so the boundary is a
+    /// single level. Takes raw matrices (this crate is deliberately
+    /// independent of `eirs_queueing`); `eirs_core::scenario` wires
+    /// `MapProcess` and `PhaseType` values into it for the analytically
+    /// tractable workload scenarios.
+    pub fn map_ph1(d0: &Matrix, d1: &Matrix, alpha: &[f64], s: &Matrix) -> Result<Self, QbdError> {
+        let p_a = d0.rows();
+        let p_s = alpha.len();
+        if !d0.is_square() || !d1.is_square() || d1.rows() != p_a {
+            return Err(QbdError::Dimension("D0/D1 must be square and equal".into()));
+        }
+        if !s.is_square() || s.rows() != p_s {
+            return Err(QbdError::Dimension(
+                "service sub-generator must be p_s x p_s".into(),
+            ));
+        }
+        if p_a == 0 || p_s == 0 {
+            return Err(QbdError::Dimension("need at least one phase".into()));
+        }
+        let alpha_sum: f64 = alpha.iter().sum();
+        if (alpha_sum - 1.0).abs() > 1e-9 || alpha.iter().any(|&a| a < 0.0) {
+            return Err(QbdError::Dimension(
+                "alpha must be a probability distribution".into(),
+            ));
+        }
+        // Absorption (completion) rate out of each service phase.
+        let exit: Vec<f64> = (0..p_s)
+            .map(|j| -(0..p_s).map(|l| s[(j, l)]).sum::<f64>())
+            .collect();
+        if exit.iter().any(|&e| e < -1e-9) {
+            return Err(QbdError::Dimension(
+                "service sub-generator rows must sum <= 0".into(),
+            ));
+        }
+        let phases = p_a * p_s;
+        let split = |idx: usize| (idx / p_s, idx % p_s);
+        Self::from_rate_fns(
+            phases,
+            1,
+            |_, a, b| {
+                let ((m, j), (m2, j2)) = (split(a), split(b));
+                if j == j2 {
+                    d1[(m, m2)]
+                } else {
+                    0.0
+                }
+            },
+            |level, a, b| {
+                if a == b {
+                    return 0.0;
+                }
+                let ((m, j), (m2, j2)) = (split(a), split(b));
+                if j == j2 && m != m2 {
+                    d0[(m, m2)]
+                } else if m == m2 && level >= 1 {
+                    // Internal service transition; frozen below level 1.
+                    s[(j, j2)]
+                } else {
+                    0.0
+                }
+            },
+            |_, a, b| {
+                let ((m, j), (m2, j2)) = (split(a), split(b));
+                if m == m2 {
+                    exit[j].max(0.0) * alpha[j2]
+                } else {
+                    0.0
+                }
+            },
+        )
+    }
+
     /// Phase dimension `p`.
     pub fn phases(&self) -> usize {
         self.a0.rows()
@@ -1171,5 +1257,90 @@ mod tests {
             "{} vs {mean}",
             sol.mean_level()
         );
+    }
+
+    #[test]
+    fn map_ph1_with_poisson_and_exp_is_mm1() {
+        let (lambda, mu) = (0.6, 1.0);
+        let qbd = Qbd::map_ph1(
+            &Matrix::from_rows(&[&[-lambda]]),
+            &Matrix::from_rows(&[&[lambda]]),
+            &[1.0],
+            &Matrix::from_rows(&[&[-mu]]),
+        )
+        .unwrap();
+        let sol = qbd.solve().unwrap();
+        let rho: f64 = lambda / mu;
+        let mean = rho / (1.0 - rho);
+        assert!(
+            (sol.mean_level() - mean).abs() < 1e-9,
+            "{} vs {mean}",
+            sol.mean_level()
+        );
+    }
+
+    #[test]
+    fn map_ph1_with_erlang_service_matches_pollaczek_khinchine() {
+        // M/E2/1: E[N] = rho + rho^2 (1 + cv^2) / (2 (1 - rho)), cv^2 = 1/2.
+        let lambda = 0.5;
+        // Erlang(2) with total rate 2 per stage: mean 1, cv^2 = 1/2.
+        let s = Matrix::from_rows(&[&[-2.0, 2.0], &[0.0, -2.0]]);
+        let qbd = Qbd::map_ph1(
+            &Matrix::from_rows(&[&[-lambda]]),
+            &Matrix::from_rows(&[&[lambda]]),
+            &[1.0, 0.0],
+            &s,
+        )
+        .unwrap();
+        let sol = qbd.solve().unwrap();
+        let rho: f64 = 0.5;
+        let pk = rho + rho * rho * (1.0 + 0.5) / (2.0 * (1.0 - rho));
+        assert!(
+            (sol.mean_level() - pk).abs() / pk < 1e-8,
+            "{} vs {pk}",
+            sol.mean_level()
+        );
+    }
+
+    #[test]
+    fn map_ph1_mmpp_arrivals_congest_more_than_poisson() {
+        // MMPP-2 with the same stationary rate as a Poisson reference: the
+        // bursty arrivals must increase the mean queue length.
+        let (r01, r10, a0, a1) = (0.5, 0.5, 1.08, 0.12);
+        let rate = 0.5 * a0 + 0.5 * a1; // pi = (1/2, 1/2)
+        let d0 = Matrix::from_rows(&[&[-(r01 + a0), r01], &[r10, -(r10 + a1)]]);
+        let d1 = Matrix::from_rows(&[&[a0, 0.0], &[0.0, a1]]);
+        let sol = Qbd::map_ph1(&d0, &d1, &[1.0], &Matrix::from_rows(&[&[-1.0]]))
+            .unwrap()
+            .solve()
+            .unwrap();
+        let rho: f64 = rate / 1.0;
+        let mm1_mean = rho / (1.0 - rho);
+        assert!(
+            sol.mean_level() > mm1_mean * 1.05,
+            "bursty {} vs poisson {mm1_mean}",
+            sol.mean_level()
+        );
+    }
+
+    #[test]
+    fn map_ph1_rejects_malformed_inputs() {
+        let one = Matrix::from_rows(&[&[-1.0]]);
+        let pos = Matrix::from_rows(&[&[1.0]]);
+        // alpha not a distribution.
+        assert!(matches!(
+            Qbd::map_ph1(&one, &pos, &[0.5], &one),
+            Err(QbdError::Dimension(_))
+        ));
+        // shape mismatch between D0 and D1.
+        assert!(matches!(
+            Qbd::map_ph1(&Matrix::zeros(2, 2), &pos, &[1.0], &one),
+            Err(QbdError::Dimension(_))
+        ));
+        // service rows must sum <= 0.
+        assert!(matches!(
+            Qbd::map_ph1(&one, &pos, &[1.0], &pos),
+            Err(QbdError::Dimension(_))
+        ));
     }
 }

@@ -140,7 +140,7 @@ pub mod prop {
         use rand::prelude::*;
         use std::ops::Range;
 
-        /// Admissible length specs for [`vec`]: a fixed count or a range.
+        /// Admissible length specs for [`vec()`]: a fixed count or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -185,7 +185,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

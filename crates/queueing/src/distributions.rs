@@ -26,7 +26,7 @@ pub trait SizeDistribution: Send + Sync + std::fmt::Debug {
 
 /// Uniform draw in the open interval `(0, 1)`, safe for `-ln(u)`.
 #[inline]
-pub(crate) fn uniform_open01(rng: &mut dyn RngCore) -> f64 {
+pub fn uniform_open01(rng: &mut dyn RngCore) -> f64 {
     // `random::<f64>()` yields values in [0, 1); reflect to (0, 1].. then the
     // complement keeps us away from both endpoints in practice.
     let u: f64 = rand::Rng::random(&mut *rng);
@@ -36,6 +36,20 @@ pub(crate) fn uniform_open01(rng: &mut dyn RngCore) -> f64 {
     } else {
         u
     }
+}
+
+/// The exponential inverse CDF `F⁻¹(1−u) = −ln(u)/rate` for `u ∈ (0, 1]`.
+///
+/// Every exponential sampler in the workspace — job sizes, Poisson and MAP
+/// interarrival times, phase-type holding times — funnels through this one
+/// helper so the trace, MAP, and Poisson paths stay numerically consistent
+/// (callers choose how they map raw uniforms into `(0, 1]`, which keeps
+/// their historical bit-exact streams intact).
+#[inline]
+pub fn exp_inverse_cdf(u: f64, rate: f64) -> f64 {
+    debug_assert!(u > 0.0 && u <= 1.0, "u = {u} outside (0, 1]");
+    debug_assert!(rate > 0.0, "rate = {rate} must be positive");
+    -u.ln() / rate
 }
 
 /// Exponential distribution with the given rate (mean `1/rate`).
@@ -67,7 +81,7 @@ impl Exponential {
 
 impl SizeDistribution for Exponential {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        -uniform_open01(rng).ln() / self.rate
+        exp_inverse_cdf(uniform_open01(rng), self.rate)
     }
 
     fn mean(&self) -> f64 {
@@ -176,7 +190,7 @@ impl SizeDistribution for Erlang {
         for _ in 0..self.shape {
             prod *= uniform_open01(rng);
         }
-        -prod.ln() / self.rate
+        exp_inverse_cdf(prod.max(f64::MIN_POSITIVE), self.rate)
     }
 
     fn mean(&self) -> f64 {
@@ -244,11 +258,11 @@ impl SizeDistribution for HyperExponential {
         for (p, r) in self.probs.iter().zip(&self.rates) {
             acc += p;
             if u < acc {
-                return -uniform_open01(rng).ln() / r;
+                return exp_inverse_cdf(uniform_open01(rng), *r);
             }
         }
         let r = *self.rates.last().expect("non-empty");
-        -uniform_open01(rng).ln() / r
+        exp_inverse_cdf(uniform_open01(rng), r)
     }
 
     fn mean(&self) -> f64 {

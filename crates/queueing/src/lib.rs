@@ -16,10 +16,32 @@
 //!
 //! The [`distributions`] module also backs the discrete-event simulator with
 //! a small library of job-size distributions (the sample-path results of the
-//! paper are distribution-free, and the tests exercise that).
+//! paper are distribution-free, and the tests exercise that), and [`map`]
+//! provides Markovian arrival processes for the workload scenario engine.
+//!
+//! # Example: classical formulas and their phase-type generalizations
+//!
+//! ```
+//! use eirs_queueing::{MapProcess, PhaseType, MM1};
+//!
+//! // M/M/1 at load 1/2: E[T] = 1/(µ − λ) = 2.
+//! let queue = MM1::new(0.5, 1.0);
+//! assert!((queue.mean_response_time() - 2.0).abs() < 1e-12);
+//!
+//! // A one-phase MAP *is* the Poisson process — same rate, bit for bit.
+//! let poisson = MapProcess::poisson(0.5);
+//! assert_eq!(poisson.arrival_rate().to_bits(), 0.5f64.to_bits());
+//!
+//! // Erlang(3) as a phase-type distribution: mean 3/rate, CV² = 1/3.
+//! let erlang = PhaseType::erlang(3, 1.5);
+//! let moments = erlang.moments();
+//! assert!((moments.m1 - 2.0).abs() < 1e-12);
+//! assert!((moments.cv2() - 1.0 / 3.0).abs() < 1e-12);
+//! ```
 
 pub mod coxian;
 pub mod distributions;
+pub mod map;
 pub mod mm1;
 pub mod mmk;
 pub mod moments;
@@ -27,9 +49,10 @@ pub mod phase_type;
 
 pub use coxian::{fit_coxian2, Coxian2, CoxianFitError};
 pub use distributions::{
-    BoundedPareto, Deterministic, Erlang, Exponential, HyperExponential, SizeDistribution,
-    UniformSize,
+    exp_inverse_cdf, BoundedPareto, Deterministic, Erlang, Exponential, HyperExponential,
+    SizeDistribution, UniformSize,
 };
+pub use map::{MapError, MapProcess};
 pub use mm1::MM1;
 pub use mmk::MMk;
 pub use moments::Moments;

@@ -1,0 +1,268 @@
+//! Markovian arrival processes (MAPs).
+//!
+//! A MAP generalizes the Poisson process with a hidden phase: a CTMC on
+//! `p` phases whose transitions are split into a matrix `D0` of *silent*
+//! phase changes and a matrix `D1` of *arrival-generating* transitions
+//! (`D0 + D1` is a conservative generator). Poisson is the one-phase
+//! special case (`D0 = [-λ]`, `D1 = [λ]`); the Markov-modulated Poisson
+//! process (MMPP) is the diagonal-`D1` case where arrivals never move the
+//! phase. MAPs produce correlated, bursty interarrival times while staying
+//! analytically tractable — the workload scenario engine pairs them with
+//! phase-type service into MAP/PH/1 QBD chains (see `eirs_markov::qbd`)
+//! and cross-checks those chains against the discrete-event simulator.
+
+use eirs_numerics::lu::LuDecomposition;
+use eirs_numerics::Matrix;
+
+/// A validated MAP `(D0, D1)` on `p ≥ 1` phases.
+///
+/// `D1 ≥ 0` elementwise, `D0` has nonnegative off-diagonals and strictly
+/// negative diagonals, and every row of `D0 + D1` sums to zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapProcess {
+    d0: Matrix,
+    d1: Matrix,
+}
+
+/// Validation failures when building a [`MapProcess`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// Shapes disagree or `p = 0`.
+    Dimension(String),
+    /// An entry violated the sign constraints, or a row of `D0 + D1` does
+    /// not sum to zero.
+    Invalid(String),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Dimension(msg) => write!(f, "MAP dimension error: {msg}"),
+            MapError::Invalid(msg) => write!(f, "invalid MAP: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl MapProcess {
+    /// Builds and validates a MAP from its two rate matrices.
+    pub fn new(d0: Matrix, d1: Matrix) -> Result<Self, MapError> {
+        let p = d0.rows();
+        if p == 0 {
+            return Err(MapError::Dimension("need at least one phase".into()));
+        }
+        if !d0.is_square() || !d1.is_square() || d1.rows() != p {
+            return Err(MapError::Dimension(format!(
+                "D0 is {}x{}, D1 is {}x{}",
+                d0.rows(),
+                d0.cols(),
+                d1.rows(),
+                d1.cols()
+            )));
+        }
+        for a in 0..p {
+            let mut row = 0.0;
+            for b in 0..p {
+                let (v0, v1) = (d0[(a, b)], d1[(a, b)]);
+                if !v0.is_finite() || !v1.is_finite() {
+                    return Err(MapError::Invalid(format!("non-finite entry in row {a}")));
+                }
+                if v1 < 0.0 {
+                    return Err(MapError::Invalid(format!("D1[{a},{b}] = {v1} < 0")));
+                }
+                if a != b && v0 < 0.0 {
+                    return Err(MapError::Invalid(format!("D0[{a},{b}] = {v0} < 0")));
+                }
+                row += v0 + v1;
+            }
+            if row.abs() > 1e-9 {
+                return Err(MapError::Invalid(format!(
+                    "row {a} of D0 + D1 sums to {row}, expected 0"
+                )));
+            }
+            if d0[(a, a)] >= 0.0 {
+                return Err(MapError::Invalid(format!(
+                    "D0[{a},{a}] = {} must be negative (every phase needs an exit)",
+                    d0[(a, a)]
+                )));
+            }
+        }
+        Ok(Self { d0, d1 })
+    }
+
+    /// The Poisson process of rate `lambda` as a one-phase MAP. The rate is
+    /// stored verbatim, so [`MapProcess::arrival_rate`] returns `lambda`
+    /// bit-identically — the degeneracy the scenario property tests pin.
+    pub fn poisson(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite());
+        Self {
+            d0: Matrix::from_rows(&[&[-lambda]]),
+            d1: Matrix::from_rows(&[&[lambda]]),
+        }
+    }
+
+    /// A two-phase Markov-modulated Poisson process: the phase flips
+    /// `0 → 1` at rate `r01` and `1 → 0` at rate `r10`; arrivals are
+    /// Poisson at rate `a0` in phase 0 and `a1` in phase 1 and never move
+    /// the phase (`D1` diagonal).
+    pub fn mmpp2(r01: f64, r10: f64, a0: f64, a1: f64) -> Self {
+        assert!(r01 > 0.0 && r10 > 0.0, "modulation rates must be positive");
+        assert!(a0 >= 0.0 && a1 >= 0.0 && a0 + a1 > 0.0);
+        let d0 = Matrix::from_rows(&[&[-(r01 + a0), r01], &[r10, -(r10 + a1)]]);
+        let d1 = Matrix::from_rows(&[&[a0, 0.0], &[0.0, a1]]);
+        Self::new(d0, d1).expect("mmpp2 construction is valid by construction")
+    }
+
+    /// Number of phases `p`.
+    pub fn phases(&self) -> usize {
+        self.d0.rows()
+    }
+
+    /// The silent-transition matrix `D0`.
+    pub fn d0(&self) -> &Matrix {
+        &self.d0
+    }
+
+    /// The arrival-transition matrix `D1`.
+    pub fn d1(&self) -> &Matrix {
+        &self.d1
+    }
+
+    /// Stationary distribution `π` of the phase process (the generator
+    /// `Q = D0 + D1`): solves `πQ = 0`, `Σπ = 1` by dense LU with the last
+    /// balance equation replaced by normalization.
+    pub fn stationary_phases(&self) -> Vec<f64> {
+        let p = self.phases();
+        if p == 1 {
+            return vec![1.0];
+        }
+        // Aᵀπ = e_last with A = Q columns 0..p-1 plus the all-ones column.
+        let mut a = Matrix::zeros(p, p);
+        for row in 0..p {
+            for col in 0..p - 1 {
+                // Transposed balance equation: Σ_row π_row Q[row][col] = 0.
+                a[(col, row)] = self.d0[(row, col)] + self.d1[(row, col)];
+            }
+            a[(p - 1, row)] = 1.0;
+        }
+        let mut rhs = vec![0.0; p];
+        rhs[p - 1] = 1.0;
+        let lu = LuDecomposition::new(&a).expect("irreducible phase generator");
+        lu.solve(&rhs).expect("stationary solve")
+    }
+
+    /// Stationary arrival rate `λ = π D1 1`. For a one-phase MAP this is
+    /// exactly `D1[0,0]` (no arithmetic), so `MapProcess::poisson(λ)`
+    /// round-trips `λ` bit-identically.
+    pub fn arrival_rate(&self) -> f64 {
+        if self.phases() == 1 {
+            return self.d1[(0, 0)];
+        }
+        let pi = self.stationary_phases();
+        let mut rate = 0.0;
+        for (a, &mass) in pi.iter().enumerate() {
+            for b in 0..self.phases() {
+                rate += mass * self.d1[(a, b)];
+            }
+        }
+        rate
+    }
+
+    /// The same MAP with time run `speed` times faster (`speed·D0`,
+    /// `speed·D1`): burst structure and interarrival correlations are
+    /// preserved while the arrival rate scales linearly. This is how the
+    /// scenario engine normalizes a MAP shape to a target offered load.
+    pub fn time_scaled(&self, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite());
+        let scale = |m: &Matrix| {
+            let mut out = m.clone();
+            for v in out.as_mut_slice() {
+                *v *= speed;
+            }
+            out
+        };
+        Self {
+            d0: scale(&self.d0),
+            d1: scale(&self.d1),
+        }
+    }
+
+    /// Rescales so the stationary arrival rate is exactly `target`
+    /// (time scaling by `target / arrival_rate()`).
+    pub fn scaled_to_rate(&self, target: f64) -> Self {
+        assert!(target > 0.0 && target.is_finite());
+        self.time_scaled(target / self.arrival_rate())
+    }
+
+    /// Index of dispersion of counts at infinite horizon for an MMPP-2 —
+    /// a standard burstiness summary (1 for Poisson, > 1 when modulated).
+    /// Only defined for the [`MapProcess::mmpp2`] shape.
+    pub fn mmpp2_burstiness(r01: f64, r10: f64, a0: f64, a1: f64) -> f64 {
+        let pi0 = r10 / (r01 + r10);
+        let pi1 = 1.0 - pi0;
+        let lambda = pi0 * a0 + pi1 * a1;
+        // Fischer & Meier-Hellstern (1993), asymptotic IDC of the MMPP-2.
+        1.0 + 2.0 * pi0 * pi1 * (a0 - a1).powi(2) / (lambda * (r01 + r10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_round_trips_rate_bit_identically() {
+        for lambda in [0.1, 1.0, 2.618_033_988_75, 1234.5] {
+            let map = MapProcess::poisson(lambda);
+            assert_eq!(map.arrival_rate().to_bits(), lambda.to_bits());
+            assert_eq!(map.phases(), 1);
+            assert_eq!(map.stationary_phases(), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn mmpp2_stationary_rate_matches_hand_computation() {
+        // π = (r10, r01)/(r01+r10) = (2/3, 1/3); λ = 2/3·9 + 1/3·1 = 19/3.
+        let map = MapProcess::mmpp2(1.0, 2.0, 9.0, 1.0);
+        let pi = map.stationary_phases();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12, "{pi:?}");
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((map.arrival_rate() - 19.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_hits_target_rate_and_preserves_shape() {
+        let map = MapProcess::mmpp2(1.0, 2.0, 9.0, 1.0);
+        let scaled = map.scaled_to_rate(2.5);
+        assert!((scaled.arrival_rate() - 2.5).abs() < 1e-12);
+        // Phase proportions are unchanged by time scaling.
+        let (a, b) = (map.stationary_phases(), scaled.stationary_phases());
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        // Rate ratio between phases is unchanged.
+        let ratio = scaled.d1()[(0, 0)] / scaled.d1()[(1, 1)];
+        assert!((ratio - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burstiness_is_one_for_equal_rates_and_grows_with_contrast() {
+        let flat = MapProcess::mmpp2_burstiness(1.0, 1.0, 3.0, 3.0);
+        assert!((flat - 1.0).abs() < 1e-12);
+        let bursty = MapProcess::mmpp2_burstiness(1.0, 1.0, 9.0, 1.0);
+        assert!(bursty > 2.0, "{bursty}");
+    }
+
+    #[test]
+    fn rejects_malformed_maps() {
+        // Row sums must cancel.
+        assert!(
+            MapProcess::new(Matrix::from_rows(&[&[-1.0]]), Matrix::from_rows(&[&[2.0]])).is_err()
+        );
+        // Negative arrival rates.
+        assert!(
+            MapProcess::new(Matrix::from_rows(&[&[1.0]]), Matrix::from_rows(&[&[-1.0]])).is_err()
+        );
+        // Shape mismatch.
+        assert!(MapProcess::new(Matrix::zeros(2, 2), Matrix::zeros(1, 1)).is_err());
+    }
+}

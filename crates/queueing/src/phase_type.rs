@@ -104,6 +104,29 @@ impl PhaseType {
         self.alpha.len()
     }
 
+    /// The initial phase distribution `α`.
+    pub fn initial_distribution(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator `T` (absorption rates are `t⁰ = −T·1`).
+    pub fn sub_generator(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// The same distribution served `speed` times faster: `PH(α, speed·T)`,
+    /// so every moment scales by `1/speedⁿ`. This is how an elastic job's
+    /// phase-type size becomes a completion-time distribution on `k`
+    /// servers.
+    pub fn time_scaled(&self, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite());
+        let mut t = self.t.clone();
+        for v in t.as_mut_slice() {
+            *v *= speed;
+        }
+        Self::new(self.alpha.clone(), t)
+    }
+
     /// Raw moments `E[X], E[X²], E[X³]` via `E[Xⁿ] = n!·α(−T)⁻ⁿ·1`,
     /// computed with repeated linear solves (no explicit inverse).
     pub fn moments(&self) -> Moments {
@@ -177,6 +200,7 @@ impl PhaseType {
 
     /// Draws one value by simulating the phase process.
     pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        use crate::distributions::exp_inverse_cdf;
         // Pick the initial phase.
         let u: f64 = rand::Rng::random(&mut *rng);
         let mut phase = self.alpha.len() - 1;
@@ -191,7 +215,7 @@ impl PhaseType {
         let mut total = 0.0;
         loop {
             let hold = -self.t[(phase, phase)];
-            total += -crate::distributions::uniform_open01(rng).ln() / hold;
+            total += exp_inverse_cdf(crate::distributions::uniform_open01(rng), hold);
             // Choose the next phase or absorption.
             let pick: f64 = rand::Rng::random(&mut *rng);
             let mut threshold = self.exit[phase] / hold;
@@ -212,6 +236,28 @@ impl PhaseType {
             assert_ne!(next, phase, "no outgoing transition chosen");
             phase = next;
         }
+    }
+}
+
+/// Phase-type distributions plug straight into the simulator as job-size
+/// distributions: exact sampling by phase simulation, closed-form moments.
+/// This is the bridge the workload scenario engine uses for Coxian /
+/// Erlang / hyperexponential *service* in the DES.
+impl crate::distributions::SizeDistribution for PhaseType {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        PhaseType::sample(self, rng)
+    }
+
+    fn mean(&self) -> f64 {
+        PhaseType::mean(self)
+    }
+
+    fn moments(&self) -> Moments {
+        PhaseType::moments(self)
+    }
+
+    fn label(&self) -> String {
+        format!("PH({} phases, mean={:.3})", self.phases(), self.mean())
     }
 }
 
@@ -312,6 +358,28 @@ mod tests {
         }
         let emp = acc / n as f64;
         assert!((emp - 2.0).abs() < 0.02, "{emp}");
+    }
+
+    #[test]
+    fn time_scaling_divides_moments() {
+        let ph = PhaseType::erlang(3, 2.0);
+        let fast = ph.time_scaled(4.0);
+        let (m, f) = (ph.moments(), fast.moments());
+        assert!((f.m1 - m.m1 / 4.0).abs() < 1e-12);
+        assert!((f.m2 - m.m2 / 16.0).abs() < 1e-12);
+        assert!((f.m3 - m.m3 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_distribution_impl_exposes_ph_machinery() {
+        use crate::distributions::SizeDistribution;
+        let ph: Box<dyn SizeDistribution> = Box::new(PhaseType::erlang(2, 4.0));
+        assert!((ph.mean() - 0.5).abs() < 1e-12);
+        assert!(ph.label().starts_with("PH(2 phases"));
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let emp: f64 = (0..n).map(|_| ph.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((emp - 0.5).abs() < 0.01, "{emp}");
     }
 
     #[test]

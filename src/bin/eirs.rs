@@ -4,6 +4,7 @@
 //! eirs analyze   --k 4 --lambda-i 1 --lambda-e 1 --mu-i 2 --mu-e 1
 //! eirs compare   --k 4 --rho 0.7 --mu-i 0.5 --mu-e 1
 //! eirs policy    --policy threshold:3 --k 4 --rho 0.7 --mu-i 0.5 --mu-e 1
+//! eirs scenario  --workload map --policy if,ef,fairshare --k 4 --rho 0.7
 //! eirs simulate  --policy if --k 4 --rho 0.7 --mu-i 1 --mu-e 1 \
 //!                --departures 500000 --seed 1
 //! eirs counterexample --ratio 2
@@ -45,12 +46,19 @@ fn usage() {
     eprintln!("  policy          analytic + DES evaluation of any policy spec");
     eprintln!("                  --policy --k --rho --mu-i --mu-e [--reps --departures");
     eprintln!("                  --seed --phase-cap --level-cut --force-general true]");
+    eprintln!("  scenario        workload x policy grid: DES CI + analysis if tractable");
+    eprintln!("                  --workload <spec[,spec...]|all> --policy <spec[,spec...]|all>");
+    eprintln!("                  [--service-i --service-e --k --rho --mu-i --mu-e");
+    eprintln!("                  --reps --departures --seed --phase-cap]");
     eprintln!("  simulate        DES run of one policy spec");
     eprintln!("                  --policy --k --rho --mu-i --mu-e --departures --seed");
     eprintln!("  counterexample  Theorem 6 closed system --ratio (mu_e/mu_i)");
     eprintln!();
-    eprintln!("policy specs: if | ef | fairshare | reserve:<r> | threshold:<t>");
-    eprintln!("              | curve:<a>+<b>i | waterfill:<w> | random:<seed>");
+    eprintln!("policy specs:   if | ef | fairshare | reserve:<r> | threshold:<t>");
+    eprintln!("                | curve:<a>+<b>i | waterfill:<w> | random:<seed>");
+    eprintln!("workload specs: poisson | map[:<r01>x<r10>x<a0>x<a1>] | bursty[:<mean>]");
+    eprintln!("                | trace[:<path>] | smooth-service | heavytail-service");
+    eprintln!("service specs:  exp | erlang:<stages> | hyper:<cv2> | det");
 }
 
 fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
@@ -187,6 +195,140 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 "agreement:  analysis {} the replication confidence interval",
                 if inside { "inside" } else { "OUTSIDE" }
             );
+            Ok(())
+        }
+        "scenario" => {
+            use eirs_repro::core::experiments::{
+                scenario_sweep, ScenarioSweepConfig, ScenarioSweepPoint,
+            };
+            use eirs_repro::core::scenario::{self, Workload};
+
+            let p = parse_params(&args)?;
+            // Comma-separated workload and policy lists; `all` expands to
+            // the registries.
+            let workload_specs = args.get_or("workload", "poisson");
+            // `all` expands to the registry names; either way each spec
+            // goes through parse_workload so --service-i/--service-e
+            // overrides apply uniformly.
+            let specs: Vec<String> = if workload_specs == "all" {
+                scenario::registry().into_iter().map(|w| w.name).collect()
+            } else {
+                workload_specs
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
+            };
+            let workloads: Vec<Workload> = specs
+                .iter()
+                .map(|spec| {
+                    scenario::parse_workload(spec, args.get("service-i"), args.get("service-e"))
+                })
+                .collect::<Result<_, _>>()?;
+            let policy_specs = args.get_or("policy", "if");
+            let policies = if policy_specs == "all" {
+                eirs_repro::core::policy::registry(p.k)
+            } else {
+                policy_specs
+                    .split(',')
+                    .map(|s| parse_policy(s.trim()))
+                    .collect::<Result<_, _>>()?
+            };
+            let reps = args.get_parsed_or("reps", 8usize).map_err(stringify)?;
+            if reps < 2 {
+                return Err(format!(
+                    "--reps {reps} is too few: confidence intervals need at least 2 replications"
+                ));
+            }
+            let departures = args
+                .get_parsed_or("departures", 100_000u64)
+                .map_err(stringify)?;
+            let cfg = ScenarioSweepConfig {
+                replications: reps,
+                departures,
+                warmup: departures / 10,
+                base_seed: args.get_parsed_or("seed", 42u64).map_err(stringify)?,
+            };
+            let opts = AnalyzeOptions {
+                phase_cap: args
+                    .get_parsed_or("phase-cap", 48usize)
+                    .map_err(stringify)?,
+                ..AnalyzeOptions::default()
+            };
+            println!(
+                "scenario grid: {} workload(s) x {} policy(ies)   (k={} lambda_i={:.4} \
+                 lambda_e={:.4} mu_i={} mu_e={} rho={:.3}, {} reps x {} departures)",
+                workloads.len(),
+                policies.len(),
+                p.k,
+                p.lambda_i,
+                p.lambda_e,
+                p.mu_i,
+                p.mu_e,
+                p.load(),
+                reps,
+                departures
+            );
+            let points = scenario_sweep(&workloads, &policies, &p, &opts, &cfg)?;
+            let widths = [28, 26, 10, 18, 12];
+            let cell = |s: String, w: usize| format!("{s:<width$}", width = w + 2);
+            let header: String = ["workload", "policy", "analysis", "des (95% CI)", "in CI"]
+                .iter()
+                .zip(&widths)
+                .map(|(s, &w)| cell(s.to_string(), w))
+                .collect();
+            println!("{}", header.trim_end());
+            for ScenarioSweepPoint {
+                workload,
+                policy,
+                analysis_mean_response,
+                des_mean_response,
+                des_ci_half_width,
+                des_replications,
+                analysis_inside_ci,
+                ..
+            } in &points
+            {
+                let analysis = analysis_mean_response
+                    .map(|m| format!("{m:.4}"))
+                    .unwrap_or_else(|| "-".into());
+                let in_ci = analysis_inside_ci
+                    .map(|b| if b { "yes".into() } else { "NO".to_string() })
+                    .unwrap_or_else(|| "-".into());
+                // A deterministic trace replay runs once and is exact for
+                // that trace — no interval to report.
+                let des = if *des_replications == 1 {
+                    format!("{des_mean_response:.4} (exact replay)")
+                } else {
+                    format!("{des_mean_response:.4} +- {des_ci_half_width:.4}")
+                };
+                let row: String = [workload.clone(), policy.clone(), analysis, des, in_ci]
+                    .iter()
+                    .zip(&widths)
+                    .map(|(s, &w)| cell(s.clone(), w))
+                    .collect();
+                println!("{}", row.trim_end());
+            }
+            let checked = points.iter().filter(|pt| pt.analysis_inside_ci.is_some());
+            let misses: Vec<&ScenarioSweepPoint> = checked
+                .clone()
+                .filter(|pt| pt.analysis_inside_ci == Some(false))
+                .collect();
+            println!(
+                "tractable pairs: {} of {}   analysis inside CI: {}",
+                checked.clone().count(),
+                points.len(),
+                checked.count() - misses.len()
+            );
+            for miss in misses {
+                println!(
+                    "  OUTSIDE CI: {}/{} (analysis {:.4}, DES {:.4} +- {:.4})",
+                    miss.workload,
+                    miss.policy,
+                    miss.analysis_mean_response.unwrap_or(f64::NAN),
+                    miss.des_mean_response,
+                    miss.des_ci_half_width
+                );
+            }
             Ok(())
         }
         "simulate" => {

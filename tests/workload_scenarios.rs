@@ -1,0 +1,323 @@
+//! Workload scenario engine (PR 3 tentpole) integration tests:
+//!
+//! 1. **Trace-file round trip through the DES**: a recorded trace survives
+//!    save → load with per-job (time, class, size) fidelity, and the DES
+//!    produces bit-identical results from the original and the reloaded
+//!    trace.
+//! 2. **MAP degeneracy** (property tests): a single-phase MAP *is* the
+//!    Poisson process — its rate round-trips bit-identically, and the
+//!    [`MapStream`] sample path is exactly the inverse-CDF exponential
+//!    stream drawn in the documented order.
+//! 3. **Cross-substrate agreement**: the MAP-phase-extended QBD analysis
+//!    agrees with DES replications for MAP workloads, and the scenario
+//!    dispatcher is consistent with direct `analyze_policy` calls.
+
+use eirs_repro::core::analysis::AnalyzeOptions;
+use eirs_repro::core::scenario::{parse_workload, registry, Tractability, Workload};
+use eirs_repro::core::scenario::{ArrivalSpec, ServiceSpec};
+use eirs_repro::core::SystemParams;
+use eirs_repro::queueing::{
+    exp_inverse_cdf, Exponential, HyperExponential, MapProcess, SizeDistribution,
+};
+use eirs_repro::sim::arrivals::{ArrivalSource, ArrivalTrace, MapStream};
+use eirs_repro::sim::des::{DesConfig, Simulation};
+use eirs_repro::sim::policy::FairShare;
+use eirs_repro::sim::JobClass;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn trace_file_round_trips_through_the_des_with_per_job_fidelity() {
+    // Mixed classes, high-variance sizes: anything lossy in the format
+    // (precision, class tags, ordering) would show up here.
+    let trace = ArrivalTrace::record_poisson(
+        0.9,
+        0.6,
+        Box::new(HyperExponential::balanced(1.0, 5.0)),
+        Box::new(Exponential::new(0.7)),
+        2024,
+        120.0,
+    );
+    assert!(trace.len() > 100, "trace too short to be interesting");
+
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("roundtrip.trace");
+    trace.save(&path).expect("save trace");
+    let loaded = ArrivalTrace::load(&path).expect("load trace");
+
+    // Per-job fidelity: every arrival epoch, class, and size survives the
+    // file format bit for bit.
+    assert_eq!(loaded.len(), trace.len());
+    for (a, b) in trace.arrivals().iter().zip(loaded.arrivals()) {
+        assert_eq!(a.time.to_bits(), b.time.to_bits(), "arrival time drifted");
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.size.to_bits(), b.size.to_bits(), "job size drifted");
+    }
+
+    // And the DES cannot tell the two traces apart.
+    let run = |t: &ArrivalTrace| {
+        let mut s = t.stream();
+        Simulation::new(DesConfig::drain(3)).run(&FairShare, &mut s)
+    };
+    let (orig, reloaded) = (run(&trace), run(&loaded));
+    assert_eq!(orig.completed, reloaded.completed);
+    assert_eq!(
+        orig.total_response.to_bits(),
+        reloaded.total_response.to_bits()
+    );
+    assert_eq!(orig.end_time.to_bits(), reloaded.end_time.to_bits());
+    // Drain mode completes every job in the trace, split by class.
+    let n_i = trace
+        .arrivals()
+        .iter()
+        .filter(|a| a.class == JobClass::Inelastic)
+        .count() as u64;
+    assert_eq!(orig.completed, [n_i, trace.len() as u64 - n_i]);
+}
+
+#[test]
+fn trace_file_workload_runs_through_the_scenario_engine() {
+    // A trace written to disk feeds the `trace:<path>` workload spec.
+    let params = SystemParams::with_equal_lambdas(2, 1.0, 1.0, 0.5).unwrap();
+    let trace = ArrivalTrace::record_poisson(
+        params.lambda_i,
+        params.lambda_e,
+        Box::new(Exponential::new(params.mu_i)),
+        Box::new(Exponential::new(params.mu_e)),
+        7,
+        5_000.0,
+    );
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("scenario.trace");
+    trace.save(&path).expect("save trace");
+
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    assert_eq!(
+        w.tractability(&FairShare, &params),
+        Tractability::Intractable,
+        "external trace files are simulation-only"
+    );
+    let report = w
+        .simulate(&FairShare, &params, 3, 100, 2_000)
+        .expect("simulate trace workload");
+    assert!(report.completed[0] + report.completed[1] >= 2_000);
+    assert!(report.mean_response.is_finite() && report.mean_response > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A one-phase MAP *is* Poisson: the stored and stationary rates are
+    /// the λ that built it, bit for bit, even through rate normalization.
+    #[test]
+    fn single_phase_map_rate_is_bit_identical_to_poisson(
+        lambda_q in 1u32..4000,
+    ) {
+        let lambda = lambda_q as f64 * 0.01;
+        let map = MapProcess::poisson(lambda);
+        prop_assert_eq!(map.phases(), 1);
+        prop_assert_eq!(map.arrival_rate().to_bits(), lambda.to_bits());
+        // Normalizing to its own rate is the identity on the rate.
+        let renorm = map.scaled_to_rate(lambda);
+        prop_assert_eq!(renorm.arrival_rate().to_bits(), lambda.to_bits());
+    }
+
+    /// The single-phase [`MapStream`] sample path degenerates to the
+    /// marked-Poisson inverse-CDF stream: replaying the documented draw
+    /// order (initial phase, holding time, transition pick, class mark,
+    /// size) against the same `StdRng` reproduces every arrival bit for
+    /// bit through the shared `exp_inverse_cdf` helper.
+    #[test]
+    fn single_phase_map_stream_is_the_inverse_cdf_poisson_stream(
+        seed in 0u64..1_000_000,
+        lambda_q in 1u32..500,
+        frac_q in 0u32..=10,
+    ) {
+        let lambda = lambda_q as f64 * 0.01;
+        let frac_i = frac_q as f64 / 10.0;
+        let (mu_i, mu_e) = (0.8, 1.7);
+        let mut stream = MapStream::new(
+            MapProcess::poisson(lambda),
+            frac_i,
+            Box::new(Exponential::new(mu_i)),
+            Box::new(Exponential::new(mu_e)),
+            seed,
+        );
+
+        // Reference: the same draws, straight from the inverse CDF.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _initial_phase: f64 = rng.random();
+        let mut t = 0.0;
+        for n in 0..64 {
+            let u_hold: f64 = rng.random();
+            t += exp_inverse_cdf(1.0 - u_hold, lambda);
+            let _u_pick: f64 = rng.random(); // always selects the arrival
+            let u_class: f64 = rng.random();
+            let class = if u_class < frac_i {
+                JobClass::Inelastic
+            } else {
+                JobClass::Elastic
+            };
+            let size = match class {
+                JobClass::Inelastic => Exponential::new(mu_i).sample(&mut rng),
+                JobClass::Elastic => Exponential::new(mu_e).sample(&mut rng),
+            };
+            let a = stream.next_arrival().unwrap();
+            prop_assert_eq!(a.time.to_bits(), t.to_bits(), "arrival {} time", n);
+            prop_assert_eq!(a.class, class, "arrival {} class", n);
+            prop_assert_eq!(a.size.to_bits(), size.to_bits(), "arrival {} size", n);
+        }
+    }
+
+    /// Scenario analysis through the one-phase MAP chain is bit-identical
+    /// to the general truncated chain the Poisson path uses.
+    #[test]
+    fn map_analysis_with_one_phase_matches_the_poisson_chain(
+        k in 1u32..5,
+        rho_q in 2u32..8,
+    ) {
+        use eirs_repro::core::analysis::{analyze_policy_map, analyze_policy_with};
+        let params = SystemParams::with_equal_lambdas(k, 0.5, 1.0, rho_q as f64 * 0.1).unwrap();
+        let opts = AnalyzeOptions { phase_cap: 20, force_general: true, ..Default::default() };
+        let map = MapProcess::poisson(params.total_lambda());
+        let direct = analyze_policy_with(&FairShare, &params, &opts).unwrap();
+        let via_map = analyze_policy_map(&FairShare, &params, &map, &opts).unwrap();
+        prop_assert_eq!(direct.mean_response.to_bits(), via_map.mean_response.to_bits());
+        prop_assert_eq!(
+            direct.mean_num_inelastic.to_bits(),
+            via_map.mean_num_inelastic.to_bits()
+        );
+    }
+}
+
+#[test]
+fn deterministic_trace_workloads_run_one_exact_replication() {
+    let params = SystemParams::with_equal_lambdas(2, 1.0, 1.0, 0.5).unwrap();
+    let trace = ArrivalTrace::record_poisson(
+        params.lambda_i,
+        params.lambda_e,
+        Box::new(Exponential::new(params.mu_i)),
+        Box::new(Exponential::new(params.mu_e)),
+        13,
+        5_000.0,
+    );
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("deterministic.trace");
+    trace.save(&path).expect("save trace");
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    assert!(w.is_deterministic());
+    // Asking for 6 replications of a fixed trace yields one exact run,
+    // not six identical ones dressed up as independent samples.
+    let reports = w
+        .replications(&FairShare, &params, 3, 6, 100, 2_000)
+        .unwrap();
+    assert_eq!(reports.len(), 1);
+}
+
+#[test]
+fn too_short_traces_error_instead_of_silently_truncating() {
+    let params = SystemParams::with_equal_lambdas(2, 1.0, 1.0, 0.5).unwrap();
+    let trace = ArrivalTrace::record_poisson(
+        params.lambda_i,
+        params.lambda_e,
+        Box::new(Exponential::new(params.mu_i)),
+        Box::new(Exponential::new(params.mu_e)),
+        17,
+        200.0, // ~200 arrivals: far fewer than the requested window
+    );
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("short.trace");
+    trace.save(&path).expect("save trace");
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    let err = w
+        .simulate(&FairShare, &params, 3, 1_000, 50_000)
+        .expect_err("a short trace must not be reported as a full run");
+    assert!(err.contains("exhausted"), "unexpected error: {err}");
+}
+
+#[test]
+fn analyze_policy_map_rejects_unnormalized_maps() {
+    use eirs_repro::core::analysis::{analyze_policy_map, AnalysisError};
+    let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.5).unwrap();
+    // Stationary rate 5 != the model's total arrival rate: hard error,
+    // not a silently wrong answer.
+    let wrong = MapProcess::mmpp2(1.0, 1.0, 9.0, 1.0);
+    let err = analyze_policy_map(&FairShare, &params, &wrong, &AnalyzeOptions::default())
+        .expect_err("mis-scaled MAP must be rejected");
+    assert!(matches!(err, AnalysisError::BadInput(_)), "{err:?}");
+}
+
+#[test]
+fn map_workload_analysis_agrees_with_des_replications() {
+    // The MAP-phase-extended QBD vs the simulator, on a genuinely
+    // modulated workload (two policy structures: priority and fractional).
+    let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.55).unwrap();
+    let w = parse_workload("map", None, None).unwrap();
+    let opts = AnalyzeOptions {
+        phase_cap: 40,
+        ..Default::default()
+    };
+    for policy in eirs_repro::core::policy::registry(3)
+        .iter()
+        .filter(|p| ["Fair-Share", "Elastic-First"].contains(&p.name().as_str()))
+    {
+        let a = w
+            .analyze(policy.as_ref(), &params, &opts)
+            .unwrap()
+            .expect("map x exp is tractable");
+        let reports = w
+            .replications(policy.as_ref(), &params, 11, 5, 2_000, 25_000)
+            .unwrap();
+        let mean: f64 = reports.iter().map(|r| r.mean_response).sum::<f64>() / reports.len() as f64;
+        let rel = (a.mean_response - mean).abs() / mean;
+        assert!(
+            rel < 0.04,
+            "{}: analysis {} vs DES {mean} (rel {rel:.4})",
+            policy.name(),
+            a.mean_response
+        );
+    }
+}
+
+#[test]
+fn bursty_workload_effective_rate_matches_params() {
+    // The burst normalization must deliver λ_I + λ_E jobs per unit time.
+    let params = SystemParams::with_equal_lambdas(2, 1.0, 1.0, 0.6).unwrap();
+    let w = Workload::new(
+        ArrivalSpec::Bursty { mean_burst: 5.0 },
+        ServiceSpec::Exponential,
+        ServiceSpec::Exponential,
+    );
+    let mut source = w.build_source(&params, 9, 0.0).unwrap();
+    let n = 30_000;
+    let mut t = 0.0;
+    let mut count_i = 0usize;
+    for _ in 0..n {
+        let a = source.next_arrival().unwrap();
+        t = a.time;
+        if a.class == JobClass::Inelastic {
+            count_i += 1;
+        }
+    }
+    let rate = n as f64 / t;
+    let want = params.total_lambda();
+    assert!((rate - want).abs() / want < 0.05, "rate {rate} vs {want}");
+    let frac = count_i as f64 / n as f64;
+    assert!((frac - 0.5).abs() < 0.02, "class split {frac}");
+}
+
+#[test]
+fn registry_covers_the_required_families_and_simulates_under_all_policies() {
+    let params = SystemParams::with_equal_lambdas(2, 1.0, 1.0, 0.5).unwrap();
+    let names: Vec<String> = registry().iter().map(|w| w.name.clone()).collect();
+    for required in ["poisson", "map", "bursty", "trace"] {
+        assert!(names.iter().any(|n| n == required), "missing {required}");
+    }
+    // Every scenario family drives every registry policy without
+    // violating feasibility (the DES asserts it on each decision).
+    for w in registry() {
+        for policy in eirs_repro::core::policy::registry(params.k) {
+            let r = w
+                .simulate(policy.as_ref(), &params, 5, 50, 500)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", w.name, policy.name()));
+            assert!(r.mean_response.is_finite(), "{}/{}", w.name, policy.name());
+        }
+    }
+}
