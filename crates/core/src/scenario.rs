@@ -397,6 +397,17 @@ impl Workload {
         }
     }
 
+    /// Simulated-time horizon an arrival source must cover for a
+    /// steady-state run of `warmup + departures` departures: 1.4× the
+    /// expected duration plus slack, so exhaustion of a recorded trace is
+    /// a rare tail event. [`Workload::simulate`] sizes its sources with
+    /// this; external paired-comparison drivers (the `eirs_opt`
+    /// certification) must use the same formula or their sources run dry
+    /// where plain simulation would not.
+    pub fn horizon_hint(&self, params: &SystemParams, warmup: u64, departures: u64) -> f64 {
+        1.4 * (warmup + departures) as f64 / params.total_lambda() + 100.0
+    }
+
     /// One steady-state DES run of this workload under `policy`. Errors
     /// when the arrival source is exhausted before delivering the
     /// requested measurement window (a trace file that is too short), so
@@ -409,9 +420,7 @@ impl Workload {
         warmup: u64,
         departures: u64,
     ) -> Result<SimReport, String> {
-        // Recorded traces must outlast the measurement window; 1.4x the
-        // expected horizon plus slack keeps exhaustion a rare tail event.
-        let horizon = 1.4 * (warmup + departures) as f64 / params.total_lambda() + 100.0;
+        let horizon = self.horizon_hint(params, warmup, departures);
         let mut source = self.build_source(params, seed, horizon)?;
         let report = Simulation::new(DesConfig::steady_state(params.k, warmup, departures))
             .run(policy, source.as_mut());

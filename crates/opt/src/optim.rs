@@ -1,0 +1,885 @@
+//! Derivative-free optimizers over a [`ParamSpace`].
+//!
+//! All four optimizers share one shape: propose a *batch* of candidate
+//! points, score the whole batch through [`Objective::evaluate_batch`]
+//! (which fans out over the `eirs_core::sweep` workers), move, repeat
+//! until the evaluation budget runs out. Everything is deterministic
+//! under a fixed [`Budget::seed`] — the only randomness (cross-entropy
+//! sampling) flows through a seeded generator, and the evaluation
+//! backends are bit-deterministic — so a search is reproducible across
+//! runs and thread counts.
+//!
+//! * [`Method::Golden`] — 1-D families: exhaustive scan for integer
+//!   coordinates (ties break toward the **larger** parameter, mirroring
+//!   the MDP solver's tie-break toward Inelastic-First), golden-section
+//!   for continuous ones.
+//! * [`Method::NelderMead`] — downhill simplex for continuous
+//!   multi-parameter families.
+//! * [`Method::Coordinate`] — pattern search stepping every coordinate
+//!   in both directions per round (one parallel batch of `2d`
+//!   candidates), halving steps on failure; handles mixed
+//!   integer/continuous coordinates.
+//! * [`Method::CrossEntropy`] — population-based search for
+//!   mixed/discrete and high-dimensional spaces (the tabular family).
+//!
+//! [`Method::Auto`] picks per the family's shape; [`optimize`] is the
+//! single entry point.
+
+use crate::objective::Objective;
+use crate::space::ParamSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evaluation budget and determinism seed of one search.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Target candidate evaluations (each costs one analytic solve or
+    /// one CRN replication set). This bounds every *batch*: optimizers
+    /// finish a started batch, so most methods spend at most one batch
+    /// beyond it, while the iterated integer scan runs one budget-sized
+    /// batch per narrowing round — `O(max_evals · log(range))` total on
+    /// ranges much larger than the budget.
+    pub max_evals: usize,
+    /// Seed for any sampling the optimizer performs (cross-entropy).
+    pub seed: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            max_evals: 200,
+            seed: 1,
+        }
+    }
+}
+
+/// Optimizer selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Pick by family shape: 1-D → golden/scan, continuous multi-D →
+    /// Nelder–Mead, mixed/discrete multi-D → cross-entropy.
+    Auto,
+    /// 1-D golden-section (continuous) or exhaustive scan (integer).
+    Golden,
+    /// Downhill simplex.
+    NelderMead,
+    /// Coordinate pattern search.
+    Coordinate,
+    /// Cross-entropy method.
+    CrossEntropy,
+}
+
+/// Parses a CLI method spec: `auto`, `golden`, `nelder-mead`,
+/// `coordinate`, `cross-entropy`.
+pub fn parse_method(spec: &str) -> Result<Method, String> {
+    match spec {
+        "auto" => Ok(Method::Auto),
+        "golden" => Ok(Method::Golden),
+        "nelder-mead" => Ok(Method::NelderMead),
+        "coordinate" => Ok(Method::Coordinate),
+        "cross-entropy" => Ok(Method::CrossEntropy),
+        other => Err(format!(
+            "unknown method '{other}' (expected auto, golden, nelder-mead, coordinate, \
+             cross-entropy)"
+        )),
+    }
+}
+
+/// Result of one search.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Family searched.
+    pub family: String,
+    /// Objective backend used (`analysis` or `des`).
+    pub objective: String,
+    /// Optimizer that ran (`golden-scan`, `nelder-mead`, …).
+    pub optimizer: String,
+    /// Best point found (clamped — directly decodable).
+    pub best_x: Vec<f64>,
+    /// `describe()` rendering of [`OptReport::best_x`].
+    pub best_params: String,
+    /// Display name of the decoded best policy.
+    pub best_policy: String,
+    /// Best objective value (mean response time `E[T]`).
+    pub best_value: f64,
+    /// Candidate evaluations spent.
+    pub evaluations: usize,
+    /// Best-so-far value after each evaluation batch.
+    pub trace: Vec<f64>,
+}
+
+/// Runs `method` (resolving [`Method::Auto`] by the family's shape) on
+/// `space` against `objective`, starting local methods from the family's
+/// [`ParamSpace::initial`] point.
+pub fn optimize(
+    space: &dyn ParamSpace,
+    objective: &dyn Objective,
+    method: Method,
+    budget: &Budget,
+) -> Result<OptReport, String> {
+    optimize_with_start(space, objective, method, budget, None)
+}
+
+/// Two-stage search: `method` on `budget`, then — when `refine > 0` — a
+/// coordinate-pattern polish started from the incumbent on `refine`
+/// extra evaluations. The merged report carries the better of the two
+/// stages, the summed evaluation count, the concatenated trace, and a
+/// `…+coordinate` optimizer tag. This is the shape the `policy_optimizer`
+/// bench and the `eirs optimize --refine N` flag share: a global method
+/// finds the right basin, the pattern search walks to its floor.
+pub fn optimize_refined(
+    space: &dyn ParamSpace,
+    objective: &dyn Objective,
+    method: Method,
+    budget: &Budget,
+    refine: usize,
+) -> Result<OptReport, String> {
+    let coarse = optimize(space, objective, method, budget)?;
+    if refine == 0 {
+        return Ok(coarse);
+    }
+    let polish = optimize_with_start(
+        space,
+        objective,
+        Method::Coordinate,
+        &Budget {
+            max_evals: refine,
+            seed: budget.seed,
+        },
+        Some(&coarse.best_x),
+    )?;
+    let evaluations = coarse.evaluations + polish.evaluations;
+    let mut trace = coarse.trace.clone();
+    trace.extend(polish.trace.iter().copied());
+    let optimizer = format!("{}+coordinate", coarse.optimizer);
+    let mut merged = if polish.best_value < coarse.best_value {
+        polish
+    } else {
+        coarse
+    };
+    merged.evaluations = evaluations;
+    merged.trace = trace;
+    merged.optimizer = optimizer;
+    Ok(merged)
+}
+
+/// [`optimize`] with an explicit starting point for the local methods
+/// (Nelder–Mead simplex seed, pattern-search origin, cross-entropy mean).
+/// This is the chaining primitive: run a global method first, then refine
+/// its `best_x` with [`Method::Coordinate`] on a second budget.
+pub fn optimize_with_start(
+    space: &dyn ParamSpace,
+    objective: &dyn Objective,
+    method: Method,
+    budget: &Budget,
+    start: Option<&[f64]>,
+) -> Result<OptReport, String> {
+    let dim = space.dim();
+    assert!(dim >= 1, "{}: empty parameter space", space.name());
+    let method = match method {
+        Method::Auto => {
+            if dim == 1 {
+                Method::Golden
+            } else if space.all_continuous() && dim <= 8 {
+                Method::NelderMead
+            } else {
+                Method::CrossEntropy
+            }
+        }
+        m => m,
+    };
+    if method == Method::Golden && dim != 1 {
+        return Err(format!(
+            "golden-section needs a 1-D family; '{}' has {dim} parameters",
+            space.name()
+        ));
+    }
+    let mut search = Search::new(space, objective, start);
+    match method {
+        Method::Golden => {
+            if space.bounds()[0].integer {
+                search.integer_scan(budget)?;
+            } else {
+                search.golden_section(budget)?;
+            }
+        }
+        Method::NelderMead => search.nelder_mead(budget)?,
+        Method::Coordinate => search.coordinate(budget)?,
+        Method::CrossEntropy => search.cross_entropy(budget)?,
+        Method::Auto => unreachable!("resolved above"),
+    }
+    search.into_report(objective)
+}
+
+/// Relative tolerance under which two objective values count as tied.
+const TIE_REL: f64 = 1e-11;
+
+/// Shared search state: batch evaluation with clamping, best tracking,
+/// and the budget/trace accounting every optimizer needs.
+struct Search<'a> {
+    space: &'a dyn ParamSpace,
+    objective: &'a dyn Objective,
+    optimizer: &'static str,
+    start: Vec<f64>,
+    evaluations: usize,
+    trace: Vec<f64>,
+    best_x: Option<Vec<f64>>,
+    best_value: f64,
+}
+
+impl<'a> Search<'a> {
+    fn new(space: &'a dyn ParamSpace, objective: &'a dyn Objective, start: Option<&[f64]>) -> Self {
+        let start = space.clamp(start.unwrap_or(&space.initial()));
+        Self {
+            space,
+            objective,
+            optimizer: "",
+            start,
+            evaluations: 0,
+            trace: Vec::new(),
+            best_x: None,
+            best_value: f64::INFINITY,
+        }
+    }
+
+    /// Clamps, decodes, and scores one batch; updates the incumbent.
+    /// Later candidates win ties (within [`TIE_REL`]), so an exhaustive
+    /// scan ordered small→large parameters resolves flat tails toward the
+    /// larger parameter.
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        let clamped: Vec<Vec<f64>> = xs.iter().map(|x| self.space.clamp(x)).collect();
+        let policies: Vec<_> = clamped.iter().map(|x| self.space.decode(x)).collect();
+        let scored = self.objective.evaluate_batch(&policies);
+        self.evaluations += policies.len();
+        let mut values = Vec::with_capacity(scored.len());
+        for (x, v) in clamped.into_iter().zip(scored) {
+            let v = v?;
+            if !v.is_finite() {
+                return Err(format!(
+                    "objective returned non-finite value {v} at {}",
+                    self.space.describe(&x)
+                ));
+            }
+            if v <= self.best_value + TIE_REL * self.best_value.abs() {
+                self.best_value = v.min(self.best_value);
+                self.best_x = Some(x);
+            }
+            values.push(v);
+        }
+        self.trace.push(self.best_value);
+        Ok(values)
+    }
+
+    fn into_report(self, objective: &dyn Objective) -> Result<OptReport, String> {
+        let best_x = self.best_x.ok_or("search evaluated no candidates")?;
+        let policy = self.space.decode(&best_x);
+        Ok(OptReport {
+            family: self.space.name(),
+            objective: objective.name(),
+            optimizer: self.optimizer.into(),
+            best_params: self.space.describe(&best_x),
+            best_policy: policy.name(),
+            best_x,
+            best_value: self.best_value,
+            evaluations: self.evaluations,
+            trace: self.trace,
+        })
+    }
+
+    /// Scan of a 1-D integer family: exhaustive when the range fits the
+    /// budget, otherwise iterated coarse-to-fine — each round scans at
+    /// most one budget's worth of evenly strided points, then narrows to
+    /// `±stride` around the incumbent, so every batch is budget-bounded
+    /// and the total is `O(budget · log(range))`. The small→large
+    /// evaluation order plus the tie-break in [`Search::eval_batch`]
+    /// resolves flat tails toward the larger parameter — the IF-most
+    /// member in the threshold and reserve families.
+    fn integer_scan(&mut self, budget: &Budget) -> Result<(), String> {
+        self.optimizer = "golden-scan";
+        let b = &self.space.bounds()[0];
+        let (mut lo, mut hi) = (b.lo as i64, b.hi as i64);
+        let per_round = budget.max_evals.max(2);
+        let mut prev_stride = usize::MAX;
+        loop {
+            let count = (hi - lo + 1) as usize;
+            // The stride must strictly decrease round over round: for
+            // budgets of 2–4 the recurrence `ceil((2s+1)/per_round)` has
+            // fixed points `s ≥ 2`, which would rescan the same window
+            // forever.
+            let stride = count
+                .div_ceil(per_round)
+                .min(prev_stride.saturating_sub(1))
+                .max(1);
+            let mut xs: Vec<Vec<f64>> = (lo..=hi).step_by(stride).map(|v| vec![v as f64]).collect();
+            if xs.last().map(|x| x[0]) != Some(hi as f64) {
+                xs.push(vec![hi as f64]);
+            }
+            self.eval_batch(&xs)?;
+            if stride == 1 {
+                return Ok(());
+            }
+            prev_stride = stride;
+            // Narrow to the incumbent's bracket and rescan finer.
+            let center = self.best_x.as_ref().expect("scanned")[0] as i64;
+            lo = (center - stride as i64).max(b.lo as i64);
+            hi = (center + stride as i64).min(b.hi as i64);
+        }
+    }
+
+    /// Golden-section search on a 1-D continuous interval (unimodal
+    /// objectives exact; multimodal ones get a good local minimum).
+    fn golden_section(&mut self, budget: &Budget) -> Result<(), String> {
+        self.optimizer = "golden-section";
+        let b = &self.space.bounds()[0];
+        let inv_phi = 0.618_033_988_749_894_9f64;
+        let (mut lo, mut hi) = (b.lo, b.hi);
+        let mut c = hi - inv_phi * (hi - lo);
+        let mut d = lo + inv_phi * (hi - lo);
+        let v = self.eval_batch(&[vec![c], vec![d]])?;
+        let (mut fc, mut fd) = (v[0], v[1]);
+        let tol = 1e-8 * (b.hi - b.lo);
+        while hi - lo > tol && self.evaluations < budget.max_evals {
+            if fc <= fd {
+                hi = d;
+                d = c;
+                fd = fc;
+                c = hi - inv_phi * (hi - lo);
+                fc = self.eval_batch(&[vec![c]])?[0];
+            } else {
+                lo = c;
+                c = d;
+                fc = fd;
+                d = lo + inv_phi * (hi - lo);
+                fd = self.eval_batch(&[vec![d]])?[0];
+            }
+        }
+        Ok(())
+    }
+
+    /// Standard downhill simplex (reflection α=1, expansion γ=2,
+    /// contraction ρ=½, shrink σ=½) with clamping at evaluation time.
+    fn nelder_mead(&mut self, budget: &Budget) -> Result<(), String> {
+        self.optimizer = "nelder-mead";
+        let bounds = self.space.bounds();
+        let dim = bounds.len();
+        // Initial simplex: the family's initial point plus one vertex per
+        // coordinate, displaced by a quarter range (flipped if it would
+        // leave the box).
+        let x0 = self.start.clone();
+        let mut simplex: Vec<Vec<f64>> = vec![x0.clone()];
+        for (d, b) in bounds.iter().enumerate() {
+            let mut x = x0.clone();
+            let step = 0.25 * (b.hi - b.lo);
+            x[d] = if x[d] + step <= b.hi {
+                x[d] + step
+            } else {
+                x[d] - step
+            };
+            simplex.push(x);
+        }
+        let mut values = self.eval_batch(&simplex)?;
+
+        while self.evaluations < budget.max_evals {
+            // Order the simplex best→worst.
+            let mut order: Vec<usize> = (0..simplex.len()).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+            simplex = order.iter().map(|&i| simplex[i].clone()).collect();
+            values = order.iter().map(|&i| values[i]).collect();
+            let spread = values[dim] - values[0];
+            if spread <= 1e-12 * values[0].abs().max(1e-12) {
+                break;
+            }
+            // Centroid of all but the worst vertex.
+            let centroid: Vec<f64> = (0..dim)
+                .map(|d| simplex[..dim].iter().map(|x| x[d]).sum::<f64>() / dim as f64)
+                .collect();
+            let worst = simplex[dim].clone();
+            let blend = |t: f64| -> Vec<f64> {
+                (0..dim)
+                    .map(|d| centroid[d] + t * (centroid[d] - worst[d]))
+                    .collect()
+            };
+            let reflected = blend(1.0);
+            let fr = self.eval_batch(std::slice::from_ref(&reflected))?[0];
+            if fr < values[0] {
+                let expanded = blend(2.0);
+                let fe = self.eval_batch(std::slice::from_ref(&expanded))?[0];
+                if fe < fr {
+                    simplex[dim] = expanded;
+                    values[dim] = fe;
+                } else {
+                    simplex[dim] = reflected;
+                    values[dim] = fr;
+                }
+            } else if fr < values[dim - 1] {
+                simplex[dim] = reflected;
+                values[dim] = fr;
+            } else {
+                let contracted = if fr < values[dim] {
+                    blend(0.5)
+                } else {
+                    blend(-0.5)
+                };
+                let fk = self.eval_batch(std::slice::from_ref(&contracted))?[0];
+                if fk < values[dim].min(fr) {
+                    simplex[dim] = contracted;
+                    values[dim] = fk;
+                } else {
+                    // Shrink everything toward the best vertex.
+                    let best = simplex[0].clone();
+                    let shrunk: Vec<Vec<f64>> = simplex[1..]
+                        .iter()
+                        .map(|x| (0..dim).map(|d| best[d] + 0.5 * (x[d] - best[d])).collect())
+                        .collect();
+                    let shrunk_values = self.eval_batch(&shrunk)?;
+                    for (slot, (x, v)) in simplex[1..]
+                        .iter_mut()
+                        .zip(values[1..].iter_mut())
+                        .zip(shrunk.into_iter().zip(shrunk_values))
+                    {
+                        *slot.0 = x;
+                        *slot.1 = v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Coordinate pattern search: each round proposes `±step` along every
+    /// coordinate as **one parallel batch**, moves to the best improving
+    /// candidate, and halves the steps when nothing improves. Integer
+    /// coordinates floor their step at 1.
+    fn coordinate(&mut self, budget: &Budget) -> Result<(), String> {
+        self.optimizer = "coordinate-search";
+        let bounds = self.space.bounds();
+        let dim = bounds.len();
+        let mut current = self.start.clone();
+        let mut f_current = self.eval_batch(std::slice::from_ref(&current))?[0];
+        let mut steps: Vec<f64> = bounds
+            .iter()
+            .map(|b| {
+                let s = 0.25 * (b.hi - b.lo);
+                if b.integer {
+                    s.round().max(1.0)
+                } else {
+                    s
+                }
+            })
+            .collect();
+        while self.evaluations < budget.max_evals {
+            // Propose ±step along every coordinate, dropping proposals
+            // that clamp back onto the incumbent (steps off a box edge)
+            // or onto each other — re-scoring a known point would burn a
+            // full evaluation for nothing, notably on the DES objective.
+            let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(2 * dim);
+            for d in 0..dim {
+                for sign in [1.0, -1.0] {
+                    let mut x = current.clone();
+                    x[d] += sign * steps[d];
+                    let x = self.space.clamp(&x);
+                    if x != current && !candidates.contains(&x) {
+                        candidates.push(x);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                // Every proposal collapsed onto the incumbent; treat as a
+                // failed round.
+                if !halve_steps(&mut steps, &bounds) {
+                    break;
+                }
+                continue;
+            }
+            let values = self.eval_batch(&candidates)?;
+            let (best_idx, &best_val) = values
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("non-empty batch");
+            if best_val < f_current - TIE_REL * f_current.abs() {
+                current = candidates[best_idx].clone();
+                f_current = best_val;
+                continue;
+            }
+            // No improvement: halve the steps, stop once all are minimal.
+            if !halve_steps(&mut steps, &bounds) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-entropy method: sample a Gaussian population (clamped into
+    /// the box, integers rounded), refit mean/deviation to the elite
+    /// quarter, repeat. Handles mixed and high-dimensional spaces where
+    /// simplex geometry breaks down.
+    fn cross_entropy(&mut self, budget: &Budget) -> Result<(), String> {
+        self.optimizer = "cross-entropy";
+        let bounds = self.space.bounds();
+        let dim = bounds.len();
+        let population = (4 * dim).clamp(8, budget.max_evals.max(8));
+        let elite = (population / 4).max(2);
+        let mut rng = StdRng::seed_from_u64(budget.seed);
+        let mut mean = self.start.clone();
+        let mut dev: Vec<f64> = bounds.iter().map(|b| 0.5 * (b.hi - b.lo)).collect();
+        // Smoothed updates keep early generations from collapsing onto a
+        // lucky sample; the deviation floor decays so late generations
+        // can actually converge.
+        let smoothing = 0.7;
+        let mut floor: Vec<f64> = bounds.iter().map(|b| 0.05 * (b.hi - b.lo)).collect();
+        while self.evaluations + population <= budget.max_evals.max(population) {
+            let xs: Vec<Vec<f64>> = (0..population)
+                .map(|_| {
+                    (0..dim)
+                        .map(|d| mean[d] + dev[d] * gaussian(&mut rng))
+                        .collect()
+                })
+                .collect();
+            let values = self.eval_batch(&xs)?;
+            // Elite pool: this generation plus the incumbent — whose value
+            // the search already holds (both objectives are deterministic),
+            // so it rides along without being re-scored. It anchors the
+            // refit, and the global best never regresses.
+            let mut pool: Vec<(Vec<f64>, f64)> =
+                xs.iter().map(|x| self.space.clamp(x)).zip(values).collect();
+            if let Some(best) = &self.best_x {
+                pool.push((best.clone(), self.best_value));
+            }
+            pool.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            let elites = &pool[..elite];
+            for d in 0..dim {
+                let m: f64 = elites.iter().map(|(x, _)| x[d]).sum::<f64>() / elite as f64;
+                let var: f64 =
+                    elites.iter().map(|(x, _)| (x[d] - m).powi(2)).sum::<f64>() / elite as f64;
+                mean[d] = smoothing * m + (1.0 - smoothing) * mean[d];
+                dev[d] = (smoothing * var.sqrt() + (1.0 - smoothing) * dev[d]).max(floor[d]);
+                floor[d] *= 0.8;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Halves every pattern-search step that is still above its floor
+/// (integer steps never drop below 1); returns `false` when all steps are
+/// already minimal — the stopping condition.
+fn halve_steps(steps: &mut [f64], bounds: &[crate::space::ParamBound]) -> bool {
+    let mut any_left = false;
+    for (s, b) in steps.iter_mut().zip(bounds) {
+        if b.integer {
+            if *s > 1.0 {
+                *s = (*s / 2.0).round().max(1.0);
+                any_left = true;
+            }
+        } else if *s > 1e-6 * (b.hi - b.lo) {
+            *s /= 2.0;
+            any_left = true;
+        }
+    }
+    any_left
+}
+
+/// One standard-normal draw via Box–Muller on the seeded generator.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamBound, ParamSpace};
+    use eirs_sim::policy::{AllocationPolicy, ClassAllocation};
+    use std::sync::Mutex;
+
+    /// A synthetic space whose "policies" carry their own coordinates, so
+    /// closed-form objectives can score them without any queueing.
+    struct Synthetic {
+        bounds: Vec<ParamBound>,
+        initial: Vec<f64>,
+    }
+
+    struct Carrier(Vec<f64>);
+    impl AllocationPolicy for Carrier {
+        fn allocate(&self, _i: usize, _j: usize, _k: u32) -> ClassAllocation {
+            ClassAllocation::IDLE
+        }
+        fn name(&self) -> String {
+            format!("carrier{:?}", self.0)
+        }
+    }
+
+    impl ParamSpace for Synthetic {
+        fn name(&self) -> String {
+            "synthetic".into()
+        }
+        fn bounds(&self) -> Vec<ParamBound> {
+            self.bounds.clone()
+        }
+        fn initial(&self) -> Vec<f64> {
+            self.initial.clone()
+        }
+        fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+            Box::new(Carrier(x.to_vec()))
+        }
+    }
+
+    /// Objective computing `f` on the carried coordinates; counts calls.
+    struct Closed<F: Fn(&[f64]) -> f64 + Sync> {
+        f: F,
+        calls: Mutex<usize>,
+    }
+
+    impl<F: Fn(&[f64]) -> f64 + Sync> Closed<F> {
+        fn new(f: F) -> Self {
+            Self {
+                f,
+                calls: Mutex::new(0),
+            }
+        }
+    }
+
+    impl<F: Fn(&[f64]) -> f64 + Sync> Objective for Closed<F> {
+        fn name(&self) -> String {
+            "closed-form".into()
+        }
+        fn evaluate_batch(
+            &self,
+            policies: &[Box<dyn AllocationPolicy>],
+        ) -> Vec<Result<f64, String>> {
+            *self.calls.lock().unwrap() += policies.len();
+            policies
+                .iter()
+                .map(|p| {
+                    let name = p.name();
+                    let coords: Vec<f64> = name
+                        .trim_start_matches("carrier[")
+                        .trim_end_matches(']')
+                        .split(", ")
+                        .map(|s| s.parse().unwrap())
+                        .collect();
+                    Ok((self.f)(&coords))
+                })
+                .collect()
+        }
+    }
+
+    fn continuous(dims: &[(f64, f64)], initial: &[f64]) -> Synthetic {
+        Synthetic {
+            bounds: dims
+                .iter()
+                .enumerate()
+                .map(|(d, &(lo, hi))| ParamBound::continuous(&format!("x{d}"), lo, hi))
+                .collect(),
+            initial: initial.to_vec(),
+        }
+    }
+
+    #[test]
+    fn golden_section_finds_a_quadratic_minimum() {
+        let space = continuous(&[(0.0, 10.0)], &[9.0]);
+        let obj = Closed::new(|x: &[f64]| (x[0] - 3.2).powi(2) + 1.0);
+        let r = optimize(&space, &obj, Method::Golden, &Budget::default()).unwrap();
+        assert!((r.best_x[0] - 3.2).abs() < 1e-4, "{:?}", r.best_x);
+        assert!((r.best_value - 1.0).abs() < 1e-8);
+        assert_eq!(r.optimizer, "golden-section");
+    }
+
+    #[test]
+    fn integer_scan_breaks_ties_toward_larger_parameters() {
+        let space = Synthetic {
+            bounds: vec![ParamBound::integer("t", 1, 12)],
+            initial: vec![1.0],
+        };
+        // Flat beyond 4: the scan must settle on the largest tied value.
+        let obj = Closed::new(|x: &[f64]| if x[0] < 4.0 { 10.0 - x[0] } else { 6.0 });
+        let r = optimize(&space, &obj, Method::Golden, &Budget::default()).unwrap();
+        assert_eq!(r.best_x[0], 12.0, "{r:?}");
+        assert_eq!(r.optimizer, "golden-scan");
+    }
+
+    #[test]
+    fn integer_scan_respects_small_budgets_with_refinement() {
+        let space = Synthetic {
+            bounds: vec![ParamBound::integer("t", 0, 63)],
+            initial: vec![0.0],
+        };
+        let obj = Closed::new(|x: &[f64]| (x[0] - 37.0).powi(2));
+        let budget = Budget {
+            max_evals: 16,
+            seed: 1,
+        };
+        let r = optimize(&space, &obj, Method::Golden, &budget).unwrap();
+        assert_eq!(r.best_x[0], 37.0, "{r:?}");
+        assert!(r.evaluations <= 32, "{}", r.evaluations);
+    }
+
+    #[test]
+    fn integer_scan_terminates_and_converges_on_tiny_budgets() {
+        // Budgets of 2–4 hit the stride recurrence's fixed points; the
+        // strict-decrease guard must still terminate and find the optimum.
+        let space = Synthetic {
+            bounds: vec![ParamBound::integer("t", 1, 16)],
+            initial: vec![1.0],
+        };
+        let obj = Closed::new(|x: &[f64]| (x[0] - 11.0).powi(2));
+        for max_evals in [2, 3, 4] {
+            let r = optimize(&space, &obj, Method::Golden, &Budget { max_evals, seed: 1 }).unwrap();
+            assert_eq!(r.best_x[0], 11.0, "budget {max_evals}: {r:?}");
+            assert!(r.evaluations < 100, "budget {max_evals}: {}", r.evaluations);
+        }
+    }
+
+    #[test]
+    fn integer_scan_stays_budget_bounded_on_huge_ranges() {
+        // Range ≫ budget: each round is budget-bounded and the rounds
+        // narrow geometrically, so the total stays O(budget · log range)
+        // instead of exploding with the range.
+        let space = Synthetic {
+            bounds: vec![ParamBound::integer("t", 0, 100_000)],
+            initial: vec![0.0],
+        };
+        let obj = Closed::new(|x: &[f64]| (x[0] - 73_123.0).powi(2));
+        let budget = Budget {
+            max_evals: 12,
+            seed: 1,
+        };
+        let r = optimize(&space, &obj, Method::Golden, &budget).unwrap();
+        assert_eq!(r.best_x[0], 73_123.0, "{r:?}");
+        assert!(r.evaluations < 12 * 8, "{} evaluations", r.evaluations);
+    }
+
+    #[test]
+    fn optimize_refined_chains_a_polish_and_merges_accounting() {
+        let space = continuous(&[(-2.0, 2.0), (-2.0, 2.0)], &[1.5, -1.5]);
+        let bowl = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] + 0.7).powi(2);
+        let budget = Budget {
+            max_evals: 24,
+            seed: 3,
+        };
+        let coarse = optimize(&space, &Closed::new(bowl), Method::CrossEntropy, &budget).unwrap();
+        let refined = optimize_refined(
+            &space,
+            &Closed::new(bowl),
+            Method::CrossEntropy,
+            &budget,
+            60,
+        )
+        .unwrap();
+        assert!(refined.best_value <= coarse.best_value + 1e-15);
+        assert!(refined.evaluations > coarse.evaluations);
+        assert!(refined.trace.len() > coarse.trace.len());
+        assert_eq!(refined.optimizer, "cross-entropy+coordinate");
+        // Zero refine budget is the plain search.
+        let plain =
+            optimize_refined(&space, &Closed::new(bowl), Method::CrossEntropy, &budget, 0).unwrap();
+        assert_eq!(plain.best_value.to_bits(), coarse.best_value.to_bits());
+        assert_eq!(plain.optimizer, "cross-entropy");
+    }
+
+    #[test]
+    fn nelder_mead_descends_a_rosenbrock_valley() {
+        let space = continuous(&[(-2.0, 2.0), (-1.0, 3.0)], &[-1.2, 1.0]);
+        let obj =
+            Closed::new(|x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2));
+        let budget = Budget {
+            max_evals: 400,
+            seed: 1,
+        };
+        let r = optimize(&space, &obj, Method::NelderMead, &budget).unwrap();
+        assert!(r.best_value < 1e-3, "{r:?}");
+        assert!((r.best_x[0] - 1.0).abs() < 0.1 && (r.best_x[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn coordinate_search_handles_mixed_integer_dimensions() {
+        let space = Synthetic {
+            bounds: vec![
+                ParamBound::integer("n", 0, 20),
+                ParamBound::continuous("w", 0.0, 4.0),
+            ],
+            initial: vec![10.0, 2.0],
+        };
+        let obj = Closed::new(|x: &[f64]| (x[0] - 7.0).powi(2) + 3.0 * (x[1] - 1.25).powi(2));
+        let r = optimize(&space, &obj, Method::Coordinate, &Budget::default()).unwrap();
+        assert_eq!(r.best_x[0], 7.0, "{r:?}");
+        assert!((r.best_x[1] - 1.25).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn cross_entropy_solves_a_separable_bowl_and_is_deterministic() {
+        let space = continuous(&[(-4.0, 4.0), (-4.0, 4.0), (-4.0, 4.0)], &[3.0, -3.0, 3.0]);
+        let target = [1.5, -0.5, 2.0];
+        let obj = Closed::new(move |x: &[f64]| {
+            x.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+        });
+        let budget = Budget {
+            max_evals: 600,
+            seed: 9,
+        };
+        let r1 = optimize(&space, &obj, Method::CrossEntropy, &budget).unwrap();
+        let r2 = optimize(&space, &obj, Method::CrossEntropy, &budget).unwrap();
+        assert!(r1.best_value < 0.05, "{r1:?}");
+        assert_eq!(r1.best_x, r2.best_x, "same seed must reproduce");
+        // Different seed explores differently but still converges.
+        let r3 = optimize(
+            &space,
+            &obj,
+            Method::CrossEntropy,
+            &Budget {
+                max_evals: 600,
+                seed: 10,
+            },
+        )
+        .unwrap();
+        assert!(r3.best_value < 0.05, "{r3:?}");
+    }
+
+    #[test]
+    fn auto_dispatch_matches_the_family_shape() {
+        let obj = Closed::new(|x: &[f64]| x.iter().map(|v| v * v).sum());
+        let d1 = continuous(&[(0.0, 1.0)], &[0.5]);
+        let r = optimize(&d1, &obj, Method::Auto, &Budget::default()).unwrap();
+        assert_eq!(r.optimizer, "golden-section");
+        let d2 = continuous(&[(0.0, 1.0), (0.0, 1.0)], &[0.5, 0.5]);
+        let r = optimize(&d2, &obj, Method::Auto, &Budget::default()).unwrap();
+        assert_eq!(r.optimizer, "nelder-mead");
+        let mixed = Synthetic {
+            bounds: vec![
+                ParamBound::integer("n", 0, 4),
+                ParamBound::continuous("w", 0.0, 1.0),
+            ],
+            initial: vec![2.0, 0.5],
+        };
+        let r = optimize(&mixed, &obj, Method::Auto, &Budget::default()).unwrap();
+        assert_eq!(r.optimizer, "cross-entropy");
+    }
+
+    #[test]
+    fn budget_caps_evaluations_and_trace_is_monotone() {
+        let space = continuous(&[(-2.0, 2.0), (-2.0, 2.0)], &[1.5, -1.5]);
+        let obj = Closed::new(|x: &[f64]| x[0].powi(2) + x[1].powi(2));
+        let budget = Budget {
+            max_evals: 30,
+            seed: 1,
+        };
+        let r = optimize(&space, &obj, Method::NelderMead, &budget).unwrap();
+        assert!(r.evaluations <= 30 + 3, "{}", r.evaluations);
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "trace must be non-increasing");
+        }
+        assert_eq!(*obj.calls.lock().unwrap(), r.evaluations);
+    }
+
+    #[test]
+    fn golden_rejects_multidimensional_spaces() {
+        let space = continuous(&[(0.0, 1.0), (0.0, 1.0)], &[0.5, 0.5]);
+        let obj = Closed::new(|x: &[f64]| x[0] + x[1]);
+        assert!(optimize(&space, &obj, Method::Golden, &Budget::default()).is_err());
+    }
+}

@@ -1,0 +1,537 @@
+//! Parameter spaces: each searchable policy family as a boxed, bounded
+//! parameter vector.
+//!
+//! A [`ParamSpace`] turns one policy family into the optimizer's
+//! currency — a point `x ∈ ℝᵈ` inside per-coordinate box bounds, with
+//! [`ParamSpace::decode`] mapping any in-bounds point to an
+//! [`AllocationPolicy`] the substrates understand. Coordinates may be
+//! marked integer ([`ParamBound::integer`]); the optimizers keep their
+//! internal state continuous and rounding happens in [`ParamSpace::clamp`]
+//! on the way to every evaluation, so discrete families (thresholds,
+//! reserves, switching-curve intercepts) and continuous ones
+//! (water-filling weights, tabular shares) share one interface.
+//!
+//! Shipped families mirror `eirs_core::policy`'s registry:
+//!
+//! | spec | family | dims |
+//! |------|--------|------|
+//! | `threshold[:max]` | [`ThresholdFamily`] | 1 (integer) |
+//! | `curve[:max]` | [`SwitchingCurveFamily`] | 2 (integer intercept, continuous slope) |
+//! | `waterfill` | [`WaterFillingFamily`] | 1 (continuous log₂ weight) |
+//! | `reserve` | [`ReserveFamily`] | 1 (integer) |
+//! | `tabular[:IxJ]` | [`TabularFamily`] | I·J (continuous shares) |
+
+use eirs_core::policy::{
+    AllocationPolicy, ElasticThresholdPolicy, ReservePolicy, SwitchingCurvePolicy, TabularPolicy,
+    WeightedWaterFilling,
+};
+
+/// Box bounds of one parameter-vector coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBound {
+    /// Coordinate name (for reports: `intercept`, `slope`, …).
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// `true` when the coordinate is integer-valued: [`ParamSpace::clamp`]
+    /// rounds it to the nearest in-bounds integer before decoding.
+    pub integer: bool,
+}
+
+impl ParamBound {
+    /// A continuous coordinate.
+    pub fn continuous(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "{name}: empty bound [{lo}, {hi}]");
+        Self {
+            name: name.into(),
+            lo,
+            hi,
+            integer: false,
+        }
+    }
+
+    /// An integer coordinate (bounds are themselves integral).
+    pub fn integer(name: &str, lo: i64, hi: i64) -> Self {
+        assert!(lo < hi, "{name}: empty bound [{lo}, {hi}]");
+        Self {
+            name: name.into(),
+            lo: lo as f64,
+            hi: hi as f64,
+            integer: true,
+        }
+    }
+}
+
+/// A policy family exposed as a bounded parameter vector.
+pub trait ParamSpace: Send + Sync {
+    /// Family name for reports (`threshold`, `curve`, …).
+    fn name(&self) -> String;
+
+    /// Per-coordinate bounds; the dimension is `bounds().len()`.
+    fn bounds(&self) -> Vec<ParamBound>;
+
+    /// A reasonable in-bounds starting point for local optimizers.
+    fn initial(&self) -> Vec<f64>;
+
+    /// Decodes an **in-bounds** point (see [`ParamSpace::clamp`]) into a
+    /// policy. Implementations may assume `x` was clamped.
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy>;
+
+    /// Number of coordinates.
+    fn dim(&self) -> usize {
+        self.bounds().len()
+    }
+
+    /// `true` when every coordinate is continuous.
+    fn all_continuous(&self) -> bool {
+        self.bounds().iter().all(|b| !b.integer)
+    }
+
+    /// Projects an arbitrary point into the feasible box: clamps each
+    /// coordinate to its bounds and rounds integer coordinates. Every
+    /// evaluation goes through this, so optimizers are free to propose
+    /// out-of-bounds or fractional points.
+    fn clamp(&self, x: &[f64]) -> Vec<f64> {
+        let bounds = self.bounds();
+        assert_eq!(x.len(), bounds.len(), "{}: wrong dimension", self.name());
+        x.iter()
+            .zip(&bounds)
+            .map(|(&v, b)| {
+                let v = v.clamp(b.lo, b.hi);
+                if b.integer {
+                    v.round().clamp(b.lo, b.hi)
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// Human-readable rendering of a (clamped) point: `intercept=3,
+    /// slope=0.50`.
+    fn describe(&self, x: &[f64]) -> String {
+        self.bounds()
+            .iter()
+            .zip(x)
+            .map(|(b, &v)| {
+                if b.integer {
+                    format!("{}={}", b.name, v as i64)
+                } else {
+                    format!("{}={v:.4}", b.name)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The 1-D elastic-threshold family `threshold ∈ [1, max_threshold]`
+/// (decodes to [`ElasticThresholdPolicy`]). Large thresholds behave like
+/// Inelastic-First, `threshold = 1` like Elastic-First.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdFamily {
+    /// Largest searchable threshold.
+    pub max_threshold: usize,
+}
+
+impl ParamSpace for ThresholdFamily {
+    fn name(&self) -> String {
+        "threshold".into()
+    }
+
+    fn bounds(&self) -> Vec<ParamBound> {
+        vec![ParamBound::integer(
+            "threshold",
+            1,
+            self.max_threshold.max(2) as i64,
+        )]
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        vec![(self.max_threshold.max(2) as f64 / 2.0).round()]
+    }
+
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+        Box::new(ElasticThresholdPolicy {
+            threshold: x[0].round() as usize,
+        })
+    }
+}
+
+/// The 2-D switching-curve family: EF-mode whenever
+/// `j ≥ intercept + slope·i` (decodes to [`SwitchingCurvePolicy`]).
+/// This is the shape the MDP-optimal policy takes in the paper's open
+/// `µ_I < µ_E` regime, so it is the default certification family.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchingCurveFamily {
+    /// Largest searchable intercept.
+    pub max_intercept: usize,
+    /// Largest searchable slope.
+    pub max_slope: f64,
+}
+
+impl ParamSpace for SwitchingCurveFamily {
+    fn name(&self) -> String {
+        "curve".into()
+    }
+
+    fn bounds(&self) -> Vec<ParamBound> {
+        vec![
+            ParamBound::integer("intercept", 1, self.max_intercept.max(2) as i64),
+            ParamBound::continuous("slope", 0.0, self.max_slope.max(0.5)),
+        ]
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        vec![(self.max_intercept.max(2) as f64 / 2.0).round(), 0.5]
+    }
+
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+        Box::new(SwitchingCurvePolicy {
+            intercept: x[0].round() as usize,
+            slope: x[1],
+        })
+    }
+}
+
+/// The 1-D weighted water-filling family, parameterized by the **log₂**
+/// of the elastic weight so the search space is symmetric around the
+/// fair-share point `w = 1` (decodes to [`WeightedWaterFilling`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WaterFillingFamily {
+    /// Search `log₂ w ∈ [−max_log2_weight, max_log2_weight]`.
+    pub max_log2_weight: f64,
+}
+
+impl ParamSpace for WaterFillingFamily {
+    fn name(&self) -> String {
+        "waterfill".into()
+    }
+
+    fn bounds(&self) -> Vec<ParamBound> {
+        let m = self.max_log2_weight.max(1.0);
+        vec![ParamBound::continuous("log2_weight", -m, m)]
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        vec![0.0]
+    }
+
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+        Box::new(WeightedWaterFilling {
+            elastic_weight: x[0].exp2(),
+        })
+    }
+}
+
+/// The 1-D reserve family `reserve ∈ [0, k]` (decodes to
+/// [`ReservePolicy`]): `0` is Inelastic-First, `k` Elastic-First.
+#[derive(Debug, Clone, Copy)]
+pub struct ReserveFamily {
+    /// Cluster size the reserve interpolates over.
+    pub k: u32,
+}
+
+impl ParamSpace for ReserveFamily {
+    fn name(&self) -> String {
+        "reserve".into()
+    }
+
+    fn bounds(&self) -> Vec<ParamBound> {
+        vec![ParamBound::integer("reserve", 0, self.k.max(1) as i64)]
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        vec![(self.k as f64 / 2.0).round()]
+    }
+
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+        Box::new(ReservePolicy {
+            reserve: x[0].round() as u32,
+        })
+    }
+}
+
+/// The tabular-perturbation family: one continuous coordinate per state
+/// `(i, j) ∈ [1, grid_i] × [1, grid_j]` giving the *fraction* of
+/// `min(i, k)` servers handed to inelastic jobs there (elastic jobs soak
+/// up the remainder — the policy stays work conserving by construction).
+/// States beyond the grid clamp to the edge, `j = 0` serves all inelastic
+/// jobs, and `i = 0` gives everything to the elastic class. Fraction `1`
+/// everywhere is Inelastic-First, `0` everywhere Elastic-First; interior
+/// points are fractional allocations no closed family expresses — the
+/// highest-resolution (and highest-dimension) space, meant for the
+/// cross-entropy optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct TabularFamily {
+    /// Cluster size the decoded tables target.
+    pub k: u32,
+    /// Inelastic-queue grid depth (`i ≤ grid_i` parameterized).
+    pub grid_i: usize,
+    /// Elastic-queue grid depth (`j ≤ grid_j` parameterized).
+    pub grid_j: usize,
+}
+
+impl TabularFamily {
+    fn share_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!((1..=self.grid_i).contains(&i) && (1..=self.grid_j).contains(&j));
+        (i - 1) * self.grid_j + (j - 1)
+    }
+}
+
+impl ParamSpace for TabularFamily {
+    fn name(&self) -> String {
+        "tabular".into()
+    }
+
+    fn bounds(&self) -> Vec<ParamBound> {
+        let mut bounds = Vec::with_capacity(self.grid_i * self.grid_j);
+        for i in 1..=self.grid_i {
+            for j in 1..=self.grid_j {
+                bounds.push(ParamBound::continuous(&format!("share[{i},{j}]"), 0.0, 1.0));
+            }
+        }
+        bounds
+    }
+
+    fn initial(&self) -> Vec<f64> {
+        // Start from Inelastic-First (share 1 everywhere): the provably
+        // optimal corner in half the parameter space, and a strong
+        // starting point in the open regime.
+        vec![1.0; self.grid_i * self.grid_j]
+    }
+
+    fn decode(&self, x: &[f64]) -> Box<dyn AllocationPolicy> {
+        let k = self.k;
+        let kf = k as f64;
+        let shares = x.to_vec();
+        let family = *self;
+        // The decoded table extends to at least `k` rows: parameters
+        // beyond the grid reuse the edge share, but `min(i, k)` keeps
+        // growing until `i = k`, and `TabularPolicy`'s own edge-clamping
+        // stores absolute server counts — a table cut off before `i = k`
+        // would under-serve deep inelastic queues.
+        let table_i = self.grid_i.max(k as usize);
+        Box::new(TabularPolicy::from_fn(
+            format!("TabularSearch(k={k},{}x{})", self.grid_i, self.grid_j),
+            k,
+            table_i,
+            self.grid_j,
+            move |i, j| {
+                if j == 0 {
+                    return ((i as f64).min(kf), 0.0);
+                }
+                if i == 0 {
+                    return (0.0, kf);
+                }
+                let share = shares[family.share_index(i.min(family.grid_i), j.min(family.grid_j))];
+                let inelastic = share * (i as f64).min(kf);
+                (inelastic, kf - inelastic)
+            },
+        ))
+    }
+}
+
+/// Every shipped family at representative sizes for `k` servers,
+/// mirroring `eirs_core::policy::registry`.
+pub fn registry(k: u32) -> Vec<Box<dyn ParamSpace>> {
+    vec![
+        Box::new(ThresholdFamily { max_threshold: 16 }),
+        Box::new(SwitchingCurveFamily {
+            max_intercept: 16,
+            max_slope: 4.0,
+        }),
+        Box::new(WaterFillingFamily {
+            max_log2_weight: 6.0,
+        }),
+        Box::new(ReserveFamily { k }),
+        Box::new(TabularFamily {
+            k,
+            grid_i: 3,
+            grid_j: 3,
+        }),
+    ]
+}
+
+/// Parses a CLI family spec into a parameter space for `k` servers.
+///
+/// Accepted forms: `threshold[:<max>]`, `curve[:<max_intercept>]`,
+/// `waterfill`, `reserve`, `tabular[:<I>x<J>]`.
+pub fn parse_family(spec: &str, k: u32) -> Result<Box<dyn ParamSpace>, String> {
+    match spec {
+        "threshold" => return Ok(Box::new(ThresholdFamily { max_threshold: 16 })),
+        "curve" => {
+            return Ok(Box::new(SwitchingCurveFamily {
+                max_intercept: 16,
+                max_slope: 4.0,
+            }))
+        }
+        "waterfill" => {
+            return Ok(Box::new(WaterFillingFamily {
+                max_log2_weight: 6.0,
+            }))
+        }
+        "reserve" => return Ok(Box::new(ReserveFamily { k })),
+        "tabular" => {
+            return Ok(Box::new(TabularFamily {
+                k,
+                grid_i: 3,
+                grid_j: 3,
+            }))
+        }
+        _ => {}
+    }
+    if let Some(raw) = spec.strip_prefix("threshold:") {
+        let max: usize = raw.parse().map_err(|_| bad(spec, "threshold:<max>"))?;
+        if max < 2 {
+            return Err(bad(spec, "threshold:<max> (>= 2)"));
+        }
+        return Ok(Box::new(ThresholdFamily { max_threshold: max }));
+    }
+    if let Some(raw) = spec.strip_prefix("curve:") {
+        let max: usize = raw
+            .parse()
+            .map_err(|_| bad(spec, "curve:<max_intercept>"))?;
+        if max < 2 {
+            return Err(bad(spec, "curve:<max_intercept> (>= 2)"));
+        }
+        return Ok(Box::new(SwitchingCurveFamily {
+            max_intercept: max,
+            max_slope: 4.0,
+        }));
+    }
+    if let Some(raw) = spec.strip_prefix("tabular:") {
+        let form = "tabular:<I>x<J>";
+        let (gi, gj) = raw.split_once('x').ok_or_else(|| bad(spec, form))?;
+        let grid_i: usize = gi.parse().map_err(|_| bad(spec, form))?;
+        let grid_j: usize = gj.parse().map_err(|_| bad(spec, form))?;
+        if grid_i == 0 || grid_j == 0 {
+            return Err(bad(spec, "tabular:<I>x<J> (>= 1 each)"));
+        }
+        return Ok(Box::new(TabularFamily { k, grid_i, grid_j }));
+    }
+    Err(format!(
+        "unknown family '{spec}' (expected threshold[:<max>], curve[:<max_intercept>], \
+         waterfill, reserve, tabular[:<I>x<J>])"
+    ))
+}
+
+fn bad(spec: &str, form: &str) -> String {
+    format!("cannot parse family '{spec}' (expected {form})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirs_core::policy::assert_feasible;
+
+    #[test]
+    fn registry_decodes_to_feasible_policies_everywhere_in_bounds() {
+        let k = 4;
+        for space in registry(k) {
+            let bounds = space.bounds();
+            // Probe the corners and the midpoint of the box.
+            let corners: Vec<Vec<f64>> = vec![
+                bounds.iter().map(|b| b.lo).collect(),
+                bounds.iter().map(|b| b.hi).collect(),
+                bounds.iter().map(|b| 0.5 * (b.lo + b.hi)).collect(),
+                space.initial(),
+            ];
+            for x in corners {
+                let policy = space.decode(&space.clamp(&x));
+                for i in 0..=10usize {
+                    for j in 0..=10usize {
+                        assert_feasible(policy.allocate(i, j, k), i, j, k, &policy.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_projects_and_rounds() {
+        let space = SwitchingCurveFamily {
+            max_intercept: 8,
+            max_slope: 2.0,
+        };
+        assert_eq!(space.clamp(&[3.4, 0.7]), vec![3.0, 0.7]);
+        assert_eq!(space.clamp(&[-5.0, 9.0]), vec![1.0, 2.0]);
+        assert_eq!(space.clamp(&[8.6, -0.2]), vec![8.0, 0.0]);
+    }
+
+    #[test]
+    fn threshold_family_decodes_round_values() {
+        let space = ThresholdFamily { max_threshold: 8 };
+        let p = space.decode(&space.clamp(&[2.6]));
+        assert_eq!(p.name(), "ElasticThreshold(3)");
+    }
+
+    #[test]
+    fn waterfill_family_is_log_symmetric() {
+        let space = WaterFillingFamily {
+            max_log2_weight: 4.0,
+        };
+        let heavy = space.decode(&[2.0]);
+        let light = space.decode(&[-2.0]);
+        assert_eq!(heavy.name(), "WaterFilling(w=4)");
+        assert_eq!(light.name(), "WaterFilling(w=0.25)");
+    }
+
+    #[test]
+    fn tabular_family_interpolates_if_and_ef_at_the_corners() {
+        use eirs_core::policy::{ElasticFirst, InelasticFirst};
+        let space = TabularFamily {
+            k: 3,
+            grid_i: 2,
+            grid_j: 2,
+        };
+        assert_eq!(space.dim(), 4);
+        let as_if = space.decode(&[1.0; 4]);
+        let as_ef = space.decode(&[0.0; 4]);
+        for i in 0..=6usize {
+            for j in 0..=6usize {
+                assert_eq!(as_if.allocate(i, j, 3), InelasticFirst.allocate(i, j, 3));
+                assert_eq!(as_ef.allocate(i, j, 3), ElasticFirst.allocate(i, j, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_and_rejects() {
+        for (spec, name, dim) in [
+            ("threshold", "threshold", 1),
+            ("threshold:8", "threshold", 1),
+            ("curve", "curve", 2),
+            ("curve:12", "curve", 2),
+            ("waterfill", "waterfill", 1),
+            ("reserve", "reserve", 1),
+            ("tabular", "tabular", 9),
+            ("tabular:2x4", "tabular", 8),
+        ] {
+            let space = parse_family(spec, 4).unwrap();
+            assert_eq!(space.name(), name, "spec '{spec}'");
+            assert_eq!(space.dim(), dim, "spec '{spec}'");
+        }
+        for spec in [
+            "nope",
+            "threshold:1",
+            "threshold:x",
+            "curve:0",
+            "tabular:0x2",
+            "tabular:2",
+        ] {
+            assert!(parse_family(spec, 4).is_err(), "'{spec}' should fail");
+        }
+    }
+
+    #[test]
+    fn describe_renders_integer_and_continuous_coordinates() {
+        let space = SwitchingCurveFamily {
+            max_intercept: 8,
+            max_slope: 2.0,
+        };
+        assert_eq!(space.describe(&[3.0, 0.5]), "intercept=3, slope=0.5000");
+    }
+}

@@ -1,9 +1,20 @@
-//! Coupled sample-path experiments (the experimental face of Theorem 3).
+//! Coupled sample-path experiments (the experimental face of Theorem 3)
+//! and common-random-numbers paired comparisons.
 //!
 //! Theorem 3 couples Inelastic-First with an arbitrary class-P policy on a
 //! *fixed arrival sequence* and shows the total work `W(t)` and inelastic
 //! work `W_I(t)` are pointwise smaller under IF. This module records those
 //! trajectories from the simulator and checks dominance.
+//!
+//! The same coupling idea powers variance reduction for *steady-state
+//! policy comparisons*: [`paired_comparison`] runs two policies on the
+//! identical arrival sample path per replication (the arrival source is
+//! rebuilt from the same seed, and every random quantity — interarrival
+//! times, classes, and job sizes — lives in the source), so the
+//! difference estimator `E[T_A] − E[T_B]` keeps only the policy effect
+//! and sheds the common arrival noise. The `eirs_opt` DES objective is
+//! built on this: candidates in a policy search are scored on one fixed
+//! seed set, making every pairwise comparison a paired one.
 //!
 //! Work trajectories are piecewise linear between events (service drains
 //! work at the constant allocated rate) with upward jumps at arrivals, so a
@@ -14,8 +25,12 @@
 //! trajectories.
 
 use crate::arrivals::{Arrival, ArrivalSource, ArrivalTrace};
+use crate::des::{DesConfig, SimReport, Simulation};
 use crate::job::{Job, JobClass};
 use crate::policy::{assert_feasible, AllocationPolicy};
+use crate::replicate::replication_seeds;
+use crate::stats::ReplicationStats;
+use eirs_numerics::parallel;
 use std::collections::VecDeque;
 
 /// One sampled point of a work trajectory.
@@ -234,9 +249,60 @@ pub fn dominates_throughout(a: &WorkTrajectory, b: &WorkTrajectory, tol: f64) ->
     None
 }
 
+/// Runs `policy_a` and `policy_b` on the **same** arrival sample path for
+/// each of `n` replications (common random numbers): replication `r`
+/// derives its seed from `base_seed` via the SplitMix64 stream, builds the
+/// arrival source from that seed *twice* through `make_source`, and feeds
+/// one copy to each policy. Because every random quantity of the model —
+/// interarrival times, job classes, and job sizes — is drawn inside the
+/// source, the two runs see bit-identical traffic and differ only in the
+/// allocation decisions.
+///
+/// Returns the per-replication report pairs in seed order (parallel over
+/// the sweep workers, bit-identical to serial). Feed them to
+/// [`paired_diff`] for the variance-reduced difference CI.
+#[allow(clippy::too_many_arguments)]
+pub fn paired_comparison<S>(
+    policy_a: &dyn AllocationPolicy,
+    policy_b: &dyn AllocationPolicy,
+    k: u32,
+    base_seed: u64,
+    n: usize,
+    warmup: u64,
+    departures: u64,
+    make_source: S,
+) -> Vec<(SimReport, SimReport)>
+where
+    S: Fn(u64) -> Box<dyn ArrivalSource> + Sync,
+{
+    let seeds = replication_seeds(base_seed, n);
+    parallel::par_map_ordered(&seeds, parallel::num_threads(), |&seed| {
+        let cfg = DesConfig::steady_state(k, warmup, departures);
+        let mut source_a = make_source(seed);
+        let a = Simulation::new(cfg).run(policy_a, source_a.as_mut());
+        let mut source_b = make_source(seed);
+        let b = Simulation::new(cfg).run(policy_b, source_b.as_mut());
+        (a, b)
+    })
+}
+
+/// Collapses [`paired_comparison`] output into replication statistics of
+/// the per-replication mean-response **difference** `E[T_A] − E[T_B]`.
+/// The resulting CI is the paired-t interval: strictly tighter than the
+/// independent-seeds interval whenever the two runs are positively
+/// correlated, which common random numbers guarantee in practice (the
+/// module tests assert the reduction on an EF-vs-IF comparison).
+pub fn paired_diff(pairs: &[(SimReport, SimReport)]) -> ReplicationStats {
+    pairs
+        .iter()
+        .map(|(a, b)| a.mean_response - b.mean_response)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arrivals::PoissonStream;
     use crate::policy::{ElasticFirst, FairShare, InelasticFirst, TablePolicy};
     use eirs_queueing::Exponential;
 
@@ -338,6 +404,93 @@ mod tests {
         let wif = WorkTrajectory::record(&InelasticFirst, &tr, 8);
         let wfs = WorkTrajectory::record(&FairShare, &tr, 8);
         assert!(dominates_throughout(&wif, &wfs, 1e-7).is_none());
+    }
+
+    /// An open-regime (µ_I < µ_E) Poisson source at load 0.6 on 4 servers;
+    /// everything random is drawn inside the source, so two sources built
+    /// from the same seed replay the identical sample path.
+    fn crn_source(seed: u64) -> Box<dyn ArrivalSource> {
+        Box::new(PoissonStream::new(
+            0.8,
+            0.8,
+            Box::new(Exponential::new(0.5)),
+            Box::new(Exponential::new(1.0)),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn paired_runs_share_the_exact_sample_path() {
+        // Same policy on both sides of the pairing: with common random
+        // numbers the two runs are bit-identical, so every difference is 0.
+        let pairs = paired_comparison(
+            &InelasticFirst,
+            &InelasticFirst,
+            4,
+            11,
+            4,
+            500,
+            5_000,
+            crn_source,
+        );
+        for (a, b) in &pairs {
+            assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+            assert_eq!(a.completed, b.completed);
+        }
+        let diff = paired_diff(&pairs);
+        assert_eq!(diff.mean(), 0.0);
+    }
+
+    #[test]
+    fn paired_variance_is_strictly_below_independent_seed_variance() {
+        // EF vs IF in the open regime: the policies genuinely differ, so
+        // the difference is nonzero, and common random numbers must shrink
+        // its replication CI strictly below the independent-seeds CI.
+        let n = 8;
+        let (warmup, departures) = (2_000, 20_000);
+        let pairs = paired_comparison(
+            &ElasticFirst,
+            &InelasticFirst,
+            4,
+            7,
+            n,
+            warmup,
+            departures,
+            crn_source,
+        );
+        let paired = paired_diff(&pairs);
+
+        let run_one = |policy: &dyn AllocationPolicy, seed: u64| {
+            let mut src = crn_source(seed);
+            Simulation::new(DesConfig::steady_state(4, warmup, departures))
+                .run(policy, src.as_mut())
+        };
+        let seeds_a = replication_seeds(7, n);
+        let seeds_b = replication_seeds(1_007, n);
+        let independent: ReplicationStats = seeds_a
+            .iter()
+            .zip(&seeds_b)
+            .map(|(&sa, &sb)| {
+                run_one(&ElasticFirst, sa).mean_response
+                    - run_one(&InelasticFirst, sb).mean_response
+            })
+            .collect();
+
+        let hw_paired = paired.confidence_interval().half_width;
+        let hw_independent = independent.confidence_interval().half_width;
+        assert!(
+            hw_paired < hw_independent,
+            "paired CI {hw_paired} should beat independent CI {hw_independent}"
+        );
+        // The comparison itself is real, and the paired CI is tight
+        // enough to resolve it: at µ_I < µ_E this operating point is in
+        // the regime where EF beats IF (Theorem 6's direction), and the
+        // interval must exclude zero.
+        let ci = paired.confidence_interval();
+        assert!(
+            ci.mean + ci.half_width < 0.0,
+            "paired EF - IF CI should resolve the winner: {ci:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! * [`mdp`] (`eirs-mdp`) — truncated average-cost MDP (numerical
 //!   optimality), bridged into the policy layer via
 //!   `MdpSolution::tabular_policy`;
+//! * [`opt`] (`eirs-opt`) — derivative-free policy optimization over the
+//!   shared families (parameter spaces, analytic/CRN-DES objectives,
+//!   golden-section / Nelder–Mead / pattern-search / cross-entropy),
+//!   certified against the MDP optimum;
+//! * [`bench`](mod@bench) (`eirs-bench`) — figure/table regeneration harnesses and
+//!   the `BENCH_*.json` writers (the CLI's `--json true` mode reuses its
+//!   JSON serializer);
 //! * [`srpt`] (`eirs-srpt`) — Appendix A batch scheduling and dual fitting;
 //! * [`multiclass`] (`eirs-multiclass`) — the Section 6 extension: many
 //!   classes with bounded elasticity;
@@ -27,11 +34,13 @@
 
 pub mod cli;
 
+pub use eirs_bench as bench;
 pub use eirs_core as core;
 pub use eirs_markov as markov;
 pub use eirs_mdp as mdp;
 pub use eirs_multiclass as multiclass;
 pub use eirs_numerics as numerics;
+pub use eirs_opt as opt;
 pub use eirs_queueing as queueing;
 pub use eirs_sim as sim;
 pub use eirs_srpt as srpt;
