@@ -499,6 +499,62 @@ mod tests {
     }
 
     #[test]
+    fn tabular_decode_at_exactly_k_rows_round_trips_on_grid() {
+        // A family whose grid has exactly k parameterized rows sits on the
+        // boundary of the >= k-row extension rule: `table_i = grid_i.max(k)`
+        // extends nothing, and extending anyway (deeper tables reusing the
+        // edge share) must not change a single on-grid decision.
+        let k = 4u32;
+        let kf = k as f64;
+        let space = TabularFamily {
+            k,
+            grid_i: k as usize,
+            grid_j: 3,
+        };
+        // Deterministic, non-degenerate shares spread over (0, 1).
+        let x: Vec<f64> = (0..space.dim())
+            .map(|t| (t as f64 * 0.37 + 0.11) % 1.0)
+            .collect();
+        let x = space.clamp(&x);
+        let decoded = space.decode(&x);
+        let share_at = |i: usize, j: usize| {
+            x[space.share_index(i.min(space.grid_i).max(1), j.min(space.grid_j).max(1))]
+        };
+        // A hand-extended reference table with 3 extra rows beyond k.
+        let deeper = TabularPolicy::from_fn("deep", k, k as usize + 3, space.grid_j, |i, j| {
+            if j == 0 {
+                return ((i as f64).min(kf), 0.0);
+            }
+            if i == 0 {
+                return (0.0, kf);
+            }
+            let inelastic = share_at(i, j) * (i as f64).min(kf);
+            (inelastic, kf - inelastic)
+        });
+        for i in 0..=(2 * k as usize + 4) {
+            for j in 0..=8usize {
+                let a = decoded.allocate(i, j, k);
+                let b = deeper.allocate(i, j, k);
+                assert_eq!(
+                    a.inelastic.to_bits(),
+                    b.inelastic.to_bits(),
+                    "pi_I at ({i},{j})"
+                );
+                assert_eq!(
+                    a.elastic.to_bits(),
+                    b.elastic.to_bits(),
+                    "pi_E at ({i},{j})"
+                );
+                // On-grid decisions also match the raw share formula.
+                if (1..=space.grid_i).contains(&i) && (1..=space.grid_j).contains(&j) {
+                    let want = share_at(i, j) * (i as f64).min(kf);
+                    assert_eq!(a.inelastic.to_bits(), want.to_bits(), "share at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parser_round_trips_and_rejects() {
         for (spec, name, dim) in [
             ("threshold", "threshold", 1),

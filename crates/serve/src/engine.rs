@@ -1,0 +1,637 @@
+//! The sharded online cluster engine.
+//!
+//! A [`ServeEngine`] is the production-shaped loop around a
+//! [`CompiledTable`]: arrival events stream in (from
+//! `eirs_sim::MapStream`, a replayed
+//! [`ArrivalTrace`](eirs_sim::arrivals::ArrivalTrace), or any other
+//! [`ArrivalSource`]), get hash-routed over
+//! [`EngineConfig::route_shards`] independent cluster shards, and every
+//! shard advances its own occupancy state making one table lookup per
+//! event-loop step — the **decision**.
+//!
+//! # Shard semantics and determinism
+//!
+//! The routing partition is part of the *workload semantics*: shard
+//! `mix64(seq) % route_shards` owns the `seq`-th arrival, always. The
+//! worker count ([`EngineConfig::workers`], the CLI's `--shards`) is pure
+//! *processing* parallelism over that fixed partition — the same
+//! discipline as `eirs_core::sweep` and `eirs_sim::replicate`. Because
+//! each shard's trajectory is a pure function of its routed substream,
+//! parallel runs are bit-identical to serial, and the shard-ordered
+//! [decision digest](ServeEngine::decision_digest) is invariant to the
+//! worker count. The CI determinism gate replays the bundled trace with
+//! 1 and 4 workers and asserts equal digests.
+//!
+//! # Exactness against the simulator
+//!
+//! Each shard's event mechanics deliberately mirror
+//! [`eirs_sim::des::Simulation`] step for step (same FCFS rate
+//! assignment, same float-operation order, same departure sweep, same
+//! arrival-admission tie-breaks). Replaying a recorded trace through a
+//! single-shard engine therefore reproduces the DES allocation sequence
+//! **exactly** — asserted by the `serve_layer` tests and recorded in
+//! `BENCH_serve.json`.
+
+use crate::metrics::ShardMetrics;
+use crate::table::CompiledTable;
+use eirs_sim::arrivals::{Arrival, ArrivalSource};
+use eirs_sim::job::{Job, JobClass};
+use eirs_sim::policy::{assert_feasible, AllocationPolicy, ClassAllocation};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One allocation decision: the occupancy queried and the allocation
+/// served. The decision stream is the engine's product; digests, logs,
+/// and the DES cross-checks are all defined over it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Inelastic occupancy at decision time.
+    pub i: usize,
+    /// Elastic occupancy at decision time.
+    pub j: usize,
+    /// The allocation served.
+    pub allocation: ClassAllocation,
+}
+
+/// SplitMix64 finalizer: the engine's one hash, used for both shard
+/// routing and decision digests.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds one decision into a running digest.
+#[inline]
+fn fold_decision(digest: u64, i: usize, j: usize, a: ClassAllocation) -> u64 {
+    let mut h = mix64(digest ^ (((i as u64) << 32) | j as u64));
+    h = mix64(h ^ a.inelastic.to_bits());
+    mix64(h ^ a.elastic.to_bits())
+}
+
+/// Computes the digest of an explicit decision sequence — the same fold
+/// the shards apply online, so a recorded DES log can be digested and
+/// compared against a live engine.
+pub fn digest_decisions(decisions: &[Decision]) -> u64 {
+    decisions
+        .iter()
+        .fold(0, |d, dec| fold_decision(d, dec.i, dec.j, dec.allocation))
+}
+
+/// Engine shape: cluster size, routing partition, worker parallelism,
+/// and ingestion batching.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Servers per cluster shard.
+    pub k: u32,
+    /// Independent cluster shards the traffic is hash-partitioned over.
+    /// Part of the workload semantics: changing it changes which shard
+    /// serves which job (and hence the decisions).
+    pub route_shards: usize,
+    /// Shard workers advancing the partition in parallel (`1` is the
+    /// serial reference path; results are bit-identical either way).
+    pub workers: usize,
+    /// Arrivals per ingestion round in [`ServeEngine::run`].
+    pub batch: usize,
+    /// Keep a full per-shard [`Decision`] log (differential testing /
+    /// audit; costs memory proportional to the decision count).
+    pub record_decisions: bool,
+}
+
+impl EngineConfig {
+    /// Defaults: 4 route shards, 1 worker, batches of 1024, no log.
+    pub fn new(k: u32) -> Self {
+        Self {
+            k,
+            route_shards: 4,
+            workers: 1,
+            batch: 1024,
+            record_decisions: false,
+        }
+    }
+
+    /// Sets the routing partition width.
+    pub fn route_shards(mut self, n: usize) -> Self {
+        self.route_shards = n;
+        self
+    }
+
+    /// Sets the shard-worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the ingestion batch size.
+    pub fn batch(mut self, n: usize) -> Self {
+        self.batch = n;
+        self
+    }
+
+    /// Enables the full decision log.
+    pub fn record_decisions(mut self, on: bool) -> Self {
+        self.record_decisions = on;
+        self
+    }
+}
+
+/// One independent cluster shard: `k` servers, its own occupancy state
+/// and clock, advancing with the DES's exact event mechanics.
+pub(crate) struct ClusterShard {
+    pub(crate) k: u32,
+    pub(crate) time: f64,
+    pub(crate) next_id: u64,
+    pub(crate) inelastic: VecDeque<Job>,
+    pub(crate) elastic: VecDeque<Job>,
+    pub(crate) digest: u64,
+    pub(crate) metrics: ShardMetrics,
+    pub(crate) log: Option<Vec<Decision>>,
+}
+
+impl ClusterShard {
+    pub(crate) fn new(k: u32, record: bool) -> Self {
+        Self {
+            k,
+            time: 0.0,
+            next_id: 0,
+            inelastic: VecDeque::with_capacity(16),
+            elastic: VecDeque::with_capacity(16),
+            digest: 0,
+            metrics: ShardMetrics::new(k),
+            log: record.then(Vec::new),
+        }
+    }
+
+    /// One allocation decision at the current occupancy.
+    fn decide(&mut self, table: &CompiledTable) -> ClassAllocation {
+        let (i, j) = (self.inelastic.len(), self.elastic.len());
+        let in_grid = table.in_grid(i, j);
+        let allocation = table.lookup(i, j);
+        assert_feasible(allocation, i, j, self.k, "compiled table");
+        self.metrics.record_decision(i, j, allocation, in_grid);
+        self.digest = fold_decision(self.digest, i, j, allocation);
+        if let Some(log) = &mut self.log {
+            log.push(Decision { i, j, allocation });
+        }
+        allocation
+    }
+
+    /// Earliest completion under `alloc` (FCFS rate assignment, exactly
+    /// as the DES computes it).
+    fn next_completion_dt(&self, alloc: ClassAllocation) -> f64 {
+        let whole = alloc.inelastic.floor() as usize;
+        let frac = alloc.inelastic - whole as f64;
+        let mut dt = f64::INFINITY;
+        for (idx, job) in self.inelastic.iter().enumerate().take(whole + 1) {
+            let rate = if idx < whole { 1.0 } else { frac };
+            if rate > 0.0 {
+                dt = dt.min(job.remaining / rate);
+            }
+        }
+        if alloc.elastic > 0.0 {
+            if let Some(head) = self.elastic.front() {
+                dt = dt.min(head.remaining / alloc.elastic);
+            }
+        }
+        dt
+    }
+
+    /// Advances served jobs by `dt` (float-operation order matches the
+    /// DES bit for bit; no-op at `dt = 0`, like the DES).
+    fn advance(&mut self, alloc: ClassAllocation, dt: f64) {
+        if dt > 0.0 {
+            let whole = alloc.inelastic.floor() as usize;
+            let frac = alloc.inelastic - whole as f64;
+            for (idx, job) in self.inelastic.iter_mut().enumerate().take(whole + 1) {
+                let rate = if idx < whole { 1.0 } else { frac };
+                if rate > 0.0 {
+                    job.remaining = (job.remaining - rate * dt).max(0.0);
+                }
+            }
+            if alloc.elastic > 0.0 {
+                if let Some(head) = self.elastic.front_mut() {
+                    head.remaining = (head.remaining - alloc.elastic * dt).max(0.0);
+                }
+            }
+            self.time += dt;
+            self.metrics.sim_time = self.time;
+        }
+    }
+
+    fn complete(&mut self, job: Job) {
+        self.metrics.completions += 1;
+        self.metrics.total_response += self.time - job.arrival;
+    }
+
+    /// Removes finished jobs, in the DES's sweep order (inelastic front
+    /// pops, then a positional sweep for fractionally-served stragglers,
+    /// then elastic front pops).
+    fn collect_departures(&mut self) {
+        while let Some(front) = self.inelastic.front() {
+            if front.is_done() {
+                let job = self.inelastic.pop_front().expect("front exists");
+                self.complete(job);
+            } else {
+                break;
+            }
+        }
+        let mut idx = 0;
+        while idx < self.inelastic.len() {
+            if self.inelastic[idx].is_done() {
+                let job = self.inelastic.remove(idx).expect("index in range");
+                self.complete(job);
+            } else {
+                idx += 1;
+            }
+        }
+        while let Some(front) = self.elastic.front() {
+            if front.is_done() {
+                let job = self.elastic.pop_front().expect("front exists");
+                self.complete(job);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Processes all completions up to `a.time`, then admits the arrival
+    /// — the incremental form of one-or-more DES loop iterations ending
+    /// in an arrival event.
+    pub(crate) fn ingest(&mut self, table: &CompiledTable, a: Arrival) {
+        loop {
+            let alloc = self.decide(table);
+            let dt_completion = self.next_completion_dt(alloc);
+            let dt_arrival = a.time - self.time;
+            debug_assert!(dt_arrival >= -1e-9, "arrival in the past");
+            let dt = dt_completion.min(dt_arrival.max(0.0));
+            self.advance(alloc, dt);
+            self.collect_departures();
+            if a.time <= self.time + 1e-12 && dt_arrival <= dt_completion {
+                self.time = self.time.max(a.time);
+                let job = Job::new(self.next_id, a.class, a.size, a.time);
+                self.next_id += 1;
+                match a.class {
+                    JobClass::Inelastic => self.inelastic.push_back(job),
+                    JobClass::Elastic => self.elastic.push_back(job),
+                }
+                self.metrics.arrivals += 1;
+                self.metrics.sim_time = self.time;
+                // Zero-size jobs depart immediately.
+                self.collect_departures();
+                return;
+            }
+        }
+    }
+
+    /// Runs remaining work to completion (no further arrivals).
+    pub(crate) fn drain(&mut self, table: &CompiledTable) {
+        while !(self.inelastic.is_empty() && self.elastic.is_empty()) {
+            let alloc = self.decide(table);
+            let dt = self.next_completion_dt(alloc);
+            assert!(
+                dt.is_finite(),
+                "{} idles forever with jobs present (state ({},{}))",
+                table.name(),
+                self.inelastic.len(),
+                self.elastic.len()
+            );
+            self.advance(alloc, dt);
+            self.collect_departures();
+        }
+    }
+}
+
+/// Runs `f(shard_index, shard)` for every shard, fanned over `workers`
+/// scoped threads in fixed index chunks (`workers <= 1` runs inline —
+/// the serial reference path). Shards are independent, so parallel
+/// execution is bit-identical to serial.
+fn fan_out<F>(shards: &mut [ClusterShard], workers: usize, f: F)
+where
+    F: Fn(usize, &mut ClusterShard) + Sync,
+{
+    let workers = workers.max(1).min(shards.len().max(1));
+    if workers <= 1 {
+        for (idx, shard) in shards.iter_mut().enumerate() {
+            f(idx, shard);
+        }
+        return;
+    }
+    let per = shards.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (chunk_no, chunk) in shards.chunks_mut(per).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, shard) in chunk.iter_mut().enumerate() {
+                    f(chunk_no * per + off, shard);
+                }
+            });
+        }
+    });
+}
+
+/// The online allocation server: a compiled table shared across a fixed
+/// partition of independent cluster shards. See the [module
+/// docs](self) for the determinism contract.
+pub struct ServeEngine {
+    pub(crate) config: EngineConfig,
+    pub(crate) table: Arc<CompiledTable>,
+    pub(crate) shards: Vec<ClusterShard>,
+    pub(crate) seq: u64,
+    scratch: Vec<Vec<Arrival>>,
+}
+
+impl ServeEngine {
+    /// A fresh engine serving `table` under `config`.
+    pub fn new(table: CompiledTable, config: EngineConfig) -> Self {
+        assert_eq!(
+            table.k(),
+            config.k,
+            "table compiled for k={}, engine configured for k={}",
+            table.k(),
+            config.k
+        );
+        assert!(config.route_shards >= 1, "need at least one route shard");
+        assert!(config.batch >= 1, "need a positive batch size");
+        let shards = (0..config.route_shards)
+            .map(|_| ClusterShard::new(config.k, config.record_decisions))
+            .collect();
+        let scratch = (0..config.route_shards).map(|_| Vec::new()).collect();
+        Self {
+            config,
+            table: Arc::new(table),
+            shards,
+            seq: 0,
+            scratch,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The compiled table being served.
+    pub fn table(&self) -> &CompiledTable {
+        &self.table
+    }
+
+    /// Global arrivals ingested so far (the routing sequence counter).
+    pub fn ingested(&self) -> u64 {
+        self.seq
+    }
+
+    /// The shard owning global arrival number `seq`.
+    #[inline]
+    pub fn route(&self, seq: u64) -> usize {
+        (mix64(seq) % self.config.route_shards as u64) as usize
+    }
+
+    /// Ingests one batch of time-ordered arrivals: routes each to its
+    /// shard, then advances all shards (in parallel when
+    /// `config.workers > 1`). Completions are produced by the shards
+    /// themselves as their clocks pass the completion epochs.
+    pub fn ingest_batch(&mut self, arrivals: &[Arrival]) {
+        for bucket in &mut self.scratch {
+            bucket.clear();
+        }
+        for &a in arrivals {
+            let s = self.route(self.seq);
+            self.seq += 1;
+            self.scratch[s].push(a);
+        }
+        let table = &*self.table;
+        let scratch = &self.scratch;
+        fan_out(&mut self.shards, self.config.workers, |idx, shard| {
+            for &a in &scratch[idx] {
+                shard.ingest(table, a);
+            }
+        });
+    }
+
+    /// Runs every shard's remaining work to completion.
+    pub fn drain(&mut self) {
+        let table = &*self.table;
+        fan_out(&mut self.shards, self.config.workers, |_, shard| {
+            shard.drain(table);
+        });
+    }
+
+    /// Pulls arrivals from `source` up to simulated time `until`,
+    /// ingesting them in `config.batch`-sized rounds, then drains.
+    /// Returns the number of arrivals ingested. (The first arrival past
+    /// the horizon is consumed from the source and dropped.)
+    pub fn run(&mut self, source: &mut dyn ArrivalSource, until: f64) -> u64 {
+        let before = self.seq;
+        let mut buf: Vec<Arrival> = Vec::with_capacity(self.config.batch);
+        while let Some(a) = source.next_arrival() {
+            if a.time > until {
+                break;
+            }
+            buf.push(a);
+            if buf.len() >= self.config.batch {
+                self.ingest_batch(&buf);
+                buf.clear();
+            }
+        }
+        self.ingest_batch(&buf);
+        self.drain();
+        self.seq - before
+    }
+
+    /// The engine-wide decision digest: per-shard digests folded in
+    /// shard order. Equal digests mean equal decision streams — this is
+    /// the CI determinism gate's currency, invariant to the worker count.
+    pub fn decision_digest(&self) -> u64 {
+        self.shards.iter().fold(0, |d, s| mix64(d ^ s.digest))
+    }
+
+    /// Per-shard decision digests, in shard order.
+    pub fn shard_digests(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.digest).collect()
+    }
+
+    /// Per-shard metrics, in shard order.
+    pub fn metrics_per_shard(&self) -> Vec<ShardMetrics> {
+        self.shards.iter().map(|s| s.metrics.clone()).collect()
+    }
+
+    /// Engine-wide metrics (all shards merged).
+    pub fn metrics_total(&self) -> ShardMetrics {
+        let mut total = ShardMetrics::new(self.config.k);
+        for s in &self.shards {
+            total.merge(&s.metrics);
+        }
+        total
+    }
+
+    /// Current occupancy `(i, j)` of every shard.
+    pub fn occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| (s.inelastic.len(), s.elastic.len()))
+            .collect()
+    }
+
+    /// The recorded decision sequences concatenated in shard order
+    /// (empty unless [`EngineConfig::record_decisions`] is on). With a
+    /// single route shard this is the engine's exact global decision
+    /// sequence — what the DES cross-checks compare.
+    pub fn decision_log(&self) -> Vec<Decision> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.log.iter().flatten().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{des_decision_log, RecordingPolicy};
+    use eirs_queueing::Exponential;
+    use eirs_sim::arrivals::ArrivalTrace;
+    use eirs_sim::policy::{AllocationPolicy, FairShare, InelasticFirst};
+
+    fn poisson_trace(seed: u64, horizon: f64) -> ArrivalTrace {
+        ArrivalTrace::record_poisson(
+            0.9,
+            0.6,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(0.8)),
+            seed,
+            horizon,
+        )
+    }
+
+    fn engine_for(policy: Box<dyn AllocationPolicy>, config: EngineConfig) -> ServeEngine {
+        ServeEngine::new(CompiledTable::compile(policy, config.k, 24, 24), config)
+    }
+
+    #[test]
+    fn single_shard_replay_reproduces_the_des_decision_sequence() {
+        let trace = poisson_trace(7, 80.0);
+        for policy in [
+            Box::new(InelasticFirst) as Box<dyn AllocationPolicy>,
+            Box::new(FairShare),
+        ] {
+            let reference = des_decision_log(policy.as_ref(), 3, &trace);
+            let cfg = EngineConfig::new(3).route_shards(1).record_decisions(true);
+            let mut engine = engine_for(policy, cfg);
+            let mut source = trace.stream();
+            engine.run(&mut source, f64::INFINITY);
+            let served = engine.decision_log();
+            assert_eq!(served.len(), reference.len(), "decision counts differ");
+            for (n, (a, b)) in served.iter().zip(&reference).enumerate() {
+                assert_eq!((a.i, a.j), (b.i, b.j), "state at decision {n}");
+                assert_eq!(
+                    a.allocation.inelastic.to_bits(),
+                    b.allocation.inelastic.to_bits(),
+                    "inelastic allocation at decision {n}"
+                );
+                assert_eq!(
+                    a.allocation.elastic.to_bits(),
+                    b.allocation.elastic.to_bits(),
+                    "elastic allocation at decision {n}"
+                );
+            }
+            assert_ne!(engine.decision_digest(), 0);
+            assert_eq!(
+                mix64(digest_decisions(&reference)),
+                engine.decision_digest(),
+                "digest of the DES log must match the live engine"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_decision_digest() {
+        let trace = poisson_trace(11, 120.0);
+        let digest_with = |workers: usize| {
+            let cfg = EngineConfig::new(2)
+                .route_shards(6)
+                .workers(workers)
+                .batch(32);
+            let mut engine = engine_for(Box::new(FairShare), cfg);
+            let mut source = trace.stream();
+            engine.run(&mut source, f64::INFINITY);
+            (engine.decision_digest(), engine.shard_digests())
+        };
+        let serial = digest_with(1);
+        for workers in [2, 3, 6, 8] {
+            assert_eq!(digest_with(workers), serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards() {
+        let cfg = EngineConfig::new(2).route_shards(5);
+        let engine = engine_for(Box::new(InelasticFirst), cfg);
+        let shards: Vec<usize> = (0..200).map(|s| engine.route(s)).collect();
+        assert_eq!(
+            shards,
+            (0..200).map(|s| engine.route(s)).collect::<Vec<_>>()
+        );
+        for target in 0..5 {
+            assert!(shards.contains(&target), "shard {target} never routed to");
+        }
+    }
+
+    #[test]
+    fn metrics_account_for_every_arrival_and_completion() {
+        let trace = poisson_trace(3, 60.0);
+        let cfg = EngineConfig::new(2).route_shards(3).batch(16);
+        let mut engine = engine_for(Box::new(InelasticFirst), cfg);
+        let mut source = trace.stream();
+        let ingested = engine.run(&mut source, f64::INFINITY);
+        assert_eq!(ingested, trace.len() as u64);
+        let total = engine.metrics_total();
+        assert_eq!(total.arrivals, trace.len() as u64);
+        // run() drains, so every job completes and every shard is empty.
+        assert_eq!(total.completions, total.arrivals);
+        assert!(engine.occupancy().iter().all(|&(i, j)| i == 0 && j == 0));
+        assert!(total.decisions >= total.events());
+        assert!(total.mean_response() > 0.0);
+        let histogram_total: u64 = total.busy_histogram.iter().sum();
+        assert_eq!(histogram_total, total.decisions);
+        // Per-shard metrics merge to the total.
+        let merged = engine
+            .metrics_per_shard()
+            .iter()
+            .fold(ShardMetrics::new(2), |mut acc, m| {
+                acc.merge(m);
+                acc
+            });
+        assert_eq!(merged, total);
+    }
+
+    #[test]
+    fn recording_policy_mirrors_its_inner_policy() {
+        let rec = RecordingPolicy::new(&FairShare);
+        let a = rec.allocate(3, 2, 4);
+        assert_eq!(a, FairShare.allocate(3, 2, 4));
+        assert_eq!(rec.name(), FairShare.name());
+        let log = rec.into_log();
+        assert_eq!(
+            log,
+            vec![Decision {
+                i: 3,
+                j: 2,
+                allocation: a
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_stream_makes_no_decisions() {
+        let cfg = EngineConfig::new(2).route_shards(2);
+        let mut engine = engine_for(Box::new(InelasticFirst), cfg);
+        let empty = ArrivalTrace::default();
+        let mut source = empty.stream();
+        assert_eq!(engine.run(&mut source, f64::INFINITY), 0);
+        assert_eq!(engine.metrics_total().decisions, 0);
+        // Folding two untouched shard digests: mix64(mix64(0 ^ 0) ^ 0).
+        assert_eq!(engine.decision_digest(), mix64(mix64(0)));
+    }
+}

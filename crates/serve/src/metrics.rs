@@ -1,0 +1,148 @@
+//! Per-shard operational metrics: the ops surface of the serving engine.
+//!
+//! Every [`ClusterShard`](crate::engine::ServeEngine) keeps running
+//! counters as it ingests events; nothing here samples or averages over
+//! wall time — rates like decisions/sec are a driver concern (divide by
+//! the wall clock around the run), so the counters stay exact and the
+//! engine stays deterministic.
+
+use eirs_sim::policy::ClassAllocation;
+
+/// Running counters for one cluster shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetrics {
+    /// Jobs routed to this shard.
+    pub arrivals: u64,
+    /// Jobs completed by this shard.
+    pub completions: u64,
+    /// Allocation decisions made (one per event-loop step).
+    pub decisions: u64,
+    /// Decisions that fell outside the compiled grid (clamp-region
+    /// delegations to the source policy). Overflow is exact but slow;
+    /// a nonzero rate means the table grid is undersized for the load.
+    pub overflow_lookups: u64,
+    /// Deepest inelastic queue observed.
+    pub peak_inelastic: usize,
+    /// Deepest elastic queue observed.
+    pub peak_elastic: usize,
+    /// Decision histogram over rounded busy-server counts: bucket `b`
+    /// counts decisions whose total allocation rounded to `b` servers
+    /// (`k + 1` buckets).
+    pub busy_histogram: Vec<u64>,
+    /// Sum of response times over completed jobs (mean response =
+    /// `total_response / completions`).
+    pub total_response: f64,
+    /// The shard's simulated clock.
+    pub sim_time: f64,
+}
+
+impl ShardMetrics {
+    /// Fresh counters for a `k`-server shard.
+    pub fn new(k: u32) -> Self {
+        Self {
+            arrivals: 0,
+            completions: 0,
+            decisions: 0,
+            overflow_lookups: 0,
+            peak_inelastic: 0,
+            peak_elastic: 0,
+            busy_histogram: vec![0; k as usize + 1],
+            total_response: 0.0,
+            sim_time: 0.0,
+        }
+    }
+
+    /// Records one decision at occupancy `(i, j)`.
+    pub(crate) fn record_decision(
+        &mut self,
+        i: usize,
+        j: usize,
+        a: ClassAllocation,
+        in_grid: bool,
+    ) {
+        self.decisions += 1;
+        if !in_grid {
+            self.overflow_lookups += 1;
+        }
+        self.peak_inelastic = self.peak_inelastic.max(i);
+        self.peak_elastic = self.peak_elastic.max(j);
+        let bucket = (a.total().round() as usize).min(self.busy_histogram.len() - 1);
+        self.busy_histogram[bucket] += 1;
+    }
+
+    /// Mean response time of completed jobs (`NaN` before any complete).
+    pub fn mean_response(&self) -> f64 {
+        self.total_response / self.completions as f64
+    }
+
+    /// Total events ingested or produced (arrivals + completions).
+    pub fn events(&self) -> u64 {
+        self.arrivals + self.completions
+    }
+
+    /// Folds `other` into `self` (histogram buckets must agree — all
+    /// shards of one engine share `k`). Peaks take the max, `sim_time`
+    /// the furthest shard clock, counters add.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        assert_eq!(
+            self.busy_histogram.len(),
+            other.busy_histogram.len(),
+            "merging metrics of different k"
+        );
+        self.arrivals += other.arrivals;
+        self.completions += other.completions;
+        self.decisions += other.decisions;
+        self.overflow_lookups += other.overflow_lookups;
+        self.peak_inelastic = self.peak_inelastic.max(other.peak_inelastic);
+        self.peak_elastic = self.peak_elastic.max(other.peak_elastic);
+        for (mine, theirs) in self.busy_histogram.iter_mut().zip(&other.busy_histogram) {
+            *mine += theirs;
+        }
+        self.total_response += other.total_response;
+        self.sim_time = self.sim_time.max(other.sim_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_recording_tracks_peaks_overflow_and_histogram() {
+        let mut m = ShardMetrics::new(4);
+        let a = ClassAllocation {
+            inelastic: 2.0,
+            elastic: 1.6,
+        };
+        m.record_decision(3, 1, a, true);
+        m.record_decision(5, 2, ClassAllocation::IDLE, false);
+        assert_eq!(m.decisions, 2);
+        assert_eq!(m.overflow_lookups, 1);
+        assert_eq!((m.peak_inelastic, m.peak_elastic), (5, 2));
+        // 3.6 rounds to bucket 4; idle lands in bucket 0.
+        assert_eq!(m.busy_histogram, vec![1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_peaks() {
+        let mut a = ShardMetrics::new(2);
+        a.arrivals = 3;
+        a.completions = 2;
+        a.total_response = 1.5;
+        a.peak_elastic = 4;
+        a.sim_time = 10.0;
+        let mut b = ShardMetrics::new(2);
+        b.arrivals = 1;
+        b.completions = 1;
+        b.total_response = 0.5;
+        b.peak_inelastic = 7;
+        b.sim_time = 8.0;
+        a.merge(&b);
+        assert_eq!(a.arrivals, 4);
+        assert_eq!(a.completions, 3);
+        assert_eq!(a.events(), 7);
+        assert!((a.mean_response() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!((a.peak_inelastic, a.peak_elastic), (7, 4));
+        assert_eq!(a.sim_time, 10.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The bundled `testdata/smoke.trace` consumed by the CI determinism
+//! gate (`eirs serve --workload trace:crates/serve/testdata/smoke.trace`
+//! with 1 and 4 shard workers must produce the same decision digest).
+//!
+//! The checked-in file is a frozen artifact; the ignored test below
+//! regenerates it (`cargo test -p eirs-serve regenerate -- --ignored`)
+//! and the live test pins that the committed bytes still parse and
+//! replay deterministically.
+
+use eirs_queueing::Exponential;
+use eirs_serve::{CompiledTable, EngineConfig, ServeEngine};
+use eirs_sim::arrivals::ArrivalTrace;
+use eirs_sim::policy::SwitchingCurvePolicy;
+use std::path::Path;
+
+fn smoke_trace() -> ArrivalTrace {
+    ArrivalTrace::record_poisson(
+        0.9,
+        0.6,
+        Box::new(Exponential::new(1.0)),
+        Box::new(Exponential::new(0.8)),
+        2024,
+        160.0,
+    )
+}
+
+fn testdata_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/smoke.trace")
+}
+
+#[test]
+#[ignore = "regenerates the committed testdata/smoke.trace"]
+fn regenerate_smoke_trace() {
+    let path = testdata_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    smoke_trace().save(&path).unwrap();
+}
+
+#[test]
+fn bundled_smoke_trace_replays_identically_across_worker_counts() {
+    let trace = ArrivalTrace::load(&testdata_path()).expect("bundled trace parses");
+    assert!(trace.len() > 100, "smoke trace too small: {}", trace.len());
+    assert_eq!(
+        trace,
+        smoke_trace(),
+        "committed trace drifted from its recipe"
+    );
+    let digest_with = |workers: usize| {
+        let table = CompiledTable::compile(
+            Box::new(SwitchingCurvePolicy {
+                intercept: 2,
+                slope: 0.5,
+            }),
+            4,
+            32,
+            32,
+        );
+        let mut engine =
+            ServeEngine::new(table, EngineConfig::new(4).route_shards(4).workers(workers));
+        let mut source = trace.stream();
+        engine.run(&mut source, f64::INFINITY);
+        engine.decision_digest()
+    };
+    assert_eq!(digest_with(1), digest_with(4));
+}

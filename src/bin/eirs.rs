@@ -9,14 +9,16 @@
 //!                --mu-i 0.5 --mu-e 1 --budget 120
 //! eirs simulate  --policy if --k 4 --rho 0.7 --mu-i 1 --mu-e 1 \
 //!                --departures 500000 --seed 1
+//! eirs serve     --policy curve:2+0.5i --workload poisson --k 4 --rho 0.7 \
+//!                --shards 4 --batch 1024 --duration 500
 //! eirs counterexample --ratio 2
 //! ```
 //!
 //! All commands accept a global `--threads N` to pin the sweep worker
 //! count (otherwise `EIRS_THREADS` or all cores); `policy`, `scenario`,
-//! and `optimize` accept `--json true` to emit one machine-consumable
-//! JSON document instead of the human tables. Every command is a thin
-//! wrapper over the library; see `README.md`.
+//! `optimize`, and `serve` accept `--json true` to emit one
+//! machine-consumable JSON document instead of the human tables. Every
+//! command is a thin wrapper over the library; see `README.md`.
 
 use eirs_repro::bench::json::Json;
 use eirs_repro::cli::{CliArgs, CliError};
@@ -63,6 +65,9 @@ fn usage() {
     eprintln!("                  --certify auto|mdp|none --grid --phase-cap]");
     eprintln!("  simulate        DES run of one policy spec");
     eprintln!("                  --policy --k --rho --mu-i --mu-e --departures --seed");
+    eprintln!("  serve           online decision server: compiled table + sharded engine");
+    eprintln!("                  --policy --workload --shards --batch --duration [--route-shards");
+    eprintln!("                  --grid --seed --snapshot <path> --k --rho --mu-i --mu-e]");
     eprintln!("  counterexample  Theorem 6 closed system --ratio (mu_e/mu_i)");
     eprintln!();
     eprintln!("policy specs:   if | ef | fairshare | reserve:<r> | threshold:<t>");
@@ -73,7 +78,7 @@ fn usage() {
     eprintln!("family specs:   threshold[:<max>] | curve[:<max_intercept>] | waterfill");
     eprintln!("                | reserve | tabular[:<I>x<J>]");
     eprintln!();
-    eprintln!("policy, scenario, and optimize accept --json true for machine output.");
+    eprintln!("policy, scenario, optimize, and serve accept --json true for machine output.");
 }
 
 fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
@@ -94,6 +99,49 @@ fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
 
 fn stringify(e: CliError) -> String {
     e.to_string()
+}
+
+/// Shared spec-error reporting for `policy`/`scenario`/`optimize`/`serve`:
+/// a malformed `--policy`, `--workload`, or `--family` spec always surfaces
+/// as `--<flag> '<spec>': <reason>` through `run`'s single error path —
+/// printed to stderr with a non-zero exit, never a panic or unwrap.
+fn spec_error(flag: &str, spec: &str, err: &str) -> String {
+    format!("--{flag} '{spec}': {err}")
+}
+
+/// The `--policy` flag as a single policy spec.
+fn policy_flag(args: &CliArgs) -> Result<Box<dyn AllocationPolicy>, String> {
+    let spec = args.get_or("policy", "if");
+    parse_policy(&spec).map_err(|e| spec_error("policy", &spec, &e))
+}
+
+/// The `--policy` flag as a comma-separated list (`all` expands to the
+/// registry for `k` servers).
+fn policy_list_flag(args: &CliArgs, k: u32) -> Result<Vec<Box<dyn AllocationPolicy>>, String> {
+    let specs = args.get_or("policy", "if");
+    if specs == "all" {
+        return Ok(eirs_repro::core::policy::registry(k));
+    }
+    specs
+        .split(',')
+        .map(|raw| {
+            let spec = raw.trim();
+            parse_policy(spec).map_err(|e| spec_error("policy", spec, &e))
+        })
+        .collect()
+}
+
+/// The `--workload` flag (with `--service-i`/`--service-e` overrides).
+fn workload_flag(args: &CliArgs) -> Result<eirs_repro::core::scenario::Workload, String> {
+    let spec = args.get_or("workload", "poisson");
+    eirs_repro::core::scenario::parse_workload(&spec, args.get("service-i"), args.get("service-e"))
+        .map_err(|e| spec_error("workload", &spec, &e))
+}
+
+/// The `--family` flag (optimizer parameter spaces).
+fn family_flag(args: &CliArgs, k: u32) -> Result<Box<dyn opt::ParamSpace>, String> {
+    let spec = args.get_or("family", "curve");
+    opt::parse_family(&spec, k).map_err(|e| spec_error("family", &spec, &e))
 }
 
 /// One baseline row of the `optimize` report: display name, mean
@@ -162,7 +210,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         }
         "policy" => {
             let p = parse_params(&args)?;
-            let policy = parse_policy(&args.get_or("policy", "if"))?;
+            let policy = policy_flag(&args)?;
             let reps = args.get_parsed_or("reps", 8usize).map_err(stringify)?;
             if reps < 2 {
                 return Err(format!(
@@ -282,17 +330,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 .iter()
                 .map(|spec| {
                     scenario::parse_workload(spec, args.get("service-i"), args.get("service-e"))
+                        .map_err(|e| spec_error("workload", spec, &e))
                 })
                 .collect::<Result<_, _>>()?;
-            let policy_specs = args.get_or("policy", "if");
-            let policies = if policy_specs == "all" {
-                eirs_repro::core::policy::registry(p.k)
-            } else {
-                policy_specs
-                    .split(',')
-                    .map(|s| parse_policy(s.trim()))
-                    .collect::<Result<_, _>>()?
-            };
+            let policies = policy_list_flag(&args, p.k)?;
             let reps = args.get_parsed_or("reps", 8usize).map_err(stringify)?;
             if reps < 2 {
                 return Err(format!(
@@ -425,16 +466,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "optimize" => {
-            use eirs_repro::core::scenario;
-
             let p = parse_params(&args)?;
             let json = json_mode(&args)?;
-            let workload = scenario::parse_workload(
-                &args.get_or("workload", "poisson"),
-                args.get("service-i"),
-                args.get("service-e"),
-            )?;
-            let family = opt::parse_family(&args.get_or("family", "curve"), p.k)?;
+            let workload = workload_flag(&args)?;
+            let family = family_flag(&args, p.k)?;
             let method = opt::parse_method(&args.get_or("method", "auto"))?;
             let budget = opt::Budget {
                 max_evals: args.get_parsed_or("budget", 120usize).map_err(stringify)?,
@@ -681,7 +716,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 .get_parsed_or("departures", 200_000u64)
                 .map_err(stringify)?;
             let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
-            let policy = parse_policy(&args.get_or("policy", "if"))?;
+            let policy = policy_flag(&args)?;
             let r = run_markovian(
                 policy.as_ref(),
                 p.k,
@@ -704,6 +739,167 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 "E[N] = {:.4}   utilization = {:.3}",
                 r.mean_num_in_system, r.utilization
             );
+            Ok(())
+        }
+        "serve" => {
+            use eirs_repro::serve::{CompiledTable, EngineConfig, ServeEngine};
+
+            let p = parse_params(&args)?;
+            let policy = policy_flag(&args)?;
+            let workload = workload_flag(&args)?;
+            let workers = args.get_parsed_or("shards", 1usize).map_err(stringify)?;
+            let route = args
+                .get_parsed_or("route-shards", 4usize)
+                .map_err(stringify)?;
+            let batch = args.get_parsed_or("batch", 1024usize).map_err(stringify)?;
+            // A deterministic trace-file replay defaults to the whole
+            // trace: truncating it at an arbitrary horizon and reporting
+            // complete-looking totals would silently misrepresent the
+            // replay (the same discipline as PR 3's short-trace error).
+            // An explicit --duration still wins.
+            let duration = match args.get("duration") {
+                Some(_) => args.get_parsed_or("duration", 0.0f64).map_err(stringify)?,
+                None if workload.is_deterministic() => f64::INFINITY,
+                None => 500.0,
+            };
+            let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
+            let grid = args.get_parsed_or("grid", 64usize).map_err(stringify)?;
+            if workers < 1 || route < 1 || batch < 1 {
+                return Err("--shards, --route-shards, and --batch must be at least 1".into());
+            }
+            // Live generators never exhaust, so an explicit horizon must
+            // be finite; the infinite default above only arises for
+            // finite trace files.
+            if duration.is_nan()
+                || duration <= 0.0
+                || (args.get("duration").is_some() && !duration.is_finite())
+            {
+                return Err(format!(
+                    "--duration must be a positive time, got {duration}"
+                ));
+            }
+            let policy_name = policy.name();
+            let table = CompiledTable::compile(policy, p.k, grid, grid);
+            let table_shape = (table.max_i() + 1, table.max_j() + 1, table.table_bytes());
+            let config = EngineConfig::new(p.k)
+                .route_shards(route)
+                .workers(workers)
+                .batch(batch);
+            let mut engine = ServeEngine::new(table, config);
+            // The engine serves `route` independent k-server shards, so the
+            // offered stream carries route x the single-cluster rate; the
+            // load of every shard is then exactly the configured rho.
+            // (Trace-file workloads replay the file verbatim instead.)
+            let scaled = SystemParams::new(
+                p.k * route as u32,
+                p.lambda_i * route as f64,
+                p.lambda_e * route as f64,
+                p.mu_i,
+                p.mu_e,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut source = workload.build_source(&scaled, seed, duration)?;
+            let start = std::time::Instant::now();
+            let ingested = engine.run(source.as_mut(), duration);
+            let wall = start.elapsed().as_secs_f64();
+            let totals = engine.metrics_total();
+            let per_shard = engine.metrics_per_shard();
+            let digest = format!("0x{:016x}", engine.decision_digest());
+            let decisions_per_sec = totals.decisions as f64 / wall;
+            if let Some(path) = args.get("snapshot") {
+                engine
+                    .snapshot()
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
+            }
+            if json_mode(&args)? {
+                let mut cfg = Json::object();
+                cfg.set("route_shards", route)
+                    .set("shard_workers", workers)
+                    .set("batch", batch)
+                    .set("duration", duration)
+                    .set("seed", seed)
+                    .set("grid", grid);
+                let mut tbl = Json::object();
+                tbl.set("rows", table_shape.0)
+                    .set("cols", table_shape.1)
+                    .set("bytes", table_shape.2);
+                let mut tot = Json::object();
+                tot.set("arrivals", totals.arrivals)
+                    .set("completions", totals.completions)
+                    .set("decisions", totals.decisions)
+                    .set("overflow_lookups", totals.overflow_lookups)
+                    .set("wall_s", wall)
+                    .set("decisions_per_sec", decisions_per_sec);
+                let mut rows = Vec::with_capacity(per_shard.len());
+                for (idx, m) in per_shard.iter().enumerate() {
+                    let mut r = Json::object();
+                    r.set("shard", idx)
+                        .set("arrivals", m.arrivals)
+                        .set("completions", m.completions)
+                        .set("decisions", m.decisions)
+                        .set("overflow_lookups", m.overflow_lookups)
+                        .set("peak_inelastic", m.peak_inelastic)
+                        .set("peak_elastic", m.peak_elastic)
+                        .set(
+                            "mean_response",
+                            if m.completions > 0 {
+                                Json::from(m.mean_response())
+                            } else {
+                                Json::Null
+                            },
+                        )
+                        .set("sim_time", m.sim_time);
+                    rows.push(r);
+                }
+                let mut doc = Json::object();
+                doc.set("schema", "eirs-serve/v1")
+                    .set("params", params_json(&p))
+                    .set("policy", policy_name)
+                    .set("workload", workload.name.clone())
+                    .set("config", cfg)
+                    .set("table", tbl)
+                    .set("totals", tot)
+                    .set("decision_digest", digest)
+                    .set("shards", rows);
+                print!("{}", doc.pretty());
+                return Ok(());
+            }
+            println!(
+                "serve: policy={policy_name} workload={} (k={} rho={:.3} per shard)",
+                workload.name,
+                p.k,
+                p.load()
+            );
+            println!(
+                "       route_shards={route} workers={workers} batch={batch} duration={duration} seed={seed}"
+            );
+            println!(
+                "table: {}x{} grid ({} bytes); clamp region delegates to the policy",
+                table_shape.0, table_shape.1, table_shape.2
+            );
+            println!(
+                "run:   {ingested} arrivals, {} completions, {} decisions in {wall:.3} s  \
+                 ({:.2}M decisions/sec, {} overflow lookups)",
+                totals.completions,
+                totals.decisions,
+                decisions_per_sec / 1e6,
+                totals.overflow_lookups
+            );
+            println!("digest: {digest}");
+            println!("shard  arrivals  completions  decisions  peak(i,j)  mean T    now");
+            for (idx, m) in per_shard.iter().enumerate() {
+                println!(
+                    "{idx:>5}  {:>8}  {:>11}  {:>9}  ({:>3},{:>3})  {:<8.4}  {:.2}",
+                    m.arrivals,
+                    m.completions,
+                    m.decisions,
+                    m.peak_inelastic,
+                    m.peak_elastic,
+                    m.mean_response(),
+                    m.sim_time
+                );
+            }
             Ok(())
         }
         "counterexample" => {

@@ -21,6 +21,10 @@
 //!   shared families (parameter spaces, analytic/CRN-DES objectives,
 //!   golden-section / Nelder–Mead / pattern-search / cross-entropy),
 //!   certified against the MDP optimum;
+//! * [`serve`] (`eirs-serve`) — the online allocation-decision server:
+//!   policies compiled to O(1) lookup tables, a sharded cluster engine
+//!   replaying live event streams bit-identically to the DES, per-shard
+//!   ops metrics, and snapshot/restore;
 //! * [`bench`](mod@bench) (`eirs-bench`) — figure/table regeneration harnesses and
 //!   the `BENCH_*.json` writers (the CLI's `--json true` mode reuses its
 //!   JSON serializer);
@@ -42,6 +46,7 @@ pub use eirs_multiclass as multiclass;
 pub use eirs_numerics as numerics;
 pub use eirs_opt as opt;
 pub use eirs_queueing as queueing;
+pub use eirs_serve as serve;
 pub use eirs_sim as sim;
 pub use eirs_srpt as srpt;
 

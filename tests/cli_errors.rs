@@ -1,0 +1,126 @@
+//! CLI error-path contract: a malformed `--policy`/`--workload`/`--family`
+//! spec (or unknown command) must print the parse error to stderr in the
+//! shared `--<flag> '<spec>': <reason>` format and exit non-zero — never
+//! panic. Exercised against the real binary, one subcommand per flag, so
+//! the shared error-reporting helper is pinned across
+//! `policy`/`scenario`/`optimize`/`serve`.
+
+use std::process::Command;
+
+/// Runs the `eirs` binary and returns `(exit_code, stderr)`.
+fn run_eirs(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_eirs"))
+        .args(args)
+        .output()
+        .expect("eirs binary runs");
+    let code = out.status.code().expect("no exit code (killed by signal?)");
+    (code, String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn malformed_specs_fail_cleanly_with_the_shared_format() {
+    for (args, needle) in [
+        (
+            vec!["policy", "--policy", "nope"],
+            "--policy 'nope': unknown policy",
+        ),
+        (
+            vec!["policy", "--policy", "curve:2"],
+            "--policy 'curve:2': cannot parse policy",
+        ),
+        (
+            vec!["scenario", "--workload", "bursty:x", "--reps", "2"],
+            "--workload 'bursty:x': cannot parse",
+        ),
+        (
+            vec!["scenario", "--workload", "poisson,map:1x2x3", "--reps", "2"],
+            "--workload 'map:1x2x3': cannot parse",
+        ),
+        (
+            vec!["scenario", "--policy", "if,reserve:x", "--reps", "2"],
+            "--policy 'reserve:x': cannot parse policy",
+        ),
+        (
+            vec!["optimize", "--family", "tabular:0x2"],
+            "--family 'tabular:0x2': cannot parse family",
+        ),
+        (
+            vec!["optimize", "--workload", "trace:"],
+            "--workload 'trace:': cannot parse",
+        ),
+        (
+            vec!["serve", "--policy", "waterfill:-1"],
+            "--policy 'waterfill:-1': cannot parse policy",
+        ),
+        (
+            vec!["serve", "--workload", "nope"],
+            "--workload 'nope': unknown",
+        ),
+        (
+            vec!["simulate", "--policy", "threshold:"],
+            "--policy 'threshold:': cannot parse policy",
+        ),
+    ] {
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{args:?} must exit non-zero");
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr missing {needle:?}; got:\n{stderr}"
+        );
+        assert!(
+            stderr.starts_with("error: "),
+            "{args:?}: parse failure must report through the single error path"
+        );
+    }
+}
+
+#[test]
+fn bad_flag_values_and_unknown_commands_fail_cleanly() {
+    for (args, needle) in [
+        (vec!["frobnicate"], "unknown command 'frobnicate'"),
+        (vec!["--policy", "if"], "malformed argument"),
+        (
+            vec!["policy", "--k", "four"],
+            "cannot parse --k value 'four'",
+        ),
+        (
+            vec!["serve", "--duration", "-5"],
+            "--duration must be a positive time",
+        ),
+        (vec!["serve", "--shards", "0"], "must be at least 1"),
+        (vec!["policy", "--reps", "1"], "too few"),
+    ] {
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{args:?} must exit non-zero");
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr missing {needle:?}; got:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_serve_run_exits_zero_with_machine_output() {
+    let out = Command::new(env!("CARGO_BIN_EXE_eirs"))
+        .args([
+            "serve",
+            "--policy",
+            "threshold:3",
+            "--workload",
+            "poisson",
+            "--k",
+            "2",
+            "--rho",
+            "0.5",
+            "--duration",
+            "50",
+            "--json",
+            "true",
+        ])
+        .output()
+        .expect("eirs binary runs");
+    assert!(out.status.success(), "serve run failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"eirs-serve/v1\""), "{stdout}");
+    assert!(stdout.contains("\"decision_digest\": \"0x"), "{stdout}");
+}
