@@ -13,7 +13,14 @@
 //!   (phase-type shapes), or deterministic, normalized to the mean sizes
 //!   `1/µ_I`, `1/µ_E` of a [`SystemParams`];
 //! * [`Workload`] — one arrival process plus per-class service shapes,
-//!   with everything scaled so the offered load matches `params` exactly.
+//!   with everything scaled so the offered load matches `params` exactly —
+//!   optionally composed with a **capacity-churn axis**
+//!   ([`Workload::churned`], the CLI's `--churn`): a seeded
+//!   [`FaultSpec`] availability process (crash/repair, maintenance
+//!   drains, MMPP-modulated reclamations) the DES replays as
+//!   capacity-change events, orthogonal to every arrival × service
+//!   combination. Churned workloads are simulation-only (no analytic
+//!   chain models the time-varying capacity).
 //!
 //! A workload runs on **every substrate** the policy layer reaches:
 //! [`Workload::build_source`] feeds the discrete-event simulator, and
@@ -41,6 +48,7 @@ use eirs_queueing::{
     Deterministic, Erlang, Exponential, HyperExponential, MapProcess, PhaseType, SizeDistribution,
 };
 use eirs_sim::arrivals::{ArrivalSource, ArrivalTrace, BurstyStream, MapStream, PoissonStream};
+use eirs_sim::availability::FaultSpec;
 use eirs_sim::des::{DesConfig, SimReport, Simulation};
 use eirs_sim::policy::AllocationPolicy;
 use eirs_sim::replicate::run_replications_with_threads;
@@ -179,6 +187,10 @@ pub struct Workload {
     pub service_i: ServiceSpec,
     /// Elastic service shape (mean pinned to `1/µ_E`).
     pub service_e: ServiceSpec,
+    /// Capacity-churn shape, if any. Seeded per run in
+    /// [`Workload::simulate`] (decorrelated replications get different
+    /// fault sample paths, like arrivals).
+    pub churn: Option<FaultSpec>,
 }
 
 /// Which analytic route evaluates a `(workload, policy)` pair exactly
@@ -213,12 +225,22 @@ impl Workload {
             arrivals,
             service_i,
             service_e,
+            churn: None,
         }
     }
 
     /// The same workload under a registry name.
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Composes a capacity-churn axis onto this workload: the DES will
+    /// replay a seeded availability process for `spec` alongside the
+    /// arrivals. The name gains a `+<churn label>` suffix.
+    pub fn churned(mut self, spec: FaultSpec) -> Self {
+        self.name = format!("{}+{}", self.name, spec.label());
+        self.churn = Some(spec);
         self
     }
 
@@ -306,9 +328,11 @@ impl Workload {
 
     /// `true` when the workload replays a fixed external trace: every
     /// simulation of it is the same sample path regardless of the seed,
-    /// so replication confidence intervals are meaningless for it.
+    /// so replication confidence intervals are meaningless for it. A
+    /// churn axis makes even a fixed trace seed-dependent again (the
+    /// fault schedule is seeded).
     pub fn is_deterministic(&self) -> bool {
-        matches!(self.arrivals, ArrivalSpec::TraceFile { .. })
+        matches!(self.arrivals, ArrivalSpec::TraceFile { .. }) && self.churn.is_none()
     }
 
     /// Classifies which analytic route evaluates this workload under
@@ -324,6 +348,10 @@ impl Workload {
         policy: &dyn AllocationPolicy,
         params: &SystemParams,
     ) -> Tractability {
+        if self.churn.is_some() {
+            // Time-varying capacity: none of the fixed-k chains apply.
+            return Tractability::Intractable;
+        }
         let exp_service = |spec: &ServiceSpec| matches!(spec, ServiceSpec::Exponential);
         let both_exp = (params.lambda_i == 0.0 || exp_service(&self.service_i))
             && (params.lambda_e == 0.0 || exp_service(&self.service_e));
@@ -422,8 +450,14 @@ impl Workload {
     ) -> Result<SimReport, String> {
         let horizon = self.horizon_hint(params, warmup, departures);
         let mut source = self.build_source(params, seed, horizon)?;
-        let report = Simulation::new(DesConfig::steady_state(params.k, warmup, departures))
-            .run(policy, source.as_mut());
+        let mut sim = Simulation::new(DesConfig::steady_state(params.k, warmup, departures));
+        if let Some(spec) = &self.churn {
+            // The fault schedule shares the run seed, so replications
+            // decorrelate faults exactly like arrivals; it covers the
+            // same horizon the source is sized for.
+            sim = sim.with_faults(&spec.schedule(params.k, seed, horizon));
+        }
+        let report = sim.run(policy, source.as_mut());
         let measured = report.completed[0] + report.completed[1];
         if measured < departures {
             return Err(format!(
@@ -604,11 +638,13 @@ pub fn parse_service(spec: &str) -> Result<ServiceSpec, String> {
 
 /// Parses a full workload: a registry name (`poisson`, `map`, `bursty`,
 /// `trace`, …) or an explicit arrival spec, with optional service
-/// overrides applied on top.
+/// overrides and a capacity-churn axis ([`FaultSpec::parse`]) applied on
+/// top.
 pub fn parse_workload(
     spec: &str,
     service_i: Option<&str>,
     service_e: Option<&str>,
+    churn: Option<&str>,
 ) -> Result<Workload, String> {
     let base = registry()
         .into_iter()
@@ -627,6 +663,9 @@ pub fn parse_workload(
     }
     if service_i.is_some() || service_e.is_some() {
         w = Workload::new(w.arrivals, w.service_i, w.service_e);
+    }
+    if let Some(c) = churn {
+        w = w.churned(FaultSpec::parse(c)?);
     }
     Ok(w)
 }
@@ -711,12 +750,12 @@ mod tests {
 
     #[test]
     fn workload_parser_layers_service_overrides() {
-        let w = parse_workload("map", None, Some("erlang:2")).unwrap();
+        let w = parse_workload("map", None, Some("erlang:2"), None).unwrap();
         assert!(matches!(w.arrivals, ArrivalSpec::Mmpp { .. }));
         assert_eq!(w.service_i, ServiceSpec::Exponential);
         assert_eq!(w.service_e, ServiceSpec::Erlang { stages: 2 });
         // Registry names resolve with their canned service shapes.
-        let t = parse_workload("heavytail-service", None, None).unwrap();
+        let t = parse_workload("heavytail-service", None, None, None).unwrap();
         assert_eq!(t.service_i, ServiceSpec::HyperExp { cv2: 4.0 });
     }
 
@@ -798,6 +837,47 @@ mod tests {
             by_name("heavytail-service").tractability(&ElasticFirst, &p_e),
             Tractability::MapPh1
         );
+    }
+
+    #[test]
+    fn churn_axis_composes_with_every_workload_family() {
+        let p = params();
+        let spec = FaultSpec::parse("crash:mtbf=60,mttr=10").unwrap();
+        for base in registry() {
+            let w = base.churned(spec);
+            assert!(w.name.ends_with("+crash:mtbf=60,mttr=10"), "{}", w.name);
+            // Churn kills every analytic route — simulation only.
+            assert_eq!(w.tractability(&FairShare, &p), Tractability::Intractable);
+            let r = w
+                .simulate(&FairShare, &p, 17, 100, 1_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(r.completed[0] + r.completed[1] >= 1_000, "{}", w.name);
+            assert!(r.mean_response.is_finite() && r.mean_response > 0.0);
+        }
+    }
+
+    #[test]
+    fn churned_trace_replay_is_seed_dependent_again() {
+        let base = registry().into_iter().find(|w| w.name == "trace").unwrap();
+        assert!(!base.is_deterministic(), "self-recorded replay reseeds");
+        let spec = FaultSpec::parse("drain:period=40,down=5").unwrap();
+        let w = base.churned(spec);
+        assert!(!w.is_deterministic());
+        assert!(w.churn.is_some());
+    }
+
+    #[test]
+    fn workload_parser_layers_the_churn_axis() {
+        let w = parse_workload("map", None, None, Some("crash:mtbf=50,mttr=5")).unwrap();
+        assert_eq!(
+            w.churn,
+            Some(FaultSpec::parse("crash:mtbf=50,mttr=5").unwrap())
+        );
+        assert_eq!(w.name, "map+crash:mtbf=50,mttr=5");
+        // Malformed churn specs surface the FaultSpec parser's message.
+        let err = parse_workload("poisson", None, None, Some("crash:mtbf=-1")).unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+        assert!(parse_workload("poisson", None, None, Some("nuke")).is_err());
     }
 
     #[test]

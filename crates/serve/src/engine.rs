@@ -31,10 +31,29 @@
 //! single-shard engine therefore reproduces the DES allocation sequence
 //! **exactly** — asserted by the `serve_layer` tests and recorded in
 //! `BENCH_serve.json`.
+//!
+//! # Degraded mode (capacity churn)
+//!
+//! With a [`ChurnConfig`] attached, every shard replays its own seeded
+//! [`FaultSchedule`](eirs_sim::FaultSchedule) (derived from the shard
+//! *index*, so faults — like routing — are workload semantics, invariant
+//! to the worker count) and tracks an effective capacity `avail ≤ k`.
+//! The degraded-decision rule matches the DES exactly: at full capacity
+//! the compiled grid serves (the hot path); at zero capacity the shard
+//! idles without consulting the policy; in between, lookups are capped
+//! to the available count by delegating to the source policy
+//! ([`CompiledTable::lookup_capped`]). Capacity drops preempt-restart
+//! partially-served inelastic jobs that no longer fit (progress resets,
+//! the job re-enters at the back of its queue; see
+//! [`eirs_sim::des`]); elastic jobs shrink gracefully. Optional bounded
+//! admission shedding ([`EngineConfig::shed_limit`]) rejects arrivals
+//! into an over-occupied degraded shard, accounted in
+//! [`ShardMetrics::rejections`].
 
 use crate::metrics::ShardMetrics;
 use crate::table::CompiledTable;
 use eirs_sim::arrivals::{Arrival, ArrivalSource};
+use eirs_sim::availability::{CapacityEvent, FaultSpec};
 use eirs_sim::job::{Job, JobClass};
 use eirs_sim::policy::{assert_feasible, AllocationPolicy, ClassAllocation};
 use std::collections::VecDeque;
@@ -80,8 +99,63 @@ pub fn digest_decisions(decisions: &[Decision]) -> u64 {
         .fold(0, |d, dec| fold_decision(d, dec.i, dec.j, dec.allocation))
 }
 
+/// The capacity-churn identity of an engine: which fault model runs,
+/// under which seed, over which horizon. Part of the serving identity —
+/// snapshots and journals record it, and restore refuses a mismatch
+/// (continuing under different faults would break the bit-identical
+/// continuation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// The fault model.
+    pub spec: FaultSpec,
+    /// Base fault seed; shard `s` replays the schedule seeded from
+    /// `(seed, s)` (see [`FaultSpec::schedule_for_shard`]).
+    pub seed: u64,
+    /// Horizon the schedules are generated to; capacity is fully
+    /// recovered from the horizon on.
+    pub horizon: f64,
+}
+
+impl ChurnConfig {
+    /// Canonical identity line: `spec=<label> seed=<s> horizon=<h>`.
+    /// Round-trips through [`ChurnConfig::parse_identity`].
+    pub fn identity(&self) -> String {
+        format!(
+            "spec={} seed={} horizon={}",
+            self.spec.label(),
+            self.seed,
+            self.horizon
+        )
+    }
+
+    /// Parses the [`ChurnConfig::identity`] form.
+    pub fn parse_identity(raw: &str) -> Result<Self, String> {
+        let bad = || format!("cannot parse churn identity '{raw}'");
+        let mut spec = None;
+        let mut seed = None;
+        let mut horizon = None;
+        for field in raw.split_whitespace() {
+            let (key, value) = field.split_once('=').ok_or_else(bad)?;
+            match key {
+                "spec" => spec = Some(FaultSpec::parse(value)?),
+                "seed" => seed = Some(value.parse().map_err(|_| bad())?),
+                "horizon" => horizon = Some(value.parse().map_err(|_| bad())?),
+                _ => return Err(bad()),
+            }
+        }
+        match (spec, seed, horizon) {
+            (Some(spec), Some(seed), Some(horizon)) => Ok(Self {
+                spec,
+                seed,
+                horizon,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
 /// Engine shape: cluster size, routing partition, worker parallelism,
-/// and ingestion batching.
+/// ingestion batching, and the fault model.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Servers per cluster shard.
@@ -98,10 +172,19 @@ pub struct EngineConfig {
     /// Keep a full per-shard [`Decision`] log (differential testing /
     /// audit; costs memory proportional to the decision count).
     pub record_decisions: bool,
+    /// Capacity churn; `None` serves at full capacity forever. Like the
+    /// routing partition, churn is workload semantics, not a processing
+    /// knob.
+    pub churn: Option<ChurnConfig>,
+    /// Degraded-mode admission shedding: while a shard is below full
+    /// capacity, arrivals finding `i + j >= shed_limit` jobs present are
+    /// rejected instead of queued. `None` never sheds.
+    pub shed_limit: Option<usize>,
 }
 
 impl EngineConfig {
-    /// Defaults: 4 route shards, 1 worker, batches of 1024, no log.
+    /// Defaults: 4 route shards, 1 worker, batches of 1024, no log, no
+    /// churn, no shedding.
     pub fn new(k: u32) -> Self {
         Self {
             k,
@@ -109,6 +192,8 @@ impl EngineConfig {
             workers: 1,
             batch: 1024,
             record_decisions: false,
+            churn: None,
+            shed_limit: None,
         }
     }
 
@@ -135,6 +220,18 @@ impl EngineConfig {
         self.record_decisions = on;
         self
     }
+
+    /// Attaches a capacity-churn model.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Sets the degraded-mode admission-shedding occupancy bound.
+    pub fn shed_limit(mut self, limit: usize) -> Self {
+        self.shed_limit = Some(limit);
+        self
+    }
 }
 
 /// One independent cluster shard: `k` servers, its own occupancy state
@@ -148,10 +245,22 @@ pub(crate) struct ClusterShard {
     pub(crate) digest: u64,
     pub(crate) metrics: ShardMetrics,
     pub(crate) log: Option<Vec<Decision>>,
+    /// Servers currently available (`k` when the shard is healthy).
+    pub(crate) avail: u32,
+    /// This shard's capacity-change schedule (empty without churn).
+    pub(crate) faults: Vec<CapacityEvent>,
+    /// Index of the next unapplied event in `faults`.
+    pub(crate) fault_cursor: usize,
+    shed_limit: Option<usize>,
 }
 
 impl ClusterShard {
-    pub(crate) fn new(k: u32, record: bool) -> Self {
+    pub(crate) fn new(
+        k: u32,
+        record: bool,
+        faults: Vec<CapacityEvent>,
+        shed_limit: Option<usize>,
+    ) -> Self {
         Self {
             k,
             time: 0.0,
@@ -161,21 +270,93 @@ impl ClusterShard {
             digest: 0,
             metrics: ShardMetrics::new(k),
             log: record.then(Vec::new),
+            avail: k,
+            faults,
+            fault_cursor: 0,
+            shed_limit,
         }
     }
 
-    /// One allocation decision at the current occupancy.
+    /// One allocation decision at the current occupancy, under the
+    /// degraded-decision rule (see the [module docs](self)).
     fn decide(&mut self, table: &CompiledTable) -> ClassAllocation {
         let (i, j) = (self.inelastic.len(), self.elastic.len());
-        let in_grid = table.in_grid(i, j);
-        let allocation = table.lookup(i, j);
-        assert_feasible(allocation, i, j, self.k, "compiled table");
+        let (allocation, in_grid) = if self.avail == self.k {
+            (table.lookup(i, j), table.in_grid(i, j))
+        } else if self.avail == 0 {
+            // Dark shard: idle without consulting the policy.
+            (ClassAllocation::IDLE, true)
+        } else {
+            (table.lookup_capped(i, j, self.avail), true)
+        };
+        assert_feasible(allocation, i, j, self.avail, "compiled table");
         self.metrics.record_decision(i, j, allocation, in_grid);
+        if self.avail < self.k {
+            self.metrics.degraded_decisions += 1;
+        }
         self.digest = fold_decision(self.digest, i, j, allocation);
         if let Some(log) = &mut self.log {
             log.push(Decision { i, j, allocation });
         }
         allocation
+    }
+
+    /// Time to the next capacity event (`∞` when the schedule is spent).
+    fn next_fault_dt(&self) -> f64 {
+        self.faults
+            .get(self.fault_cursor)
+            .map_or(f64::INFINITY, |e| e.time - self.time)
+    }
+
+    /// Applies every capacity event due at the current clock — the same
+    /// sequencing as [`eirs_sim::des::Simulation`]: after simultaneous
+    /// completions have been collected, before the next decision.
+    fn apply_due_capacity_events(&mut self) {
+        while let Some(&e) = self.faults.get(self.fault_cursor) {
+            if e.time <= self.time + 1e-12 {
+                self.fault_cursor += 1;
+                self.apply_capacity(e.available);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Sets available capacity, preempt-restarting partially-served
+    /// inelastic jobs beyond the surviving prefix (the DES's exact
+    /// rule: progress resets to full size, the job re-enters at the
+    /// back of the queue). Elastic jobs keep all progress.
+    fn apply_capacity(&mut self, available: u32) {
+        self.avail = available;
+        let keep = available as usize;
+        if keep >= self.inelastic.len() {
+            return;
+        }
+        let mut preempted: Vec<Job> = Vec::new();
+        let mut idx = keep;
+        while idx < self.inelastic.len() {
+            let job = &self.inelastic[idx];
+            if job.remaining < job.size {
+                let mut job = self.inelastic.remove(idx).expect("index in range");
+                job.remaining = job.size;
+                self.metrics.preemptions += 1;
+                preempted.push(job);
+            } else {
+                idx += 1;
+            }
+        }
+        self.inelastic.extend(preempted);
+    }
+
+    /// Degraded-mode admission shedding: reject when below full
+    /// capacity with `shed_limit` or more jobs already present.
+    fn should_shed(&self) -> bool {
+        match self.shed_limit {
+            Some(limit) => {
+                self.avail < self.k && self.inelastic.len() + self.elastic.len() >= limit
+            }
+            None => false,
+        }
     }
 
     /// Earliest completion under `alloc` (FCFS rate assignment, exactly
@@ -261,23 +442,30 @@ impl ClusterShard {
     /// in an arrival event.
     pub(crate) fn ingest(&mut self, table: &CompiledTable, a: Arrival) {
         loop {
+            self.apply_due_capacity_events();
             let alloc = self.decide(table);
             let dt_completion = self.next_completion_dt(alloc);
             let dt_arrival = a.time - self.time;
             debug_assert!(dt_arrival >= -1e-9, "arrival in the past");
-            let dt = dt_completion.min(dt_arrival.max(0.0));
+            let dt = dt_completion
+                .min(dt_arrival.max(0.0))
+                .min(self.next_fault_dt().max(0.0));
             self.advance(alloc, dt);
             self.collect_departures();
             if a.time <= self.time + 1e-12 && dt_arrival <= dt_completion {
                 self.time = self.time.max(a.time);
+                self.metrics.arrivals += 1;
+                self.metrics.sim_time = self.time;
+                if self.should_shed() {
+                    self.metrics.rejections += 1;
+                    return;
+                }
                 let job = Job::new(self.next_id, a.class, a.size, a.time);
                 self.next_id += 1;
                 match a.class {
                     JobClass::Inelastic => self.inelastic.push_back(job),
                     JobClass::Elastic => self.elastic.push_back(job),
                 }
-                self.metrics.arrivals += 1;
-                self.metrics.sim_time = self.time;
                 // Zero-size jobs depart immediately.
                 self.collect_departures();
                 return;
@@ -285,17 +473,24 @@ impl ClusterShard {
         }
     }
 
-    /// Runs remaining work to completion (no further arrivals).
+    /// Runs remaining work to completion (no further arrivals; pending
+    /// capacity events still fire, so an outage mid-drain degrades
+    /// exactly as it would mid-stream).
     pub(crate) fn drain(&mut self, table: &CompiledTable) {
         while !(self.inelastic.is_empty() && self.elastic.is_empty()) {
+            self.apply_due_capacity_events();
             let alloc = self.decide(table);
-            let dt = self.next_completion_dt(alloc);
+            let dt = self
+                .next_completion_dt(alloc)
+                .min(self.next_fault_dt().max(0.0));
             assert!(
                 dt.is_finite(),
-                "{} idles forever with jobs present (state ({},{}))",
+                "{} idles forever with jobs present (state ({},{}), {}/{} servers available)",
                 table.name(),
                 self.inelastic.len(),
-                self.elastic.len()
+                self.elastic.len(),
+                self.avail,
+                self.k
             );
             self.advance(alloc, dt);
             self.collect_departures();
@@ -355,7 +550,19 @@ impl ServeEngine {
         assert!(config.route_shards >= 1, "need at least one route shard");
         assert!(config.batch >= 1, "need a positive batch size");
         let shards = (0..config.route_shards)
-            .map(|_| ClusterShard::new(config.k, config.record_decisions))
+            .map(|idx| {
+                // Each routing shard replays its own seeded schedule,
+                // derived from the shard index — never the worker id.
+                let faults = match &config.churn {
+                    Some(c) => c
+                        .spec
+                        .schedule_for_shard(config.k, c.seed, idx, c.horizon)
+                        .events()
+                        .to_vec(),
+                    None => Vec::new(),
+                };
+                ClusterShard::new(config.k, config.record_decisions, faults, config.shed_limit)
+            })
             .collect();
         let scratch = (0..config.route_shards).map(|_| Vec::new()).collect();
         Self {
@@ -604,6 +811,149 @@ mod tests {
                 acc
             });
         assert_eq!(merged, total);
+    }
+
+    #[test]
+    fn single_shard_faulted_replay_matches_the_des() {
+        use eirs_sim::des::{DesConfig, Simulation};
+        let trace = poisson_trace(19, 100.0);
+        let spec = FaultSpec::parse("crash:mtbf=20,mttr=6").unwrap();
+        let churn = ChurnConfig {
+            spec,
+            seed: 5,
+            horizon: 400.0,
+        };
+        let cfg = EngineConfig::new(3).route_shards(1).churn(churn);
+        let mut engine = engine_for(Box::new(FairShare), cfg);
+        let mut source = trace.stream();
+        engine.run(&mut source, f64::INFINITY);
+        let totals = engine.metrics_total();
+
+        // The DES twin runs the same schedule shard 0 replays.
+        let schedule = spec.schedule_for_shard(3, 5, 0, 400.0);
+        let mut des_source = trace.stream();
+        let report = Simulation::new(DesConfig::drain(3))
+            .with_faults(&schedule)
+            .run(&FairShare, &mut des_source);
+        assert!(totals.degraded_decisions > 0, "schedule must actually bite");
+        assert_eq!(
+            totals.completions,
+            report.completed[0] + report.completed[1]
+        );
+        assert_eq!(totals.preemptions, report.preemptions);
+        assert_eq!(
+            totals.total_response.to_bits(),
+            report.total_response.to_bits(),
+            "serve {} vs DES {}",
+            totals.total_response,
+            report.total_response
+        );
+        assert_eq!(totals.sim_time.to_bits(), report.end_time.to_bits());
+    }
+
+    #[test]
+    fn worker_count_invariance_holds_under_churn_and_shedding() {
+        let trace = poisson_trace(29, 150.0);
+        let churn = ChurnConfig {
+            spec: FaultSpec::parse("mmpp:r01=0.2,r10=0.3,a0=0.05,a1=0.8,mttr=8").unwrap(),
+            seed: 17,
+            horizon: 600.0,
+        };
+        let run_with = |workers: usize| {
+            let cfg = EngineConfig::new(2)
+                .route_shards(6)
+                .workers(workers)
+                .batch(32)
+                .churn(churn)
+                .shed_limit(4);
+            let mut engine = engine_for(Box::new(FairShare), cfg);
+            let mut source = trace.stream();
+            engine.run(&mut source, f64::INFINITY);
+            (
+                engine.decision_digest(),
+                engine.shard_digests(),
+                engine.metrics_per_shard(),
+            )
+        };
+        let serial = run_with(1);
+        for workers in [2, 4, 6] {
+            assert_eq!(run_with(workers), serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn degraded_shedding_accounts_for_every_arrival() {
+        let trace = poisson_trace(37, 200.0);
+        // Periodic full outages: occupancy piles up, the shed bound
+        // rejects the excess.
+        let churn = ChurnConfig {
+            spec: FaultSpec::parse("drain:period=20,down=10,servers=2").unwrap(),
+            seed: 0,
+            horizon: 800.0,
+        };
+        let cfg = EngineConfig::new(2)
+            .route_shards(2)
+            .churn(churn)
+            .shed_limit(3);
+        let mut engine = engine_for(Box::new(FairShare), cfg);
+        let mut source = trace.stream();
+        let ingested = engine.run(&mut source, f64::INFINITY);
+        assert_eq!(ingested, trace.len() as u64);
+        let totals = engine.metrics_total();
+        assert_eq!(totals.arrivals, trace.len() as u64);
+        assert!(totals.rejections > 0, "outages must shed under the bound");
+        assert!(totals.degraded_decisions > 0);
+        // The acceptance identity: admitted + rejected = arrivals, and
+        // after the drain every admitted job has completed.
+        assert_eq!(totals.completions + totals.rejections, totals.arrivals);
+        assert_eq!(totals.admitted(), totals.completions);
+        assert!(engine.occupancy().iter().all(|&(i, j)| i == 0 && j == 0));
+    }
+
+    #[test]
+    fn zero_capacity_never_consults_the_policy() {
+        /// Panics if asked for an allocation on an empty cluster.
+        struct NoZero;
+        impl AllocationPolicy for NoZero {
+            fn allocate(&self, i: usize, j: usize, k: u32) -> ClassAllocation {
+                assert!(k >= 1, "policy consulted at zero capacity");
+                let inelastic = i.min(k as usize) as f64;
+                let spare = (k as f64 - inelastic).max(0.0);
+                ClassAllocation {
+                    inelastic,
+                    elastic: if j > 0 { spare } else { 0.0 },
+                }
+            }
+            fn name(&self) -> String {
+                "NoZero".into()
+            }
+        }
+        let trace = poisson_trace(41, 60.0);
+        let churn = ChurnConfig {
+            spec: FaultSpec::parse("drain:period=10,down=5,servers=2").unwrap(),
+            seed: 0,
+            horizon: 400.0,
+        };
+        let cfg = EngineConfig::new(2).route_shards(2).churn(churn);
+        let mut engine = engine_for(Box::new(NoZero), cfg);
+        let mut source = trace.stream();
+        engine.run(&mut source, f64::INFINITY);
+        let totals = engine.metrics_total();
+        assert_eq!(totals.completions, totals.arrivals);
+        assert!(totals.degraded_decisions > 0);
+    }
+
+    #[test]
+    fn churn_identity_round_trips() {
+        let churn = ChurnConfig {
+            spec: FaultSpec::parse("crash:mtbf=50,mttr=5").unwrap(),
+            seed: 42,
+            horizon: 1000.0,
+        };
+        let parsed = ChurnConfig::parse_identity(&churn.identity()).unwrap();
+        assert_eq!(parsed, churn);
+        assert!(ChurnConfig::parse_identity("spec=crash:mtbf=50,mttr=5").is_err());
+        assert!(ChurnConfig::parse_identity("nonsense").is_err());
     }
 
     #[test]

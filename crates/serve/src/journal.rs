@@ -1,0 +1,639 @@
+//! Write-ahead decision journaling: crash recovery with bit-identical
+//! replay.
+//!
+//! A snapshot freezes engine state at one instant; the journal covers the
+//! gap between the last snapshot and a crash. The discipline is
+//! write-ahead: every arrival batch is appended to the journal **and
+//! flushed** before the engine ingests it, so after an abrupt kill the
+//! journal always holds at least everything the engine has seen. Recovery
+//! composes the two — restore the snapshot, then replay the journal's
+//! suffix from the snapshot's sequence number — and, because the engine
+//! is deterministic and batching does not affect semantics, the recovered
+//! engine continues **bit-identically**: draining it yields the same
+//! shard-ordered decision digest as the run that never crashed. The
+//! `fault_tolerance` tests and the CI chaos gate assert exactly that,
+//! including under capacity churn.
+//!
+//! The format follows the trace/snapshot discipline: line-oriented text,
+//! `#` comments, floats in Rust's shortest round-trippable form. A header
+//! records the serving identity (policy, shape, churn); each entry is one
+//! arrival with its global sequence number:
+//!
+//! ```text
+//! # eirs-serve-journal v1
+//! k 2 route_shards 4
+//! policy Compiled[Fair-Share]
+//! churn spec=crash:mtbf=50,mttr=5 seed=7 horizon=200
+//! a 0 0.3517 I 1.25
+//! a 1 0.9102 E 0.75
+//! ```
+//!
+//! There is no end marker: a journal is valid at every prefix of whole
+//! lines, because a crash can happen at any time (a torn final line is
+//! reported with its line number, and [`Journal::load_prefix`] recovers
+//! the longest whole-line prefix).
+
+use crate::engine::{ChurnConfig, EngineConfig, ServeEngine};
+use crate::snapshot::{EngineSnapshot, SnapshotError};
+use crate::table::CompiledTable;
+use eirs_sim::arrivals::{Arrival, ArrivalSource};
+use eirs_sim::job::JobClass;
+use eirs_sim::policy::AllocationPolicy;
+use std::io::{BufRead, Write};
+
+/// One journaled arrival: the global routing sequence number it was
+/// ingested as, plus the arrival itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEntry {
+    /// Global arrival sequence number (the engine's `seq` at ingest).
+    pub seq: u64,
+    /// The arrival.
+    pub arrival: Arrival,
+}
+
+/// Failures when parsing or validating a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// Underlying I/O failure with its [`std::io::ErrorKind`] preserved.
+    Io {
+        /// The kind of the underlying failure.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A malformed line: `(1-based line number, message)`.
+    Line(usize, String),
+    /// Structurally valid but inconsistent with the recovering engine
+    /// (wrong policy, shape, churn identity, or a sequence gap).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { kind, message } => {
+                write!(f, "journal I/O error ({kind}): {message}")
+            }
+            JournalError::Line(n, msg) => write!(f, "journal line {n}: {msg}"),
+            JournalError::Mismatch(msg) => write!(f, "journal mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<SnapshotError> for JournalError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io { kind, message } => JournalError::Io { kind, message },
+            SnapshotError::Line(n, m) => JournalError::Line(n, format!("snapshot: {m}")),
+            SnapshotError::Mismatch(m) => JournalError::Mismatch(m),
+        }
+    }
+}
+
+/// Appends journal lines ahead of ingestion (see the [module
+/// docs](self) for the write-ahead contract).
+#[derive(Debug)]
+pub struct JournalWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Starts a journal for `engine`, writing the identity header.
+    pub fn create(mut w: W, engine: &ServeEngine) -> std::io::Result<Self> {
+        writeln!(w, "# eirs-serve-journal v1")?;
+        let c = engine.config();
+        writeln!(w, "k {} route_shards {}", c.k, c.route_shards)?;
+        writeln!(w, "policy {}", engine.table().name())?;
+        if let Some(churn) = &c.churn {
+            writeln!(w, "churn {}", churn.identity())?;
+        }
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Appends one batch starting at global sequence `start_seq` and
+    /// flushes. Must be called **before** the batch is ingested — the
+    /// flush is what makes the journal a write-ahead log.
+    pub fn append_batch(&mut self, start_seq: u64, batch: &[Arrival]) -> std::io::Result<()> {
+        for (offset, a) in batch.iter().enumerate() {
+            let c = match a.class {
+                JobClass::Inelastic => 'I',
+                JobClass::Elastic => 'E',
+            };
+            writeln!(
+                self.w,
+                "a {} {} {c} {}",
+                start_seq + offset as u64,
+                a.time,
+                a.size
+            )?;
+        }
+        self.w.flush()
+    }
+
+    /// Unwraps the underlying writer (flushing first).
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// A parsed journal: the identity header plus every entry in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// Servers per shard the journaled engine was configured for.
+    pub k: u32,
+    /// Routing partition width.
+    pub route_shards: usize,
+    /// Compiled-table name the engine was serving.
+    pub policy: String,
+    /// Churn identity, if the engine ran under capacity faults.
+    pub churn: Option<ChurnConfig>,
+    /// Journaled arrivals, in ingestion order with contiguous sequence
+    /// numbers.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Parses the text format of [`JournalWriter`]. Strict: a torn final
+    /// line (the normal crash artifact) is an error here — use
+    /// [`Journal::load_prefix`] to recover through it.
+    pub fn from_reader(r: &mut dyn BufRead) -> Result<Self, JournalError> {
+        let mut parsed = Self::parse_lines(r)?;
+        if let Some((n, msg)) = parsed.torn.take() {
+            return Err(JournalError::Line(n, msg));
+        }
+        parsed.finish()
+    }
+
+    /// Parses a journal, silently dropping a torn **final** line — the
+    /// artifact of a crash mid-write. Malformed lines anywhere else are
+    /// still errors.
+    pub fn load_prefix(r: &mut dyn BufRead) -> Result<Self, JournalError> {
+        Self::parse_lines(r)?.finish()
+    }
+
+    /// Loads a journal file written by [`JournalWriter`], strictly.
+    pub fn load(path: &std::path::Path) -> Result<Self, JournalError> {
+        let file = std::fs::File::open(path)?;
+        Self::from_reader(&mut std::io::BufReader::new(file))
+    }
+
+    fn parse_lines(r: &mut dyn BufRead) -> Result<ParsedJournal, JournalError> {
+        let mut header: Option<(u32, usize)> = None;
+        let mut policy: Option<String> = None;
+        let mut churn: Option<ChurnConfig> = None;
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        let mut torn: Option<(usize, String)> = None;
+        for (idx, line) in r.lines().enumerate() {
+            let line = line?;
+            let n = idx + 1;
+            if let Some(t) = torn.take() {
+                // The malformed line was not the last one — a real error,
+                // not a crash artifact.
+                return Err(JournalError::Line(t.0, t.1));
+            }
+            let body = line.trim();
+            if body.is_empty() || body.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = body.split_whitespace().collect();
+            let result = match fields[0] {
+                "k" => parse_header(&fields).map(|h| header = Some(h)),
+                "policy" => {
+                    let name = body["policy".len()..].trim();
+                    if name.is_empty() {
+                        Err("empty policy name".to_string())
+                    } else {
+                        policy = Some(name.to_string());
+                        Ok(())
+                    }
+                }
+                "churn" => ChurnConfig::parse_identity(body["churn".len()..].trim())
+                    .map(|c| churn = Some(c)),
+                "a" => parse_entry(&fields).map(|e| entries.push(e)),
+                other => Err(format!("unknown record '{other}'")),
+            };
+            if let Err(msg) = result {
+                torn = Some((n, msg));
+            }
+        }
+        Ok(ParsedJournal {
+            header,
+            policy,
+            churn,
+            entries,
+            torn,
+        })
+    }
+}
+
+/// Intermediate parse state shared by the strict and prefix loaders.
+struct ParsedJournal {
+    header: Option<(u32, usize)>,
+    policy: Option<String>,
+    churn: Option<ChurnConfig>,
+    entries: Vec<JournalEntry>,
+    torn: Option<(usize, String)>,
+}
+
+impl ParsedJournal {
+    fn finish(self) -> Result<Journal, JournalError> {
+        let (k, route_shards) = self.header.ok_or_else(|| JournalError::Io {
+            kind: std::io::ErrorKind::InvalidData,
+            message: "journal has no header".into(),
+        })?;
+        let policy = self.policy.ok_or_else(|| JournalError::Io {
+            kind: std::io::ErrorKind::InvalidData,
+            message: "journal has no policy".into(),
+        })?;
+        for pair in self.entries.windows(2) {
+            if pair[1].seq != pair[0].seq + 1 {
+                return Err(JournalError::Mismatch(format!(
+                    "sequence gap: entry {} follows entry {}",
+                    pair[1].seq, pair[0].seq
+                )));
+            }
+        }
+        Ok(Journal {
+            k,
+            route_shards,
+            policy,
+            churn: self.churn,
+            entries: self.entries,
+        })
+    }
+}
+
+fn parse_header(fields: &[&str]) -> Result<(u32, usize), String> {
+    // `k <k> route_shards <r>`
+    if fields.len() != 4 || fields[2] != "route_shards" {
+        return Err("malformed header (expected 'k <k> route_shards <r>')".into());
+    }
+    let k = fields[1]
+        .parse()
+        .map_err(|_| format!("unparsable k '{}'", fields[1]))?;
+    let route = fields[3]
+        .parse()
+        .map_err(|_| format!("unparsable route_shards '{}'", fields[3]))?;
+    Ok((k, route))
+}
+
+fn parse_entry(fields: &[&str]) -> Result<JournalEntry, String> {
+    // `a <seq> <time> <I|E> <size>`
+    if fields.len() != 5 {
+        return Err("malformed entry (expected 'a <seq> <time> <I|E> <size>')".into());
+    }
+    let seq = fields[1]
+        .parse()
+        .map_err(|_| format!("unparsable seq '{}'", fields[1]))?;
+    let time: f64 = fields[2]
+        .parse()
+        .map_err(|_| format!("unparsable time '{}'", fields[2]))?;
+    let class = match fields[3] {
+        "I" => JobClass::Inelastic,
+        "E" => JobClass::Elastic,
+        other => return Err(format!("unknown class '{other}'")),
+    };
+    let size: f64 = fields[4]
+        .parse()
+        .map_err(|_| format!("unparsable size '{}'", fields[4]))?;
+    if !time.is_finite() || !size.is_finite() || size <= 0.0 {
+        return Err("non-finite time or non-positive size".into());
+    }
+    Ok(JournalEntry {
+        seq,
+        arrival: Arrival { time, class, size },
+    })
+}
+
+/// Knobs for a controlled (journaled, snapshot-taking, killable) run —
+/// the ingredients of the crash-recovery tests and the `eirs serve`
+/// `--journal`/`--snapshot-at`/`--kill-after` flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControls {
+    /// Take an [`EngineSnapshot`] exactly when this many arrivals have
+    /// been ingested.
+    pub snapshot_at: Option<u64>,
+    /// Abort (as a crash would: no drain, no final flush beyond the
+    /// write-ahead ones) once this many arrivals have been ingested.
+    pub kill_after: Option<u64>,
+}
+
+/// What a controlled run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Arrivals ingested by this run.
+    pub ingested: u64,
+    /// Whether the run was aborted by [`RunControls::kill_after`].
+    pub killed: bool,
+    /// The snapshot taken at [`RunControls::snapshot_at`], if reached.
+    pub snapshot: Option<EngineSnapshot>,
+}
+
+/// Pulls arrivals from `source` up to time `until` like
+/// [`ServeEngine::run`], but write-ahead journals every batch and honors
+/// [`RunControls`]: batches are split at the exact `snapshot_at` /
+/// `kill_after` sequence boundaries, a kill returns immediately
+/// **without draining** (simulating a crash), and a completed run drains
+/// as usual. Batch splitting never changes semantics — per-shard arrival
+/// order is preserved under any batching, so the decision stream is
+/// unaffected.
+pub fn run_journaled<W: Write>(
+    engine: &mut ServeEngine,
+    source: &mut dyn ArrivalSource,
+    until: f64,
+    journal: &mut JournalWriter<W>,
+    controls: RunControls,
+) -> std::io::Result<RunOutcome> {
+    let before = engine.ingested();
+    let mut outcome = RunOutcome {
+        ingested: 0,
+        killed: false,
+        snapshot: None,
+    };
+    let check_boundaries = |engine: &ServeEngine, outcome: &mut RunOutcome| -> bool {
+        let at = engine.ingested();
+        if controls.snapshot_at == Some(at) && outcome.snapshot.is_none() {
+            outcome.snapshot = Some(engine.snapshot());
+        }
+        if controls.kill_after == Some(at) && at > before {
+            outcome.killed = true;
+        }
+        outcome.killed
+    };
+    check_boundaries(engine, &mut outcome);
+    let batch_len = engine.config().batch;
+    let mut buf: Vec<Arrival> = Vec::with_capacity(batch_len);
+    let mut flush = |engine: &mut ServeEngine, buf: &mut Vec<Arrival>| -> std::io::Result<()> {
+        if !buf.is_empty() {
+            journal.append_batch(engine.ingested(), buf)?;
+            engine.ingest_batch(buf);
+            buf.clear();
+        }
+        Ok(())
+    };
+    while let Some(a) = source.next_arrival() {
+        if a.time > until {
+            break;
+        }
+        buf.push(a);
+        let next = engine.ingested() + buf.len() as u64;
+        let boundary = controls.snapshot_at == Some(next) || controls.kill_after == Some(next);
+        if buf.len() >= batch_len || boundary {
+            flush(engine, &mut buf)?;
+            if check_boundaries(engine, &mut outcome) {
+                outcome.ingested = engine.ingested() - before;
+                return Ok(outcome);
+            }
+        }
+    }
+    flush(engine, &mut buf)?;
+    check_boundaries(engine, &mut outcome);
+    outcome.ingested = engine.ingested() - before;
+    if !outcome.killed {
+        engine.drain();
+    }
+    Ok(outcome)
+}
+
+/// Rebuilds an engine after a crash: restores `snap`, then replays the
+/// journal suffix from the snapshot's sequence number. The journal's
+/// identity header must agree with the table, config, and snapshot, and
+/// its entries must cover `snap.seq` onward without a gap. The returned
+/// engine has ingested every journaled arrival but is **not drained**:
+/// the caller resumes feeding it from arrival number
+/// [`ServeEngine::ingested`] of the original workload.
+pub fn recover(
+    table: CompiledTable,
+    config: EngineConfig,
+    snap: &EngineSnapshot,
+    journal: &Journal,
+) -> Result<ServeEngine, JournalError> {
+    if journal.k != snap.k || journal.route_shards != snap.route_shards {
+        return Err(JournalError::Mismatch(format!(
+            "journal is for k={} route_shards={}, snapshot k={} route_shards={}",
+            journal.k, journal.route_shards, snap.k, snap.route_shards
+        )));
+    }
+    if journal.policy != snap.policy {
+        return Err(JournalError::Mismatch(format!(
+            "journal was serving '{}', snapshot '{}'",
+            journal.policy, snap.policy
+        )));
+    }
+    if journal.churn != snap.churn {
+        return Err(JournalError::Mismatch(
+            "journal and snapshot disagree on the churn identity".into(),
+        ));
+    }
+    let mut engine = ServeEngine::from_snapshot(table, config, snap)?;
+    let suffix: Vec<&JournalEntry> = journal
+        .entries
+        .iter()
+        .filter(|e| e.seq >= snap.seq)
+        .collect();
+    if let Some(first) = suffix.first() {
+        if first.seq != snap.seq {
+            return Err(JournalError::Mismatch(format!(
+                "journal resumes at seq {}, snapshot ends at seq {} — the gap is unrecoverable",
+                first.seq, snap.seq
+            )));
+        }
+    }
+    let batch = engine.config().batch;
+    let mut buf: Vec<Arrival> = Vec::with_capacity(batch);
+    for e in suffix {
+        buf.push(e.arrival);
+        if buf.len() >= batch {
+            engine.ingest_batch(&buf);
+            buf.clear();
+        }
+    }
+    engine.ingest_batch(&buf);
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirs_queueing::Exponential;
+    use eirs_sim::arrivals::ArrivalTrace;
+    use eirs_sim::availability::FaultSpec;
+    use eirs_sim::policy::FairShare;
+
+    fn trace() -> ArrivalTrace {
+        ArrivalTrace::record_poisson(
+            0.9,
+            0.6,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            9,
+            150.0,
+        )
+    }
+
+    fn table() -> CompiledTable {
+        CompiledTable::compile(Box::new(FairShare), 2, 16, 16)
+    }
+
+    fn churned_config() -> EngineConfig {
+        EngineConfig::new(2)
+            .route_shards(3)
+            .batch(8)
+            .churn(ChurnConfig {
+                spec: FaultSpec::parse("crash:mtbf=35,mttr=7").unwrap(),
+                seed: 11,
+                horizon: 200.0,
+            })
+    }
+
+    #[test]
+    fn journal_text_round_trips() {
+        let engine = ServeEngine::new(table(), churned_config());
+        let mut w = JournalWriter::create(Vec::new(), &engine).unwrap();
+        let t = trace();
+        w.append_batch(0, &t.arrivals()[..6]).unwrap();
+        w.append_batch(6, &t.arrivals()[6..10]).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let j = Journal::from_reader(&mut std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!((j.k, j.route_shards), (2, 3));
+        assert_eq!(j.policy, "Compiled[Fair-Share]");
+        assert_eq!(j.churn, engine.config().churn);
+        assert_eq!(j.entries.len(), 10);
+        for (n, e) in j.entries.iter().enumerate() {
+            assert_eq!(e.seq, n as u64);
+            assert_eq!(e.arrival, t.arrivals()[n], "entry {n} must round-trip");
+        }
+    }
+
+    #[test]
+    fn torn_final_lines_are_recoverable_but_strict_load_refuses() {
+        let engine = ServeEngine::new(table(), churned_config());
+        let mut w = JournalWriter::create(Vec::new(), &engine).unwrap();
+        w.append_batch(0, &trace().arrivals()[..4]).unwrap();
+        let full = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        // Simulate a crash mid-write: the fourth entry's class and size
+        // never reached the disk.
+        let kept: String = full
+            .lines()
+            .take(full.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let torn = format!("{kept}a 3 0.51");
+        assert!(Journal::from_reader(&mut std::io::Cursor::new(&torn)).is_err());
+        let j = Journal::load_prefix(&mut std::io::Cursor::new(&torn)).unwrap();
+        assert_eq!(j.entries.len(), 3, "the torn fourth entry is dropped");
+        // A malformed line that is NOT last stays an error either way.
+        let garbled = format!("{torn}\na 3 0.5 I 1.0\n");
+        assert!(Journal::load_prefix(&mut std::io::Cursor::new(&garbled)).is_err());
+    }
+
+    #[test]
+    fn sequence_gaps_are_rejected() {
+        let engine = ServeEngine::new(table(), EngineConfig::new(2).route_shards(3));
+        let mut w = JournalWriter::create(Vec::new(), &engine).unwrap();
+        let t = trace();
+        w.append_batch(0, &t.arrivals()[..2]).unwrap();
+        w.append_batch(5, &t.arrivals()[2..4]).unwrap(); // gap: 1 → 5
+        let bytes = w.into_inner().unwrap();
+        let err = Journal::from_reader(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn kill_and_recover_replays_bit_identically_under_churn() {
+        let t = trace();
+        let config = churned_config();
+        // Reference: the run that never crashes.
+        let mut reference = ServeEngine::new(table(), config);
+        let mut src = t.stream();
+        let mut sink = JournalWriter::create(Vec::new(), &reference).unwrap();
+        run_journaled(
+            &mut reference,
+            &mut src,
+            f64::INFINITY,
+            &mut sink,
+            RunControls::default(),
+        )
+        .unwrap();
+        // Crashed run: snapshot at 40, killed at 90 of ~135 arrivals.
+        let mut crashed = ServeEngine::new(table(), config);
+        let mut src = t.stream();
+        let mut journal = JournalWriter::create(Vec::new(), &crashed).unwrap();
+        let outcome = run_journaled(
+            &mut crashed,
+            &mut src,
+            f64::INFINITY,
+            &mut journal,
+            RunControls {
+                snapshot_at: Some(40),
+                kill_after: Some(90),
+            },
+        )
+        .unwrap();
+        assert!(outcome.killed);
+        assert_eq!(outcome.ingested, 90);
+        let snap = outcome.snapshot.expect("snapshot boundary was reached");
+        assert_eq!(snap.seq, 40);
+        // Recover from snapshot + journal, resume the workload where the
+        // journal ends, drain, and compare against the unfaulted run.
+        let journal =
+            Journal::from_reader(&mut std::io::Cursor::new(journal.into_inner().unwrap())).unwrap();
+        let mut recovered = recover(table(), config, &snap, &journal).unwrap();
+        assert_eq!(recovered.ingested(), 90);
+        let rest: Vec<Arrival> = t.arrivals()[90..].to_vec();
+        recovered.ingest_batch(&rest);
+        recovered.drain();
+        assert_eq!(recovered.decision_digest(), reference.decision_digest());
+        assert_eq!(recovered.metrics_total(), reference.metrics_total());
+    }
+
+    #[test]
+    fn recover_rejects_identity_mismatches() {
+        let t = trace();
+        let config = churned_config();
+        let mut engine = ServeEngine::new(table(), config);
+        let mut src = t.stream();
+        let mut w = JournalWriter::create(Vec::new(), &engine).unwrap();
+        let outcome = run_journaled(
+            &mut engine,
+            &mut src,
+            f64::INFINITY,
+            &mut w,
+            RunControls {
+                snapshot_at: Some(20),
+                kill_after: Some(30),
+            },
+        )
+        .unwrap();
+        let snap = outcome.snapshot.unwrap();
+        let journal =
+            Journal::from_reader(&mut std::io::Cursor::new(w.into_inner().unwrap())).unwrap();
+        // A journal whose churn identity disagrees with the snapshot.
+        let mut other = journal.clone();
+        other.churn = None;
+        assert!(matches!(
+            recover(table(), config, &snap, &other),
+            Err(JournalError::Mismatch(_))
+        ));
+        // A journal that starts after the snapshot's seq: unrecoverable gap.
+        let mut gapped = journal.clone();
+        gapped.entries.retain(|e| e.seq >= 25);
+        assert!(matches!(
+            recover(table(), config, &snap, &gapped),
+            Err(JournalError::Mismatch(_))
+        ));
+    }
+}

@@ -24,7 +24,13 @@
 //! * an **ops surface** — per-shard [`metrics::ShardMetrics`]
 //!   (decision counts, queue depths, allocation histogram, overflow rate),
 //!   [`snapshot::EngineSnapshot`] save/restore of live engine state, and
-//!   [`replay::RecordingPolicy`] for differential testing against the DES.
+//!   [`replay::RecordingPolicy`] for differential testing against the DES;
+//! * a **fault-tolerance layer** — seeded capacity churn
+//!   ([`engine::ChurnConfig`]) with graceful degradation (capped lookups,
+//!   preempt-restart, bounded admission shedding), a write-ahead decision
+//!   [`journal`] composing with snapshots for crash recovery, and the
+//!   [`chaos`] harness proving serial, parallel, and kill-and-recover
+//!   runs produce the same decision digest.
 //!
 //! The `eirs serve` CLI subcommand and the `serve_throughput` bench
 //! (`BENCH_serve.json`) are thin wrappers over these types.
@@ -53,14 +59,18 @@
 //! assert!(engine.decision_digest() != 0);
 //! ```
 
+pub mod chaos;
 pub mod engine;
+pub mod journal;
 pub mod metrics;
 pub mod replay;
 pub mod snapshot;
 pub mod table;
 
+pub use chaos::{run_chaos, ChaosReport};
 pub use eirs_sim::policy::AllocationPolicy;
-pub use engine::{Decision, EngineConfig, ServeEngine};
+pub use engine::{ChurnConfig, Decision, EngineConfig, ServeEngine};
+pub use journal::{recover, run_journaled, Journal, JournalWriter, RunControls, RunOutcome};
 pub use metrics::ShardMetrics;
 pub use replay::RecordingPolicy;
 pub use snapshot::EngineSnapshot;

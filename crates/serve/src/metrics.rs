@@ -21,6 +21,16 @@ pub struct ShardMetrics {
     /// delegations to the source policy). Overflow is exact but slow;
     /// a nonzero rate means the table grid is undersized for the load.
     pub overflow_lookups: u64,
+    /// Decisions made while the shard was below full capacity
+    /// (capacity-capped source-policy calls or zero-capacity idles).
+    pub degraded_decisions: u64,
+    /// Arrivals rejected by degraded-mode admission shedding. Rejected
+    /// arrivals still count in `arrivals`, so
+    /// `admitted = arrivals - rejections` and after a drain
+    /// `completions + rejections = arrivals`.
+    pub rejections: u64,
+    /// Inelastic jobs preempt-restarted by capacity-loss events.
+    pub preemptions: u64,
     /// Deepest inelastic queue observed.
     pub peak_inelastic: usize,
     /// Deepest elastic queue observed.
@@ -44,6 +54,9 @@ impl ShardMetrics {
             completions: 0,
             decisions: 0,
             overflow_lookups: 0,
+            degraded_decisions: 0,
+            rejections: 0,
+            preemptions: 0,
             peak_inelastic: 0,
             peak_elastic: 0,
             busy_histogram: vec![0; k as usize + 1],
@@ -80,6 +93,11 @@ impl ShardMetrics {
         self.arrivals + self.completions
     }
 
+    /// Arrivals actually admitted (arrivals minus shed rejections).
+    pub fn admitted(&self) -> u64 {
+        self.arrivals - self.rejections
+    }
+
     /// Folds `other` into `self` (histogram buckets must agree — all
     /// shards of one engine share `k`). Peaks take the max, `sim_time`
     /// the furthest shard clock, counters add.
@@ -93,6 +111,9 @@ impl ShardMetrics {
         self.completions += other.completions;
         self.decisions += other.decisions;
         self.overflow_lookups += other.overflow_lookups;
+        self.degraded_decisions += other.degraded_decisions;
+        self.rejections += other.rejections;
+        self.preemptions += other.preemptions;
         self.peak_inelastic = self.peak_inelastic.max(other.peak_inelastic);
         self.peak_elastic = self.peak_elastic.max(other.peak_elastic);
         for (mine, theirs) in self.busy_histogram.iter_mut().zip(&other.busy_histogram) {
@@ -137,10 +158,17 @@ mod tests {
         b.total_response = 0.5;
         b.peak_inelastic = 7;
         b.sim_time = 8.0;
+        b.rejections = 1;
+        b.degraded_decisions = 3;
+        b.preemptions = 2;
         a.merge(&b);
         assert_eq!(a.arrivals, 4);
         assert_eq!(a.completions, 3);
         assert_eq!(a.events(), 7);
+        assert_eq!(a.rejections, 1);
+        assert_eq!(a.admitted(), 3);
+        assert_eq!(a.degraded_decisions, 3);
+        assert_eq!(a.preemptions, 2);
         assert!((a.mean_response() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!((a.peak_inelastic, a.peak_elastic), (7, 4));
         assert_eq!(a.sim_time, 10.0);

@@ -14,7 +14,7 @@
 //!
 //! [`EngineConfig::record_decisions`]: crate::engine::EngineConfig::record_decisions
 
-use crate::engine::{ClusterShard, EngineConfig, ServeEngine};
+use crate::engine::{ChurnConfig, ClusterShard, EngineConfig, ServeEngine};
 use crate::metrics::ShardMetrics;
 use crate::table::CompiledTable;
 use eirs_sim::job::{Job, JobClass};
@@ -37,7 +37,8 @@ pub struct JobSnapshot {
     pub arrival: f64,
 }
 
-/// One frozen shard: clock, digest, counters, and both queues in order.
+/// One frozen shard: clock, digest, counters, fault-replay position,
+/// and both queues in order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardSnapshot {
     /// Shard clock.
@@ -46,6 +47,10 @@ pub struct ShardSnapshot {
     pub digest: u64,
     /// Next job id.
     pub next_id: u64,
+    /// Servers available at snapshot time (`k` when healthy).
+    pub avail: u32,
+    /// Applied-event count into the shard's fault schedule.
+    pub fault_cursor: usize,
     /// Operational counters.
     pub metrics: ShardMetrics,
     /// Queued jobs: the inelastic queue front-to-back, then the elastic
@@ -67,6 +72,10 @@ pub struct EngineSnapshot {
     /// name — continuing a snapshot under another policy would silently
     /// break the bit-identical-continuation contract.
     pub policy: String,
+    /// Capacity-churn identity the engine was running under (fault
+    /// model, seed, horizon). Restore refuses a mismatch for the same
+    /// reason it refuses a different policy.
+    pub churn: Option<ChurnConfig>,
     /// Per-shard state, in shard order.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -74,18 +83,43 @@ pub struct EngineSnapshot {
 /// Failures when parsing a snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SnapshotError {
-    /// Underlying I/O failure (message only, to stay `Clone`/`PartialEq`).
-    Io(String),
+    /// Underlying I/O failure, with the [`std::io::ErrorKind`] preserved
+    /// so callers can distinguish a missing file from a truncated or
+    /// unreadable one without string-matching.
+    Io {
+        /// The kind of the underlying I/O failure ([`std::io::ErrorKind::UnexpectedEof`]
+        /// for structurally truncated snapshots).
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
     /// A malformed line: `(1-based line number, message)`.
     Line(usize, String),
     /// Structurally valid but inconsistent with the restoring engine.
     Mismatch(String),
 }
 
+impl SnapshotError {
+    fn io(kind: std::io::ErrorKind, message: impl Into<String>) -> Self {
+        SnapshotError::Io {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::io(e.kind(), e.to_string())
+    }
+}
+
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            SnapshotError::Io { kind, message } => {
+                write!(f, "snapshot I/O error ({kind}): {message}")
+            }
             SnapshotError::Line(n, msg) => write!(f, "snapshot line {n}: {msg}"),
             SnapshotError::Mismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
         }
@@ -105,19 +139,28 @@ impl EngineSnapshot {
             self.k, self.route_shards, self.seq
         )?;
         writeln!(w, "policy {}", self.policy)?;
+        if let Some(churn) = &self.churn {
+            writeln!(w, "churn {}", churn.identity())?;
+        }
         for (idx, s) in self.shards.iter().enumerate() {
             let m = &s.metrics;
             writeln!(
                 w,
-                "shard {idx} time {} digest {} next_id {} arrivals {} completions {} \
-                 decisions {} overflow {} peak_i {} peak_j {} total_response {} sim_time {}",
+                "shard {idx} time {} digest {} next_id {} avail {} fault_cursor {} arrivals {} \
+                 completions {} decisions {} overflow {} degraded {} rejections {} preemptions {} \
+                 peak_i {} peak_j {} total_response {} sim_time {}",
                 s.time,
                 s.digest,
                 s.next_id,
+                s.avail,
+                s.fault_cursor,
                 m.arrivals,
                 m.completions,
                 m.decisions,
                 m.overflow_lookups,
+                m.degraded_decisions,
+                m.rejections,
+                m.preemptions,
                 m.peak_inelastic,
                 m.peak_elastic,
                 m.total_response,
@@ -144,10 +187,11 @@ impl EngineSnapshot {
     pub fn from_reader(r: &mut dyn BufRead) -> Result<Self, SnapshotError> {
         let mut header: Option<(u32, usize, u64)> = None;
         let mut policy: Option<String> = None;
+        let mut churn: Option<ChurnConfig> = None;
         let mut shards: Vec<ShardSnapshot> = Vec::new();
         let mut saw_end = false;
         for (idx, line) in r.lines().enumerate() {
-            let line = line.map_err(|e| SnapshotError::Io(e.to_string()))?;
+            let line = line?;
             let n = idx + 1;
             let body = line.trim();
             if body.is_empty() || body.starts_with('#') {
@@ -185,11 +229,24 @@ impl EngineSnapshot {
                     }
                     policy = Some(name.to_string());
                 }
+                "churn" => {
+                    // The rest of the line verbatim (the identity string
+                    // has internal spaces).
+                    let raw = body["churn".len()..].trim();
+                    churn = Some(
+                        ChurnConfig::parse_identity(raw).map_err(|e| SnapshotError::Line(n, e))?,
+                    );
+                }
                 "shard" => {
                     // Keyed `name value` pairs after the shard index.
                     let mut time = 0.0f64;
                     let mut digest = 0u64;
                     let mut next_id = 0u64;
+                    // Pre-churn snapshots carry no `avail`; the sentinel
+                    // is replaced by the header `k` (healthy) after the
+                    // parse loop.
+                    let mut avail = u32::MAX;
+                    let mut fault_cursor = 0usize;
                     let mut m = ShardMetrics::new(1);
                     m.busy_histogram.clear();
                     for pair in fields[2..].chunks(2) {
@@ -200,10 +257,15 @@ impl EngineSnapshot {
                             "time" => time = numf(value, n, key)?,
                             "digest" => digest = num(value, n, key)?,
                             "next_id" => next_id = num(value, n, key)?,
+                            "avail" => avail = num(value, n, key)? as u32,
+                            "fault_cursor" => fault_cursor = num(value, n, key)? as usize,
                             "arrivals" => m.arrivals = num(value, n, key)?,
                             "completions" => m.completions = num(value, n, key)?,
                             "decisions" => m.decisions = num(value, n, key)?,
                             "overflow" => m.overflow_lookups = num(value, n, key)?,
+                            "degraded" => m.degraded_decisions = num(value, n, key)?,
+                            "rejections" => m.rejections = num(value, n, key)?,
+                            "preemptions" => m.preemptions = num(value, n, key)?,
                             "peak_i" => m.peak_inelastic = num(value, n, key)? as usize,
                             "peak_j" => m.peak_elastic = num(value, n, key)? as usize,
                             "total_response" => m.total_response = numf(value, n, key)?,
@@ -220,6 +282,8 @@ impl EngineSnapshot {
                         time,
                         digest,
                         next_id,
+                        avail,
+                        fault_cursor,
                         metrics: m,
                         jobs: Vec::new(),
                     });
@@ -263,24 +327,34 @@ impl EngineSnapshot {
             }
         }
         if !saw_end {
-            return Err(SnapshotError::Io(
-                "truncated snapshot (no end marker)".into(),
+            return Err(SnapshotError::io(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated snapshot (no end marker)",
             ));
         }
-        let (k, route_shards, seq) =
-            header.ok_or_else(|| SnapshotError::Io("snapshot has no header".into()))?;
-        let policy = policy.ok_or_else(|| SnapshotError::Io("snapshot has no policy".into()))?;
+        let (k, route_shards, seq) = header.ok_or_else(|| {
+            SnapshotError::io(std::io::ErrorKind::InvalidData, "snapshot has no header")
+        })?;
+        let policy = policy.ok_or_else(|| {
+            SnapshotError::io(std::io::ErrorKind::InvalidData, "snapshot has no policy")
+        })?;
         if shards.len() != route_shards {
             return Err(SnapshotError::Mismatch(format!(
                 "header promises {route_shards} shards, found {}",
                 shards.len()
             )));
         }
+        for s in &mut shards {
+            if s.avail == u32::MAX {
+                s.avail = k;
+            }
+        }
         Ok(Self {
             k,
             route_shards,
             seq,
             policy,
+            churn,
             shards,
         })
     }
@@ -293,7 +367,7 @@ impl EngineSnapshot {
 
     /// Loads a snapshot written by [`EngineSnapshot::save`].
     pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
-        let file = std::fs::File::open(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let file = std::fs::File::open(path)?;
         Self::from_reader(&mut std::io::BufReader::new(file))
     }
 }
@@ -331,6 +405,8 @@ impl ServeEngine {
                     time: s.time,
                     digest: s.digest,
                     next_id: s.next_id,
+                    avail: s.avail,
+                    fault_cursor: s.fault_cursor,
                     metrics: s.metrics.clone(),
                     jobs,
                 }
@@ -341,6 +417,7 @@ impl ServeEngine {
             route_shards: self.config.route_shards,
             seq: self.seq,
             policy: self.table.name(),
+            churn: self.config.churn,
             shards,
         }
     }
@@ -376,6 +453,18 @@ impl ServeEngine {
                 snap.route_shards, config.route_shards
             )));
         }
+        let identity = |c: &Option<ChurnConfig>| match c {
+            Some(c) => c.identity(),
+            None => "none".to_string(),
+        };
+        if config.churn != snap.churn {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was taken under churn '{}', restoring config has '{}' — the fault \
+                 schedule is part of the serving identity",
+                identity(&snap.churn),
+                identity(&config.churn)
+            )));
+        }
         let mut engine = ServeEngine::new(table, config);
         engine.seq = snap.seq;
         for (shard, frozen) in engine.shards.iter_mut().zip(&snap.shards) {
@@ -397,9 +486,24 @@ fn restore_shard(
             k + 1
         )));
     }
+    if frozen.avail > k {
+        return Err(SnapshotError::Mismatch(format!(
+            "shard claims {} available servers of {k}",
+            frozen.avail
+        )));
+    }
+    if frozen.fault_cursor > shard.faults.len() {
+        return Err(SnapshotError::Mismatch(format!(
+            "fault cursor {} beyond the {}-event schedule",
+            frozen.fault_cursor,
+            shard.faults.len()
+        )));
+    }
     shard.time = frozen.time;
     shard.digest = frozen.digest;
     shard.next_id = frozen.next_id;
+    shard.avail = frozen.avail;
+    shard.fault_cursor = frozen.fault_cursor;
     shard.metrics = frozen.metrics.clone();
     shard.inelastic.clear();
     shard.elastic.clear();
@@ -502,6 +606,99 @@ mod tests {
             matches!(&err, SnapshotError::Mismatch(m) if m.contains("Fair-Share")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn fault_state_round_trips_and_guards_the_churn_identity() {
+        use eirs_sim::availability::FaultSpec;
+        let churn = crate::engine::ChurnConfig {
+            spec: FaultSpec::parse("crash:mtbf=40,mttr=8").unwrap(),
+            seed: 7,
+            horizon: 300.0,
+        };
+        let trace = ArrivalTrace::record_poisson(
+            0.8,
+            0.5,
+            Box::new(Exponential::new(1.0)),
+            Box::new(Exponential::new(1.0)),
+            5,
+            120.0,
+        );
+        let table = CompiledTable::compile(Box::new(FairShare), 2, 16, 16);
+        let config = EngineConfig::new(2).route_shards(3).churn(churn);
+        let mut engine = ServeEngine::new(table, config);
+        engine.ingest_batch(trace.arrivals());
+        let snap = engine.snapshot();
+        assert_eq!(snap.churn, Some(churn));
+        assert!(
+            snap.shards.iter().any(|s| s.fault_cursor > 0),
+            "a 120-epoch run under mtbf=40 churn should have applied fault events"
+        );
+        // Text round trip preserves the fault-replay position exactly.
+        let mut buf = Vec::new();
+        snap.to_writer(&mut buf).unwrap();
+        let parsed = EngineSnapshot::from_reader(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, snap);
+        // Restoring without the churn config (or, symmetrically, with a
+        // different one) must refuse: the fault schedule is identity.
+        let table = CompiledTable::compile(Box::new(FairShare), 2, 16, 16);
+        let err = ServeEngine::from_snapshot(table, EngineConfig::new(2).route_shards(3), &snap)
+            .err()
+            .expect("churn mismatch must be rejected");
+        assert!(
+            matches!(&err, SnapshotError::Mismatch(m) if m.contains("churn")),
+            "{err:?}"
+        );
+        // With the matching churn the restore continues bit-identically.
+        let table = CompiledTable::compile(Box::new(FairShare), 2, 16, 16);
+        let mut restored = ServeEngine::from_snapshot(table, config, &snap).unwrap();
+        engine.drain();
+        restored.drain();
+        assert_eq!(restored.decision_digest(), engine.decision_digest());
+        assert_eq!(restored.metrics_total(), engine.metrics_total());
+    }
+
+    #[test]
+    fn truncated_files_surface_as_unexpected_eof() {
+        let (engine, _) = running_engine();
+        let mut buf = Vec::new();
+        engine.snapshot().to_writer(&mut buf).unwrap();
+        // Chop the file anywhere before the end marker: structurally
+        // truncated, reported as UnexpectedEof (satellite: the error kind
+        // survives, callers need not string-match).
+        for cut in [buf.len() / 3, buf.len() / 2, buf.len() - 5] {
+            let err = EngineSnapshot::from_reader(&mut std::io::Cursor::new(&buf[..cut]))
+                .expect_err("truncated snapshot must fail");
+            match err {
+                SnapshotError::Io { kind, .. } => {
+                    assert_eq!(kind, std::io::ErrorKind::UnexpectedEof)
+                }
+                // A cut mid-line can also leave a half token behind.
+                SnapshotError::Line(..) => {}
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_fields_report_the_offending_line() {
+        let (engine, _) = running_engine();
+        let mut buf = Vec::new();
+        engine.snapshot().to_writer(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Garble one numeric field in the first shard line.
+        let corrupted = text.replacen("digest ", "digest x", 1);
+        let err = EngineSnapshot::from_reader(&mut std::io::Cursor::new(corrupted))
+            .expect_err("corrupted snapshot must fail");
+        assert!(
+            matches!(&err, SnapshotError::Line(_, m) if m.contains("digest")),
+            "{err:?}"
+        );
+        // A bogus churn identity is rejected with its line, not ignored.
+        let with_churn = text.replacen("policy", "churn spec=bogus seed=1 horizon=1\npolicy", 1);
+        let err = EngineSnapshot::from_reader(&mut std::io::Cursor::new(with_churn))
+            .expect_err("bogus churn identity must fail");
+        assert!(matches!(err, SnapshotError::Line(..)), "{err:?}");
     }
 
     #[test]

@@ -74,6 +74,22 @@ impl CompiledTable {
         }
     }
 
+    /// The allocation decision when only `available ≤ k` servers are up
+    /// (degraded mode). The dense grid is compiled for full capacity, so
+    /// any genuinely degraded lookup falls back to the retained source
+    /// policy called with the available count — exact, just slower; the
+    /// engine counts these in
+    /// [`ShardMetrics::degraded_decisions`](crate::metrics::ShardMetrics::degraded_decisions).
+    /// At `available >= k` this is exactly [`CompiledTable::lookup`].
+    #[inline]
+    pub fn lookup_capped(&self, i: usize, j: usize, available: u32) -> ClassAllocation {
+        if available >= self.k {
+            self.lookup(i, j)
+        } else {
+            self.source.allocate(i, j, available)
+        }
+    }
+
     /// `true` when `(i, j)` hits the precompiled grid (the O(1) hot path).
     #[inline]
     pub fn in_grid(&self, i: usize, j: usize) -> bool {

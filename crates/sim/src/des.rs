@@ -13,8 +13,28 @@
 //! linear-speedup jobs the split within the class does not affect the
 //! class-level completion rate, and head-of-line matches the paper's EF/IF
 //! definitions).
+//!
+//! # Capacity churn
+//!
+//! A simulation may carry a [`FaultSchedule`]
+//! ([`Simulation::with_faults`]): capacity-change events are first-class
+//! DES events, and between them only `avail ≤ k` servers exist. The
+//! degraded-decision rule is: at full capacity the policy is called with
+//! `k` (the hot path, bit-identical to the fault-free run); at zero
+//! capacity the allocation is [`ClassAllocation::IDLE`](crate::policy::ClassAllocation::IDLE) *without
+//! consulting the policy* (policies need not be defined on an empty
+//! cluster); otherwise the policy is called with the available count.
+//! Elastic jobs are malleable and simply shrink onto the surviving
+//! servers — no work is lost. Inelastic jobs use one server each and
+//! cannot migrate mid-flight: when capacity drops below the served
+//! prefix, every partially-served inelastic job beyond queue position
+//! `avail` is **preempt-restarted** — its remaining work resets to its
+//! full size and it re-enters at the back of the inelastic queue (it
+//! restarts from scratch, behind work that kept its server). Untouched
+//! jobs keep their position; capacity increases never disturb state.
 
 use crate::arrivals::{Arrival, ArrivalSource};
+use crate::availability::{CapacityEvent, FaultSchedule};
 use crate::job::{Job, JobClass};
 use crate::policy::{assert_feasible, AllocationPolicy};
 use crate::quantile::TailStats;
@@ -100,6 +120,9 @@ pub struct SimReport {
     pub measured_time: f64,
     /// Simulated end time.
     pub end_time: f64,
+    /// Inelastic jobs preempt-restarted by capacity-loss events (zero
+    /// without a fault schedule).
+    pub preemptions: u64,
 }
 
 /// The discrete-event simulation engine.
@@ -110,6 +133,12 @@ pub struct Simulation {
     elastic: VecDeque<Job>,
     next_id: u64,
     total_departures: u64,
+    // Capacity churn: the remaining fault schedule, the cursor into it,
+    // and the currently available server count.
+    faults: Vec<CapacityEvent>,
+    fault_cursor: usize,
+    avail: u32,
+    preemptions: u64,
     // Remaining work per class, maintained incrementally (O(1) per event
     // instead of an O(n) queue scan): arrivals add their size, the advance
     // loop subtracts exactly the work it removes from served jobs, and
@@ -145,6 +174,10 @@ impl Simulation {
             elastic: VecDeque::with_capacity(64),
             next_id: 0,
             total_departures: 0,
+            faults: Vec::new(),
+            fault_cursor: 0,
+            avail: config.k,
+            preemptions: 0,
             work_total_i: 0.0,
             work_total_e: 0.0,
             measuring: config.warmup_departures == 0,
@@ -163,6 +196,23 @@ impl Simulation {
             work_i: TimeAverage::new(),
             busy: TimeAverage::new(),
         }
+    }
+
+    /// Attaches a capacity-churn schedule (see the [module docs](self)
+    /// for the degraded-decision and preempt-restart semantics). The
+    /// schedule's `k` must match the configuration.
+    pub fn with_faults(mut self, schedule: &FaultSchedule) -> Self {
+        assert_eq!(
+            schedule.k(),
+            self.config.k,
+            "fault schedule generated for k={}, simulation has k={}",
+            schedule.k(),
+            self.config.k
+        );
+        assert_eq!(self.time, 0.0, "attach faults before running");
+        self.faults = schedule.events().to_vec();
+        self.fault_cursor = 0;
+        self
     }
 
     /// Seeds the system with jobs present at time zero (arrival time 0).
@@ -215,10 +265,21 @@ impl Simulation {
                 }
             }
 
+            // Capacity changes due now take effect before the decision.
+            self.apply_due_capacity_events();
+
             let i = self.inelastic.len();
             let j = self.elastic.len();
-            let alloc = policy.allocate(i, j, k);
-            assert_feasible(alloc, i, j, k, &name);
+            let avail = self.avail;
+            let alloc = if avail == k {
+                policy.allocate(i, j, k)
+            } else if avail == 0 {
+                // Never consult the policy on an empty cluster.
+                crate::policy::ClassAllocation::IDLE
+            } else {
+                policy.allocate(i, j, avail)
+            };
+            assert_feasible(alloc, i, j, avail, &name);
 
             // FCFS rate assignment within classes.
             let whole = alloc.inelastic.floor() as usize;
@@ -249,16 +310,24 @@ impl Simulation {
 
             let dt_arrival = pending.map_or(f64::INFINITY, |a| a.time - self.time);
             debug_assert!(dt_arrival >= -1e-9, "arrival in the past");
-            let mut dt = dt_completion.min(dt_arrival.max(0.0));
+            let dt_fault = self
+                .faults
+                .get(self.fault_cursor)
+                .map_or(f64::INFINITY, |e| e.time - self.time);
+            let mut dt = dt_completion
+                .min(dt_arrival.max(0.0))
+                .min(dt_fault.max(0.0));
             if let StopRule::SimTime(t_end) = self.config.stop {
                 dt = dt.min(t_end - self.time);
             }
             if !dt.is_finite() {
-                // No arrivals left and nothing in service: with jobs present
-                // this would be a permanently idle (non-progressing) policy.
+                // No arrivals left, nothing in service, and no capacity
+                // change ahead: with jobs present this would be a
+                // permanently idle (non-progressing) policy.
                 assert!(
                     i == 0 && j == 0,
-                    "policy {name} idles forever with jobs present (state ({i},{j}))"
+                    "policy {name} idles forever with jobs present \
+                     (state ({i},{j}), {avail}/{k} servers available)"
                 );
                 break;
             }
@@ -393,6 +462,50 @@ impl Simulation {
         }
     }
 
+    /// Applies every capacity event due at the current clock (changes
+    /// take effect at their timestamp, after any simultaneous
+    /// completion has been collected).
+    fn apply_due_capacity_events(&mut self) {
+        while let Some(&e) = self.faults.get(self.fault_cursor) {
+            if e.time <= self.time + 1e-12 {
+                self.fault_cursor += 1;
+                self.apply_capacity(e.available);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Sets the available capacity, preempt-restarting partially-served
+    /// inelastic jobs that no longer fit: FCFS progress lives only in
+    /// the queue prefix of length `avail`, so every job with progress at
+    /// position `>= available` lost its server — its remaining work
+    /// resets to its full size and it re-enters at the back of the
+    /// queue. Elastic jobs are malleable and keep all progress.
+    fn apply_capacity(&mut self, available: u32) {
+        self.avail = available;
+        let keep = available as usize;
+        if keep >= self.inelastic.len() {
+            return;
+        }
+        let mut preempted: Vec<Job> = Vec::new();
+        let mut idx = keep;
+        while idx < self.inelastic.len() {
+            let job = &self.inelastic[idx];
+            if job.remaining < job.size {
+                let mut job = self.inelastic.remove(idx).expect("index in range");
+                // The lost progress re-enters the work totals.
+                self.work_total_i += job.size - job.remaining;
+                job.remaining = job.size;
+                self.preemptions += 1;
+                preempted.push(job);
+            } else {
+                idx += 1;
+            }
+        }
+        self.inelastic.extend(preempted);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> f64 {
         self.time
@@ -424,6 +537,7 @@ impl Simulation {
             tail_response_elastic: self.tails_e.estimates(),
             measured_time: self.num_jobs.elapsed(),
             end_time: self.time,
+            preemptions: self.preemptions,
         }
     }
 }
@@ -646,6 +760,180 @@ mod tests {
         );
         assert!((r.mean_work_inelastic - 1.0).abs() < 1e-9);
         assert!((r.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_drop_preempt_restarts_the_displaced_inelastic_job() {
+        use crate::availability::{CapacityEvent, FaultSchedule};
+        // k=2, two inelastic jobs of size 5 at t=0 under IF: one server
+        // each. At t=2 capacity drops to 1: the job at position 1 has
+        // progress (remaining 3) and is preempt-restarted — reset to
+        // size 5, requeued behind the survivor. The survivor finishes at
+        // t=5, the restarted job runs 5..10. ΣT = 5 + 10 = 15 (vs 10
+        // fault-free). One preemption recorded.
+        let tr = trace(&[
+            (0.0, JobClass::Inelastic, 5.0),
+            (0.0, JobClass::Inelastic, 5.0),
+        ]);
+        let faults = FaultSchedule::from_events(
+            2,
+            vec![
+                CapacityEvent {
+                    time: 2.0,
+                    available: 1,
+                },
+                CapacityEvent {
+                    time: 50.0,
+                    available: 2,
+                },
+            ],
+        );
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(2))
+            .with_faults(&faults)
+            .run(&InelasticFirst, &mut s);
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.completed, [2, 0]);
+        assert!(
+            (r.total_response - 15.0).abs() < 1e-9,
+            "{}",
+            r.total_response
+        );
+        assert!((r.end_time - 10.0).abs() < 1e-9, "{}", r.end_time);
+    }
+
+    #[test]
+    fn elastic_jobs_shrink_gracefully_without_losing_work() {
+        use crate::availability::{CapacityEvent, FaultSchedule};
+        // k=4, one elastic job of size 8 under EF: rate 4 until t=1
+        // (4 units done), then capacity halves — rate 2 on the remaining
+        // 4 units → done at t=3. No preemption, no lost work.
+        let tr = trace(&[(0.0, JobClass::Elastic, 8.0)]);
+        let faults = FaultSchedule::from_events(
+            4,
+            vec![
+                CapacityEvent {
+                    time: 1.0,
+                    available: 2,
+                },
+                CapacityEvent {
+                    time: 50.0,
+                    available: 4,
+                },
+            ],
+        );
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(4))
+            .with_faults(&faults)
+            .run(&ElasticFirst, &mut s);
+        assert_eq!(r.preemptions, 0);
+        assert!((r.end_time - 3.0).abs() < 1e-9, "{}", r.end_time);
+        assert!((r.mean_response - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_idles_without_consulting_the_policy() {
+        use crate::availability::{CapacityEvent, FaultSchedule};
+        /// Panics if ever asked to allocate on an empty cluster.
+        struct NoZero;
+        impl AllocationPolicy for NoZero {
+            fn allocate(&self, i: usize, _j: usize, k: u32) -> crate::policy::ClassAllocation {
+                assert!(k >= 1, "policy consulted at zero capacity");
+                crate::policy::ClassAllocation {
+                    inelastic: (i.min(k as usize)) as f64,
+                    elastic: 0.0,
+                }
+            }
+            fn name(&self) -> String {
+                "NoZero".into()
+            }
+        }
+        // The cluster is dark from t=0 to t=5; the size-1 job waits out
+        // the outage and completes at t=6.
+        let tr = trace(&[(0.0, JobClass::Inelastic, 1.0)]);
+        let faults = FaultSchedule::from_events(
+            1,
+            vec![
+                CapacityEvent {
+                    time: 0.0,
+                    available: 0,
+                },
+                CapacityEvent {
+                    time: 5.0,
+                    available: 1,
+                },
+            ],
+        );
+        let mut s = tr.stream();
+        let r = Simulation::new(DesConfig::drain(1))
+            .with_faults(&faults)
+            .run(&NoZero, &mut s);
+        assert!((r.end_time - 6.0).abs() < 1e-9, "{}", r.end_time);
+        assert!((r.mean_response - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_no_schedule() {
+        use crate::availability::FaultSchedule;
+        use eirs_queueing::Exponential;
+        let run = |faulted: bool| {
+            let mut source = crate::arrivals::PoissonStream::new(
+                0.8,
+                0.5,
+                Box::new(Exponential::new(1.0)),
+                Box::new(Exponential::new(1.0)),
+                13,
+            );
+            let sim = Simulation::new(DesConfig::steady_state(2, 50, 2_000));
+            let sim = if faulted {
+                sim.with_faults(&FaultSchedule::none(2))
+            } else {
+                sim
+            };
+            sim.run(&InelasticFirst, &mut source)
+        };
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+    }
+
+    #[test]
+    fn generated_crash_schedule_runs_to_completion_and_degrades() {
+        use crate::availability::FaultSpec;
+        use eirs_queueing::Exponential;
+        let spec = FaultSpec::parse("crash:mtbf=30,mttr=10").unwrap();
+        let run = |faulted: bool| {
+            let mut source = crate::arrivals::PoissonStream::new(
+                1.2,
+                0.8,
+                Box::new(Exponential::new(1.0)),
+                Box::new(Exponential::new(1.0)),
+                21,
+            );
+            let cfg = DesConfig {
+                k: 4,
+                stop: StopRule::SimTime(3_000.0),
+                warmup_departures: 0,
+            };
+            let sim = Simulation::new(cfg);
+            let sim = if faulted {
+                sim.with_faults(&spec.schedule(4, 9, 3_000.0))
+            } else {
+                sim
+            };
+            sim.run(&crate::policy::FairShare, &mut source)
+        };
+        let faulted = run(true);
+        let clean = run(false);
+        assert!(faulted.preemptions > 0, "a lossy schedule must preempt");
+        assert!(faulted.completed[0] + faulted.completed[1] > 0);
+        // Losing ~25% of capacity must hurt mean response.
+        assert!(
+            faulted.mean_response > clean.mean_response,
+            "faulted {} vs clean {}",
+            faulted.mean_response,
+            clean.mean_response
+        );
     }
 
     #[test]

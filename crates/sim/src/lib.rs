@@ -13,6 +13,10 @@
 //! * [`des`] — a job-level discrete-event simulator that tracks every job's
 //!   remaining work. Sizes may come from *any* distribution, which lets the
 //!   tests exercise the distribution-free sample-path results (Theorem 3).
+//! * [`availability`] — seeded server-fault processes (per-server
+//!   crash/repair, scheduled maintenance drains, MMPP-modulated
+//!   reclamation bursts) expanded into deterministic capacity-change
+//!   schedules that the simulator consumes as first-class events.
 //! * [`coupling`] — runs several policies against one frozen arrival trace
 //!   and records total-work trajectories, the experimental twin of the
 //!   paper's coupling argument.
@@ -49,6 +53,7 @@
 //! ```
 
 pub mod arrivals;
+pub mod availability;
 pub mod coupling;
 pub mod ctmc;
 pub mod des;
@@ -62,6 +67,7 @@ pub use arrivals::{
     Arrival, ArrivalSource, ArrivalTrace, BurstyStream, MapStream, OwnedTraceStream, PoissonStream,
     TraceError, TraceStream,
 };
+pub use availability::{CapacityEvent, FaultSchedule, FaultSpec};
 pub use coupling::{dominates_throughout, WorkTrajectory};
 pub use des::{DesConfig, SimReport, Simulation, StopRule};
 pub use job::{Job, JobClass};

@@ -56,8 +56,8 @@ fn usage() {
     eprintln!("                  --seed --phase-cap --level-cut --force-general true]");
     eprintln!("  scenario        workload x policy grid: DES CI + analysis if tractable");
     eprintln!("                  --workload <spec[,spec...]|all> --policy <spec[,spec...]|all>");
-    eprintln!("                  [--service-i --service-e --k --rho --mu-i --mu-e");
-    eprintln!("                  --reps --departures --seed --phase-cap]");
+    eprintln!("                  [--service-i --service-e --churn <fault spec> --k --rho");
+    eprintln!("                  --mu-i --mu-e --reps --departures --seed --phase-cap]");
     eprintln!("  optimize        search a policy family for the best allocation");
     eprintln!("                  --family --workload [--method auto|golden|nelder-mead");
     eprintln!("                  |coordinate|cross-entropy --budget --objective auto|analysis");
@@ -68,6 +68,10 @@ fn usage() {
     eprintln!("  serve           online decision server: compiled table + sharded engine");
     eprintln!("                  --policy --workload --shards --batch --duration [--route-shards");
     eprintln!("                  --grid --seed --snapshot <path> --k --rho --mu-i --mu-e]");
+    eprintln!("                  faults:   [--churn <fault spec> --fault-seed --fault-horizon");
+    eprintln!("                  --shed-limit <jobs>]");
+    eprintln!("                  recovery: [--journal <path> --snapshot-at <n> --kill-after <n>");
+    eprintln!("                  --recover true]");
     eprintln!("  counterexample  Theorem 6 closed system --ratio (mu_e/mu_i)");
     eprintln!();
     eprintln!("policy specs:   if | ef | fairshare | reserve:<r> | threshold:<t>");
@@ -75,6 +79,8 @@ fn usage() {
     eprintln!("workload specs: poisson | map[:<r01>x<r10>x<a0>x<a1>] | bursty[:<mean>]");
     eprintln!("                | trace[:<path>] | smooth-service | heavytail-service");
     eprintln!("service specs:  exp | erlang:<stages> | hyper:<cv2> | det");
+    eprintln!("fault specs:    crash:mtbf=<t>,mttr=<t> | drain:period=<t>,down=<t>[,servers=<n>]");
+    eprintln!("                | mmpp:r01=<r>,r10=<r>,a0=<r>,a1=<r>[,mttr=<t>]");
     eprintln!("family specs:   threshold[:<max>] | curve[:<max_intercept>] | waterfill");
     eprintln!("                | reserve | tabular[:<I>x<J>]");
     eprintln!();
@@ -131,11 +137,22 @@ fn policy_list_flag(args: &CliArgs, k: u32) -> Result<Vec<Box<dyn AllocationPoli
         .collect()
 }
 
-/// The `--workload` flag (with `--service-i`/`--service-e` overrides).
+/// The `--workload` flag (with `--service-i`/`--service-e` overrides and
+/// the `--churn` capacity-fault axis).
 fn workload_flag(args: &CliArgs) -> Result<eirs_repro::core::scenario::Workload, String> {
     let spec = args.get_or("workload", "poisson");
-    eirs_repro::core::scenario::parse_workload(&spec, args.get("service-i"), args.get("service-e"))
-        .map_err(|e| spec_error("workload", &spec, &e))
+    if let Some(churn) = args.get("churn") {
+        // Surface a malformed churn spec under its own flag, not as a
+        // workload error.
+        eirs_repro::sim::FaultSpec::parse(churn).map_err(|e| spec_error("churn", churn, &e))?;
+    }
+    eirs_repro::core::scenario::parse_workload(
+        &spec,
+        args.get("service-i"),
+        args.get("service-e"),
+        args.get("churn"),
+    )
+    .map_err(|e| spec_error("workload", &spec, &e))
 }
 
 /// The `--family` flag (optimizer parameter spaces).
@@ -326,11 +343,20 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     .map(|s| s.trim().to_string())
                     .collect()
             };
+            if let Some(churn) = args.get("churn") {
+                eirs_repro::sim::FaultSpec::parse(churn)
+                    .map_err(|e| spec_error("churn", churn, &e))?;
+            }
             let workloads: Vec<Workload> = specs
                 .iter()
                 .map(|spec| {
-                    scenario::parse_workload(spec, args.get("service-i"), args.get("service-e"))
-                        .map_err(|e| spec_error("workload", spec, &e))
+                    scenario::parse_workload(
+                        spec,
+                        args.get("service-i"),
+                        args.get("service-e"),
+                        args.get("churn"),
+                    )
+                    .map_err(|e| spec_error("workload", spec, &e))
                 })
                 .collect::<Result<_, _>>()?;
             let policies = policy_list_flag(&args, p.k)?;
@@ -742,7 +768,11 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            use eirs_repro::serve::{CompiledTable, EngineConfig, ServeEngine};
+            use eirs_repro::serve::{
+                recover, run_journaled, ChurnConfig, CompiledTable, EngineConfig, EngineSnapshot,
+                Journal, JournalWriter, RunControls, ServeEngine,
+            };
+            use eirs_repro::sim::FaultSpec;
 
             let p = parse_params(&args)?;
             let policy = policy_flag(&args)?;
@@ -757,9 +787,17 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             // complete-looking totals would silently misrepresent the
             // replay (the same discipline as PR 3's short-trace error).
             // An explicit --duration still wins.
+            // Trace replays default to the whole file even under --churn
+            // (engine-side churn changes decisions, not which arrivals
+            // exist) — which is why churned traces then *require* an
+            // explicit --fault-horizon below.
+            let whole_trace = matches!(
+                workload.arrivals,
+                eirs_repro::core::scenario::ArrivalSpec::TraceFile { .. }
+            );
             let duration = match args.get("duration") {
                 Some(_) => args.get_parsed_or("duration", 0.0f64).map_err(stringify)?,
-                None if workload.is_deterministic() => f64::INFINITY,
+                None if whole_trace => f64::INFINITY,
                 None => 500.0,
             };
             let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
@@ -778,14 +816,115 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     "--duration must be a positive time, got {duration}"
                 ));
             }
+            // Capacity churn: the fault model is engine identity, seeded
+            // separately from the workload so the same traffic can be
+            // replayed under different availability sample paths.
+            let churn_cfg = match args.get("churn") {
+                Some(spec) => {
+                    let horizon = match args.get("fault-horizon") {
+                        Some(_) => args
+                            .get_parsed_or("fault-horizon", 0.0f64)
+                            .map_err(stringify)?,
+                        // Fault schedules are generated to a finite
+                        // horizon; default to the run's own.
+                        None if duration.is_finite() => duration,
+                        None => {
+                            return Err("--churn with an unbounded --duration needs an explicit \
+                                 --fault-horizon (fault schedules are generated to a finite \
+                                 horizon)"
+                                .into())
+                        }
+                    };
+                    if !(horizon > 0.0 && horizon.is_finite()) {
+                        return Err(format!(
+                            "--fault-horizon must be a positive finite time, got {horizon}"
+                        ));
+                    }
+                    let parsed =
+                        FaultSpec::parse(spec).map_err(|e| spec_error("churn", spec, &e))?;
+                    Some(ChurnConfig {
+                        spec: parsed,
+                        seed: args.get_parsed_or("fault-seed", 1u64).map_err(stringify)?,
+                        horizon,
+                    })
+                }
+                None => None,
+            };
+            let shed_limit = match args.get("shed-limit") {
+                Some(_) => {
+                    let limit = args
+                        .get_parsed_or("shed-limit", 0usize)
+                        .map_err(stringify)?;
+                    if limit == 0 {
+                        return Err(
+                            "--shed-limit must be at least 1 (0 would reject every arrival \
+                             while degraded)"
+                                .into(),
+                        );
+                    }
+                    if churn_cfg.is_none() {
+                        return Err("--shed-limit only applies under --churn (shedding is a \
+                             degraded-mode policy)"
+                            .into());
+                    }
+                    Some(limit)
+                }
+                None => None,
+            };
+            // Crash-recovery controls: a write-ahead journal plus the
+            // snapshot-at / kill-after boundaries, and --recover true to
+            // come back from them.
+            let journal_path = args.get("journal");
+            let snapshot_path = args.get("snapshot");
+            let snapshot_at = match args.get("snapshot-at") {
+                Some(_) => Some(args.get_parsed_or("snapshot-at", 0u64).map_err(stringify)?),
+                None => None,
+            };
+            let kill_after = match args.get("kill-after") {
+                Some(_) => Some(args.get_parsed_or("kill-after", 0u64).map_err(stringify)?),
+                None => None,
+            };
+            let recover_mode = args.get_parsed_or("recover", false).map_err(stringify)?;
+            if recover_mode {
+                if snapshot_path.is_none() || journal_path.is_none() {
+                    return Err(
+                        "--recover true needs both --snapshot <path> (to restore) and \
+                         --journal <path> (to replay)"
+                            .into(),
+                    );
+                }
+                if snapshot_at.is_some() || kill_after.is_some() {
+                    return Err(
+                        "--recover true cannot be combined with --snapshot-at/--kill-after \
+                         (those control the crashing run, not the recovery)"
+                            .into(),
+                    );
+                }
+            } else {
+                if (snapshot_at.is_some() || kill_after.is_some()) && journal_path.is_none() {
+                    return Err(
+                        "--snapshot-at/--kill-after need --journal <path>: killing without a \
+                         write-ahead journal would lose arrivals irrecoverably"
+                            .into(),
+                    );
+                }
+                if snapshot_at.is_some() && snapshot_path.is_none() {
+                    return Err("--snapshot-at needs --snapshot <path> to write to".into());
+                }
+            }
             let policy_name = policy.name();
             let table = CompiledTable::compile(policy, p.k, grid, grid);
             let table_shape = (table.max_i() + 1, table.max_j() + 1, table.table_bytes());
-            let config = EngineConfig::new(p.k)
+            let mut config = EngineConfig::new(p.k)
                 .route_shards(route)
                 .workers(workers)
                 .batch(batch);
-            let mut engine = ServeEngine::new(table, config);
+            if let Some(c) = churn_cfg {
+                config = config.churn(c);
+            }
+            if let Some(s) = shed_limit {
+                config = config.shed_limit(s);
+            }
             // The engine serves `route` independent k-server shards, so the
             // offered stream carries route x the single-cluster rate; the
             // load of every shard is then exactly the configured rho.
@@ -800,18 +939,78 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             let mut source = workload.build_source(&scaled, seed, duration)?;
             let start = std::time::Instant::now();
-            let ingested = engine.run(source.as_mut(), duration);
+            let (engine, ingested, killed, replayed) = if recover_mode {
+                let spath = snapshot_path.expect("validated above");
+                let snap = EngineSnapshot::load(std::path::Path::new(spath))
+                    .map_err(|e| format!("cannot restore snapshot {spath}: {e}"))?;
+                let jpath = journal_path.expect("validated above");
+                let file = std::fs::File::open(jpath)
+                    .map_err(|e| format!("cannot open journal {jpath}: {e}"))?;
+                let journal = Journal::load_prefix(&mut std::io::BufReader::new(file))
+                    .map_err(|e| format!("cannot replay journal {jpath}: {e}"))?;
+                let mut engine = recover(table, config, &snap, &journal)
+                    .map_err(|e| format!("cannot recover from {spath} + {jpath}: {e}"))?;
+                let replayed = engine.ingested();
+                // The journal already covers the first `replayed` arrivals;
+                // skip past them in the regenerated source (same workload,
+                // same seed) and continue the interrupted run.
+                for _ in 0..replayed {
+                    if source.next_arrival().is_none() {
+                        break;
+                    }
+                }
+                let continued = engine.run(source.as_mut(), duration);
+                (engine, replayed + continued, false, Some(replayed))
+            } else {
+                let mut engine = ServeEngine::new(table, config);
+                match journal_path {
+                    Some(jpath) => {
+                        let file = std::fs::File::create(jpath)
+                            .map_err(|e| format!("cannot create journal {jpath}: {e}"))?;
+                        let mut wal = JournalWriter::create(std::io::BufWriter::new(file), &engine)
+                            .map_err(|e| format!("cannot write journal {jpath}: {e}"))?;
+                        let outcome = run_journaled(
+                            &mut engine,
+                            source.as_mut(),
+                            duration,
+                            &mut wal,
+                            RunControls {
+                                snapshot_at,
+                                kill_after,
+                            },
+                        )
+                        .map_err(|e| format!("cannot write journal {jpath}: {e}"))?;
+                        if let Some(snap) = &outcome.snapshot {
+                            let spath = snapshot_path.expect("validated above");
+                            snap.save(std::path::Path::new(spath))
+                                .map_err(|e| format!("cannot write snapshot {spath}: {e}"))?;
+                        }
+                        (engine, outcome.ingested, outcome.killed, None)
+                    }
+                    None => {
+                        let n = engine.run(source.as_mut(), duration);
+                        (engine, n, false, None)
+                    }
+                }
+            };
             let wall = start.elapsed().as_secs_f64();
             let totals = engine.metrics_total();
             let per_shard = engine.metrics_per_shard();
             let digest = format!("0x{:016x}", engine.decision_digest());
             let decisions_per_sec = totals.decisions as f64 / wall;
-            if let Some(path) = args.get("snapshot") {
-                engine
-                    .snapshot()
-                    .save(std::path::Path::new(path))
-                    .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
+            // A plain `--snapshot` (no boundary flags) keeps its original
+            // meaning: save the final engine state. A killed run saves
+            // nothing extra (the crash state lives in the WAL), and a
+            // recovery run treats the snapshot path as input only.
+            if !recover_mode && !killed && snapshot_at.is_none() {
+                if let Some(path) = snapshot_path {
+                    engine
+                        .snapshot()
+                        .save(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
+                }
             }
+            let churn_identity = engine.config().churn.map(|c| c.identity());
             if json_mode(&args)? {
                 let mut cfg = Json::object();
                 cfg.set("route_shards", route)
@@ -819,7 +1018,21 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     .set("batch", batch)
                     .set("duration", duration)
                     .set("seed", seed)
-                    .set("grid", grid);
+                    .set("grid", grid)
+                    .set(
+                        "churn",
+                        match &churn_identity {
+                            Some(id) => Json::from(id.as_str()),
+                            None => Json::Null,
+                        },
+                    )
+                    .set(
+                        "shed_limit",
+                        match shed_limit {
+                            Some(s) => Json::from(s as u64),
+                            None => Json::Null,
+                        },
+                    );
                 let mut tbl = Json::object();
                 tbl.set("rows", table_shape.0)
                     .set("cols", table_shape.1)
@@ -829,6 +1042,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     .set("completions", totals.completions)
                     .set("decisions", totals.decisions)
                     .set("overflow_lookups", totals.overflow_lookups)
+                    .set("degraded_decisions", totals.degraded_decisions)
+                    .set("rejections", totals.rejections)
+                    .set("preemptions", totals.preemptions)
                     .set("wall_s", wall)
                     .set("decisions_per_sec", decisions_per_sec);
                 let mut rows = Vec::with_capacity(per_shard.len());
@@ -839,6 +1055,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                         .set("completions", m.completions)
                         .set("decisions", m.decisions)
                         .set("overflow_lookups", m.overflow_lookups)
+                        .set("degraded_decisions", m.degraded_decisions)
+                        .set("rejections", m.rejections)
+                        .set("preemptions", m.preemptions)
                         .set("peak_inelastic", m.peak_inelastic)
                         .set("peak_elastic", m.peak_elastic)
                         .set(
@@ -861,6 +1080,15 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     .set("table", tbl)
                     .set("totals", tot)
                     .set("decision_digest", digest)
+                    .set("killed", killed)
+                    .set("recovered", recover_mode)
+                    .set(
+                        "replayed",
+                        match replayed {
+                            Some(n) => Json::from(n),
+                            None => Json::Null,
+                        },
+                    )
                     .set("shards", rows);
                 print!("{}", doc.pretty());
                 return Ok(());
@@ -874,10 +1102,22 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             println!(
                 "       route_shards={route} workers={workers} batch={batch} duration={duration} seed={seed}"
             );
+            if let Some(id) = &churn_identity {
+                println!(
+                    "churn: {id}{}",
+                    match shed_limit {
+                        Some(s) => format!(" shed_limit={s}"),
+                        None => String::new(),
+                    }
+                );
+            }
             println!(
                 "table: {}x{} grid ({} bytes); clamp region delegates to the policy",
                 table_shape.0, table_shape.1, table_shape.2
             );
+            if let Some(n) = replayed {
+                println!("recovery: restored snapshot and replayed {n} journaled arrivals");
+            }
             println!(
                 "run:   {ingested} arrivals, {} completions, {} decisions in {wall:.3} s  \
                  ({:.2}M decisions/sec, {} overflow lookups)",
@@ -886,14 +1126,28 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 decisions_per_sec / 1e6,
                 totals.overflow_lookups
             );
+            if totals.degraded_decisions > 0 || totals.rejections > 0 || totals.preemptions > 0 {
+                println!(
+                    "faults: {} degraded decisions, {} rejections (shed), {} preempt-restarts",
+                    totals.degraded_decisions, totals.rejections, totals.preemptions
+                );
+            }
+            if killed {
+                println!(
+                    "killed: after {ingested} arrivals (no drain; recover with \
+                     --recover true --snapshot ... --journal ...)"
+                );
+            }
             println!("digest: {digest}");
-            println!("shard  arrivals  completions  decisions  peak(i,j)  mean T    now");
+            println!("shard  arrivals  completions  decisions  degraded  rejected  peak(i,j)  mean T    now");
             for (idx, m) in per_shard.iter().enumerate() {
                 println!(
-                    "{idx:>5}  {:>8}  {:>11}  {:>9}  ({:>3},{:>3})  {:<8.4}  {:.2}",
+                    "{idx:>5}  {:>8}  {:>11}  {:>9}  {:>8}  {:>8}  ({:>3},{:>3})  {:<8.4}  {:.2}",
                     m.arrivals,
                     m.completions,
                     m.decisions,
+                    m.degraded_decisions,
+                    m.rejections,
                     m.peak_inelastic,
                     m.peak_elastic,
                     m.mean_response(),

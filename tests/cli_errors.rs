@@ -100,6 +100,192 @@ fn bad_flag_values_and_unknown_commands_fail_cleanly() {
 }
 
 #[test]
+fn malformed_fault_flags_fail_cleanly() {
+    for (args, needle) in [
+        (
+            vec!["serve", "--churn", "meteor:x=1"],
+            "--churn 'meteor:x=1': cannot parse",
+        ),
+        (
+            vec!["serve", "--churn", "crash:mtbf=0,mttr=5"],
+            "--churn 'crash:mtbf=0,mttr=5': cannot parse",
+        ),
+        (
+            vec![
+                "scenario",
+                "--workload",
+                "poisson",
+                "--churn",
+                "crash:mtbf",
+                "--reps",
+                "2",
+            ],
+            "--churn 'crash:mtbf': cannot parse",
+        ),
+        (
+            vec!["serve", "--shed-limit", "4"],
+            "--shed-limit only applies under --churn",
+        ),
+        (
+            vec![
+                "serve",
+                "--churn",
+                "crash:mtbf=30,mttr=6",
+                "--shed-limit",
+                "0",
+            ],
+            "--shed-limit must be at least 1",
+        ),
+        (vec!["serve", "--kill-after", "10"], "need --journal"),
+        (
+            vec!["serve", "--journal", "/tmp/x.wal", "--snapshot-at", "10"],
+            "--snapshot-at needs --snapshot",
+        ),
+        (
+            vec!["serve", "--recover", "true"],
+            "--recover true needs both --snapshot",
+        ),
+        (
+            vec![
+                "serve",
+                "--recover",
+                "true",
+                "--snapshot",
+                "/tmp/s.snap",
+                "--journal",
+                "/tmp/x.wal",
+                "--kill-after",
+                "5",
+            ],
+            "cannot be combined with --snapshot-at/--kill-after",
+        ),
+        (
+            vec![
+                "serve",
+                "--workload",
+                "trace:crates/serve/testdata/smoke.trace",
+                "--churn",
+                "crash:mtbf=30,mttr=6",
+            ],
+            "needs an explicit --fault-horizon",
+        ),
+    ] {
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{args:?} must exit non-zero");
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr missing {needle:?}; got:\n{stderr}"
+        );
+        assert!(
+            stderr.starts_with("error: "),
+            "{args:?}: fault-flag failure must report through the single error path"
+        );
+    }
+}
+
+#[test]
+fn recovery_refuses_identity_mismatches() {
+    let dir = std::env::temp_dir().join(format!("eirs-cli-identity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("run.snap");
+    let wal = dir.join("run.wal");
+    let base = |extra: &[&str]| {
+        let mut v = vec![
+            "serve",
+            "--policy",
+            "fairshare",
+            "--workload",
+            "poisson",
+            "--k",
+            "2",
+            "--rho",
+            "0.6",
+            "--duration",
+            "80",
+            "--churn",
+            "crash:mtbf=25,mttr=5",
+            "--fault-seed",
+            "7",
+        ];
+        v.extend_from_slice(extra);
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    let snap_s = snap.to_str().unwrap();
+    let wal_s = wal.to_str().unwrap();
+
+    // Produce a crashed run: journal everything, snapshot early, kill later.
+    let crash_args = base(&[
+        "--journal",
+        wal_s,
+        "--snapshot",
+        snap_s,
+        "--snapshot-at",
+        "40",
+        "--kill-after",
+        "120",
+    ]);
+    let crash_refs: Vec<&str> = crash_args.iter().map(String::as_str).collect();
+    let (code, stderr) = run_eirs(&crash_refs);
+    assert_eq!(code, 0, "crashing run itself must succeed: {stderr}");
+
+    // Recovering under a different fault schedule must be refused: the
+    // snapshot's decisions were made against the recorded schedule.
+    for (extra, needle) in [
+        (
+            vec![
+                "--recover",
+                "true",
+                "--snapshot",
+                snap_s,
+                "--journal",
+                wal_s,
+                "--fault-seed",
+                "8",
+            ],
+            "churn",
+        ),
+        (
+            vec![
+                "--recover",
+                "true",
+                "--snapshot",
+                snap_s,
+                "--journal",
+                wal_s,
+                "--policy",
+                "if",
+            ],
+            "policy",
+        ),
+    ] {
+        let mut args = base(&[]);
+        // Drop the baseline --fault-seed/--policy pair if the variant overrides it.
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let (code, stderr) = run_eirs(&refs);
+        assert_ne!(code, 0, "{extra:?} must be refused");
+        assert!(
+            stderr.contains(needle),
+            "{extra:?}: mismatch report must name the {needle}; got:\n{stderr}"
+        );
+    }
+
+    // The matching identity recovers cleanly.
+    let ok_args = base(&[
+        "--recover",
+        "true",
+        "--snapshot",
+        snap_s,
+        "--journal",
+        wal_s,
+    ]);
+    let ok_refs: Vec<&str> = ok_args.iter().map(String::as_str).collect();
+    let (code, stderr) = run_eirs(&ok_refs);
+    assert_eq!(code, 0, "matching recovery must succeed: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn well_formed_serve_run_exits_zero_with_machine_output() {
     let out = Command::new(env!("CARGO_BIN_EXE_eirs"))
         .args([

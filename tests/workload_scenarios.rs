@@ -90,7 +90,7 @@ fn trace_file_workload_runs_through_the_scenario_engine() {
     let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("scenario.trace");
     trace.save(&path).expect("save trace");
 
-    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None, None).unwrap();
     assert_eq!(
         w.tractability(&FairShare, &params),
         Tractability::Intractable,
@@ -202,7 +202,7 @@ fn deterministic_trace_workloads_run_one_exact_replication() {
     );
     let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("deterministic.trace");
     trace.save(&path).expect("save trace");
-    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None, None).unwrap();
     assert!(w.is_deterministic());
     // Asking for 6 replications of a fixed trace yields one exact run,
     // not six identical ones dressed up as independent samples.
@@ -225,7 +225,7 @@ fn too_short_traces_error_instead_of_silently_truncating() {
     );
     let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("short.trace");
     trace.save(&path).expect("save trace");
-    let w = parse_workload(&format!("trace:{}", path.display()), None, None).unwrap();
+    let w = parse_workload(&format!("trace:{}", path.display()), None, None, None).unwrap();
     let err = w
         .simulate(&FairShare, &params, 3, 1_000, 50_000)
         .expect_err("a short trace must not be reported as a full run");
@@ -249,7 +249,7 @@ fn map_workload_analysis_agrees_with_des_replications() {
     // The MAP-phase-extended QBD vs the simulator, on a genuinely
     // modulated workload (two policy structures: priority and fractional).
     let params = SystemParams::with_equal_lambdas(3, 0.5, 1.0, 0.55).unwrap();
-    let w = parse_workload("map", None, None).unwrap();
+    let w = parse_workload("map", None, None, None).unwrap();
     let opts = AnalyzeOptions {
         phase_cap: 40,
         ..Default::default()
