@@ -95,19 +95,42 @@ impl Bench {
 
     /// Times `f`, running it `iters` times per sample. The closure's result
     /// is passed through [`black_box`] so the optimizer cannot elide work.
-    pub fn time<R>(&mut self, label: &str, iters: u64, mut f: impl FnMut() -> R) -> &Measurement {
+    pub fn time<R>(&mut self, label: &str, iters: u64, f: impl FnMut() -> R) -> &Measurement {
+        self.time_min_of(label, iters, 1, f)
+    }
+
+    /// Like [`Bench::time`], but each recorded sample is the **fastest of
+    /// `reps` back-to-back timed passes**. For CPU-bound deterministic work
+    /// the true cost is the floor of the timing distribution — everything
+    /// above it is scheduler/interrupt interference — so min-of-reps per
+    /// sample plus the median across samples estimates that floor robustly
+    /// on noisy shared machines. Use for headline measurements that gate
+    /// recorded artifacts; plain [`Bench::time`] is fine for ratios where
+    /// both sides see the same noise.
+    pub fn time_min_of<R>(
+        &mut self,
+        label: &str,
+        iters: u64,
+        reps: u64,
+        mut f: impl FnMut() -> R,
+    ) -> &Measurement {
         assert!(iters >= 1);
+        assert!(reps >= 1);
         // Warm-up: one untimed sample.
         for _ in 0..iters {
             black_box(f());
         }
         let mut per_iter: Vec<f64> = (0..self.samples)
             .map(|_| {
-                let start = Instant::now();
-                for _ in 0..iters {
-                    black_box(f());
-                }
-                start.elapsed().as_secs_f64() / iters as f64
+                (0..reps)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(f());
+                        }
+                        start.elapsed().as_secs_f64() / iters as f64
+                    })
+                    .fold(f64::INFINITY, f64::min)
             })
             .collect();
         per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));

@@ -163,23 +163,35 @@ impl From<Vec<Json>> for Json {
 }
 
 /// The standard machine/threading metadata block every `BENCH_*.json`
-/// artifact should embed: sweep worker count
+/// artifact should embed: the thread count the bench **actually drove**
+/// (`bench_threads`), the default sweep worker count
 /// ([`eirs_core::sweep::threads`]), detected parallelism, the
 /// `EIRS_THREADS` environment override if any, and a `single_core` flag.
 /// Readers of the perf trajectory use it to tell real regressions from
 /// "this run happened on a 1-core container" (the PR-1 `BENCH_sweeps.json`
-/// was silently recorded on one).
+/// was silently recorded on one). Benches that fan out with explicit
+/// thread counts must report them via [`run_metadata_with_threads`] —
+/// `available_parallelism` alone says what the machine *could* do, not
+/// what the run *did*.
 pub fn run_metadata() -> Json {
+    run_metadata_with_threads(eirs_core::sweep::threads())
+}
+
+/// [`run_metadata`] for a bench that drove an explicit worker count
+/// (e.g. a scaling table's maximum). `single_core` is true when either
+/// the machine has one core or the bench itself never went parallel.
+pub fn run_metadata_with_threads(bench_threads: usize) -> Json {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = eirs_core::sweep::threads();
     let mut o = Json::object();
-    o.set("sweep_threads", threads)
+    o.set("bench_threads", bench_threads)
+        .set("sweep_threads", threads)
         .set("available_parallelism", cores)
         .set(
             "threads_env",
             std::env::var(eirs_numerics::parallel::THREADS_ENV).map_or(Json::Null, Json::from),
         )
-        .set("single_core", cores <= 1 || threads <= 1);
+        .set("single_core", cores <= 1 || bench_threads <= 1);
     o
 }
 
@@ -240,6 +252,7 @@ mod tests {
         assert_eq!(
             keys,
             [
+                "bench_threads",
                 "sweep_threads",
                 "available_parallelism",
                 "threads_env",
@@ -247,9 +260,31 @@ mod tests {
             ]
         );
         let lookup = |k: &str| entries.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert!(matches!(lookup("bench_threads"), Json::Num(n) if n >= 1.0));
         assert!(matches!(lookup("sweep_threads"), Json::Num(n) if n >= 1.0));
         assert!(matches!(lookup("available_parallelism"), Json::Num(n) if n >= 1.0));
         assert!(matches!(lookup("single_core"), Json::Bool(_)));
+    }
+
+    #[test]
+    fn run_metadata_records_the_thread_count_the_bench_drove() {
+        let Json::Obj(entries) = run_metadata_with_threads(4) else {
+            panic!("metadata must be an object");
+        };
+        let lookup = |k: &str| entries.iter().find(|(key, _)| key == k).unwrap().1.clone();
+        assert!(matches!(lookup("bench_threads"), Json::Num(n) if n == 4.0));
+        // A bench that drove one worker is single-core by definition,
+        // whatever the machine could have done.
+        let Json::Obj(serial) = run_metadata_with_threads(1) else {
+            panic!("metadata must be an object");
+        };
+        let v = serial
+            .iter()
+            .find(|(key, _)| key == "single_core")
+            .unwrap()
+            .1
+            .clone();
+        assert!(matches!(v, Json::Bool(true)));
     }
 
     #[test]

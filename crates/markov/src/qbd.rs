@@ -22,6 +22,8 @@
 //! The busy-period-transformed EF and IF chains of the paper (Figures 3c
 //! and 7c) are solved exactly through this interface.
 
+use std::cell::RefCell;
+
 use eirs_numerics::lu::{LinAlgError, LuDecomposition};
 use eirs_numerics::Matrix;
 
@@ -333,10 +335,11 @@ impl Qbd {
     }
 
     /// Computes the rate matrix `R` with the requested algorithm, using a
-    /// fresh scratch workspace.
+    /// thread-local pooled workspace: sweep workers that solve thousands
+    /// of same-shaped chains through this entry point allocate nothing
+    /// per solve after the first.
     pub fn solve_r(&self, solver: RSolver) -> Result<Matrix, QbdError> {
-        let mut ws = QbdWorkspace::new(self.phases());
-        self.solve_r_with_workspace(solver, &mut ws)
+        with_pooled_workspace(self.phases(), |ws| self.solve_r_with_workspace(solver, ws))
     }
 
     /// Computes the rate matrix `R`, reusing `ws` as scratch storage so
@@ -349,19 +352,355 @@ impl Qbd {
         ws: &mut QbdWorkspace,
     ) -> Result<Matrix, QbdError> {
         let a1h = self.a1_hat();
+        self.solve_r_with_workspace_prepared(&a1h, solver, ws)
+    }
+
+    /// [`Qbd::solve_r_with_workspace`] with `Â1` already computed — the
+    /// warm path hands its copy through here on fallback instead of
+    /// rebuilding it.
+    fn solve_r_with_workspace_prepared(
+        &self,
+        a1h: &Matrix,
+        solver: RSolver,
+        ws: &mut QbdWorkspace,
+    ) -> Result<Matrix, QbdError> {
         ws.reset(self.phases());
         let r = match solver {
-            RSolver::FixedPoint => self.r_fixed_point(&a1h, ws)?,
-            RSolver::LogarithmicReduction => self.r_logarithmic_reduction(&a1h, ws)?,
+            RSolver::FixedPoint => self.r_fixed_point(a1h, ws)?,
+            RSolver::LogarithmicReduction => self.r_logarithmic_reduction(a1h, ws)?,
         };
         // Positive recurrence check: sp(R) < 1.
-        let sp = spectral_radius_estimate_into(&r, &mut ws.pv, &mut ws.pw);
-        if sp >= 1.0 - 1e-10 {
+        if let Err(sp) = certify_stable_r(&r, &mut ws.pv, &mut ws.pw) {
             return Err(QbdError::Unstable {
                 spectral_radius: sp,
             });
         }
         Ok(r)
+    }
+
+    /// Computes `R` **warm-started** from `prev_r`, the solved rate matrix
+    /// of a neighboring parameter point (e.g. the previous cell of a sweep
+    /// row). Uses a thread-local pooled workspace.
+    ///
+    /// The warm path refines `prev_r` through the fixed-point map
+    /// `R ← C0 + R²C2` (whose constants are entrywise nonnegative, so the
+    /// iterates stay nonnegative from any nonnegative seed) and accepts the
+    /// result only when it converges, satisfies the defining equation
+    /// tightly, and has `sp(R) < 1` — the unique nonnegative solution with
+    /// spectral radius below one *is* the minimal solution, so a validated
+    /// warm result equals the cold one to solver tolerance (property-tested
+    /// across a `(k, ρ)` grid). Any failure — wrong shape, negative or
+    /// non-finite seed entries, divergence, loose residual — falls back to
+    /// the cold `solver` path, so the error behavior (notably
+    /// [`QbdError::Unstable`]) is identical to [`Qbd::solve_r`].
+    pub fn solve_r_warm(&self, prev_r: &Matrix, solver: RSolver) -> Result<Matrix, QbdError> {
+        with_pooled_workspace(self.phases(), |ws| {
+            self.solve_r_warm_with_workspace(prev_r, solver, ws)
+        })
+    }
+
+    /// [`Qbd::solve_r_warm`] with an explicit workspace.
+    pub fn solve_r_warm_with_workspace(
+        &self,
+        prev_r: &Matrix,
+        solver: RSolver,
+        ws: &mut QbdWorkspace,
+    ) -> Result<Matrix, QbdError> {
+        let p = self.phases();
+        let usable = prev_r.rows() == p
+            && prev_r.cols() == p
+            && prev_r.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0);
+        if usable {
+            let a1h = self.a1_hat();
+            ws.reset(p);
+            // Chains whose down block has a single nonzero column (the
+            // elastic-first family: every elastic departure re-enters the
+            // same phase) admit a rank-1 reduction of the R equation that
+            // converges quadratically from the neighbor's seed. Everything
+            // else refines the seed through the fixed-point map, which
+            // bails early when the seed is too far off to beat a cold
+            // solve.
+            let refined = match self.single_nonzero_a2_column() {
+                Some(j) => self.r_rank1_newton(&a1h, j, prev_r, ws),
+                None => self.r_warm_refine(&a1h, prev_r, ws),
+            };
+            if let Some(r) = refined {
+                if certify_stable_r(&r, &mut ws.pv, &mut ws.pw).is_ok() {
+                    return Ok(r);
+                }
+            }
+            return self.solve_r_with_workspace_prepared(&a1h, solver, ws);
+        }
+        self.solve_r_with_workspace(solver, ws)
+    }
+
+    /// Index of the single column of `A2` containing any nonzero entry, or
+    /// `None` when the down block has zero or several nonzero columns.
+    /// This is the structural precondition for [`Qbd::r_rank1_newton`].
+    fn single_nonzero_a2_column(&self) -> Option<usize> {
+        let p = self.phases();
+        let mut found = None;
+        for j in 0..p {
+            if (0..p).any(|i| self.a2[(i, j)] != 0.0) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(j);
+            }
+        }
+        found
+    }
+
+    /// Warm R solve for chains whose `A2` has a single nonzero column `j`.
+    ///
+    /// With `a = A2·eⱼ`, the product `R·A2` is the rank-1 matrix
+    /// `u·eⱼᵀ` (`u = R·a`), so `R = A0·(−Â1 − u·eⱼᵀ)^{-1}` and
+    /// Sherman–Morrison collapses the quadratic matrix equation to a
+    /// *scalar* root-find: writing `H = Â1^{-1}`, `w = H·a`, `α = wⱼ`, the
+    /// unknown `β = (H·u)ⱼ` solves `g(β) = v(β)ⱼ − β = 0`, where `v(β)` is
+    /// the solution of `(Â1 − α/(1+β)·A0)·v = −A0·w`. Newton's method on
+    /// `g` reuses each step's LU for the derivative solve, and the
+    /// neighbor's solved `R` seeds `β`, so convergence takes ~4–6 steps of
+    /// one small refactorization plus two triangular solves each —
+    /// independent of how slowly the generic fixed point would mix.
+    ///
+    /// The scalar equation has one root per solution of the quadratic
+    /// matrix equation, and the minimal (stable) `R` corresponds to the
+    /// *largest* root: `H = Â1^{-1}` is entrywise nonpositive, so `β`
+    /// decreases as `R` grows, and near saturation the stable root and the
+    /// companion `sp(R) = 1` root sit close together. A neighbor-seeded
+    /// Newton can land on the wrong one, so every converged root is
+    /// certified (`sp(R) < 1` plus a tight residual of the full quadratic
+    /// equation) before acceptance; a rejected root triggers one retry
+    /// from `β = 0`, which descends to the largest root. Any remaining
+    /// failure returns `None` and the caller falls back cold — the same
+    /// contract as every warm path, so a certified result matches the
+    /// cold solver to solver tolerance.
+    fn r_rank1_newton(
+        &self,
+        a1h: &Matrix,
+        j: usize,
+        seed: &Matrix,
+        ws: &mut QbdWorkspace,
+    ) -> Option<Matrix> {
+        let p = self.phases();
+        // H = Â1^{-1}, w = H·a, α = wⱼ.
+        ws.lu.refactor(a1h).ok()?;
+        ws.lu.inverse_into(&mut ws.w, &mut ws.col).ok()?;
+        for i in 0..p {
+            ws.rv[i] = self.a2[(i, j)];
+        }
+        for i in 0..p {
+            let mut s = 0.0;
+            for (hk, ak) in ws.w.row(i).iter().zip(ws.rv.iter()) {
+                s += hk * ak;
+            }
+            ws.rw[i] = s;
+        }
+        let alpha = ws.rw[j];
+        // Seed β from the neighbor: u₀ = R_seed·a, β₀ = (H·u₀)ⱼ.
+        let mut beta_seed = {
+            for i in 0..p {
+                let mut s = 0.0;
+                for (rk, ak) in seed.row(i).iter().zip(ws.rv.iter()) {
+                    s += rk * ak;
+                }
+                ws.col[i] = s;
+            }
+            let mut s = 0.0;
+            for (hk, uk) in ws.w.row(j).iter().zip(ws.col.iter()) {
+                s += hk * uk;
+            }
+            s
+        };
+        if !beta_seed.is_finite() {
+            beta_seed = 0.0;
+        }
+        let mut start = beta_seed;
+        loop {
+            if let Some(beta) = self.r_rank1_newton_root(a1h, j, alpha, start, ws) {
+                // R = −A0·H + (A0·v)·H[j,·]/(1+β), with v = v(β) in ws.rx.
+                self.a0.mul_into(&ws.w, &mut ws.r);
+                ws.r.scale_mut(-1.0);
+                for i in 0..p {
+                    let mut s = 0.0;
+                    for (ak, vk) in self.a0.row(i).iter().zip(ws.rx.iter()) {
+                        s += ak * vk;
+                    }
+                    ws.pv[i] = s / (1.0 + beta);
+                }
+                for i in 0..p {
+                    let coef = ws.pv[i];
+                    for (rij, hjk) in ws.r.row_mut(i).iter_mut().zip(ws.w.row(j).iter()) {
+                        *rij += coef * hjk;
+                    }
+                }
+                let residual = self.r_residual_with(a1h, ws);
+                if ws.r.is_finite()
+                    && residual.is_finite()
+                    && residual < 1e-9 * (1.0 + a1h.max_abs())
+                    && certify_stable_r(&ws.r, &mut ws.pv, &mut ws.pw).is_ok()
+                {
+                    return Some(ws.r.clone());
+                }
+            }
+            if start == 0.0 {
+                return None;
+            }
+            start = 0.0;
+        }
+    }
+
+    /// One Newton run for [`Qbd::r_rank1_newton`] from `start`: returns
+    /// the converged root `β` (leaving `v(β)` in `ws.rx`), or `None` if
+    /// the iteration leaves the domain or fails to converge. Each step
+    /// factors `S = Â1 − α/(1+β)·A0` once and reuses the LU for both the
+    /// function and derivative solves.
+    fn r_rank1_newton_root(
+        &self,
+        a1h: &Matrix,
+        j: usize,
+        alpha: f64,
+        start: f64,
+        ws: &mut QbdWorkspace,
+    ) -> Option<f64> {
+        let p = self.phases();
+        let mut beta = start;
+        for _ in 0..24 {
+            let denom = 1.0 + beta;
+            if denom.abs() <= 1e-8 {
+                return None;
+            }
+            let c = alpha / denom;
+            ws.scratch.copy_from(a1h);
+            ws.scratch.add_assign_scaled(&self.a0, -c);
+            ws.lu.refactor(&ws.scratch).ok()?;
+            // v solves S·v = −A0·w.
+            for i in 0..p {
+                let mut s = 0.0;
+                for (ak, wk) in self.a0.row(i).iter().zip(ws.rw.iter()) {
+                    s += ak * wk;
+                }
+                ws.col[i] = -s;
+            }
+            ws.lu.solve_into(&ws.col, &mut ws.rx).ok()?;
+            let g = ws.rx[j] - beta;
+            if !g.is_finite() {
+                return None;
+            }
+            if g.abs() <= 1e-13 * (1.0 + beta.abs()) {
+                return Some(beta);
+            }
+            // g'(β) = −α/(1+β)² · (S^{-1}·A0·v)ⱼ − 1, on the same LU.
+            for i in 0..p {
+                let mut s = 0.0;
+                for (ak, vk) in self.a0.row(i).iter().zip(ws.rx.iter()) {
+                    s += ak * vk;
+                }
+                ws.pv[i] = s;
+            }
+            ws.lu.solve_into(&ws.pv, &mut ws.pw).ok()?;
+            let gp = -alpha / (denom * denom) * ws.pw[j] - 1.0;
+            if !gp.is_finite() || gp == 0.0 {
+                return None;
+            }
+            let next = beta - g / gp;
+            if !next.is_finite() {
+                return None;
+            }
+            beta = next;
+        }
+        None
+    }
+
+    /// Fixed-point refinement from a nonnegative seed. Returns `None`
+    /// unless the iteration converges *and* the residual certifies the
+    /// fixed point (warm acceptance is stricter than the cold path — a bad
+    /// seed must never produce a silently wrong `R`).
+    fn r_warm_refine(&self, a1h: &Matrix, seed: &Matrix, ws: &mut QbdWorkspace) -> Option<Matrix> {
+        ws.r.copy_from(seed);
+        // Hopeless-seed pre-check, before paying for the LU and inverse of
+        // Â1: the first refinement step is `step = −(A0 + R Â1 + R² A2)
+        // Â1⁻¹`, so a seed whose raw residual is already large (relative
+        // to ‖Â1‖, which bounds the inverse's attenuation from below by
+        // 1/cond) can only produce a first-step diff far above the bail
+        // threshold below. Three matrix products decide that here at a
+        // small fraction of the setup cost; coarse-step sweep seeds — the
+        // common miss — exit through this path. Borderline seeds fall
+        // through and are still caught by the `it == 0` bail.
+        let residual = self.r_residual_with(a1h, ws);
+        if !(residual.is_finite() && residual < 1e-4 * (1.0 + a1h.max_abs())) {
+            return None;
+        }
+        ws.lu.refactor(a1h).ok()?;
+        ws.lu.inverse_into(&mut ws.w, &mut ws.col).ok()?;
+        self.a0.mul_into(&ws.w, &mut ws.c0);
+        ws.c0.scale_mut(-1.0);
+        self.a2.mul_into(&ws.w, &mut ws.c2);
+        ws.c2.scale_mut(-1.0);
+
+        // The refinement map contracts linearly, so its measured rate θ
+        // projects the total iteration count; a seed that projects past
+        // the budget cannot beat the cold solver (logarithmic reduction
+        // converges quadratically — at sweep phase dimensions the whole
+        // cold solve costs what a few dozen fixed-point steps do), so the
+        // refine gives up within ~1µs instead of grinding out hundreds of
+        // linear-rate steps. The rate is re-estimated over an 8-step
+        // window at each checkpoint because the first steps contract
+        // faster than the asymptotic rate — a single early ratio projects
+        // far too optimistically. Dense-step sweeps, where the seed is
+        // genuinely close, converge inside the budget and warm-hit.
+        const WARM_BUDGET: usize = 32;
+        let mut window_diff = f64::INFINITY;
+        for it in 0..WARM_BUDGET {
+            Matrix::mul_into(&ws.r, &ws.r, &mut ws.m0);
+            ws.m0.mul_into(&ws.c2, &mut ws.m2);
+            ws.next.copy_from(&ws.c0);
+            ws.next.add_assign(&ws.m2);
+            let diff = ws.next.max_abs_diff(&ws.r);
+            std::mem::swap(&mut ws.r, &mut ws.next);
+            // Finiteness and magnitude must be checked BEFORE the
+            // convergence test: `max_abs_diff` (a fold over `f64::max`)
+            // silently drops NaN entries, so a diverged iterate would
+            // otherwise read as diff = 0 and be "converged". A seed
+            // outside the fixed point's basin of attraction blows up
+            // geometrically — bail as soon as the iterate leaves any
+            // plausible range for a stable chain's R.
+            if !ws.r.is_finite() || ws.r.max_abs() > 1e6 {
+                return None;
+            }
+            if diff < 1e-14 {
+                let residual = self.r_residual_with(a1h, ws);
+                if residual.is_finite() && residual < 1e-9 * (1.0 + a1h.max_abs()) {
+                    return Some(ws.r.clone());
+                }
+                return None;
+            }
+            if it == 0 {
+                // A linear-rate iteration needs θ below ~0.5 to close more
+                // than six decades inside the budget; seeds displaced more
+                // than this after one step never do on real chains, so the
+                // refine gives up after a single ~0.3µs step rather than
+                // paying nine before the first windowed projection.
+                if diff > 1e-6 {
+                    return None;
+                }
+                window_diff = diff;
+            } else if it % 8 == 1 {
+                let span = if it == 1 { 1.0 } else { 8.0 };
+                let theta = (diff / window_diff).powf(1.0 / span);
+                // NaN thetas/projections (stalled diff, 0/0) must bail too.
+                if theta.is_nan() || theta >= 1.0 {
+                    return None;
+                }
+                let projected = (1e-14_f64 / diff).ln() / theta.ln();
+                if projected.is_nan() || projected > (WARM_BUDGET - 1 - it) as f64 {
+                    return None;
+                }
+                window_diff = diff;
+            }
+        }
+        None
     }
 
     /// Computes `R` with the original allocation-per-step implementation.
@@ -594,36 +933,79 @@ impl Qbd {
     }
 
     /// Solves the QBD: computes `R`, the boundary probabilities, and wraps
-    /// them in a [`QbdSolution`].
+    /// them in a [`QbdSolution`]. Runs on a thread-local pooled workspace,
+    /// so repeated solves of same-shaped chains allocate only the returned
+    /// solution.
     pub fn solve(&self) -> Result<QbdSolution, QbdError> {
         self.solve_with(RSolver::default())
     }
 
     /// Like [`Qbd::solve`] but with an explicit choice of R algorithm.
     pub fn solve_with(&self, solver: RSolver) -> Result<QbdSolution, QbdError> {
-        let mut ws = QbdWorkspace::new(self.phases());
-        self.solve_with_workspace(solver, &mut ws)
+        with_pooled_workspace(self.phases(), |ws| self.solve_with_workspace(solver, ws))
     }
 
-    /// Like [`Qbd::solve_with`], reusing `ws` for the R iteration scratch —
-    /// the path for sweeps that solve many same-dimension chains.
+    /// Like [`Qbd::solve_with`], reusing `ws` for the R iteration and
+    /// boundary-system scratch — the path for sweeps that solve many
+    /// same-dimension chains.
     pub fn solve_with_workspace(
         &self,
         solver: RSolver,
         ws: &mut QbdWorkspace,
     ) -> Result<QbdSolution, QbdError> {
+        let r = self.solve_r_with_workspace(solver, ws)?;
+        self.boundary_solution(r, ws)
+    }
+
+    /// Warm-started [`Qbd::solve`]: seeds the R computation from `prev_r`
+    /// via [`Qbd::solve_r_warm`] (cold fallback included), then runs the
+    /// same boundary solve. Pooled workspace; this is the per-cell entry
+    /// point of the warm sweep chains in `eirs-core`.
+    pub fn solve_warm(&self, prev_r: &Matrix) -> Result<QbdSolution, QbdError> {
+        with_pooled_workspace(self.phases(), |ws| {
+            self.solve_warm_with_workspace(prev_r, RSolver::default(), ws)
+        })
+    }
+
+    /// [`Qbd::solve_warm`] with an explicit cold-fallback algorithm and
+    /// workspace.
+    pub fn solve_warm_with_workspace(
+        &self,
+        prev_r: &Matrix,
+        solver: RSolver,
+        ws: &mut QbdWorkspace,
+    ) -> Result<QbdSolution, QbdError> {
+        let r = self.solve_r_warm_with_workspace(prev_r, solver, ws)?;
+        self.boundary_solution(r, ws)
+    }
+
+    /// Boundary balance solve for a computed `R`: assembles the transposed
+    /// balance system directly into the workspace's boundary scratch (same
+    /// accumulation order per entry as the historical row-major build, so
+    /// the solution is bit-identical to it) and solves it through the
+    /// workspace LU storage — zero allocations beyond the returned
+    /// [`QbdSolution`].
+    fn boundary_solution(&self, r: Matrix, ws: &mut QbdWorkspace) -> Result<QbdSolution, QbdError> {
         let p = self.phases();
         let m = self.boundary_levels();
-        let r = self.solve_r_with_workspace(solver, ws)?;
         let a1h = self.a1_hat();
-        let identity = Matrix::identity(p);
-        let i_minus_r_inv = LuDecomposition::new(&(&identity - &r))?.inverse()?;
+
+        // (I − R)^{-1}, factored through the workspace LU storage.
+        ws.identity.set_identity();
+        ws.identity.sub_into(&r, &mut ws.scratch);
+        ws.lu.refactor(&ws.scratch)?;
+        let mut i_minus_r_inv = Matrix::zeros(p, p);
+        ws.lu.inverse_into(&mut i_minus_r_inv, &mut ws.col)?;
 
         // Assemble the boundary balance system over levels 0..=m:
-        // unknown row vector x = (π_0, …, π_m), one balance column per state,
-        // with column 0 replaced by the normalization equation.
+        // unknown row vector x = (π_0, …, π_m), one balance column per
+        // state, with column 0 replaced by the normalization equation.
+        // Built directly as the transpose Bᵀ (entry (row, col) of the
+        // balance matrix lands at (col, row)) since that is the matrix the
+        // linear solve factors.
         let n = (m + 1) * p;
-        let mut bmat = Matrix::zeros(n, n);
+        ws.boundary.reset(n);
+        let bt = &mut ws.boundary.bt;
         let idx = |level: usize, phase: usize| level * p + phase;
 
         // Boundary levels 0..m-1.
@@ -640,58 +1022,61 @@ impl Qbd {
                 for j in 0..p {
                     let u = up[(i, j)];
                     if u != 0.0 {
-                        bmat[(idx(level, i), idx(level + 1, j))] += u;
+                        bt[(idx(level + 1, j), idx(level, i))] += u;
                         exit += u;
                     }
                     let l = local[(i, j)];
                     if l != 0.0 && i != j {
-                        bmat[(idx(level, i), idx(level, j))] += l;
+                        bt[(idx(level, j), idx(level, i))] += l;
                         exit += l;
                     }
                     if let Some(d) = down {
                         let dv = d[(i, j)];
                         if dv != 0.0 {
-                            bmat[(idx(level, i), idx(level - 1, j))] += dv;
+                            bt[(idx(level - 1, j), idx(level, i))] += dv;
                             exit += dv;
                         }
                     }
                 }
-                bmat[(idx(level, i), idx(level, i))] -= exit;
+                bt[(idx(level, i), idx(level, i))] -= exit;
             }
         }
         // Level m: local part Â1 + R·A2 (the R closure of π_{m+1} A2), plus
         // the physical A2 flow down into level m-1.
-        let ra2 = r.matmul(&self.a2);
+        r.mul_into(&self.a2, &mut ws.tmp);
         for i in 0..p {
             for j in 0..p {
-                let v = a1h[(i, j)] + ra2[(i, j)];
+                let v = a1h[(i, j)] + ws.tmp[(i, j)];
                 if v != 0.0 {
-                    bmat[(idx(m, i), idx(m, j))] += v;
+                    bt[(idx(m, j), idx(m, i))] += v;
                 }
                 let d = self.a2[(i, j)];
                 if d != 0.0 {
-                    bmat[(idx(m, i), idx(m - 1, j))] += d;
+                    bt[(idx(m - 1, j), idx(m, i))] += d;
                 }
             }
         }
 
-        // Replace the column of state (0,0) with normalization coefficients:
+        // Replace the column of state (0,0) — row 0 of Bᵀ — with
+        // normalization coefficients:
         // Σ_{ℓ<m} π_ℓ·1 + π_m (I−R)^{-1}·1 = 1.
         let tail_weights = i_minus_r_inv.row_sums();
         for level in 0..m {
             for i in 0..p {
-                bmat[(idx(level, i), 0)] = 1.0;
+                bt[(0, idx(level, i))] = 1.0;
             }
         }
         for i in 0..p {
-            bmat[(idx(m, i), 0)] = tail_weights[i];
+            bt[(0, idx(m, i))] = tail_weights[i];
         }
 
         // Solve xᵀ from Bᵀ xᵀ = e_0.
-        let bt = bmat.transpose();
-        let mut rhs = vec![0.0; n];
-        rhs[0] = 1.0;
-        let mut x = LuDecomposition::new(&bt)?.solve(&rhs)?;
+        let boundary = &mut ws.boundary;
+        boundary.lu.refactor(&boundary.bt)?;
+        boundary.rhs.fill(0.0);
+        boundary.rhs[0] = 1.0;
+        boundary.lu.solve_into(&boundary.rhs, &mut boundary.x)?;
+        let mut x = boundary.x.clone();
         // Numerical noise can leave tiny negative entries; clamp them.
         for v in &mut x {
             if *v < 0.0 {
@@ -728,6 +1113,10 @@ pub struct QbdWorkspace {
     col: Vec<f64>,
     pv: Vec<f64>,
     pw: Vec<f64>,
+    /// Rank-1 warm-solver vectors: `a`/`w`/`v` of [`Qbd::r_rank1_newton`].
+    rv: Vec<f64>,
+    rw: Vec<f64>,
+    rx: Vec<f64>,
     r: Matrix,
     next: Matrix,
     c0: Matrix,
@@ -743,6 +1132,85 @@ pub struct QbdWorkspace {
     w: Matrix,
     scratch: Matrix,
     identity: Matrix,
+    boundary: BoundaryScratch,
+}
+
+/// Scratch for the boundary balance solve: the transposed balance matrix,
+/// an LU with reusable storage, and solve vectors. Sized by the boundary
+/// state count `n = (m + 1) · p`, which is independent of the phase
+/// dimension the rest of the workspace is keyed on — so it carries its own
+/// size and survives [`QbdWorkspace::reset`].
+#[derive(Debug, Clone)]
+struct BoundaryScratch {
+    n: usize,
+    bt: Matrix,
+    lu: LuDecomposition,
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl Default for BoundaryScratch {
+    fn default() -> Self {
+        Self {
+            n: 0,
+            bt: Matrix::zeros(1, 1),
+            lu: LuDecomposition::identity(1),
+            rhs: Vec::new(),
+            x: Vec::new(),
+        }
+    }
+}
+
+impl BoundaryScratch {
+    /// Sizes the scratch for an `n`-state boundary system and zeroes the
+    /// assembly matrix (its entries are accumulated with `+=`).
+    fn reset(&mut self, n: usize) {
+        if self.n != n {
+            self.bt = Matrix::zeros(n, n);
+            self.lu = LuDecomposition::identity(n);
+            self.rhs = vec![0.0; n];
+            self.x = vec![0.0; n];
+            self.n = n;
+        } else {
+            self.bt.fill(0.0);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread pool of workspaces, keyed by phase dimension. Sweep
+    /// cells alternate between chain shapes (the figure-4 grid interleaves
+    /// p = 3 elastic-first and p = k + 2 inelastic-first chains), so the
+    /// pool keeps one workspace per recently seen dimension instead of
+    /// thrashing a single workspace's buffers on every cell.
+    static WORKSPACE_POOL: RefCell<Vec<QbdWorkspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on pooled workspaces per thread: enough for every chain
+/// shape a mixed sweep touches, small enough to bound retained memory.
+const POOL_MAX: usize = 8;
+
+/// Runs `f` with a thread-local pooled [`QbdWorkspace`] sized for `p`
+/// phases. The workspace is checked **out** of the pool for the duration
+/// of `f` — nested solves each get their own — and offered back after; if
+/// no pooled workspace matches the dimension, a fresh one is built rather
+/// than resizing one of a dimension other sweep cells still need.
+fn with_pooled_workspace<T>(p: usize, f: impl FnOnce(&mut QbdWorkspace) -> T) -> T {
+    let pooled = WORKSPACE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter()
+            .position(|w| w.phases() == p)
+            .map(|i| pool.swap_remove(i))
+    });
+    let mut ws = pooled.unwrap_or_else(|| QbdWorkspace::new(p));
+    let out = f(&mut ws);
+    WORKSPACE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_MAX {
+            pool.push(ws);
+        }
+    });
+    out
 }
 
 impl QbdWorkspace {
@@ -755,6 +1223,9 @@ impl QbdWorkspace {
             col: vec![0.0; p],
             pv: vec![0.0; p],
             pw: vec![0.0; p],
+            rv: vec![0.0; p],
+            rw: vec![0.0; p],
+            rx: vec![0.0; p],
             r: z(),
             next: z(),
             c0: z(),
@@ -770,6 +1241,7 @@ impl QbdWorkspace {
             w: z(),
             scratch: z(),
             identity: Matrix::identity(p.max(1)),
+            boundary: BoundaryScratch::default(),
         }
     }
 
@@ -778,10 +1250,14 @@ impl QbdWorkspace {
         self.p
     }
 
-    /// Regrows the buffers when the phase dimension changes.
+    /// Regrows the phase-dimension buffers when the dimension changes.
+    /// The boundary scratch is sized separately (by boundary state count)
+    /// and is preserved across regrows.
     fn reset(&mut self, p: usize) {
         if self.p != p || self.identity.rows() != p {
+            let boundary = std::mem::take(&mut self.boundary);
             *self = Self::new(p);
+            self.boundary = boundary;
         }
     }
 }
@@ -792,14 +1268,102 @@ fn spectral_radius_estimate(r: &Matrix) -> f64 {
     spectral_radius_estimate_into(r, &mut vec![1.0; p], &mut vec![0.0; p])
 }
 
+/// Positive-recurrence certificate for a solved rate matrix: `Ok(())` when
+/// `sp(R) < 1 − 1e-10`, `Err(sp_estimate)` otherwise.
+///
+/// Runs the cheap norm bound first: `sp(R) ≤ ‖R‖∞`, so a maximum absolute
+/// row sum under the threshold certifies stability without touching the
+/// power iteration — on typical sweep grids this skips 45–140 power steps
+/// per solve, a quarter of the whole R-solve cost. The bound is only
+/// sufficient (a stable chain can still have `‖R‖∞ ≥ 1`); inconclusive
+/// cases fall through to [`spectral_radius_estimate_into`], so the
+/// `Unstable` error and its reported estimate are unchanged. `R` itself is
+/// never modified, which keeps solve outputs bit-identical to the
+/// always-power-iterate history.
+fn certify_stable_r(r: &Matrix, v: &mut [f64], w: &mut [f64]) -> Result<(), f64> {
+    let norm_inf = (0..r.rows())
+        .map(|i| r.row(i).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max);
+    if norm_inf < 1.0 - 1e-10 {
+        return Ok(());
+    }
+    // Collatz–Wielandt early accept: a rate matrix is entrywise
+    // nonnegative, and for nonnegative `R` and any strictly positive `v`,
+    // `sp(R) ≤ max_i (vᵀR)_i / v_i`. A handful of power steps tighten this
+    // rigorous bound far faster than the eigenvector itself converges, so
+    // sweep cells whose `R` fails the row-sum shortcut certify in a few
+    // mat-vec products instead of O(100) full power steps. Inconclusive
+    // after the budget (or an iterate touching zero, where the bound is
+    // invalid): fall through to the full estimate, so rejections — and the
+    // spectral-radius value they report — are exactly as before.
+    if r.as_slice().iter().all(|&x| x >= 0.0) {
+        v.fill(1.0);
+        for _ in 0..CW_CERT_STEPS {
+            r.vecmat_into(v, w);
+            let norm = w.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+            if norm == 0.0 {
+                // vᵀR = 0 with v > 0 means R = 0: trivially stable.
+                return Ok(());
+            }
+            let mut bound = 0.0f64;
+            let mut positive = true;
+            for (wi, vi) in w.iter().zip(v.iter()) {
+                // NaN iterates count as non-positive: inconclusive, fall
+                // through to the power-iteration estimate.
+                if vi.is_nan() || *vi <= 0.0 {
+                    positive = false;
+                    break;
+                }
+                bound = bound.max(wi / vi);
+            }
+            if !positive {
+                break;
+            }
+            if bound < 1.0 - 1e-10 {
+                return Ok(());
+            }
+            for (vi, wi) in v.iter_mut().zip(w.iter()) {
+                *vi = wi / norm;
+            }
+        }
+    }
+    let sp = spectral_radius_estimate_into(r, v, w);
+    if sp < 1.0 - 1e-10 {
+        Ok(())
+    } else {
+        Err(sp)
+    }
+}
+
+/// Power-step budget for the Collatz–Wielandt early accept in
+/// [`certify_stable_r`]. On sweep grids the bound certifies in 2–5 steps;
+/// anything still inconclusive here is near the stability boundary and
+/// falls through to the full power iteration.
+const CW_CERT_STEPS: usize = 12;
+
+/// Hard cap on power-iteration steps in the spectral-radius estimate.
+/// Together with the stagnation guard below this bounds the work per
+/// estimate even on defective or rotation-dominated inputs, where the
+/// eigenvector test alone never fires.
+const SP_MAX_ITERS: usize = 500;
+
 /// [`spectral_radius_estimate`] into caller-provided buffers: `v` and `w`
 /// must have length `r.rows()`; no allocation per power-iteration step.
 /// Performs the same floating-point operations in the same order as
 /// allocating afresh.
+///
+/// Termination: the eigenvector converging (`delta < 1e-13`), the
+/// eigenvalue estimate stagnating to 12 relative digits for three
+/// consecutive steps (matrices with complex subdominant pairs rotate the
+/// iterate forever while the norm estimate settles almost immediately),
+/// or the [`SP_MAX_ITERS`] cap. Defective matrices (a Jordan block)
+/// converge only harmonically and are the cap's clientele: the estimate is
+/// still within O(sp/Iters) of the true radius when the cap fires.
 fn spectral_radius_estimate_into(r: &Matrix, v: &mut [f64], w: &mut [f64]) -> f64 {
     v.fill(1.0);
     let mut lambda = 0.0;
-    for _ in 0..500 {
+    let mut stagnant = 0u32;
+    for _ in 0..SP_MAX_ITERS {
         r.vecmat_into(v, w);
         let norm = w.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
         if norm == 0.0 {
@@ -812,8 +1376,13 @@ fn spectral_radius_estimate_into(r: &Matrix, v: &mut [f64], w: &mut [f64]) -> f6
         for (vi, wi) in v.iter_mut().zip(w.iter()) {
             *vi = wi / norm;
         }
+        if (norm - lambda).abs() <= 1e-12 * norm.max(1.0) {
+            stagnant += 1;
+        } else {
+            stagnant = 0;
+        }
         lambda = norm;
-        if delta < 1e-13 {
+        if delta < 1e-13 || stagnant >= 3 {
             break;
         }
     }
@@ -1320,6 +1889,129 @@ mod tests {
             sol.mean_level() > mm1_mean * 1.05,
             "bursty {} vs poisson {mm1_mean}",
             sol.mean_level()
+        );
+    }
+
+    #[test]
+    fn warm_start_from_converged_r_matches_cold() {
+        let qbd = mcox1_qbd(0.7, (1.5, 0.8, 0.6));
+        let cold = qbd.solve_r(RSolver::LogarithmicReduction).unwrap();
+        // Seeding from the converged R itself: the refinement accepts
+        // after validating the residual, and the answer is the same
+        // solution to solver tolerance.
+        let warm = qbd
+            .solve_r_warm(&cold, RSolver::LogarithmicReduction)
+            .unwrap();
+        assert!(warm.max_abs_diff(&cold) < 1e-9);
+        // The full warm solve agrees with the cold solve on observables.
+        let warm_sol = qbd.solve_warm(&cold).unwrap();
+        let cold_sol = qbd.solve().unwrap();
+        let (a, b) = (warm_sol.mean_level(), cold_sol.mean_level());
+        assert!((a - b).abs() <= 1e-9 * b.abs(), "{a} vs {b}");
+    }
+
+    #[test]
+    fn warm_start_from_neighbor_r_matches_cold() {
+        // The realistic sweep scenario: seed a cell from its neighbor's R.
+        let neighbor = mcox1_qbd(0.4, (2.0, 0.5, 0.3));
+        let target = mcox1_qbd(0.45, (2.0, 0.5, 0.3));
+        let seed = neighbor.solve_r(RSolver::LogarithmicReduction).unwrap();
+        let warm = target
+            .solve_r_warm(&seed, RSolver::LogarithmicReduction)
+            .unwrap();
+        let cold = target.solve_r(RSolver::LogarithmicReduction).unwrap();
+        assert!(warm.max_abs_diff(&cold) < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_with_unusable_seed_is_bitwise_cold() {
+        let qbd = mcox1_qbd(0.4, (2.0, 0.5, 0.3));
+        let cold = qbd.solve_r(RSolver::LogarithmicReduction).unwrap();
+        // Wrong dimension, non-finite entries, and negative entries all
+        // fall back to the cold path — bit-identical, not just close.
+        let bad_seeds = [
+            Matrix::zeros(1, 1),
+            Matrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 0.0]]),
+            Matrix::from_rows(&[&[-0.1, 0.0], &[0.0, 0.1]]),
+        ];
+        for seed in &bad_seeds {
+            let warm = qbd
+                .solve_r_warm(seed, RSolver::LogarithmicReduction)
+                .unwrap();
+            assert_eq!(warm.as_slice(), cold.as_slice());
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_diverging_seed() {
+        // A finite nonnegative seed far outside the basin of attraction:
+        // the refinement blows up geometrically, and the guards must catch
+        // it — `max_abs_diff`'s NaN-dropping fold would otherwise report a
+        // diverged iterate as "converged" — then fall back to cold.
+        let qbd = mcox1_qbd(0.7, (1.5, 0.8, 0.6));
+        let cold = qbd.solve_r(RSolver::LogarithmicReduction).unwrap();
+        let mut big = cold.clone();
+        big.scale_mut(50.0);
+        let warm = qbd
+            .solve_r_warm(&big, RSolver::LogarithmicReduction)
+            .unwrap();
+        assert!(warm.is_finite());
+        assert!(warm.max_abs_diff(&cold) < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_preserves_unstable_detection() {
+        // A plausible-looking seed must not let an unstable chain slip
+        // through: the sp(R) guard rejects the refinement and the cold
+        // fallback reports Unstable.
+        let qbd = mm1_qbd(1.5, 1.0);
+        let seed = Matrix::from_rows(&[&[0.5]]);
+        assert!(matches!(
+            qbd.solve_r_warm(&seed, RSolver::LogarithmicReduction),
+            Err(QbdError::Unstable { .. })
+        ));
+        assert!(matches!(
+            qbd.solve_warm(&seed),
+            Err(QbdError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_solves_are_bit_stable_across_dimension_churn() {
+        // Interleave chains of different phase dimensions through the
+        // thread-local pool: every repeat must reproduce the first solve
+        // exactly, proving pooled buffers carry no state across solves.
+        let cox = mcox1_qbd(0.4, (2.0, 0.5, 0.3)); // p = 2
+        let mm1 = mm1_qbd(0.5, 1.0); // p = 1
+        let first_cox = cox.solve().unwrap();
+        let first_mm1 = mm1.solve().unwrap();
+        for _ in 0..3 {
+            let again_cox = cox.solve().unwrap();
+            let again_mm1 = mm1.solve().unwrap();
+            assert_eq!(again_cox.r().as_slice(), first_cox.r().as_slice());
+            assert_eq!(
+                again_cox.mean_level().to_bits(),
+                first_cox.mean_level().to_bits()
+            );
+            assert_eq!(again_mm1.r().as_slice(), first_mm1.r().as_slice());
+            assert_eq!(
+                again_mm1.mean_level().to_bits(),
+                first_mm1.mean_level().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_radius_estimate_terminates_on_defective_matrix() {
+        // Jordan block: defective (one eigenvector), power iteration
+        // converges only harmonically, so neither the eigenvector test nor
+        // the stagnation guard fires — the estimate must still terminate
+        // at the iteration cap with an answer close to the true radius.
+        let defective = Matrix::from_rows(&[&[0.9, 1.0], &[0.0, 0.9]]);
+        let est = spectral_radius_estimate(&defective);
+        assert!(
+            (est - 0.9).abs() < 0.01,
+            "estimate {est} too far from sp = 0.9"
         );
     }
 

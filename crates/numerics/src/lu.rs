@@ -127,15 +127,73 @@ impl LuDecomposition {
         self.factorize_in_place()
     }
 
+    /// Panel width of the blocked factorization: a 32-column panel keeps the
+    /// panel-row U block L1/L2-resident through the trailing update, cutting
+    /// the trailing-matrix memory traffic of the unblocked elimination by
+    /// the panel width.
+    const LU_PANEL: usize = 32;
+
     /// Gaussian elimination with partial pivoting over `self.lu`, which holds
     /// the input matrix on entry and the packed factors on success.
+    ///
+    /// Columns are eliminated in panels of [`LuDecomposition::LU_PANEL`]:
+    /// pivoting and the eager updates run inside the panel, then the
+    /// trailing columns receive the panel's deferred updates in elimination
+    /// order. Every per-element operation (pivot choice, swap, subtraction
+    /// sequence) is performed in the same order as the single-panel
+    /// elimination, so the blocked factors are **bit-identical** to the
+    /// [`LuDecomposition::new_unblocked`] reference (property-tested).
     fn factorize_in_place(&mut self) -> Result<(), LinAlgError> {
+        let n = self.lu.rows();
+        let tol = self.pivot_tolerance();
+        let mut cb = 0;
+        while cb < n {
+            let ce = (cb + Self::LU_PANEL).min(n);
+            // Panel factorization: pivot + eliminate columns cb..ce,
+            // updating only the panel columns eagerly.
+            self.eliminate_panel(cb, ce, ce, tol)?;
+            if ce == n {
+                break;
+            }
+            // Deferred updates to the trailing columns ce..n, applied in
+            // elimination order (ascending col) per element — exactly the
+            // subtraction sequence the unblocked loop performs.
+            // First the panel rows' own U block (row r is only updated by
+            // columns before it)...
+            for r in (cb + 1)..ce {
+                self.apply_deferred_updates(r, cb, r, ce, n);
+            }
+            // ...then the rows below the panel, by the whole panel.
+            for r in ce..n {
+                self.apply_deferred_updates(r, cb, ce, ce, n);
+            }
+            cb = ce;
+        }
+        Ok(())
+    }
+
+    /// Relative singularity threshold, computed once from the matrix being
+    /// factorized (before any elimination).
+    fn pivot_tolerance(&self) -> f64 {
+        let n = self.lu.rows();
+        (n as f64) * f64::EPSILON * self.lu.max_abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Eliminates columns `cb..ce` with partial pivoting (full-row swaps),
+    /// updating columns up to `update_end` eagerly. With
+    /// `(cb, ce, update_end) = (0, n, n)` this is the classical unblocked
+    /// elimination.
+    fn eliminate_panel(
+        &mut self,
+        cb: usize,
+        ce: usize,
+        update_end: usize,
+        tol: f64,
+    ) -> Result<(), LinAlgError> {
         let n = self.lu.rows();
         let lu = &mut self.lu;
         let perm = &mut self.perm;
-        let tol = (n as f64) * f64::EPSILON * lu.max_abs().max(f64::MIN_POSITIVE);
-
-        for col in 0..n {
+        for col in cb..ce {
             // Pivot search over rows col..n.
             let mut pivot_row = col;
             let mut pivot_val = lu[(col, col)].abs();
@@ -152,25 +210,71 @@ impl LuDecomposition {
             if pivot_row != col {
                 perm.swap(col, pivot_row);
                 self.perm_sign = -self.perm_sign;
-                for c in 0..n {
-                    let tmp = lu[(col, c)];
-                    lu[(col, c)] = lu[(pivot_row, c)];
-                    lu[(pivot_row, c)] = tmp;
-                }
+                let (a, b) = lu.two_rows_mut(col, pivot_row);
+                a.swap_with_slice(b);
             }
             let pivot = lu[(col, col)];
             for r in (col + 1)..n {
-                let factor = lu[(r, col)] / pivot;
-                lu[(r, col)] = factor;
+                let (dst, src) = lu.two_rows_mut(r, col);
+                let factor = dst[col] / pivot;
+                dst[col] = factor;
                 if factor != 0.0 {
-                    for c in (col + 1)..n {
-                        let sub = factor * lu[(col, c)];
-                        lu[(r, c)] -= sub;
+                    for (d, &s) in dst[(col + 1)..update_end]
+                        .iter_mut()
+                        .zip(&src[(col + 1)..update_end])
+                    {
+                        *d -= factor * s;
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Applies the deferred trailing updates of panel columns `cb..ce_row`
+    /// to row `r`, columns `c0..c1`. The column range is tiled so the row-`r`
+    /// segment stays L1-resident across the whole panel; each element still
+    /// receives its subtractions in ascending elimination order, which is
+    /// all bit-identity requires.
+    #[inline]
+    fn apply_deferred_updates(&mut self, r: usize, cb: usize, ce_row: usize, c0: usize, c1: usize) {
+        const TILE: usize = 128;
+        let mut t0 = c0;
+        while t0 < c1 {
+            let t1 = (t0 + TILE).min(c1);
+            for col in cb..ce_row {
+                let (dst, src) = self.lu.two_rows_mut(r, col);
+                let factor = dst[col];
+                if factor != 0.0 {
+                    for (d, &s) in dst[t0..t1].iter_mut().zip(&src[t0..t1]) {
+                        *d -= factor * s;
+                    }
+                }
+            }
+            t0 = t1;
+        }
+    }
+
+    /// Factorizes `a` with the original single-panel (unblocked)
+    /// elimination, retained as the differential reference for the
+    /// panel-blocked [`LuDecomposition::new`] path. Same pivoting, same
+    /// factors — bit for bit.
+    pub fn new_unblocked(a: &Matrix) -> Result<Self, LinAlgError> {
+        if !a.is_square() {
+            return Err(LinAlgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut this = Self {
+            lu: a.clone(),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        };
+        let tol = this.pivot_tolerance();
+        this.eliminate_panel(0, n, n, tol)?;
+        Ok(this)
     }
 
     /// Dimension of the factorized matrix.
@@ -214,18 +318,20 @@ impl LuDecomposition {
     fn substitute_in_place(&self, x: &mut [f64]) {
         let n = self.dim();
         for i in 1..n {
+            let row = self.lu.row(i);
             let mut acc = x[i];
-            for (j, &xj) in x.iter().enumerate().take(i) {
-                acc -= self.lu[(i, j)] * xj;
+            for (&lij, &xj) in row[..i].iter().zip(x[..i].iter()) {
+                acc -= lij * xj;
             }
             x[i] = acc;
         }
         for i in (0..n).rev() {
+            let row = self.lu.row(i);
             let mut acc = x[i];
-            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
-                acc -= self.lu[(i, j)] * xj;
+            for (&lij, &xj) in row[(i + 1)..].iter().zip(x[(i + 1)..].iter()) {
+                acc -= lij * xj;
             }
-            x[i] = acc / self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
     }
 
@@ -301,14 +407,36 @@ impl LuDecomposition {
                 got: col.len(),
             });
         }
-        for c in 0..n {
-            // Permuted unit vector e_c: entry r is 1 exactly when perm[r] = c.
-            for (r, &p) in self.perm.iter().enumerate() {
-                col[r] = if p == c { 1.0 } else { 0.0 };
+        // All-columns-at-once substitution: the right-hand side is the
+        // permuted identity held in `out` row-major, and each elimination
+        // step updates a whole row, vectorizing across the n columns
+        // instead of striding down one. Per column this performs exactly
+        // the operations of `substitute_in_place` in the same order, so
+        // the result is bit-identical to the column-by-column version.
+        out.as_mut_slice().fill(0.0);
+        for (r, &p) in self.perm.iter().enumerate() {
+            out[(r, p)] = 1.0;
+        }
+        for i in 1..n {
+            for k in 0..i {
+                let lik = self.lu[(i, k)];
+                let (dst, src) = out.two_rows_mut(i, k);
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d -= lik * s;
+                }
             }
-            self.substitute_in_place(col);
-            for r in 0..n {
-                out[(r, c)] = col[r];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lik = self.lu[(i, k)];
+                let (dst, src) = out.two_rows_mut(i, k);
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d -= lik * s;
+                }
+            }
+            let piv = self.lu[(i, i)];
+            for d in out.row_mut(i) {
+                *d /= piv;
             }
         }
         Ok(())

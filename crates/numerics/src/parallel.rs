@@ -10,11 +10,15 @@
 //! in this workspace is.
 //!
 //! No work-stealing, no rayon: the workloads here are hundreds of
-//! independent, multi-millisecond solves, where a shared atomic counter
-//! already balances load to within one item.
+//! independent solves. Workers claim **chunks** of consecutive items from
+//! a shared atomic counter (several chunks per worker, so stragglers still
+//! balance) and buffer results locally; the caller reassembles them into
+//! input order after the join. Compared to the original per-item counter +
+//! mutexed result vector, this amortizes all cross-thread synchronization
+//! over a chunk — the difference between 0.94× and real speedup when the
+//! per-item cost is tens of microseconds (dense figure-4 sweep cells).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "EIRS_THREADS";
@@ -48,10 +52,23 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// How many chunks each worker should see on average. More chunks → finer
+/// load balancing; fewer → less counter traffic. Four is enough that one
+/// straggler chunk costs at most ~1/4 of a worker's share of the sweep.
+const CHUNKS_PER_WORKER: usize = 4;
+
 /// Maps `f` over `items` on `threads` scoped worker threads, returning
 /// results in input order. With `threads <= 1` (or fewer than two items)
 /// the map runs inline on the caller's thread with no synchronization —
 /// the serial reference path.
+///
+/// Work is claimed in chunks of consecutive items (a few chunks per
+/// worker — see `CHUNKS_PER_WORKER`) from one atomic counter;
+/// each worker buffers its `(chunk start, results)` pairs locally and the
+/// caller stitches them back into input order, so there is no shared
+/// result lock and the per-item overhead is a plain function call.
+/// Items remain evaluated exactly once, in-chunk order, by a pure `f` —
+/// output is bit-identical to the serial path regardless of scheduling.
 ///
 /// Panics in `f` propagate to the caller once all workers have stopped.
 pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
@@ -64,29 +81,47 @@ where
         return items.iter().map(f).collect();
     }
     let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let nchunks = items.len().div_ceil(chunk);
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let results = Mutex::new(slots);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let r = f(&items[idx]);
-                results.lock().expect("no poisoned result lock")[idx] = Some(r);
-            });
-        }
+    let pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(items.len());
+                        mine.push((start, items[start..end].iter().map(&f).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
 
-    results
-        .into_inner()
-        .expect("no poisoned result lock")
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (start, rs) in pieces {
+        for (offset, r) in rs.into_iter().enumerate() {
+            slots[start + offset] = Some(r);
+        }
+    }
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.expect("every chunk claimed exactly once"))
         .collect()
 }
 
@@ -132,6 +167,34 @@ mod tests {
         let items = vec![1, 2, 3];
         let out = par_map_ordered(&items, 2, |&x| x + offset);
         assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn chunked_claiming_covers_ragged_lengths() {
+        // Lengths that don't divide evenly into chunks, plus more workers
+        // than items: every slot must still be filled exactly once.
+        for len in [2usize, 3, 7, 17, 63, 100, 257] {
+            for threads in [2usize, 3, 8, 300] {
+                let items: Vec<usize> = (0..len).collect();
+                let out = par_map_ordered(&items, threads, |&x| x * 3);
+                assert_eq!(out.len(), len);
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(*v, i * 3, "len={len} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u32> = (0..64).collect();
+            par_map_ordered(&items, 4, |&x| {
+                assert!(x != 33, "injected failure");
+                x
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]
