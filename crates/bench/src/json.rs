@@ -180,9 +180,20 @@ pub fn run_metadata() -> Json {
 /// [`run_metadata`] for a bench that drove an explicit worker count
 /// (e.g. a scaling table's maximum). `single_core` is true when either
 /// the machine has one core or the bench itself never went parallel.
+///
+/// `degenerate_scaling` is the sharper flag: the bench *claimed* to fan
+/// out (`bench_threads > 1`) but the host had one core, so every "N
+/// thread" row is a serial run wearing a parallel label. The PR-1
+/// `BENCH_sweeps.json` shipped exactly such a table; artifact readers
+/// must discard scaling rows whenever this is true. Recording one also
+/// warns loudly on stderr (once per process).
 pub fn run_metadata_with_threads(bench_threads: usize) -> Json {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = eirs_core::sweep::threads();
+    let degenerate = cores <= 1 && bench_threads > 1;
+    if degenerate {
+        warn_degenerate_scaling(bench_threads, cores);
+    }
     let mut o = Json::object();
     o.set("bench_threads", bench_threads)
         .set("sweep_threads", threads)
@@ -191,8 +202,23 @@ pub fn run_metadata_with_threads(bench_threads: usize) -> Json {
             "threads_env",
             std::env::var(eirs_numerics::parallel::THREADS_ENV).map_or(Json::Null, Json::from),
         )
-        .set("single_core", cores <= 1 || bench_threads <= 1);
+        .set("single_core", cores <= 1 || bench_threads <= 1)
+        .set("degenerate_scaling", degenerate);
     o
+}
+
+/// The loud half of the `degenerate_scaling` flag (once per process —
+/// scaling benches record one metadata block per table row).
+fn warn_degenerate_scaling(bench_threads: usize, cores: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: thread-scaling rows recorded on a {cores}-core host: this bench drove \
+             {bench_threads} worker(s) with no parallelism available, so its speedup numbers \
+             are meaningless. The artifact is tagged degenerate_scaling=true — discard the \
+             scaling table and re-run on a multi-core host."
+        );
+    });
 }
 
 impl From<&crate::harness::Measurement> for Json {
@@ -256,7 +282,8 @@ mod tests {
                 "sweep_threads",
                 "available_parallelism",
                 "threads_env",
-                "single_core"
+                "single_core",
+                "degenerate_scaling"
             ]
         );
         let lookup = |k: &str| entries.iter().find(|(key, _)| key == k).unwrap().1.clone();
@@ -264,6 +291,30 @@ mod tests {
         assert!(matches!(lookup("sweep_threads"), Json::Num(n) if n >= 1.0));
         assert!(matches!(lookup("available_parallelism"), Json::Num(n) if n >= 1.0));
         assert!(matches!(lookup("single_core"), Json::Bool(_)));
+        assert!(matches!(lookup("degenerate_scaling"), Json::Bool(_)));
+    }
+
+    #[test]
+    fn degenerate_scaling_flags_parallel_claims_on_one_core() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let flag = |bench_threads: usize| {
+            let Json::Obj(entries) = run_metadata_with_threads(bench_threads) else {
+                panic!("metadata must be an object");
+            };
+            match &entries
+                .iter()
+                .find(|(key, _)| key == "degenerate_scaling")
+                .unwrap()
+                .1
+            {
+                Json::Bool(b) => *b,
+                other => panic!("degenerate_scaling must be a bool, got {other:?}"),
+            }
+        };
+        // A serial bench is never degenerate, whatever the host.
+        assert!(!flag(1));
+        // A parallel claim is degenerate exactly when the host is 1-core.
+        assert_eq!(flag(4), cores <= 1);
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! Seeded scenario fuzzer: an unbounded, self-checking workload space.
+//!
+//! The scenario registry ships six hand-picked workload families; the
+//! fuzzer replaces "hand-picked" with **adversarially sampled**. Each
+//! fuzz *cell* is a complete experiment — arrival shape × per-class
+//! service shape × load × cluster size × optional churn × policy — derived
+//! as a pure function of a single 64-bit seed, rendered as the same spec
+//! strings the CLI parsers accept, and pushed through every differential
+//! oracle the stack has earned:
+//!
+//! * **Analysis vs DES** — on tractably-dispatched cells the exact chain
+//!   (QBD / MAP-phase / MAP-PH-1) must agree with CRN-paired replications
+//!   within the 95% CI (plus a small relative slack so a 95% interval's
+//!   expected 5% miss rate doesn't flag healthy cells — a miss only
+//!   counts when the relative error is material).
+//! * **Accounting** — a finite recorded prefix of the cell's arrival
+//!   process, drained through the DES, must complete *every* arrival:
+//!   `completions = arrivals` exactly (the serve layer extends this to
+//!   `completions + rejections = arrivals` under shedding).
+//! * **Digest stability** — the replication set evaluated on 1 worker
+//!   thread and on 2 must produce bit-identical reports (the workspace's
+//!   parallel ≡ serial contract, fuzzed instead of hand-cased).
+//! * **Spec re-parse** — every generated spec string must round-trip
+//!   through [`crate::policy::parse_policy`] /
+//!   [`crate::scenario::parse_workload`]; the generator is pinned to the
+//!   parsers, not a parallel grammar.
+//! * **Injected oracles** ([`CellOracle`]) — layers above `eirs-core`
+//!   (the optimizer crate, the serve engine) plug in their own checks;
+//!   the `eirs fuzz` CLI injects an `eirs_opt` oracle that flags any
+//!   tractable cell where a trivial baseline (EF/IF) beats the
+//!   optimizer's winner.
+//!
+//! Every failure is replayable from its printed token alone:
+//! `eirs fuzz --replay <token>` re-derives the cell from the embedded
+//! seed and re-runs the oracles, bit-identically across runs and thread
+//! counts. Flagged cells additionally *shrink*: the minimizer re-checks
+//! progressively simpler variants (drop churn, Poisson arrivals,
+//! exponential service, smaller k, …) and reports the simplest spec that
+//! still fails, with the evaluation cost of the search.
+
+use crate::analysis::AnalyzeOptions;
+use crate::params::SystemParams;
+use crate::policy::parse_policy;
+use crate::scenario::{parse_workload, Tractability, Workload};
+use crate::sweep::sweep_with_threads;
+use eirs_sim::policy::AllocationPolicy;
+use eirs_sim::replicate::run_replications_with_threads;
+use eirs_sim::stats::ReplicationStats;
+use eirs_sim::{ArrivalTrace, DesConfig, SimReport, Simulation};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+/// One fully-specified fuzz cell: spec strings plus numeric parameters,
+/// all derived from one seed by [`CellSpec::from_seed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// The seed this cell was derived from (0 for shrunken variants).
+    pub seed: u64,
+    /// Arrival spec string (`poisson`, `map:…`, `bursty:…`, `trace`).
+    pub arrivals: String,
+    /// Inelastic service spec (`exp`, `erlang:…`, `hyper:…`, `det`).
+    pub service_i: String,
+    /// Elastic service spec.
+    pub service_e: String,
+    /// Optional churn spec (`crash:…`, `drain:…`).
+    pub churn: Option<String>,
+    /// Policy spec string (`if`, `reserve:…`, `curve:…`, …).
+    pub policy: String,
+    /// Cluster size.
+    pub k: u32,
+    /// Offered load `ρ < 1`.
+    pub rho: f64,
+    /// Fraction of the load carried by the inelastic class.
+    pub frac_i: f64,
+    /// Inelastic service rate.
+    pub mu_i: f64,
+    /// Elastic service rate.
+    pub mu_e: f64,
+}
+
+fn pick(rng: &mut StdRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+fn pick_f64(rng: &mut StdRng, table: &[f64]) -> f64 {
+    table[pick(rng, table.len() as u64) as usize]
+}
+
+impl CellSpec {
+    /// Derives the cell for `seed` — a pure function: the same seed
+    /// yields the same cell on every host, thread count, and run.
+    ///
+    /// All continuous parameters are quantized to short decimals so the
+    /// rendered spec strings re-parse to bit-identical values.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 2 + pick(&mut rng, 3) as u32;
+        let mu_i = pick_f64(&mut rng, &[0.5, 0.75, 1.0, 1.5, 2.0]);
+        let mu_e = pick_f64(&mut rng, &[0.5, 0.75, 1.0, 1.5, 2.0]);
+        let mut rho_pct = 30 + pick(&mut rng, 51); // 0.30 ..= 0.80
+        let frac_i = pick_f64(&mut rng, &[0.3, 0.4, 0.5, 0.6, 0.7]);
+
+        let arrivals = match pick(&mut rng, 8) {
+            0..=2 => "poisson".to_string(),
+            3 => "trace".to_string(), // replayed recorded-Poisson sample path
+            4 | 5 => {
+                let r01 = pick_f64(&mut rng, &[0.5, 1.0, 2.0]);
+                let r10 = pick_f64(&mut rng, &[0.5, 1.0, 2.0]);
+                let a0 = pick_f64(&mut rng, &[1.0, 2.0, 4.0, 9.0]);
+                let a1 = pick_f64(&mut rng, &[0.5, 1.0]);
+                format!("map:{r01}x{r10}x{a0}x{a1}")
+            }
+            _ => {
+                let mean = pick_f64(&mut rng, &[2.0, 3.0, 4.0, 6.0]);
+                format!("bursty:{mean}")
+            }
+        };
+
+        // Exponential service is weighted up: it is the only service
+        // shape with exact analysis routes, and every tractable cell is
+        // a full analysis-vs-DES differential.
+        let service = |rng: &mut StdRng| match pick(rng, 8) {
+            0..=4 => "exp".to_string(),
+            5 => format!("erlang:{}", 2 + pick(rng, 3)),
+            6 => format!("hyper:{}", pick_f64(rng, &[2.0, 3.0, 4.0])),
+            _ => "det".to_string(),
+        };
+        let service_i = service(&mut rng);
+        let service_e = service(&mut rng);
+
+        let churn = if pick(&mut rng, 4) == 0 {
+            // Churn eats capacity: cap the nominal load so churned cells
+            // stay stable at surviving capacity.
+            rho_pct = rho_pct.min(55);
+            Some(if pick(&mut rng, 2) == 0 {
+                let mtbf = pick_f64(&mut rng, &[100.0, 150.0, 200.0]);
+                let mttr = pick_f64(&mut rng, &[2.0, 5.0]);
+                format!("crash:mtbf={mtbf},mttr={mttr}")
+            } else {
+                let period = pick_f64(&mut rng, &[80.0, 120.0]);
+                let down = pick_f64(&mut rng, &[4.0, 8.0]);
+                format!("drain:period={period},down={down}")
+            })
+        } else {
+            None
+        };
+
+        let policy = match pick(&mut rng, 8) {
+            0 => "if".to_string(),
+            1 => "ef".to_string(),
+            2 => "fairshare".to_string(),
+            3 => format!("reserve:{}", 1 + pick(&mut rng, (k - 1) as u64)),
+            4 => format!("threshold:{}", 1 + pick(&mut rng, 10)),
+            5 => format!(
+                "curve:{}+{}i",
+                pick(&mut rng, 3),
+                pick_f64(&mut rng, &[0.5, 1.0, 2.0])
+            ),
+            6 => format!("waterfill:{}", pick_f64(&mut rng, &[0.5, 1.0, 2.0, 4.0])),
+            _ => format!("random:{}", pick(&mut rng, 1000)),
+        };
+
+        Self {
+            seed,
+            arrivals,
+            service_i,
+            service_e,
+            churn,
+            policy,
+            k,
+            rho: rho_pct as f64 / 100.0,
+            frac_i,
+            mu_i,
+            mu_e,
+        }
+    }
+
+    /// Canonical one-line rendering (the string the differential tests
+    /// pin byte-for-byte across thread counts).
+    pub fn render(&self) -> String {
+        format!(
+            "arrivals={} service_i={} service_e={} churn={} policy={} k={} rho={} frac_i={} \
+             mu_i={} mu_e={}",
+            self.arrivals,
+            self.service_i,
+            self.service_e,
+            self.churn.as_deref().unwrap_or("none"),
+            self.policy,
+            self.k,
+            self.rho,
+            self.frac_i,
+            self.mu_i,
+            self.mu_e,
+        )
+    }
+
+    /// Re-parses the cell through the shipped spec parsers (the same
+    /// code paths the CLI flags use). This *is* an oracle: a generated
+    /// spec the parsers reject is a fuzzer/grammar divergence.
+    pub fn build(&self) -> Result<(Workload, Box<dyn AllocationPolicy>, SystemParams), String> {
+        let workload = parse_workload(
+            &self.arrivals,
+            Some(&self.service_i),
+            Some(&self.service_e),
+            self.churn.as_deref(),
+        )?;
+        let policy = parse_policy(&self.policy)?;
+        let lambda_i = self.frac_i * self.rho * self.k as f64 * self.mu_i;
+        let lambda_e = (1.0 - self.frac_i) * self.rho * self.k as f64 * self.mu_e;
+        let params = SystemParams::new(self.k, lambda_i, lambda_e, self.mu_i, self.mu_e)
+            .map_err(|e| e.to_string())?;
+        Ok((workload, policy, params))
+    }
+}
+
+impl std::fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Derives the seed of cell `index` within a run seeded by `run_seed`
+/// (decorrelated SplitMix64 stream, one value per cell).
+pub fn cell_seed(run_seed: u64, index: u64) -> u64 {
+    SplitMix64 {
+        state: run_seed.wrapping_add((index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    }
+    .next_u64()
+}
+
+fn token_checksum(seed: u64) -> u16 {
+    (SplitMix64 {
+        state: seed ^ 0xE1A5_F022_BA5E_D00D,
+    }
+    .next_u64()
+        >> 48) as u16
+}
+
+/// Renders a cell seed as a replay token: 16 hex digits of seed plus a
+/// 4-hex-digit checksum, so a mistyped or truncated token is rejected as
+/// *unknown* instead of silently fuzzing a different cell.
+pub fn replay_token(seed: u64) -> String {
+    format!("{seed:016x}-{:04x}", token_checksum(seed))
+}
+
+/// Parses a [`replay_token`] back to its seed, validating the checksum.
+pub fn parse_replay_token(token: &str) -> Result<u64, String> {
+    let err = || {
+        format!(
+            "unknown replay token '{token}' (expected <16-hex-seed>-<4-hex-checksum> \
+             as printed by a fuzz run)"
+        )
+    };
+    let (seed_hex, check_hex) = token.split_once('-').ok_or_else(err)?;
+    if seed_hex.len() != 16 || check_hex.len() != 4 {
+        return Err(err());
+    }
+    let seed = u64::from_str_radix(seed_hex, 16).map_err(|_| err())?;
+    let check = u16::from_str_radix(check_hex, 16).map_err(|_| err())?;
+    if check != token_checksum(seed) {
+        return Err(format!(
+            "replay token '{token}' fails its checksum — not a token printed by this fuzzer"
+        ));
+    }
+    Ok(seed)
+}
+
+/// An externally-injected per-cell check (e.g. the `eirs_opt` baseline
+/// oracle, which lives above `eirs-core` in the crate graph). Returning
+/// `Err(detail)` flags the cell.
+pub trait CellOracle: Sync {
+    /// Short oracle name used in reports (`"optimizer"`, …).
+    fn name(&self) -> &str;
+    /// Checks one cell; `Err` flags it with the given detail.
+    fn check(&self, cell: &CellSpec) -> Result<(), String>;
+}
+
+/// Tuning knobs of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of cells to generate and check.
+    pub budget: usize,
+    /// Run seed; cell `i` uses [`cell_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Minimize flagged cells after the sweep.
+    pub shrink: bool,
+    /// Worker threads for the cell sweep (cells are independent; output
+    /// is ordered, so any thread count produces identical reports).
+    pub threads: usize,
+    /// DES replications per cell (≥ 2 — the CI needs them).
+    pub replications: usize,
+    /// Measured departures per replication.
+    pub departures: u64,
+    /// Warm-up departures per replication.
+    pub warmup: u64,
+    /// Arrivals recorded for the exact accounting drain.
+    pub accounting_arrivals: usize,
+    /// Relative-error slack on top of the 95% CI: a CI miss only flags
+    /// when `|analysis − DES| / analysis` also exceeds this.
+    pub rel_slack: f64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            budget: 100,
+            seed: 1,
+            shrink: true,
+            threads: 1,
+            replications: 4,
+            departures: 8000,
+            warmup: 800,
+            accounting_arrivals: 300,
+            rel_slack: 0.03,
+        }
+    }
+}
+
+/// One oracle violation on one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flag {
+    /// Which oracle fired.
+    pub oracle: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The checked outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Cell index within the run (0 for replays).
+    pub index: usize,
+    /// The cell itself.
+    pub cell: CellSpec,
+    /// Replay token reproducing this cell from scratch.
+    pub token: String,
+    /// `true` when an exact analysis route covered the cell.
+    pub tractable: bool,
+    /// Analytic mean response time, when tractable.
+    pub analysis_mean: Option<f64>,
+    /// DES mean response time across replications.
+    pub des_mean: f64,
+    /// 95% CI half-width of the DES mean.
+    pub ci_half_width: f64,
+    /// Every oracle violation (empty = healthy cell).
+    pub flags: Vec<Flag>,
+    /// Shrunken variant, when the cell was flagged and shrinking ran:
+    /// the simplest spec that still fails, plus evaluations spent.
+    pub minimized: Option<(CellSpec, usize)>,
+}
+
+/// Aggregate result of [`fuzz_run`].
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The run seed.
+    pub seed: u64,
+    /// Per-cell outcomes, in cell order.
+    pub cells: Vec<CellReport>,
+    /// Cells with an exact analysis route.
+    pub tractable: usize,
+    /// Cells with at least one flag.
+    pub flagged: usize,
+    /// Total cell evaluations spent minimizing flagged cells.
+    pub shrink_evals: usize,
+}
+
+/// Folds the full bit pattern of a replication set into one digest
+/// (order-sensitive SplitMix64 chain — any single-bit difference in any
+/// field of any report changes it).
+pub fn reports_digest(reports: &[SimReport]) -> u64 {
+    let mut acc: u64 = 0x0DD5_EED5_0F0F_A11E;
+    let mut fold = |v: u64| {
+        acc = SplitMix64 { state: acc ^ v }.next_u64();
+    };
+    for r in reports {
+        fold(r.completed[0]);
+        fold(r.completed[1]);
+        fold(r.mean_response.to_bits());
+        fold(r.total_response.to_bits());
+        fold(r.mean_num_in_system.to_bits());
+        fold(r.mean_work.to_bits());
+        fold(r.utilization.to_bits());
+        fold(r.measured_time.to_bits());
+        fold(r.end_time.to_bits());
+        fold(r.preemptions);
+    }
+    acc
+}
+
+/// Runs every oracle against one cell. `extra` oracles (optimizer,
+/// serve-layer accounting, …) run after the built-in set, and only on
+/// cells the built-ins left unflagged — a cell that already fails
+/// analysis-vs-DES should shrink on that evidence, not on downstream
+/// noise.
+pub fn check_cell(
+    index: usize,
+    cell: &CellSpec,
+    cfg: &FuzzConfig,
+    extra: &[&dyn CellOracle],
+) -> CellReport {
+    let token = replay_token(cell.seed);
+    let mut report = CellReport {
+        index,
+        cell: cell.clone(),
+        token,
+        tractable: false,
+        analysis_mean: None,
+        des_mean: f64::NAN,
+        ci_half_width: f64::NAN,
+        flags: Vec::new(),
+        minimized: None,
+    };
+
+    // Oracle: the generated specs must re-parse through the CLI parsers.
+    let (workload, policy, params) = match cell.build() {
+        Ok(built) => built,
+        Err(e) => {
+            report.flags.push(Flag {
+                oracle: "spec-parse".into(),
+                detail: e,
+            });
+            return report;
+        }
+    };
+
+    let tractable = !matches!(
+        workload.tractability(policy.as_ref(), &params),
+        Tractability::Intractable
+    );
+    report.tractable = tractable;
+
+    // Oracle: exact analysis must succeed on tractable cells.
+    if tractable {
+        match workload.analyze(policy.as_ref(), &params, &AnalyzeOptions::default()) {
+            Ok(Some(a)) => report.analysis_mean = Some(a.mean_response),
+            Ok(None) => {}
+            Err(e) => report.flags.push(Flag {
+                oracle: "analysis-error".into(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    // CRN replication sets on 1 and 2 worker threads. Each replication
+    // is a pure function of its seed, so the two runs must be
+    // bit-identical — the workspace's parallel ≡ serial contract.
+    let n = if workload.is_deterministic() {
+        1
+    } else {
+        cfg.replications.max(2)
+    };
+    let run_set = |threads: usize| {
+        run_replications_with_threads(cell.seed, n, threads, |seed| {
+            workload.simulate(policy.as_ref(), &params, seed, cfg.warmup, cfg.departures)
+        })
+    };
+    let serial = run_set(1);
+    let parallel = run_set(2);
+    let mut reports = Vec::with_capacity(n);
+    for r in &serial {
+        match r {
+            Ok(rep) => reports.push(rep.clone()),
+            Err(e) => {
+                report.flags.push(Flag {
+                    oracle: "run-error".into(),
+                    detail: e.clone(),
+                });
+                return report;
+            }
+        }
+    }
+    let par_reports: Vec<SimReport> = parallel.into_iter().filter_map(Result::ok).collect();
+    if par_reports.len() != reports.len()
+        || reports_digest(&reports) != reports_digest(&par_reports)
+    {
+        report.flags.push(Flag {
+            oracle: "digest-stability".into(),
+            detail: format!(
+                "replication digest differs across thread counts: \
+                 0x{:016x} (1 thread) vs 0x{:016x} (2 threads)",
+                reports_digest(&reports),
+                reports_digest(&par_reports)
+            ),
+        });
+    }
+
+    // Analysis vs DES: CI containment with relative slack.
+    if reports.len() >= 2 {
+        let stats: ReplicationStats = reports.iter().map(|r| r.mean_response).collect();
+        let ci = stats.confidence_interval();
+        report.des_mean = ci.mean;
+        report.ci_half_width = ci.half_width;
+        if let Some(analysis) = report.analysis_mean {
+            let rel = (analysis - ci.mean).abs() / analysis.abs().max(1e-12);
+            if !ci.contains(analysis) && rel > cfg.rel_slack {
+                report.flags.push(Flag {
+                    oracle: "analysis-vs-des".into(),
+                    detail: format!(
+                        "analysis E[T]={analysis:.6} vs DES {:.6} ± {:.6} \
+                         (relative error {:.2}%)",
+                        ci.mean,
+                        ci.half_width,
+                        rel * 100.0
+                    ),
+                });
+            }
+        }
+    } else if let Some(first) = reports.first() {
+        report.des_mean = first.mean_response;
+        report.ci_half_width = 0.0;
+    }
+
+    // Oracle: exact accounting on a finite drained prefix — every
+    // recorded arrival must complete (`completions = arrivals`; the DES
+    // never sheds). Churn is stripped for this check: a truncated fault
+    // schedule can strand a drain mid-outage, which is a termination
+    // artifact, not an accounting bug.
+    if let Err(flag) = accounting_drain(cell, cfg) {
+        report.flags.push(flag);
+    }
+
+    if report.flags.is_empty() {
+        for oracle in extra {
+            if let Err(detail) = oracle.check(cell) {
+                report.flags.push(Flag {
+                    oracle: oracle.name().to_string(),
+                    detail,
+                });
+            }
+        }
+    }
+    report
+}
+
+fn accounting_drain(cell: &CellSpec, cfg: &FuzzConfig) -> Result<(), Flag> {
+    let mut churnless = cell.clone();
+    churnless.churn = None;
+    let flag = |detail: String| Flag {
+        oracle: "accounting".into(),
+        detail,
+    };
+    let (workload, policy, params) = churnless.build().map_err(&flag)?;
+    let horizon = workload.horizon_hint(&params, 0, cfg.accounting_arrivals as u64);
+    let mut source = workload
+        .build_source(&params, cell.seed ^ 0xACC0_0000, horizon)
+        .map_err(&flag)?;
+    let mut arrivals = Vec::with_capacity(cfg.accounting_arrivals);
+    while arrivals.len() < cfg.accounting_arrivals {
+        match source.next_arrival() {
+            Some(a) => arrivals.push(a),
+            None => break,
+        }
+    }
+    let pulled = arrivals.len() as u64;
+    let mut stream = ArrivalTrace::new(arrivals).into_stream();
+    let drained = Simulation::new(DesConfig::drain(params.k)).run(policy.as_ref(), &mut stream);
+    let completed = drained.completed[0] + drained.completed[1];
+    if completed != pulled {
+        return Err(flag(format!(
+            "conservation broken: {pulled} arrivals drained to {completed} completions"
+        )));
+    }
+    Ok(())
+}
+
+/// Ordered simplification candidates for one shrink step (first
+/// applicable simplification wins; [`shrink_cell`] iterates to a fixed
+/// point).
+fn simpler_variants(cell: &CellSpec) -> Vec<CellSpec> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut CellSpec)| {
+        let mut c = cell.clone();
+        f(&mut c);
+        if c != *cell {
+            out.push(c);
+        }
+    };
+    push(&|c| c.churn = None);
+    push(&|c| c.arrivals = "poisson".into());
+    push(&|c| c.service_i = "exp".into());
+    push(&|c| c.service_e = "exp".into());
+    push(&|c| c.k = 2);
+    push(&|c| c.rho = 0.5);
+    push(&|c| c.frac_i = 0.5);
+    push(&|c| {
+        c.mu_i = 1.0;
+        c.mu_e = 1.0;
+    });
+    out
+}
+
+/// Greedily minimizes a flagged cell: repeatedly applies the first
+/// simplification that still fails *some* oracle, until no
+/// simplification fails. Returns the minimized cell and the number of
+/// cell evaluations spent (each evaluation is a full oracle pass).
+pub fn shrink_cell(
+    cell: &CellSpec,
+    cfg: &FuzzConfig,
+    extra: &[&dyn CellOracle],
+) -> (CellSpec, usize) {
+    let mut current = cell.clone();
+    let mut evals = 0usize;
+    'outer: loop {
+        for candidate in simpler_variants(&current) {
+            evals += 1;
+            if !check_cell(0, &candidate, cfg, extra).flags.is_empty() {
+                current = candidate;
+                continue 'outer;
+            }
+            if evals >= 64 {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (current, evals)
+}
+
+/// Runs the full fuzz sweep: `cfg.budget` cells derived from `cfg.seed`,
+/// checked in parallel on `cfg.threads` workers (output is ordered and
+/// thread-count-invariant), flagged cells minimized when `cfg.shrink`.
+pub fn fuzz_run(cfg: &FuzzConfig, extra: &[&dyn CellOracle]) -> FuzzReport {
+    let cells: Vec<(usize, CellSpec)> = (0..cfg.budget)
+        .map(|i| (i, CellSpec::from_seed(cell_seed(cfg.seed, i as u64))))
+        .collect();
+    let mut reports: Vec<CellReport> = sweep_with_threads(&cells, cfg.threads.max(1), |(i, c)| {
+        check_cell(*i, c, cfg, extra)
+    });
+    let mut shrink_evals = 0usize;
+    if cfg.shrink {
+        for report in reports.iter_mut().filter(|r| !r.flags.is_empty()) {
+            let (minimized, evals) = shrink_cell(&report.cell, cfg, extra);
+            shrink_evals += evals;
+            report.minimized = Some((minimized, evals));
+        }
+    }
+    let tractable = reports.iter().filter(|r| r.tractable).count();
+    let flagged = reports.iter().filter(|r| !r.flags.is_empty()).count();
+    FuzzReport {
+        seed: cfg.seed,
+        cells: reports,
+        tractable,
+        flagged,
+        shrink_evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FuzzConfig {
+        FuzzConfig {
+            budget: 6,
+            seed: 11,
+            shrink: false,
+            replications: 3,
+            departures: 600,
+            warmup: 60,
+            accounting_arrivals: 120,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn cell_derivation_is_a_pure_function_of_the_seed() {
+        for i in 0..40u64 {
+            let seed = cell_seed(7, i);
+            let a = CellSpec::from_seed(seed);
+            let b = CellSpec::from_seed(seed);
+            assert_eq!(a, b);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn generated_specs_reparse_through_the_cli_parsers() {
+        for i in 0..200u64 {
+            let cell = CellSpec::from_seed(cell_seed(3, i));
+            cell.build()
+                .unwrap_or_else(|e| panic!("cell {i} '{cell}' failed to build: {e}"));
+        }
+    }
+
+    #[test]
+    fn replay_tokens_round_trip_and_reject_corruption() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let token = replay_token(seed);
+            assert_eq!(parse_replay_token(&token).unwrap(), seed);
+        }
+        assert!(parse_replay_token("nonsense").is_err());
+        assert!(parse_replay_token("0000000000000042-ffff").is_err());
+        let mut token = replay_token(99);
+        token.replace_range(0..1, "f");
+        assert!(parse_replay_token(&token).is_err());
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean_and_thread_invariant() {
+        let cfg = small_cfg();
+        let a = fuzz_run(&cfg, &[]);
+        let cfg4 = FuzzConfig {
+            threads: 4,
+            ..small_cfg()
+        };
+        let b = fuzz_run(&cfg4, &[]);
+        assert_eq!(a.cells.len(), cfg.budget);
+        assert_eq!(a.flagged, 0, "flags: {:?}", flags_of(&a));
+        assert_eq!(b.flagged, 0);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.token, y.token);
+            assert_eq!(x.des_mean.to_bits(), y.des_mean.to_bits());
+            assert_eq!(
+                x.analysis_mean.map(f64::to_bits),
+                y.analysis_mean.map(f64::to_bits)
+            );
+        }
+    }
+
+    fn flags_of(r: &FuzzReport) -> Vec<(String, String, String)> {
+        r.cells
+            .iter()
+            .flat_map(|c| {
+                c.flags
+                    .iter()
+                    .map(|f| (c.token.clone(), f.oracle.clone(), f.detail.clone()))
+            })
+            .collect()
+    }
+
+    struct AlwaysFails;
+    impl CellOracle for AlwaysFails {
+        fn name(&self) -> &str {
+            "always-fails"
+        }
+        fn check(&self, _cell: &CellSpec) -> Result<(), String> {
+            Err("injected failure".into())
+        }
+    }
+
+    #[test]
+    fn injected_oracles_flag_and_shrink_to_the_trivial_cell() {
+        let cfg = FuzzConfig {
+            budget: 1,
+            shrink: true,
+            ..small_cfg()
+        };
+        let report = fuzz_run(&cfg, &[&AlwaysFails]);
+        assert_eq!(report.flagged, 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.flags[0].oracle, "always-fails");
+        let (minimized, evals) = cell.minimized.clone().expect("shrink ran");
+        assert!(evals >= 1);
+        assert!(report.shrink_evals >= evals);
+        // An always-failing oracle shrinks all the way down.
+        assert_eq!(minimized.arrivals, "poisson");
+        assert_eq!(minimized.service_i, "exp");
+        assert_eq!(minimized.service_e, "exp");
+        assert_eq!(minimized.churn, None);
+        assert_eq!(minimized.k, 2);
+    }
+
+    #[test]
+    fn replayed_cell_reproduces_the_sweep_report_bitwise() {
+        let cfg = small_cfg();
+        let run = fuzz_run(&cfg, &[]);
+        let probe = &run.cells[2];
+        let seed = parse_replay_token(&probe.token).unwrap();
+        let replayed = check_cell(0, &CellSpec::from_seed(seed), &cfg, &[]);
+        assert_eq!(replayed.cell, probe.cell);
+        assert_eq!(replayed.des_mean.to_bits(), probe.des_mean.to_bits());
+        assert_eq!(
+            replayed.analysis_mean.map(f64::to_bits),
+            probe.analysis_mean.map(f64::to_bits)
+        );
+        assert!(replayed.flags.is_empty());
+    }
+}

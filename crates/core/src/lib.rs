@@ -54,6 +54,7 @@
 pub mod analysis;
 pub mod counterexample;
 pub mod experiments;
+pub mod fuzz;
 pub mod params;
 pub mod policy;
 pub mod scenario;
@@ -66,6 +67,7 @@ pub use analysis::{
     AnalysisError, AnalyzeOptions, PolicyAnalysis,
 };
 pub use counterexample::{expected_total_response_closed, theorem6_values};
+pub use fuzz::{CellOracle, CellReport, CellSpec, FuzzConfig, FuzzReport};
 pub use params::SystemParams;
 pub use policy::AllocationPolicy;
 pub use scenario::{ArrivalSpec, ServiceSpec, Tractability, Workload};

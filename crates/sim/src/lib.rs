@@ -23,6 +23,9 @@
 //! * [`ctmc`] — a fast state-level simulator exploiting memorylessness for
 //!   mean-value validation of the analytic solver.
 //! * [`stats`] — time averages, replication confidence intervals.
+//! * [`trace`] — streaming binary trace storage (bounded-memory chunked
+//!   replay, bit-exact with the text format) and a standard-workload-format
+//!   importer for real cluster logs.
 //!
 //! Reproducibility: every stochastic component takes an explicit seed, and
 //! all randomness flows through [`rand::rngs::StdRng`].
@@ -62,6 +65,7 @@ pub mod policy;
 pub mod quantile;
 pub mod replicate;
 pub mod stats;
+pub mod trace;
 
 pub use arrivals::{
     Arrival, ArrivalSource, ArrivalTrace, BurstyStream, MapStream, OwnedTraceStream, PoissonStream,
@@ -79,3 +83,7 @@ pub use policy::{
 pub use quantile::{P2Quantile, TailStats};
 pub use replicate::{replication_seeds, run_markovian_replications, run_replications};
 pub use stats::{BatchMeans, ConfidenceInterval, ReplicationStats, TimeAverage};
+pub use trace::{
+    import_swf, load_binary, open_trace_source, save_binary, sniff_binary, BinaryTraceReader,
+    BinaryTraceWriter, SwfOptions,
+};

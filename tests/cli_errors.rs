@@ -286,6 +286,97 @@ fn recovery_refuses_identity_mismatches() {
 }
 
 #[test]
+fn fuzz_flag_errors_fail_cleanly() {
+    for (args, needle) in [
+        (
+            vec!["fuzz", "--seed", "abc"],
+            "cannot parse --seed value 'abc'",
+        ),
+        (vec!["fuzz", "--budget", "0"], "--budget must be >= 1"),
+        (
+            vec!["fuzz", "--replay", "bogus"],
+            "unknown replay token 'bogus'",
+        ),
+        (
+            // Well-formed shape, corrupted checksum: must be rejected,
+            // not replayed as a different cell.
+            vec!["fuzz", "--replay", "0123456789abcdef-ffff"],
+            "fails its checksum",
+        ),
+        (
+            // Truncated token (seed half only).
+            vec!["fuzz", "--replay", "0123456789abcdef"],
+            "unknown replay token",
+        ),
+    ] {
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{args:?} must exit non-zero");
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr missing {needle:?}; got:\n{stderr}"
+        );
+        assert!(
+            stderr.starts_with("error: "),
+            "{args:?}: fuzz-flag failure must report through the single error path"
+        );
+    }
+}
+
+/// Corrupt or truncated binary traces fed through `--workload trace:<p>`
+/// must hard-error — never be silently truncated to the readable prefix
+/// or reinterpreted as an empty trace.
+#[test]
+fn corrupt_binary_traces_fail_cleanly_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("eirs-cli-badtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Truncated: header promises 5 records, body holds 4 stray bytes.
+    let truncated = dir.join("truncated.bt");
+    let mut bytes = b"eirsbt01".to_vec();
+    bytes.extend_from_slice(&5u64.to_le_bytes());
+    bytes.extend_from_slice(b"AAAA");
+    std::fs::write(&truncated, &bytes).expect("write fixture");
+
+    // Unfinished write: the provisional u64::MAX count a crashed
+    // `BinaryTraceWriter` leaves behind.
+    let unfinished = dir.join("unfinished.bt");
+    let mut bytes = b"eirsbt01".to_vec();
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&unfinished, &bytes).expect("write fixture");
+
+    // Corrupt record: length-consistent, but the class byte is garbage.
+    let badclass = dir.join("badclass.bt");
+    let mut bytes = b"eirsbt01".to_vec();
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&1.0f64.to_le_bytes());
+    bytes.extend_from_slice(&2.0f64.to_le_bytes());
+    bytes.extend_from_slice(&[9u8, 0, 0, 0, 0, 0, 0, 0]);
+    std::fs::write(&badclass, &bytes).expect("write fixture");
+
+    for (path, needle) in [
+        (&truncated, "length mismatch"),
+        (&unfinished, "absurd record count"),
+        (&badclass, "invalid class byte"),
+    ] {
+        let spec = format!("trace:{}", path.display());
+        let args = ["scenario", "--workload", &spec, "--reps", "2"];
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{} must be rejected", path.display());
+        assert!(
+            stderr.contains(needle),
+            "{}: stderr missing {needle:?}; got:\n{stderr}",
+            path.display()
+        );
+        assert!(
+            stderr.starts_with("error: "),
+            "{}: corrupt trace must report through the single error path",
+            path.display()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn well_formed_serve_run_exits_zero_with_machine_output() {
     let out = Command::new(env!("CARGO_BIN_EXE_eirs"))
         .args([

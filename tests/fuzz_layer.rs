@@ -1,0 +1,155 @@
+//! Differential tests of the scenario fuzzer (PR 8 satellite):
+//!
+//! 1. **Thread-count invariance of generation**: the spec strings a run
+//!    seed produces are byte-identical whether the sweep fans out over
+//!    1 thread or 4 — cell generation is a pure function of the seed,
+//!    so a failure printed on a many-core CI box replays identically on
+//!    a laptop;
+//! 2. **Grammar closure**: every generated spec fragment re-parses
+//!    through the existing workload / policy parsers — the fuzzer can
+//!    only emit scenarios the rest of the system accepts;
+//! 3. **Replayability**: a full run's cell reports reproduce bit-for-bit
+//!    from each cell's printed replay token alone, with no access to the
+//!    original run state.
+
+use eirs_repro::core::fuzz::{
+    self, cell_seed, parse_replay_token, replay_token, CellSpec, FuzzConfig,
+};
+use eirs_repro::core::scenario;
+
+/// The fuzz fidelity used by these tests: small enough to keep the suite
+/// fast, deterministic in every field that matters for the comparisons.
+fn test_config(threads: usize) -> FuzzConfig {
+    FuzzConfig {
+        budget: 12,
+        seed: 0xBEEF_CAFE,
+        shrink: false,
+        threads,
+        replications: 2,
+        departures: 400,
+        warmup: 40,
+        accounting_arrivals: 60,
+        ..FuzzConfig::default()
+    }
+}
+
+/// Same run seed, 1 worker thread vs 4: the generated spec strings (and
+/// the full per-cell verdicts behind them) must be byte-identical.
+#[test]
+fn generated_specs_identical_across_thread_counts() {
+    let serial = fuzz::fuzz_run(&test_config(1), &[]);
+    let fanned = fuzz::fuzz_run(&test_config(4), &[]);
+    assert_eq!(serial.cells.len(), fanned.cells.len());
+    for (a, b) in serial.cells.iter().zip(&fanned.cells) {
+        assert_eq!(
+            a.cell.render(),
+            b.cell.render(),
+            "spec strings diverge between 1 and 4 threads at cell {}",
+            a.index
+        );
+        assert_eq!(
+            a.token, b.token,
+            "replay tokens diverge at cell {}",
+            a.index
+        );
+        assert_eq!(
+            a.des_mean.to_bits(),
+            b.des_mean.to_bits(),
+            "DES means diverge bitwise at cell {}",
+            a.index
+        );
+        assert_eq!(a.flags, b.flags, "verdicts diverge at cell {}", a.index);
+    }
+}
+
+/// Every spec the generator can emit is accepted by the existing parsers:
+/// the arrival/service/churn fragments through `parse_workload`, the
+/// policy fragment through the policy registry, and the drawn parameters
+/// through `SystemParams` (which enforces ρ < 1).
+#[test]
+fn every_generated_spec_reparses() {
+    for raw in 0..300u64 {
+        let seed = cell_seed(0x5EED_F00D, raw);
+        let cell = CellSpec::from_seed(seed);
+        let rendered = cell.render();
+        let (workload, policy, params) = cell
+            .build()
+            .unwrap_or_else(|e| panic!("generated spec failed to parse: {rendered}: {e}"));
+        assert!(
+            params.load() < 1.0,
+            "generated cell is unstable: {rendered} (rho = {})",
+            params.load()
+        );
+        // Tractability must be decided, not panicked, for every cell.
+        let _ = workload.tractability(policy.as_ref(), &params);
+    }
+}
+
+/// Rendered specs are canonical: re-deriving the cell from its seed gives
+/// the same string, and the replay token embeds exactly that seed.
+#[test]
+fn render_is_pure_and_tokens_round_trip() {
+    for raw in 0..64u64 {
+        let seed = cell_seed(7, raw);
+        let a = CellSpec::from_seed(seed).render();
+        let b = CellSpec::from_seed(seed).render();
+        assert_eq!(a, b, "render is not a pure function of the seed");
+        let token = replay_token(seed);
+        assert_eq!(
+            parse_replay_token(&token).expect("token round-trip"),
+            seed,
+            "token {token} did not decode to its seed"
+        );
+    }
+}
+
+/// A flagged-or-not cell report reproduces from its replay token alone:
+/// the token is the complete failure artifact, not a pointer into the
+/// original run.
+#[test]
+fn cell_reports_reproduce_from_replay_token_alone() {
+    let cfg = test_config(2);
+    let run = fuzz::fuzz_run(&cfg, &[]);
+    for report in &run.cells {
+        let seed = parse_replay_token(&report.token).expect("valid token");
+        let cell = CellSpec::from_seed(seed);
+        assert_eq!(cell.render(), report.cell.render());
+        let replayed = fuzz::check_cell(0, &cell, &cfg, &[]);
+        assert_eq!(
+            replayed.des_mean.to_bits(),
+            report.des_mean.to_bits(),
+            "replayed DES mean differs bitwise for {}",
+            report.token
+        );
+        assert_eq!(
+            replayed.ci_half_width.to_bits(),
+            report.ci_half_width.to_bits(),
+            "replayed CI half-width differs bitwise for {}",
+            report.token
+        );
+        assert_eq!(replayed.flags, report.flags);
+    }
+}
+
+/// The generator's arrival/service fragments are drawn from the same
+/// grammar the CLI documents — spot-check that each rendered fragment is
+/// one `parse_workload` accepts standalone.
+#[test]
+fn spec_fragments_use_the_documented_grammar() {
+    for raw in 0..120u64 {
+        let cell = CellSpec::from_seed(cell_seed(99, raw));
+        let churn = cell.churn.as_deref();
+        scenario::parse_workload(
+            &cell.arrivals,
+            Some(&cell.service_i),
+            Some(&cell.service_e),
+            churn,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "fragment rejected: arrivals={} service_i={} service_e={}: {e}",
+                cell.arrivals, cell.service_i, cell.service_e
+            )
+        });
+    }
+}
