@@ -50,9 +50,21 @@ use eirs_sim::policy::AllocationPolicy;
 /// mid-chain) falls back to the cold solve inside
 /// [`Qbd::solve_warm`] — callers never need to invalidate.
 fn solve_maybe_warm(qbd: &Qbd, slot: &mut Option<Matrix>) -> Result<QbdSolution, QbdError> {
+    // Warm-chain hit-rate telemetry: how many solves rode a cached
+    // neighbor R vs started a fresh chain. (Whether the *warm solver*
+    // then accepted the seed is counted one layer down, in
+    // `eirs_markov::qbd::telemetry`.)
+    static CHAINED: eirs_obs::LazyCounter = eirs_obs::LazyCounter::new("core.solve.warm_chained");
+    static STARTS: eirs_obs::LazyCounter = eirs_obs::LazyCounter::new("core.solve.chain_starts");
     let sol = match slot.take() {
-        Some(prev) => qbd.solve_warm(&prev),
-        None => qbd.solve(),
+        Some(prev) => {
+            CHAINED.inc();
+            qbd.solve_warm(&prev)
+        }
+        None => {
+            STARTS.inc();
+            qbd.solve()
+        }
     }?;
     *slot = Some(sol.r().clone());
     Ok(sol)

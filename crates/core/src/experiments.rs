@@ -182,9 +182,14 @@ pub fn figure4_heatmap_warm_with_threads(
 ) -> Result<Vec<HeatMapCell>, AnalysisError> {
     let grid = figure4_mu_grid();
     let rows = sweep::sweep_with_threads(&grid, threads, |&mu_e| {
+        let mut row_span = eirs_obs::span("figure4.row", "sweep");
+        row_span.arg("mu_e", mu_e);
         let mut cache = AnalysisCache::default();
         grid.iter()
             .map(|&mu_i| {
+                let mut cell_span = eirs_obs::span("figure4.cell", "sweep");
+                cell_span.arg("mu_i", mu_i);
+                cell_span.arg("mu_e", mu_e);
                 let params = SystemParams::with_equal_lambdas(k, mu_i, mu_e, rho)
                     .expect("grid parameters are stable by construction");
                 Ok(HeatMapCell {

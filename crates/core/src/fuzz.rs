@@ -398,6 +398,12 @@ pub fn check_cell(
     cfg: &FuzzConfig,
     extra: &[&dyn CellOracle],
 ) -> CellReport {
+    // Per-oracle wall-clock spans (`fuzz.*`) when the obs layer is
+    // enabled; verdicts and replay tokens are pure functions of the seed
+    // and never read the telemetry.
+    let mut cell_span = eirs_obs::span("fuzz.cell", "fuzz");
+    cell_span.arg("index", index);
+    cell_span.arg("seed", cell.seed);
     let token = replay_token(cell.seed);
     let mut report = CellReport {
         index,
@@ -412,6 +418,7 @@ pub fn check_cell(
     };
 
     // Oracle: the generated specs must re-parse through the CLI parsers.
+    let spec_span = eirs_obs::span("fuzz.spec-parse", "fuzz");
     let (workload, policy, params) = match cell.build() {
         Ok(built) => built,
         Err(e) => {
@@ -423,6 +430,7 @@ pub fn check_cell(
         }
     };
 
+    drop(spec_span);
     let tractable = !matches!(
         workload.tractability(policy.as_ref(), &params),
         Tractability::Intractable
@@ -431,6 +439,7 @@ pub fn check_cell(
 
     // Oracle: exact analysis must succeed on tractable cells.
     if tractable {
+        let _span = eirs_obs::span("fuzz.analysis", "fuzz");
         match workload.analyze(policy.as_ref(), &params, &AnalyzeOptions::default()) {
             Ok(Some(a)) => report.analysis_mean = Some(a.mean_response),
             Ok(None) => {}
@@ -454,8 +463,10 @@ pub fn check_cell(
             workload.simulate(policy.as_ref(), &params, seed, cfg.warmup, cfg.departures)
         })
     };
+    let des_span = eirs_obs::span("fuzz.digest-stability", "fuzz");
     let serial = run_set(1);
     let parallel = run_set(2);
+    drop(des_span);
     let mut reports = Vec::with_capacity(n);
     for r in &serial {
         match r {
@@ -515,12 +526,15 @@ pub fn check_cell(
     // never sheds). Churn is stripped for this check: a truncated fault
     // schedule can strand a drain mid-outage, which is a termination
     // artifact, not an accounting bug.
+    let acct_span = eirs_obs::span("fuzz.accounting", "fuzz");
     if let Err(flag) = accounting_drain(cell, cfg) {
         report.flags.push(flag);
     }
+    drop(acct_span);
 
     if report.flags.is_empty() {
         for oracle in extra {
+            let _span = eirs_obs::span(format!("fuzz.oracle.{}", oracle.name()), "fuzz");
             if let Err(detail) = oracle.check(cell) {
                 report.flags.push(Flag {
                     oracle: oracle.name().to_string(),

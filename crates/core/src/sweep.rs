@@ -49,13 +49,24 @@ where
 
 /// Like [`sweep`] with an explicit worker count. `threads <= 1` runs
 /// inline on the caller's thread.
+///
+/// When the `eirs_obs` layer is enabled, the sweep emits one enclosing
+/// span plus a per-point `sweep.point` span (telemetry only: the mapped
+/// function's results are untouched, so parallel output stays
+/// bit-identical to serial with instrumentation on or off).
 pub fn sweep_with_threads<T, R, F>(points: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    parallel::par_map_ordered(points, threads, f)
+    let mut sweep_span = eirs_obs::span("sweep", "sweep");
+    sweep_span.arg("points", points.len());
+    sweep_span.arg("threads", threads.max(1));
+    parallel::par_map_ordered(points, threads, |p| {
+        let _point = eirs_obs::span("sweep.point", "sweep");
+        f(p)
+    })
 }
 
 /// The serial reference path: same contract as [`sweep`], no threads.
@@ -65,7 +76,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    parallel::par_map_ordered(points, 1, f)
+    sweep_with_threads(points, 1, f)
 }
 
 #[cfg(test)]

@@ -26,6 +26,52 @@ use std::cell::RefCell;
 
 use eirs_numerics::lu::{LinAlgError, LuDecomposition};
 use eirs_numerics::Matrix;
+use eirs_obs::LazyCounter;
+
+/// Telemetry counter names reported by the QBD solvers (see
+/// `docs/OBSERVABILITY.md` for the full catalog). Counters are recorded
+/// through `eirs_obs` and only when the observability layer is enabled;
+/// they never influence which route runs or what it returns.
+pub mod telemetry {
+    /// Cold `R` solves (direct, or reached by warm fallback).
+    pub const COLD_SOLVES: &str = "markov.solve.cold";
+    /// Inner iterations spent in the cold solvers (fixed-point steps or
+    /// logarithmic-reduction rounds).
+    pub const COLD_ITERATIONS: &str = "markov.solve.cold_iterations";
+    /// Warm solves that received a usable (shape- and sign-valid) seed.
+    pub const WARM_ATTEMPTS: &str = "markov.warm.attempts";
+    /// Warm solves whose seed was unusable (fell straight to cold).
+    pub const WARM_SEED_UNUSABLE: &str = "markov.warm.seed_unusable";
+    /// Warm solves accepted through the rank-1 Sherman–Morrison
+    /// scalar-Newton route.
+    pub const WARM_RANK1_ACCEPTED: &str = "markov.warm.rank1_accepted";
+    /// Rank-1 Newton runs restarted from `β = 0` after the seeded run
+    /// converged to a root that failed certification.
+    pub const WARM_RANK1_RETRIES: &str = "markov.warm.rank1_retries";
+    /// Warm solves accepted through the fixed-point refinement route.
+    pub const WARM_REFINE_ACCEPTED: &str = "markov.warm.refine_accepted";
+    /// Refined warm results rejected by the spectral-radius
+    /// certification (and therefore re-solved cold).
+    pub const WARM_CERTIFY_REJECTS: &str = "markov.warm.certify_rejects";
+    /// Warm attempts that fell back to the cold solver.
+    pub const WARM_FALLBACK_COLD: &str = "markov.warm.fallback_cold";
+    /// Newton steps inside the rank-1 scalar root-find.
+    pub const WARM_NEWTON_ITERATIONS: &str = "markov.warm.newton_iterations";
+    /// Fixed-point steps inside the warm refinement.
+    pub const WARM_REFINE_ITERATIONS: &str = "markov.warm.refine_iterations";
+}
+
+static C_COLD_SOLVES: LazyCounter = LazyCounter::new(telemetry::COLD_SOLVES);
+static C_COLD_ITER: LazyCounter = LazyCounter::new(telemetry::COLD_ITERATIONS);
+static C_WARM_ATTEMPTS: LazyCounter = LazyCounter::new(telemetry::WARM_ATTEMPTS);
+static C_WARM_SEED_UNUSABLE: LazyCounter = LazyCounter::new(telemetry::WARM_SEED_UNUSABLE);
+static C_WARM_RANK1_ACCEPTED: LazyCounter = LazyCounter::new(telemetry::WARM_RANK1_ACCEPTED);
+static C_WARM_RANK1_RETRIES: LazyCounter = LazyCounter::new(telemetry::WARM_RANK1_RETRIES);
+static C_WARM_REFINE_ACCEPTED: LazyCounter = LazyCounter::new(telemetry::WARM_REFINE_ACCEPTED);
+static C_WARM_CERTIFY_REJECTS: LazyCounter = LazyCounter::new(telemetry::WARM_CERTIFY_REJECTS);
+static C_WARM_FALLBACK_COLD: LazyCounter = LazyCounter::new(telemetry::WARM_FALLBACK_COLD);
+static C_WARM_NEWTON_ITER: LazyCounter = LazyCounter::new(telemetry::WARM_NEWTON_ITERATIONS);
+static C_WARM_REFINE_ITER: LazyCounter = LazyCounter::new(telemetry::WARM_REFINE_ITERATIONS);
 
 /// Which algorithm computes the rate matrix `R`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -364,6 +410,7 @@ impl Qbd {
         solver: RSolver,
         ws: &mut QbdWorkspace,
     ) -> Result<Matrix, QbdError> {
+        C_COLD_SOLVES.inc();
         ws.reset(self.phases());
         let r = match solver {
             RSolver::FixedPoint => self.r_fixed_point(a1h, ws)?,
@@ -411,6 +458,7 @@ impl Qbd {
             && prev_r.cols() == p
             && prev_r.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0);
         if usable {
+            C_WARM_ATTEMPTS.inc();
             let a1h = self.a1_hat();
             ws.reset(p);
             // Chains whose down block has a single nonzero column (the
@@ -420,17 +468,25 @@ impl Qbd {
             // else refines the seed through the fixed-point map, which
             // bails early when the seed is too far off to beat a cold
             // solve.
-            let refined = match self.single_nonzero_a2_column() {
+            let rank1_column = self.single_nonzero_a2_column();
+            let refined = match rank1_column {
                 Some(j) => self.r_rank1_newton(&a1h, j, prev_r, ws),
                 None => self.r_warm_refine(&a1h, prev_r, ws),
             };
             if let Some(r) = refined {
                 if certify_stable_r(&r, &mut ws.pv, &mut ws.pw).is_ok() {
+                    match rank1_column {
+                        Some(_) => C_WARM_RANK1_ACCEPTED.inc(),
+                        None => C_WARM_REFINE_ACCEPTED.inc(),
+                    }
                     return Ok(r);
                 }
+                C_WARM_CERTIFY_REJECTS.inc();
             }
+            C_WARM_FALLBACK_COLD.inc();
             return self.solve_r_with_workspace_prepared(&a1h, solver, ws);
         }
+        C_WARM_SEED_UNUSABLE.inc();
         self.solve_r_with_workspace(solver, ws)
     }
 
@@ -547,6 +603,7 @@ impl Qbd {
             if start == 0.0 {
                 return None;
             }
+            C_WARM_RANK1_RETRIES.inc();
             start = 0.0;
         }
     }
@@ -567,6 +624,7 @@ impl Qbd {
         let p = self.phases();
         let mut beta = start;
         for _ in 0..24 {
+            C_WARM_NEWTON_ITER.inc();
             let denom = 1.0 + beta;
             if denom.abs() <= 1e-8 {
                 return None;
@@ -653,6 +711,7 @@ impl Qbd {
         const WARM_BUDGET: usize = 32;
         let mut window_diff = f64::INFINITY;
         for it in 0..WARM_BUDGET {
+            C_WARM_REFINE_ITER.inc();
             Matrix::mul_into(&ws.r, &ws.r, &mut ws.m0);
             ws.m0.mul_into(&ws.c2, &mut ws.m2);
             ws.next.copy_from(&ws.c0);
@@ -741,6 +800,7 @@ impl Qbd {
         ws.r.fill(0.0);
         let max_iter = 500_000;
         for it in 0..max_iter {
+            C_COLD_ITER.inc();
             // R² into m0, then (R²)C2 into m2, then next = C0 + R²C2.
             Matrix::mul_into(&ws.r, &ws.r, &mut ws.m0);
             ws.m0.mul_into(&ws.c2, &mut ws.m2);
@@ -828,6 +888,7 @@ impl Qbd {
         ws.identity.set_identity();
         let max_iter = 200;
         for _ in 0..max_iter {
+            C_COLD_ITER.inc();
             // U = B0 B2 + B2 B0.
             ws.b0.mul_into(&ws.b2, &mut ws.u);
             ws.b2.mul_into(&ws.b0, &mut ws.tmp);

@@ -1,0 +1,289 @@
+//! Process-wide metric registry: named counters, gauges, and published
+//! histograms.
+//!
+//! Registration (first touch of a name) takes a mutex; every touch after
+//! that is lock-free. The intended pattern is a `static` [`LazyCounter`]
+//! / [`LazyGauge`] per instrumentation site: the first `add` resolves the
+//! name to a leaked `&'static` cell under the registry lock and caches it
+//! in a `OnceLock`, so the steady-state hot path is one relaxed load of
+//! the enable flag, one `OnceLock` load, and one relaxed `fetch_add` — no
+//! locks, no allocation.
+//!
+//! Determinism: counter updates are commutative additions on relaxed
+//! atomics, so totals are independent of thread interleaving; and because
+//! nothing in the workspace ever *reads* a metric to make a decision,
+//! the registry cannot perturb any digested result.
+
+use crate::hist::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing metric cell.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` (relaxed; commutative, so thread order is irrelevant).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point metric cell (stored as bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The global name → cell tables. Cells are leaked so call sites can hold
+/// `&'static` references; `reset_values` zeroes them without dropping.
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Resolves (registering on first use) the counter cell for `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    reg.counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Resolves (registering on first use) the gauge cell for `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    reg.gauges
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Merges a locally accumulated histogram into the registry under
+/// `name`. This is the cold-path half of the per-shard discipline:
+/// shards record into their own [`LatencyHistogram`]s lock-free, then
+/// publish once at the end of a run; the registry merge is exact.
+pub fn publish_histogram(name: &str, h: &LatencyHistogram) {
+    if h.is_empty() {
+        return;
+    }
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    reg.histograms.entry(name.to_string()).or_default().merge(h);
+}
+
+/// A `static`-friendly counter handle: `const`-constructible, gated on
+/// the global enable flag, resolving its registry cell once on first use.
+///
+/// ```
+/// use eirs_obs::LazyCounter;
+/// static HITS: LazyCounter = LazyCounter::new("example.hits");
+/// eirs_obs::set_enabled(true);
+/// HITS.inc();
+/// eirs_obs::set_enabled(false);
+/// HITS.inc(); // disabled: a relaxed load and a branch, nothing recorded
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// A handle for the counter registered as `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` when the layer is enabled; otherwise a branch.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| counter(self.name)).add(n);
+        }
+    }
+
+    /// Adds one when the layer is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// A `static`-friendly gauge handle; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// A handle for the gauge registered as `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Sets the gauge when the layer is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| gauge(self.name)).set(v);
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by name
+/// (export order is therefore deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` for every published histogram.
+    pub histograms: Vec<(String, LatencyHistogram)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name` (0 when unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The published histogram `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Copies the current value of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("obs registry poisoned");
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(&n, c)| (n.to_string(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(&n, g)| (n.to_string(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.clone()))
+            .collect(),
+    }
+}
+
+/// Zeroes every counter and gauge and drops published histograms,
+/// keeping registrations (and the `&'static` cells handed out) valid.
+pub(crate) fn reset_values() {
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    for c in reg.counters.values() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.values() {
+        g.0.store(0, Ordering::Relaxed);
+    }
+    reg.histograms.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let c1 = counter("test.registry.alpha");
+        let c2 = counter("test.registry.alpha");
+        assert!(std::ptr::eq(c1, c2));
+        let before = c1.get();
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), before + 4);
+        assert!(snapshot().counter("test.registry.alpha") >= 4);
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let g = gauge("test.registry.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(snapshot().gauge("test.registry.gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn lazy_counter_is_gated_on_the_enable_flag() {
+        let _guard = crate::test_lock();
+        static GATED: LazyCounter = LazyCounter::new("test.registry.gated");
+        crate::set_enabled(false);
+        GATED.inc();
+        let before = snapshot().counter("test.registry.gated");
+        crate::set_enabled(true);
+        GATED.add(2);
+        crate::set_enabled(false);
+        assert_eq!(snapshot().counter("test.registry.gated"), before + 2);
+    }
+
+    #[test]
+    fn published_histograms_merge_exactly() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(1000);
+        publish_histogram("test.registry.hist", &a);
+        publish_histogram("test.registry.hist", &b);
+        let snap = snapshot();
+        let h = snap.histogram("test.registry.hist").unwrap();
+        assert!(h.count() >= 2);
+        publish_histogram("test.registry.empty", &LatencyHistogram::new());
+        assert!(snap.histogram("test.registry.empty").is_none());
+    }
+}

@@ -247,10 +247,20 @@ impl<'a> Search<'a> {
     /// scan ordered small→large parameters resolves flat tails toward the
     /// larger parameter.
     fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        // Telemetry is write-only and the search trajectory events are
+        // derived *from* the decisions (never the other way around), so
+        // enabling them cannot change which candidate wins.
+        static C_EVALS: eirs_obs::LazyCounter = eirs_obs::LazyCounter::new("opt.evaluations");
+        static C_ACCEPTED: eirs_obs::LazyCounter = eirs_obs::LazyCounter::new("opt.accepted");
+        let telemetry = eirs_obs::enabled();
+        let mut batch_span = eirs_obs::span("opt.eval_batch", "opt");
+        batch_span.arg("optimizer", self.optimizer);
+        batch_span.arg("batch", xs.len());
         let clamped: Vec<Vec<f64>> = xs.iter().map(|x| self.space.clamp(x)).collect();
         let policies: Vec<_> = clamped.iter().map(|x| self.space.decode(x)).collect();
         let scored = self.objective.evaluate_batch(&policies);
         self.evaluations += policies.len();
+        C_EVALS.add(policies.len() as u64);
         let mut values = Vec::with_capacity(scored.len());
         for (x, v) in clamped.into_iter().zip(scored) {
             let v = v?;
@@ -260,7 +270,17 @@ impl<'a> Search<'a> {
                     self.space.describe(&x)
                 ));
             }
-            if v <= self.best_value + TIE_REL * self.best_value.abs() {
+            let accepted = v <= self.best_value + TIE_REL * self.best_value.abs();
+            if telemetry {
+                let mut ev = eirs_obs::event("opt.candidate", "opt");
+                ev.arg("candidate", self.space.describe(&x));
+                ev.arg("score", v);
+                ev.arg("accepted", accepted);
+                if accepted {
+                    C_ACCEPTED.inc();
+                }
+            }
+            if accepted {
                 self.best_value = v.min(self.best_value);
                 self.best_x = Some(x);
             }

@@ -252,6 +252,11 @@ pub(crate) struct ClusterShard {
     /// Index of the next unapplied event in `faults`.
     pub(crate) fault_cursor: usize,
     shed_limit: Option<usize>,
+    /// Wall-clock decision latency (nanoseconds), recorded only while
+    /// the `eirs_obs` layer is enabled. Deliberately *not* part of
+    /// [`ShardMetrics`]: wall time is nondeterministic, and the
+    /// determinism gates compare per-shard metrics bit for bit.
+    pub(crate) latency: eirs_obs::LatencyHistogram,
 }
 
 impl ClusterShard {
@@ -274,12 +279,16 @@ impl ClusterShard {
             faults,
             fault_cursor: 0,
             shed_limit,
+            latency: eirs_obs::LatencyHistogram::new(),
         }
     }
 
     /// One allocation decision at the current occupancy, under the
     /// degraded-decision rule (see the [module docs](self)).
     fn decide(&mut self, table: &CompiledTable) -> ClassAllocation {
+        // Telemetry is write-only: the timing never feeds back into any
+        // decision, so enabling it cannot perturb the digest.
+        let t0 = eirs_obs::enabled().then(std::time::Instant::now);
         let (i, j) = (self.inelastic.len(), self.elastic.len());
         let (allocation, in_grid) = if self.avail == self.k {
             (table.lookup(i, j), table.in_grid(i, j))
@@ -297,6 +306,9 @@ impl ClusterShard {
         self.digest = fold_decision(self.digest, i, j, allocation);
         if let Some(log) = &mut self.log {
             log.push(Decision { i, j, allocation });
+        }
+        if let Some(t0) = t0 {
+            self.latency.record(t0.elapsed().as_nanos() as u64);
         }
         allocation
     }
@@ -402,8 +414,7 @@ impl ClusterShard {
     }
 
     fn complete(&mut self, job: Job) {
-        self.metrics.completions += 1;
-        self.metrics.total_response += self.time - job.arrival;
+        self.metrics.record_response(self.time - job.arrival);
     }
 
     /// Removes finished jobs, in the DES's sweep order (inelastic front
@@ -669,6 +680,30 @@ impl ServeEngine {
         let mut total = ShardMetrics::new(self.config.k);
         for s in &self.shards {
             total.merge(&s.metrics);
+        }
+        total
+    }
+
+    /// Wall-clock decision-latency histogram, all shards merged
+    /// (nanoseconds per shard `decide` call). Empty unless the
+    /// `eirs_obs` layer was enabled while the engine ran — timing is
+    /// telemetry, never an input, so the decision stream is identical
+    /// either way.
+    pub fn decision_latency(&self) -> eirs_obs::LatencyHistogram {
+        let mut total = eirs_obs::LatencyHistogram::new();
+        for s in &self.shards {
+            total.merge(&s.latency);
+        }
+        total
+    }
+
+    /// Cluster-wide response-time histogram (simulated seconds), merged
+    /// exactly from the per-shard histograms — the source for merged
+    /// P50/P95/P99/P99.9, since the per-shard P² sketches cannot merge.
+    pub fn response_histogram(&self) -> eirs_obs::LatencyHistogram {
+        let mut total = eirs_obs::LatencyHistogram::new();
+        for s in &self.shards {
+            total.merge(&s.metrics.response_hist);
         }
         total
     }

@@ -6,7 +6,9 @@
 //! the wall clock around the run), so the counters stay exact and the
 //! engine stays deterministic.
 
+use eirs_obs::LatencyHistogram;
 use eirs_sim::policy::ClassAllocation;
+use eirs_sim::quantile::TailStats;
 
 /// Running counters for one cluster shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +44,15 @@ pub struct ShardMetrics {
     /// Sum of response times over completed jobs (mean response =
     /// `total_response / completions`).
     pub total_response: f64,
+    /// Streaming P50/P95/P99 of per-job response time (simulated time,
+    /// so fully deterministic). P² sketches are order-dependent and
+    /// cannot be merged across shards — per-shard tails read this,
+    /// merged tails read [`response_hist`](Self::response_hist).
+    pub response_tails: TailStats,
+    /// Log-linear response-time histogram (seconds of simulated time).
+    /// Unlike the P² sketch this merges exactly across shards, so
+    /// cluster-wide quantiles (including P99.9) come from here.
+    pub response_hist: LatencyHistogram,
     /// The shard's simulated clock.
     pub sim_time: f64,
 }
@@ -61,8 +72,20 @@ impl ShardMetrics {
             peak_elastic: 0,
             busy_histogram: vec![0; k as usize + 1],
             total_response: 0.0,
+            response_tails: TailStats::new(),
+            response_hist: LatencyHistogram::new(),
             sim_time: 0.0,
         }
+    }
+
+    /// Records one job completion with response time `rt` (simulated
+    /// seconds), feeding the mean, the P² tail sketch, and the mergeable
+    /// histogram together so the three can never drift apart.
+    pub(crate) fn record_response(&mut self, rt: f64) {
+        self.completions += 1;
+        self.total_response += rt;
+        self.response_tails.push(rt);
+        self.response_hist.record_seconds(rt);
     }
 
     /// Records one decision at occupancy `(i, j)`.
@@ -98,15 +121,41 @@ impl ShardMetrics {
         self.arrivals - self.rejections
     }
 
+    /// Per-shard response-time quantile estimates `(P50, P95, P99)` in
+    /// simulated seconds (`NaN` before any completion). These come from
+    /// the P² sketch and survive [`merge`](Self::merge) only on the
+    /// receiving side; use [`response_hist`](Self::response_hist) for
+    /// cluster-merged quantiles.
+    pub fn response_quantiles(&self) -> (f64, f64, f64) {
+        self.response_tails.estimates()
+    }
+
     /// Folds `other` into `self` (histogram buckets must agree — all
     /// shards of one engine share `k`). Peaks take the max, `sim_time`
-    /// the furthest shard clock, counters add.
+    /// the furthest shard clock, counters add. Panicking wrapper over
+    /// [`try_merge`](Self::try_merge).
     pub fn merge(&mut self, other: &ShardMetrics) {
-        assert_eq!(
-            self.busy_histogram.len(),
-            other.busy_histogram.len(),
-            "merging metrics of different k"
-        );
+        self.try_merge(other)
+            .expect("merging metrics of different k");
+    }
+
+    /// Fallible [`merge`](Self::merge): rejects metrics whose busy
+    /// histograms were sized for a different server count `k` instead of
+    /// silently truncating the fold, leaving `self` untouched on error.
+    ///
+    /// The P² tail sketches are deliberately *not* folded (their update
+    /// is order-dependent, so a merged sketch would depend on merge
+    /// order); `self.response_tails` keeps whatever it had, and merged
+    /// quantiles should be read from the exactly-mergeable
+    /// [`response_hist`](Self::response_hist).
+    pub fn try_merge(&mut self, other: &ShardMetrics) -> Result<(), String> {
+        if self.busy_histogram.len() != other.busy_histogram.len() {
+            return Err(format!(
+                "cannot merge shard metrics for k = {} into metrics for k = {}",
+                other.busy_histogram.len() - 1,
+                self.busy_histogram.len() - 1,
+            ));
+        }
         self.arrivals += other.arrivals;
         self.completions += other.completions;
         self.decisions += other.decisions;
@@ -120,7 +169,9 @@ impl ShardMetrics {
             *mine += theirs;
         }
         self.total_response += other.total_response;
+        self.response_hist.merge(&other.response_hist);
         self.sim_time = self.sim_time.max(other.sim_time);
+        Ok(())
     }
 }
 
@@ -172,5 +223,57 @@ mod tests {
         assert!((a.mean_response() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!((a.peak_inelastic, a.peak_elastic), (7, 4));
         assert_eq!(a.sim_time, 10.0);
+    }
+
+    #[test]
+    fn record_response_feeds_mean_tails_and_histogram_together() {
+        let mut m = ShardMetrics::new(2);
+        for i in 1..=100 {
+            m.record_response(i as f64 * 0.01);
+        }
+        assert_eq!(m.completions, 100);
+        assert!((m.mean_response() - 0.505).abs() < 1e-12);
+        assert_eq!(m.response_tails.count(), 100);
+        assert_eq!(m.response_hist.count(), 100);
+        let (p50, p95, p99) = m.response_quantiles();
+        assert!((p50 - 0.5).abs() < 0.05, "p50 = {p50}");
+        assert!(p95 > p50 && p99 >= p95, "({p50}, {p95}, {p99})");
+        // Histogram quantiles agree with the sketch to bucket precision.
+        let h50 = m.response_hist.quantile_seconds(0.5);
+        assert!((h50 - p50).abs() / p50 < 0.06, "{h50} vs {p50}");
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_k_without_mutating() {
+        let mut a = ShardMetrics::new(2);
+        a.arrivals = 5;
+        let before = a.clone();
+        let b = ShardMetrics::new(3);
+        let err = a.try_merge(&b).expect_err("k mismatch must be rejected");
+        assert!(err.contains("k = 3") && err.contains("k = 2"), "{err}");
+        assert_eq!(a, before, "failed merge must leave self untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "merging metrics of different k")]
+    fn merge_panics_on_mismatched_k() {
+        let mut a = ShardMetrics::new(2);
+        a.merge(&ShardMetrics::new(3));
+    }
+
+    #[test]
+    fn merge_folds_histograms_but_not_sketches() {
+        let mut a = ShardMetrics::new(2);
+        let mut b = ShardMetrics::new(2);
+        for i in 0..50 {
+            a.record_response(0.1 + i as f64 * 0.001);
+            b.record_response(0.5 + i as f64 * 0.001);
+        }
+        let a_tail_count = a.response_tails.count();
+        a.merge(&b);
+        assert_eq!(a.completions, 100);
+        assert_eq!(a.response_hist.count(), 100);
+        // The order-dependent sketch keeps the receiver's state only.
+        assert_eq!(a.response_tails.count(), a_tail_count);
     }
 }

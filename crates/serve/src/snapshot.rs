@@ -168,6 +168,15 @@ impl EngineSnapshot {
             )?;
             let hist: Vec<String> = m.busy_histogram.iter().map(u64::to_string).collect();
             writeln!(w, "hist {}", hist.join(" "))?;
+            // Response-time telemetry state, written only once populated
+            // so pre-telemetry snapshots and fresh shards stay byte-for-
+            // byte in the v1 shape (absent lines restore as fresh).
+            if !m.response_hist.is_empty() {
+                writeln!(w, "rhist {}", m.response_hist.encode())?;
+            }
+            if m.response_tails.count() > 0 {
+                writeln!(w, "rtail {}", m.response_tails.encode())?;
+            }
             for job in &s.jobs {
                 let c = match job.class {
                     JobClass::Inelastic => 'I',
@@ -296,6 +305,22 @@ impl EngineSnapshot {
                         .iter()
                         .map(|v| num(v, n, "hist"))
                         .collect::<Result<_, _>>()?;
+                }
+                "rhist" => {
+                    let shard = shards
+                        .last_mut()
+                        .ok_or_else(|| SnapshotError::Line(n, "rhist before any shard".into()))?;
+                    shard.metrics.response_hist =
+                        eirs_obs::LatencyHistogram::decode(body["rhist".len()..].trim())
+                            .map_err(|e| SnapshotError::Line(n, e))?;
+                }
+                "rtail" => {
+                    let shard = shards
+                        .last_mut()
+                        .ok_or_else(|| SnapshotError::Line(n, "rtail before any shard".into()))?;
+                    shard.metrics.response_tails =
+                        eirs_sim::quantile::TailStats::decode(body["rtail".len()..].trim())
+                            .map_err(|e| SnapshotError::Line(n, e))?;
                 }
                 "job" => {
                     let shard = shards
@@ -656,6 +681,41 @@ mod tests {
         restored.drain();
         assert_eq!(restored.decision_digest(), engine.decision_digest());
         assert_eq!(restored.metrics_total(), engine.metrics_total());
+    }
+
+    #[test]
+    fn response_telemetry_state_round_trips_and_is_optional() {
+        let (mut engine, _) = running_engine();
+        engine.drain();
+        let snap = engine.snapshot();
+        let populated = snap
+            .shards
+            .iter()
+            .any(|s| s.metrics.response_tails.count() > 0);
+        assert!(populated, "drained engine must have recorded responses");
+        let mut buf = Vec::new();
+        snap.to_writer(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\nrhist ") && text.contains("\nrtail "));
+        let parsed = EngineSnapshot::from_reader(&mut std::io::Cursor::new(text.clone())).unwrap();
+        assert_eq!(parsed, snap);
+        // A pre-telemetry snapshot (no rhist/rtail lines) still parses;
+        // the sketches restore fresh.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("rhist") && !l.starts_with("rtail"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let old = EngineSnapshot::from_reader(&mut std::io::Cursor::new(stripped)).unwrap();
+        assert!(old.shards.iter().all(|s| {
+            s.metrics.response_tails.count() == 0 && s.metrics.response_hist.is_empty()
+        }));
+        // But a corrupted telemetry line is an error, not a silent skip.
+        let bad = text.replacen("rtail ", "rtail x", 1);
+        assert!(matches!(
+            EngineSnapshot::from_reader(&mut std::io::Cursor::new(bad)),
+            Err(SnapshotError::Line(..))
+        ));
     }
 
     #[test]

@@ -90,6 +90,9 @@ fn usage() {
     eprintln!("                | reserve | tabular[:<I>x<J>]");
     eprintln!();
     eprintln!("policy, scenario, optimize, serve, and fuzz accept --json true for machine output.");
+    eprintln!("all commands accept --metrics-out <path> (Prometheus text) and --trace-out <path>");
+    eprintln!("(Chrome trace-event JSON; .jsonl for line-delimited events) to export telemetry;");
+    eprintln!("either flag enables the eirs_obs layer for the run (outputs are unchanged).");
 }
 
 fn parse_params(args: &CliArgs) -> Result<SystemParams, String> {
@@ -309,11 +312,59 @@ fn print_cell_numbers(report: &eirs_repro::core::fuzz::CellReport) {
     );
 }
 
+/// Writes the run's collected telemetry after the command finishes:
+/// `--metrics-out` gets Prometheus text, `--trace-out` gets a Chrome
+/// trace-event JSON (load it at `ui.perfetto.dev`) or JSONL when the
+/// path ends in `.jsonl`.
+fn export_telemetry(metrics_out: Option<&str>, trace_out: Option<&str>) -> Result<(), String> {
+    use eirs_repro::obs;
+    if metrics_out.is_none() && trace_out.is_none() {
+        return Ok(());
+    }
+    let events = obs::take_events();
+    let snap = obs::snapshot();
+    if let Some(path) = trace_out {
+        let text = if path.ends_with(".jsonl") {
+            obs::export::jsonl(&events)
+        } else {
+            obs::export::chrome_trace_json(&events, &snap)
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!("trace: {} events -> {path}", events.len());
+    }
+    if let Some(path) = metrics_out {
+        let text = obs::export::prometheus_text(&snap);
+        std::fs::write(path, text).map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eprintln!(
+            "metrics: {} counters, {} gauges, {} histograms -> {path}",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+    }
+    Ok(())
+}
+
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = CliArgs::parse(raw).map_err(stringify)?;
     if let Some(n) = args.threads().map_err(stringify)? {
         sweep::set_threads(Some(n));
     }
+    // The observability layer stays a no-op (one relaxed load per probe)
+    // unless an export path asks for it. Telemetry is write-only, so
+    // enabling it never changes any command's output — the CI
+    // observability-invariance gate replays `serve` both ways and
+    // compares decision digests.
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if metrics_out.is_some() || trace_out.is_some() {
+        eirs_repro::obs::set_enabled(true);
+    }
+    dispatch(args)?;
+    export_telemetry(metrics_out.as_deref(), trace_out.as_deref())
+}
+
+fn dispatch(args: CliArgs) -> Result<(), String> {
     match args.command.as_str() {
         "analyze" => {
             let p = parse_params(&args)?;
@@ -1248,6 +1299,16 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             let wall = start.elapsed().as_secs_f64();
             let totals = engine.metrics_total();
             let per_shard = engine.metrics_per_shard();
+            // Merged response quantiles come from the exactly-mergeable
+            // histogram; per-shard ones from each shard's P² sketch.
+            let response_hist = engine.response_histogram();
+            if eirs_repro::obs::enabled() {
+                eirs_repro::obs::publish_histogram(
+                    "serve.decision_latency",
+                    &engine.decision_latency(),
+                );
+                eirs_repro::obs::publish_histogram("serve.response_time", &response_hist);
+            }
             let digest = format!("0x{:016x}", engine.decision_digest());
             let decisions_per_sec = totals.decisions as f64 / wall;
             // A plain `--snapshot` (no boundary flags) keeps its original
@@ -1299,6 +1360,17 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                     .set("preemptions", totals.preemptions)
                     .set("wall_s", wall)
                     .set("decisions_per_sec", decisions_per_sec);
+                let merged_tails = if response_hist.is_empty() {
+                    Json::Null
+                } else {
+                    let mut q = Json::object();
+                    q.set("p50", response_hist.quantile_seconds(0.5))
+                        .set("p95", response_hist.quantile_seconds(0.95))
+                        .set("p99", response_hist.quantile_seconds(0.99))
+                        .set("p999", response_hist.quantile_seconds(0.999));
+                    q
+                };
+                tot.set("response_quantiles", merged_tails);
                 let mut rows = Vec::with_capacity(per_shard.len());
                 for (idx, m) in per_shard.iter().enumerate() {
                     let mut r = Json::object();
@@ -1321,6 +1393,21 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                             },
                         )
                         .set("sim_time", m.sim_time);
+                    let (p50, p95, p99) = m.response_quantiles();
+                    for (key, value) in [
+                        ("response_p50", p50),
+                        ("response_p95", p95),
+                        ("response_p99", p99),
+                    ] {
+                        r.set(
+                            key,
+                            if m.completions > 0 {
+                                Json::from(value)
+                            } else {
+                                Json::Null
+                            },
+                        );
+                    }
                     rows.push(r);
                 }
                 let mut doc = Json::object();
@@ -1391,6 +1478,15 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 );
             }
             println!("digest: {digest}");
+            if !response_hist.is_empty() {
+                println!(
+                    "tails: response p50={:.4} p95={:.4} p99={:.4} p999={:.4} (merged across shards)",
+                    response_hist.quantile_seconds(0.5),
+                    response_hist.quantile_seconds(0.95),
+                    response_hist.quantile_seconds(0.99),
+                    response_hist.quantile_seconds(0.999)
+                );
+            }
             println!("shard  arrivals  completions  decisions  degraded  rejected  peak(i,j)  mean T    now");
             for (idx, m) in per_shard.iter().enumerate() {
                 println!(

@@ -44,6 +44,7 @@ pub use eirs_markov as markov;
 pub use eirs_mdp as mdp;
 pub use eirs_multiclass as multiclass;
 pub use eirs_numerics as numerics;
+pub use eirs_obs as obs;
 pub use eirs_opt as opt;
 pub use eirs_queueing as queueing;
 pub use eirs_serve as serve;
