@@ -14,7 +14,10 @@
 //!    state sequence;
 //! 4. the DES exactness gate: the compiled-table server replaying a
 //!    recorded trace reproduces the simulator's allocation sequence
-//!    exactly (asserted, recorded as a boolean).
+//!    exactly (asserted, recorded as a boolean);
+//! 5. the networked front end over loopback TCP: concurrent-client
+//!    round-trip throughput, request-latency tails (p50/p95/p99), and
+//!    the wall-clock pause of a mid-stream atomic policy hot-swap.
 //!
 //! Results print as text and are written to `BENCH_serve.json` at the
 //! workspace root so the perf trajectory is recorded PR over PR.
@@ -272,6 +275,97 @@ fn main() {
         .set("decisions", des_log.len())
         .set("des_replay_exact", exact);
     report.set("des_exactness", gate);
+
+    // ---- 5. Networked front end: concurrent clients over loopback ------
+    // Round-trip numbers (frame encode, TCP, queue hand-off, batched
+    // engine, decision frame back), not engine-only throughput — which is
+    // why they sit orders of magnitude under section 1.
+    section("networked serving (loopback TCP, concurrent clients, hot-swap pause)");
+    let net_arrivals: Vec<Arrival> = arrivals.iter().take(120_000).copied().collect();
+    let clients = workers.clamp(1, 4);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let net_engine = ServeEngine::new(
+        table(),
+        EngineConfig::new(K).route_shards(ROUTE_SHARDS).batch(1024),
+    );
+    let swap_at = net_arrivals.len() as u64 / 2;
+    let compile = |spec: &str| -> Result<CompiledTable, String> {
+        Ok(CompiledTable::compile(
+            eirs_core::policy::parse_policy(spec)?,
+            K,
+            GRID,
+            GRID,
+        ))
+    };
+    let net_start = std::time::Instant::now();
+    let (net_report, client_report) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            eirs_net::serve(
+                listener,
+                net_engine,
+                None,
+                vec![eirs_net::SwapTrigger {
+                    at_seq: swap_at,
+                    spec: "threshold:3".into(),
+                }],
+                eirs_net::NetConfig::default(),
+                &compile,
+            )
+            .expect("networked serve")
+        });
+        let client = eirs_net::run_client(
+            &addr,
+            &net_arrivals,
+            &eirs_net::ClientConfig {
+                clients,
+                swap: None,
+            },
+        )
+        .expect("client");
+        (server.join().expect("server thread"), client)
+    });
+    let net_wall = net_start.elapsed().as_secs_f64();
+    assert!(
+        net_report.accounting_balanced(),
+        "exact accounting violated: {net_report:?}"
+    );
+    assert_eq!(net_report.generation, 1, "hot-swap did not install");
+    let rps = client_report.decisions as f64 / net_wall;
+    let lat = &client_report.latency;
+    println!(
+        "  {clients} clients: {} requests in {:.2} s ({:.0}k round-trips/sec)",
+        client_report.decisions,
+        net_wall,
+        rps / 1e3
+    );
+    println!(
+        "  request latency: p50 {} / p95 {} / p99 {}",
+        pretty_seconds(lat.quantile_seconds(0.5)),
+        pretty_seconds(lat.quantile_seconds(0.95)),
+        pretty_seconds(lat.quantile_seconds(0.99)),
+    );
+    let pause = net_report
+        .swap_pause_seconds
+        .first()
+        .copied()
+        .unwrap_or(0.0);
+    println!(
+        "  hot-swap pause at seq {swap_at}: {}",
+        pretty_seconds(pause)
+    );
+    let mut netj = Json::object();
+    netj.set("clients", clients as u64)
+        .set("requests", client_report.decisions)
+        .set("wall_s", net_wall)
+        .set("requests_per_sec", rps)
+        .set("latency_p50_s", lat.quantile_seconds(0.5))
+        .set("latency_p95_s", lat.quantile_seconds(0.95))
+        .set("latency_p99_s", lat.quantile_seconds(0.99))
+        .set("swap_pause_s", pause)
+        .set("swap_generation", net_report.generation as u64)
+        .set("accounting_balanced", net_report.accounting_balanced());
+    report.set("networked", netj);
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out_path, report.pretty()).expect("write BENCH_serve.json");

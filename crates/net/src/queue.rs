@@ -1,0 +1,179 @@
+//! Bounded FIFO hand-off queues between the connection router and the
+//! engine loop.
+//!
+//! One queue per route shard. The router is the only pusher (it holds
+//! the router lock while pushing, so pushes are serialized and each
+//! queue sees strictly increasing sequence numbers); the engine loop is
+//! the only popper. Capacity is the backpressure mechanism: a full
+//! queue either blocks the router ([`BoundedQueue::push`]) or sheds the
+//! arrival ([`BoundedQueue::is_full`] checked first), per the server's
+//! `shed` setting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-purpose FIFO with blocking push and draining pop.
+pub struct BoundedQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be positive");
+        Self {
+            cap,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a push would block (or shed) right now.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.cap
+    }
+
+    /// Pushes `item`, blocking while the queue is full. Returns the
+    /// item back if the queue was closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.items.len() >= self.cap && !s.closed {
+            s = self.not_full.wait(s).expect("queue poisoned");
+        }
+        if s.closed {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` items into `out` without blocking. Returns how
+    /// many were taken.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut s = self.state.lock().expect("queue poisoned");
+        let take = max.min(s.items.len());
+        out.extend(s.items.drain(..take));
+        if take > 0 {
+            self.not_full.notify_all();
+        }
+        take
+    }
+
+    /// Blocks until the queue is nonempty, closed, or `timeout`
+    /// elapses. Returns whether items are available.
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        let s = self.state.lock().expect("queue poisoned");
+        if !s.items.is_empty() || s.closed {
+            return !s.items.is_empty();
+        }
+        let (s, _) = self
+            .not_empty
+            .wait_timeout(s, timeout)
+            .expect("queue poisoned");
+        !s.items.is_empty()
+    }
+
+    /// Closes the queue: pending items stay poppable, further pushes
+    /// fail, blocked pushers wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_bounded_drain() {
+        let q = BoundedQueue::new(8);
+        for n in 0..5 {
+            q.push(n).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.drain_into(&mut out, 10), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_blocks_push_until_popped() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.is_full());
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(3))
+        };
+        // The pusher is stuck until we make room.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!pusher.is_finished(), "push through a full queue");
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 1);
+        pusher.join().unwrap().unwrap();
+        q.drain_into(&mut out, 10);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn close_fails_pushes_but_keeps_pending_items() {
+        let q = BoundedQueue::new(4);
+        q.push("kept").unwrap();
+        q.close();
+        assert_eq!(q.push("dropped"), Err("dropped"));
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 10), 1);
+        assert_eq!(out, vec!["kept"]);
+        // wait_nonempty on a closed empty queue returns immediately.
+        assert!(!q.wait_nonempty(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_pusher() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(2));
+    }
+}

@@ -61,6 +61,7 @@
 pub mod certify;
 pub mod objective;
 pub mod optim;
+pub mod reoptimize;
 pub mod space;
 
 pub use certify::{
@@ -72,4 +73,5 @@ pub use objective::{objective_for, AnalyticObjective, DesBudget, DesObjective, O
 pub use optim::{
     optimize, optimize_refined, optimize_with_start, parse_method, Budget, Method, OptReport,
 };
+pub use reoptimize::{render_spec, reoptimize, ObservedLoad, ReoptimizeOutcome};
 pub use space::{parse_family, registry, ParamBound, ParamSpace};

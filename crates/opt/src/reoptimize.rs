@@ -1,0 +1,180 @@
+//! Re-optimization from live observed traffic: the control-plane half
+//! of the serve layer's observe → re-optimize → hot-swap loop.
+//!
+//! A serving engine counts per-class arrivals as it runs
+//! (`ShardMetrics::arrivals_inelastic` / `arrivals_elastic` in
+//! `eirs_serve`). This module turns those counters into arrival-rate
+//! estimates ([`ObservedLoad`]), re-runs the policy search against the
+//! estimated model, and renders the winner as a **parseable policy
+//! spec** (the CLI `--policy` grammar) — exactly what a hot-swap
+//! journal record needs so replay can recompile the same table.
+//!
+//! The module deliberately takes plain counters, not serve-layer types:
+//! `eirs_opt` stays independent of `eirs_serve` (the serve crate and
+//! the network front end depend on *this* crate, not the other way
+//! around).
+
+use crate::objective::AnalyticObjective;
+use crate::optim::{optimize, Budget, Method, OptReport};
+use crate::space::parse_family;
+use eirs_core::analysis::AnalyzeOptions;
+use eirs_core::SystemParams;
+
+/// Per-stream arrival-rate estimates from live counters. "Stream" is
+/// one routed substream (one route shard): each shard is an independent
+/// `k`-server system, so the policy search models a single shard under
+/// its own offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedLoad {
+    /// Estimated inelastic arrival rate `λ̂_I` per stream.
+    pub lambda_inelastic: f64,
+    /// Estimated elastic arrival rate `λ̂_E` per stream.
+    pub lambda_elastic: f64,
+}
+
+impl ObservedLoad {
+    /// Maximum-likelihood rate estimates from merged counters:
+    /// `arrivals_*` arrivals observed across all streams over
+    /// `total_stream_time` (the **sum** of per-stream clocks, so the
+    /// estimate is per stream regardless of how many streams fed it).
+    pub fn from_counts(
+        arrivals_inelastic: u64,
+        arrivals_elastic: u64,
+        total_stream_time: f64,
+    ) -> Result<Self, String> {
+        if total_stream_time <= 0.0 || !total_stream_time.is_finite() {
+            return Err(format!(
+                "cannot estimate arrival rates over stream time {total_stream_time}"
+            ));
+        }
+        Ok(Self {
+            lambda_inelastic: arrivals_inelastic as f64 / total_stream_time,
+            lambda_elastic: arrivals_elastic as f64 / total_stream_time,
+        })
+    }
+}
+
+/// What a re-optimization produced: the search report plus the winning
+/// policy rendered as a parseable spec.
+#[derive(Debug, Clone)]
+pub struct ReoptimizeOutcome {
+    /// The underlying search report (best value, evaluations, trace).
+    pub report: OptReport,
+    /// The optimized policy in the CLI `--policy` grammar (e.g.
+    /// `threshold:3`, `curve:2+0.5i`) — round-trips through
+    /// `parse_policy`, so a hot-swap journaled with this spec replays
+    /// bit-identically.
+    pub spec: String,
+}
+
+/// Re-runs the policy search for `family_spec` (the `--family` grammar:
+/// `threshold`, `curve`, `waterfill`, `reserve`) against the paper's
+/// Poisson×exponential model at the observed load, returning the best
+/// policy as a parseable spec. Errors if the family cannot be rendered
+/// as a spec (`tabular`), the estimated load is infeasible (`ρ ≥ 1`),
+/// or the search itself fails.
+pub fn reoptimize(
+    family_spec: &str,
+    k: u32,
+    load: &ObservedLoad,
+    mu_inelastic: f64,
+    mu_elastic: f64,
+    budget: &Budget,
+) -> Result<ReoptimizeOutcome, String> {
+    let space = parse_family(family_spec, k)?;
+    let params = SystemParams::new(
+        k,
+        load.lambda_inelastic,
+        load.lambda_elastic,
+        mu_inelastic,
+        mu_elastic,
+    )
+    .map_err(|e| format!("observed load is not optimizable: {e}"))?;
+    let objective = AnalyticObjective::poisson_exp(params, AnalyzeOptions::default());
+    let report = optimize(space.as_ref(), &objective, Method::Auto, budget)?;
+    let spec = render_spec(&space.name(), &report.best_x)?;
+    Ok(ReoptimizeOutcome { report, spec })
+}
+
+/// Renders an optimized point as a parseable policy spec. Inverse of
+/// the decode mapping each family applies: thresholds and reserves
+/// round to integers, the curve rounds its intercept, water-filling
+/// exponentiates its log₂-weight.
+pub fn render_spec(family: &str, x: &[f64]) -> Result<String, String> {
+    let coord = |n: usize| -> Result<f64, String> {
+        x.get(n)
+            .copied()
+            .ok_or_else(|| format!("family '{family}' point has no coordinate {n}"))
+    };
+    match family {
+        "threshold" => Ok(format!("threshold:{}", coord(0)?.round() as usize)),
+        "curve" => Ok(format!(
+            "curve:{}+{}i",
+            coord(0)?.round() as usize,
+            coord(1)?
+        )),
+        "waterfill" => Ok(format!("waterfill:{}", coord(0)?.exp2())),
+        "reserve" => Ok(format!("reserve:{}", coord(0)?.round() as u32)),
+        other => Err(format!(
+            "family '{other}' has no parseable policy-spec rendering (hot-swap needs one of \
+             threshold, curve, waterfill, reserve)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirs_core::policy::parse_policy;
+
+    #[test]
+    fn observed_load_estimates_per_stream_rates() {
+        let load = ObservedLoad::from_counts(90, 60, 300.0).unwrap();
+        assert!((load.lambda_inelastic - 0.3).abs() < 1e-12);
+        assert!((load.lambda_elastic - 0.2).abs() < 1e-12);
+        assert!(ObservedLoad::from_counts(1, 1, 0.0).is_err());
+        assert!(ObservedLoad::from_counts(1, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rendered_specs_round_trip_through_the_policy_grammar() {
+        for (family, x, expect) in [
+            ("threshold", vec![2.6], "threshold:3"),
+            ("curve", vec![1.9, 0.5], "curve:2+0.5i"),
+            ("waterfill", vec![1.0], "waterfill:2"),
+            ("reserve", vec![0.2], "reserve:0"),
+        ] {
+            let spec = render_spec(family, &x).unwrap();
+            assert_eq!(spec, expect);
+            parse_policy(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+        assert!(render_spec("tabular", &[0.0]).is_err());
+        assert!(render_spec("curve", &[1.0]).is_err(), "missing slope");
+    }
+
+    #[test]
+    fn reoptimize_finds_a_spec_policy_for_observed_traffic() {
+        // Light inelastic load, heavier elastic load on a 2-server shard.
+        let load = ObservedLoad::from_counts(50, 80, 400.0).unwrap();
+        let out = reoptimize(
+            "threshold",
+            2,
+            &load,
+            1.0,
+            1.0,
+            &Budget {
+                max_evals: 8,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(out.spec.starts_with("threshold:"), "{}", out.spec);
+        assert!(out.report.best_value.is_finite());
+        parse_policy(&out.spec).unwrap();
+        // An overloaded estimate is refused up front, not deep in the
+        // solver.
+        let hot = ObservedLoad::from_counts(5000, 5000, 400.0).unwrap();
+        let err = reoptimize("threshold", 2, &hot, 1.0, 1.0, &Budget::default()).unwrap_err();
+        assert!(err.contains("not optimizable"), "{err}");
+    }
+}

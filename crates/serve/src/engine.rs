@@ -90,6 +90,15 @@ fn fold_decision(digest: u64, i: usize, j: usize, a: ClassAllocation) -> u64 {
     mix64(h ^ a.elastic.to_bits())
 }
 
+/// The shard owning global arrival number `seq` in an engine with
+/// `route_shards` shards — [`ServeEngine::route`] as a free function,
+/// so front ends (e.g. the network router) can partition traffic into
+/// per-shard queues without holding a reference to the engine.
+#[inline]
+pub fn route_for(seq: u64, route_shards: usize) -> usize {
+    (mix64(seq) % route_shards as u64) as usize
+}
+
 /// Computes the digest of an explicit decision sequence — the same fold
 /// the shards apply online, so a recorded DES log can be digested and
 /// compared against a live engine.
@@ -97,6 +106,51 @@ pub fn digest_decisions(decisions: &[Decision]) -> u64 {
     decisions
         .iter()
         .fold(0, |d, dec| fold_decision(d, dec.i, dec.j, dec.allocation))
+}
+
+/// One journaled policy hot-swap: at global arrival `seq` the engine
+/// switched to generation `generation`, serving the policy identified
+/// by `hash` ([`CompiledTable::identity_hash`]) and recompilable from
+/// `spec`. The ordered swap list is an engine's *generation schedule*;
+/// replaying a journal with the same schedule reproduces the live
+/// decision digest bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapRecord {
+    /// Global arrival sequence number the swap took effect at: arrivals
+    /// `< seq` were decided by the previous generation, arrivals
+    /// `>= seq` by this one.
+    pub seq: u64,
+    /// Policy generation installed (the fresh engine is generation 0;
+    /// the first swap installs generation 1).
+    pub generation: u32,
+    /// [`CompiledTable::identity_hash`] of the installed table.
+    pub hash: u64,
+    /// Parseable policy spec (the CLI `--policy` grammar) the table was
+    /// compiled from, so replay can recompile it.
+    pub spec: String,
+}
+
+/// The per-arrival acknowledgment produced by
+/// [`ServeEngine::ingest_batch_admissions`]: which shard served the
+/// arrival, whether it was admitted or shed, the post-admission
+/// occupancy, and the allocation the table serves at that occupancy.
+/// This is what the network front end writes back as a decision frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Route shard that owns the arrival.
+    pub shard: usize,
+    /// Shard inelastic occupancy after the arrival was processed.
+    pub i: usize,
+    /// Shard elastic occupancy after the arrival was processed.
+    pub j: usize,
+    /// Allocation the table serves at `(i, j)` under the shard's
+    /// current capacity (a pure read — no digest/metrics side effects).
+    pub allocation: ClassAllocation,
+    /// `false` when degraded-mode admission shedding rejected the
+    /// arrival ([`EngineConfig::shed_limit`]).
+    pub admitted: bool,
+    /// Policy generation that decided the arrival.
+    pub generation: u32,
 }
 
 /// The capacity-churn identity of an engine: which fault model runs,
@@ -448,10 +502,28 @@ impl ClusterShard {
         }
     }
 
+    /// A pure read of the allocation the shard would serve at its
+    /// current occupancy — the same degraded-decision rule as `decide`,
+    /// but with **no** side effects (no digest fold, no metrics, no
+    /// log). Used to build [`Admission`] acknowledgments; because it
+    /// never mutates, acking cannot perturb the decision stream.
+    pub(crate) fn peek(&self, table: &CompiledTable) -> (usize, usize, ClassAllocation) {
+        let (i, j) = (self.inelastic.len(), self.elastic.len());
+        let allocation = if self.avail == self.k {
+            table.lookup(i, j)
+        } else if self.avail == 0 {
+            ClassAllocation::IDLE
+        } else {
+            table.lookup_capped(i, j, self.avail)
+        };
+        (i, j, allocation)
+    }
+
     /// Processes all completions up to `a.time`, then admits the arrival
     /// — the incremental form of one-or-more DES loop iterations ending
-    /// in an arrival event.
-    pub(crate) fn ingest(&mut self, table: &CompiledTable, a: Arrival) {
+    /// in an arrival event. Returns `false` when degraded-mode admission
+    /// shedding rejected the arrival.
+    pub(crate) fn ingest(&mut self, table: &CompiledTable, a: Arrival) -> bool {
         loop {
             self.apply_due_capacity_events();
             let alloc = self.decide(table);
@@ -466,10 +538,14 @@ impl ClusterShard {
             if a.time <= self.time + 1e-12 && dt_arrival <= dt_completion {
                 self.time = self.time.max(a.time);
                 self.metrics.arrivals += 1;
+                match a.class {
+                    JobClass::Inelastic => self.metrics.arrivals_inelastic += 1,
+                    JobClass::Elastic => self.metrics.arrivals_elastic += 1,
+                }
                 self.metrics.sim_time = self.time;
                 if self.should_shed() {
                     self.metrics.rejections += 1;
-                    return;
+                    return false;
                 }
                 let job = Job::new(self.next_id, a.class, a.size, a.time);
                 self.next_id += 1;
@@ -479,7 +555,7 @@ impl ClusterShard {
                 }
                 // Zero-size jobs depart immediately.
                 self.collect_departures();
-                return;
+                return true;
             }
         }
     }
@@ -509,28 +585,30 @@ impl ClusterShard {
     }
 }
 
-/// Runs `f(shard_index, shard)` for every shard, fanned over `workers`
+/// Runs `f(item_index, item)` for every item (a shard, or a shard
+/// zipped with its per-shard output buffer), fanned over `workers`
 /// scoped threads in fixed index chunks (`workers <= 1` runs inline —
-/// the serial reference path). Shards are independent, so parallel
+/// the serial reference path). Items are independent, so parallel
 /// execution is bit-identical to serial.
-fn fan_out<F>(shards: &mut [ClusterShard], workers: usize, f: F)
+fn fan_out<T, F>(items: &mut [T], workers: usize, f: F)
 where
-    F: Fn(usize, &mut ClusterShard) + Sync,
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
 {
-    let workers = workers.max(1).min(shards.len().max(1));
+    let workers = workers.max(1).min(items.len().max(1));
     if workers <= 1 {
-        for (idx, shard) in shards.iter_mut().enumerate() {
-            f(idx, shard);
+        for (idx, item) in items.iter_mut().enumerate() {
+            f(idx, item);
         }
         return;
     }
-    let per = shards.len().div_ceil(workers);
+    let per = items.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for (chunk_no, chunk) in shards.chunks_mut(per).enumerate() {
+        for (chunk_no, chunk) in items.chunks_mut(per).enumerate() {
             let f = &f;
             scope.spawn(move || {
-                for (off, shard) in chunk.iter_mut().enumerate() {
-                    f(chunk_no * per + off, shard);
+                for (off, item) in chunk.iter_mut().enumerate() {
+                    f(chunk_no * per + off, item);
                 }
             });
         }
@@ -545,6 +623,11 @@ pub struct ServeEngine {
     pub(crate) table: Arc<CompiledTable>,
     pub(crate) shards: Vec<ClusterShard>,
     pub(crate) seq: u64,
+    /// Policy generation currently serving (0 until the first
+    /// [`ServeEngine::install_table`]).
+    pub(crate) generation: u32,
+    /// Ordered swap history (the generation schedule).
+    pub(crate) swap_log: Vec<SwapRecord>,
     scratch: Vec<Vec<Arrival>>,
 }
 
@@ -581,8 +664,48 @@ impl ServeEngine {
             table: Arc::new(table),
             shards,
             seq: 0,
+            generation: 0,
+            swap_log: Vec::new(),
             scratch,
         }
+    }
+
+    /// Atomically installs a freshly compiled table as the next policy
+    /// generation. The engine is advanced synchronously (one
+    /// [`ServeEngine::ingest_batch`] at a time), so calling this between
+    /// batches *is* the snapshot barrier: every shard has fully drained
+    /// its routed share of the previous batch, arrivals `< seq` were
+    /// decided by the old generation and arrivals `>= seq` by the new
+    /// one. Returns the [`SwapRecord`] (also appended to
+    /// [`ServeEngine::swap_log`]) for journaling.
+    pub fn install_table(&mut self, table: CompiledTable, spec: &str) -> SwapRecord {
+        assert_eq!(
+            table.k(),
+            self.config.k,
+            "swap table compiled for k={}, engine serves k={}",
+            table.k(),
+            self.config.k
+        );
+        self.generation += 1;
+        let record = SwapRecord {
+            seq: self.seq,
+            generation: self.generation,
+            hash: table.identity_hash(),
+            spec: spec.to_string(),
+        };
+        self.table = Arc::new(table);
+        self.swap_log.push(record.clone());
+        record
+    }
+
+    /// The policy generation currently serving (0 = the boot policy).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The ordered hot-swap history.
+    pub fn swap_log(&self) -> &[SwapRecord] {
+        &self.swap_log
     }
 
     /// The engine's configuration.
@@ -603,7 +726,7 @@ impl ServeEngine {
     /// The shard owning global arrival number `seq`.
     #[inline]
     pub fn route(&self, seq: u64) -> usize {
-        (mix64(seq) % self.config.route_shards as u64) as usize
+        route_for(seq, self.config.route_shards)
     }
 
     /// Ingests one batch of time-ordered arrivals: routes each to its
@@ -626,6 +749,65 @@ impl ServeEngine {
                 shard.ingest(table, a);
             }
         });
+    }
+
+    /// [`ServeEngine::ingest_batch`] with per-arrival acknowledgments:
+    /// routes and ingests exactly like `ingest_batch` (same seq
+    /// consumption, same digests, same metrics), additionally returning
+    /// one [`Admission`] per input arrival, in input order. The network
+    /// front end uses this to write decision frames back to clients;
+    /// ack collection is side-effect-free, so a run through this path
+    /// is bit-identical to one through `ingest_batch`.
+    pub fn ingest_batch_admissions(&mut self, arrivals: &[Arrival]) -> Vec<Admission> {
+        let mut buckets: Vec<Vec<(u32, Arrival)>> =
+            (0..self.config.route_shards).map(|_| Vec::new()).collect();
+        for (n, &a) in arrivals.iter().enumerate() {
+            let s = self.route(self.seq);
+            self.seq += 1;
+            buckets[s].push((n as u32, a));
+        }
+        let generation = self.generation;
+        let table = &*self.table;
+        type AckWork<'a> = (
+            usize,
+            &'a mut ClusterShard,
+            Vec<(u32, Arrival)>,
+            Vec<(u32, Admission)>,
+        );
+        let mut work: Vec<AckWork<'_>> = self
+            .shards
+            .iter_mut()
+            .zip(buckets)
+            .enumerate()
+            .map(|(idx, (shard, bucket))| (idx, shard, bucket, Vec::new()))
+            .collect();
+        fan_out(&mut work, self.config.workers, |_, item| {
+            let (idx, shard, bucket, out) = item;
+            for &(n, a) in bucket.iter() {
+                let admitted = shard.ingest(table, a);
+                let (i, j, allocation) = shard.peek(table);
+                out.push((
+                    n,
+                    Admission {
+                        shard: *idx,
+                        i,
+                        j,
+                        allocation,
+                        admitted,
+                        generation,
+                    },
+                ));
+            }
+        });
+        let mut acks: Vec<Option<Admission>> = vec![None; arrivals.len()];
+        for (_, _, _, out) in &work {
+            for &(n, adm) in out {
+                acks[n as usize] = Some(adm);
+            }
+        }
+        acks.into_iter()
+            .map(|a| a.expect("every arrival acknowledged"))
+            .collect()
     }
 
     /// Runs every shard's remaining work to completion.

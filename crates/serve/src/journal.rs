@@ -33,7 +33,7 @@
 //! reported with its line number, and [`Journal::load_prefix`] recovers
 //! the longest whole-line prefix).
 
-use crate::engine::{ChurnConfig, EngineConfig, ServeEngine};
+use crate::engine::{ChurnConfig, EngineConfig, ServeEngine, SwapRecord};
 use crate::snapshot::{EngineSnapshot, SnapshotError};
 use crate::table::CompiledTable;
 use eirs_sim::arrivals::{Arrival, ArrivalSource};
@@ -110,11 +110,30 @@ pub struct JournalWriter<W: Write> {
 
 impl<W: Write> JournalWriter<W> {
     /// Starts a journal for `engine`, writing the identity header.
-    pub fn create(mut w: W, engine: &ServeEngine) -> std::io::Result<Self> {
+    pub fn create(w: W, engine: &ServeEngine) -> std::io::Result<Self> {
+        Self::create_with_spec(w, engine, None)
+    }
+
+    /// [`JournalWriter::create`], additionally recording the parseable
+    /// policy spec (the CLI `--policy` grammar) and the serving table's
+    /// [identity hash](CompiledTable::identity_hash) in the header.
+    /// Replay from the journal alone ([`replay_journal`]) needs the
+    /// spec to recompile the boot policy; plain crash recovery does
+    /// not, so `create` omits both lines and stays byte-compatible
+    /// with pre-hot-swap journals.
+    pub fn create_with_spec(
+        mut w: W,
+        engine: &ServeEngine,
+        spec: Option<&str>,
+    ) -> std::io::Result<Self> {
         writeln!(w, "# eirs-serve-journal v1")?;
         let c = engine.config();
         writeln!(w, "k {} route_shards {}", c.k, c.route_shards)?;
         writeln!(w, "policy {}", engine.table().name())?;
+        if let Some(spec) = spec {
+            writeln!(w, "policy_spec {spec}")?;
+            writeln!(w, "policy_hash {}", engine.table().identity_hash())?;
+        }
         if let Some(churn) = &c.churn {
             writeln!(w, "churn {}", churn.identity())?;
         }
@@ -142,6 +161,19 @@ impl<W: Write> JournalWriter<W> {
         self.w.flush()
     }
 
+    /// Journals one policy hot-swap and flushes. Like arrival batches
+    /// this is write-ahead: append the record **before** serving any
+    /// arrival under the new generation, so a crash can never leave
+    /// served-but-unjournaled generations behind.
+    pub fn append_swap(&mut self, rec: &SwapRecord) -> std::io::Result<()> {
+        writeln!(
+            self.w,
+            "g {} {} {} {}",
+            rec.seq, rec.generation, rec.hash, rec.spec
+        )?;
+        self.w.flush()
+    }
+
     /// Unwraps the underlying writer (flushing first).
     pub fn into_inner(mut self) -> std::io::Result<W> {
         self.w.flush()?;
@@ -156,10 +188,21 @@ pub struct Journal {
     pub k: u32,
     /// Routing partition width.
     pub route_shards: usize,
-    /// Compiled-table name the engine was serving.
+    /// Compiled-table name the engine was serving when the journal
+    /// started (generation 0; hot-swaps change the serving policy
+    /// without rewriting the header — see [`Journal::swaps`]).
     pub policy: String,
+    /// Parseable spec the boot policy was compiled from, when the
+    /// journal was written with [`JournalWriter::create_with_spec`].
+    /// Required by [`replay_journal`].
+    pub policy_spec: Option<String>,
+    /// Identity hash of the boot table, when recorded.
+    pub policy_hash: Option<u64>,
     /// Churn identity, if the engine ran under capacity faults.
     pub churn: Option<ChurnConfig>,
+    /// The generation schedule: every journaled hot-swap, in order
+    /// (contiguous generations from 1, non-decreasing swap seqs).
+    pub swaps: Vec<SwapRecord>,
     /// Journaled arrivals, in ingestion order with contiguous sequence
     /// numbers.
     pub entries: Vec<JournalEntry>,
@@ -193,7 +236,10 @@ impl Journal {
     fn parse_lines(r: &mut dyn BufRead) -> Result<ParsedJournal, JournalError> {
         let mut header: Option<(u32, usize)> = None;
         let mut policy: Option<String> = None;
+        let mut policy_spec: Option<String> = None;
+        let mut policy_hash: Option<u64> = None;
         let mut churn: Option<ChurnConfig> = None;
+        let mut swaps: Vec<SwapRecord> = Vec::new();
         let mut entries: Vec<JournalEntry> = Vec::new();
         let mut torn: Option<(usize, String)> = None;
         for (idx, line) in r.lines().enumerate() {
@@ -220,8 +266,25 @@ impl Journal {
                         Ok(())
                     }
                 }
+                "policy_spec" => {
+                    let spec = body["policy_spec".len()..].trim();
+                    if spec.is_empty() {
+                        Err("empty policy spec".to_string())
+                    } else {
+                        policy_spec = Some(spec.to_string());
+                        Ok(())
+                    }
+                }
+                "policy_hash" => match fields.get(1).and_then(|v| v.parse().ok()) {
+                    Some(h) => {
+                        policy_hash = Some(h);
+                        Ok(())
+                    }
+                    None => Err("unparsable policy_hash".to_string()),
+                },
                 "churn" => ChurnConfig::parse_identity(body["churn".len()..].trim())
                     .map(|c| churn = Some(c)),
+                "g" => parse_swap(&fields).map(|s| swaps.push(s)),
                 "a" => parse_entry(&fields).map(|e| entries.push(e)),
                 other => Err(format!("unknown record '{other}'")),
             };
@@ -232,7 +295,10 @@ impl Journal {
         Ok(ParsedJournal {
             header,
             policy,
+            policy_spec,
+            policy_hash,
             churn,
+            swaps,
             entries,
             torn,
         })
@@ -243,7 +309,10 @@ impl Journal {
 struct ParsedJournal {
     header: Option<(u32, usize)>,
     policy: Option<String>,
+    policy_spec: Option<String>,
+    policy_hash: Option<u64>,
     churn: Option<ChurnConfig>,
+    swaps: Vec<SwapRecord>,
     entries: Vec<JournalEntry>,
     torn: Option<(usize, String)>,
 }
@@ -266,14 +335,59 @@ impl ParsedJournal {
                 )));
             }
         }
+        // The generation schedule must be a valid swap history:
+        // generations count 1, 2, … and swap points never move backward.
+        for (n, s) in self.swaps.iter().enumerate() {
+            if s.generation != n as u32 + 1 {
+                return Err(JournalError::Mismatch(format!(
+                    "swap record {} carries generation {}, expected {}",
+                    n + 1,
+                    s.generation,
+                    n + 1
+                )));
+            }
+        }
+        for pair in self.swaps.windows(2) {
+            if pair[1].seq < pair[0].seq {
+                return Err(JournalError::Mismatch(format!(
+                    "swap at seq {} follows swap at seq {}",
+                    pair[1].seq, pair[0].seq
+                )));
+            }
+        }
         Ok(Journal {
             k,
             route_shards,
             policy,
+            policy_spec: self.policy_spec,
+            policy_hash: self.policy_hash,
             churn: self.churn,
+            swaps: self.swaps,
             entries: self.entries,
         })
     }
+}
+
+fn parse_swap(fields: &[&str]) -> Result<SwapRecord, String> {
+    // `g <seq> <generation> <hash> <spec>`
+    if fields.len() < 5 {
+        return Err("malformed swap (expected 'g <seq> <generation> <hash> <spec>')".into());
+    }
+    let seq = fields[1]
+        .parse()
+        .map_err(|_| format!("unparsable swap seq '{}'", fields[1]))?;
+    let generation = fields[2]
+        .parse()
+        .map_err(|_| format!("unparsable swap generation '{}'", fields[2]))?;
+    let hash = fields[3]
+        .parse()
+        .map_err(|_| format!("unparsable swap hash '{}'", fields[3]))?;
+    Ok(SwapRecord {
+        seq,
+        generation,
+        hash,
+        spec: fields[4..].join(" "),
+    })
 }
 
 fn parse_header(fields: &[&str]) -> Result<(u32, usize), String> {
@@ -421,17 +535,73 @@ pub fn recover(
     snap: &EngineSnapshot,
     journal: &Journal,
 ) -> Result<ServeEngine, JournalError> {
+    recover_with(table, config, snap, journal, &|rec| {
+        Err(format!(
+            "journal hot-swaps to '{}' after the snapshot; plain recover cannot compile it — \
+             use recover_with and supply a table compiler",
+            rec.spec
+        ))
+    })
+}
+
+/// [`recover`] for journals whose suffix crosses hot-swap points:
+/// `compile` turns each post-snapshot [`SwapRecord`] back into a
+/// [`CompiledTable`] (normally by parsing `rec.spec` through the CLI
+/// policy grammar and compiling at any grid size — decisions are
+/// grid-size-invariant). Each compiled table's identity hash must match
+/// the journaled hash, and swaps are re-installed at their exact
+/// sequence points, so the recovered engine's generation schedule is
+/// bit-identical to the crashed run's.
+pub fn recover_with(
+    table: CompiledTable,
+    config: EngineConfig,
+    snap: &EngineSnapshot,
+    journal: &Journal,
+    compile: &dyn Fn(&SwapRecord) -> Result<CompiledTable, String>,
+) -> Result<ServeEngine, JournalError> {
     if journal.k != snap.k || journal.route_shards != snap.route_shards {
         return Err(JournalError::Mismatch(format!(
             "journal is for k={} route_shards={}, snapshot k={} route_shards={}",
             journal.k, journal.route_shards, snap.k, snap.route_shards
         )));
     }
-    if journal.policy != snap.policy {
+    // The generation schedule must agree with the snapshot: exactly
+    // `snap.generation` swaps happened at or before the snapshot point.
+    // A mismatch means the journal belongs to a different run (or a
+    // different policy history) and replaying it would silently produce
+    // a cross-policy decision stream.
+    let pre_swaps = journal.swaps.iter().filter(|s| s.seq <= snap.seq).count() as u32;
+    if pre_swaps != snap.generation {
         return Err(JournalError::Mismatch(format!(
-            "journal was serving '{}', snapshot '{}'",
-            journal.policy, snap.policy
+            "journal records {pre_swaps} swaps at or before seq {}, snapshot is generation {} — \
+             the generation schedules disagree",
+            snap.seq, snap.generation
         )));
+    }
+    if snap.generation == 0 {
+        // No swap yet: the boot policy name must agree, as always.
+        if journal.policy != snap.policy {
+            return Err(JournalError::Mismatch(format!(
+                "journal was serving '{}', snapshot '{}'",
+                journal.policy, snap.policy
+            )));
+        }
+    }
+    // When both sides pin an identity hash, the policy serving at the
+    // snapshot point must hash the same.
+    let effective_hash = journal
+        .swaps
+        .iter()
+        .rfind(|s| s.seq <= snap.seq)
+        .map(|s| Some(s.hash))
+        .unwrap_or(journal.policy_hash);
+    if let Some(h) = effective_hash {
+        if snap.policy_hash != 0 && h != snap.policy_hash {
+            return Err(JournalError::Mismatch(format!(
+                "journal pins policy hash {h:#018x} at seq {}, snapshot pins {:#018x}",
+                snap.seq, snap.policy_hash
+            )));
+        }
     }
     if journal.churn != snap.churn {
         return Err(JournalError::Mismatch(
@@ -453,8 +623,28 @@ pub fn recover(
         }
     }
     let batch = engine.config().batch;
+    let mut pending: Vec<&SwapRecord> = journal.swaps.iter().filter(|s| s.seq > snap.seq).collect();
+    pending.reverse(); // pop() yields the earliest swap first
     let mut buf: Vec<Arrival> = Vec::with_capacity(batch);
+    let install = |engine: &mut ServeEngine, rec: &SwapRecord| -> Result<(), JournalError> {
+        let table = compile(rec).map_err(JournalError::Mismatch)?;
+        let installed = engine.install_table(table, &rec.spec);
+        if installed.hash != rec.hash || installed.generation != rec.generation {
+            return Err(JournalError::Mismatch(format!(
+                "recompiled swap '{}' hashes to {:#018x} generation {}, journal recorded \
+                 {:#018x} generation {}",
+                rec.spec, installed.hash, installed.generation, rec.hash, rec.generation
+            )));
+        }
+        Ok(())
+    };
     for e in suffix {
+        while pending.last().is_some_and(|s| s.seq == e.seq) {
+            engine.ingest_batch(&buf);
+            buf.clear();
+            let rec = pending.pop().expect("just checked");
+            install(&mut engine, rec)?;
+        }
         buf.push(e.arrival);
         if buf.len() >= batch {
             engine.ingest_batch(&buf);
@@ -462,6 +652,109 @@ pub fn recover(
         }
     }
     engine.ingest_batch(&buf);
+    // Swaps recorded at the very end of the journal (at the crash
+    // point, after the last journaled arrival) still install.
+    while let Some(rec) = pending.pop() {
+        install(&mut engine, rec)?;
+    }
+    Ok(engine)
+}
+
+/// Rebuilds the **entire** run from the journal alone: compiles the
+/// boot policy from the journal's recorded `policy_spec`, ingests every
+/// entry from seq 0, and re-installs each journaled hot-swap at its
+/// exact sequence point. The returned engine is **not** drained (call
+/// [`ServeEngine::drain`] to match a live run that shut down cleanly).
+/// Because the engine is deterministic and decisions are
+/// grid-size-invariant, the replayed decision digest is bit-identical
+/// to the live run's — the hot-swap CI gate's currency.
+///
+/// `config` supplies processing knobs (workers, batch) and must agree
+/// with the journal's `k`/`route_shards`/churn identity; `compile`
+/// turns a policy spec into a table (the boot spec compiles via
+/// `compile(&SwapRecord{generation: 0, ...})`-style call with the
+/// header spec).
+pub fn replay_journal(
+    config: EngineConfig,
+    journal: &Journal,
+    compile: &dyn Fn(&str) -> Result<CompiledTable, String>,
+) -> Result<ServeEngine, JournalError> {
+    if journal.k != config.k || journal.route_shards != config.route_shards {
+        return Err(JournalError::Mismatch(format!(
+            "journal is for k={} route_shards={}, config k={} route_shards={}",
+            journal.k, journal.route_shards, config.k, config.route_shards
+        )));
+    }
+    if journal.churn != config.churn {
+        return Err(JournalError::Mismatch(
+            "journal and config disagree on the churn identity".into(),
+        ));
+    }
+    let spec = journal.policy_spec.as_deref().ok_or_else(|| {
+        JournalError::Mismatch(
+            "journal records no policy_spec — it was not written for standalone replay \
+             (re-serve with --policy to journal the spec)"
+                .into(),
+        )
+    })?;
+    let table = compile(spec).map_err(JournalError::Mismatch)?;
+    if let Some(h) = journal.policy_hash {
+        if table.identity_hash() != h {
+            return Err(JournalError::Mismatch(format!(
+                "boot spec '{spec}' recompiles to identity hash {:#018x}, journal recorded \
+                 {h:#018x}",
+                table.identity_hash()
+            )));
+        }
+    } else if table.name() != journal.policy {
+        return Err(JournalError::Mismatch(format!(
+            "boot spec '{spec}' compiles to '{}', journal was serving '{}'",
+            table.name(),
+            journal.policy
+        )));
+    }
+    if let Some(first) = journal.entries.first() {
+        if first.seq != 0 {
+            return Err(JournalError::Mismatch(format!(
+                "journal starts at seq {} — standalone replay needs the full history from seq 0",
+                first.seq
+            )));
+        }
+    }
+    let mut engine = ServeEngine::new(table, config);
+    let batch = engine.config().batch;
+    let mut pending: Vec<&SwapRecord> = journal.swaps.iter().collect();
+    pending.reverse();
+    let mut buf: Vec<Arrival> = Vec::with_capacity(batch);
+    let install = |engine: &mut ServeEngine, rec: &SwapRecord| -> Result<(), JournalError> {
+        let table = compile(&rec.spec).map_err(JournalError::Mismatch)?;
+        let installed = engine.install_table(table, &rec.spec);
+        if installed.hash != rec.hash || installed.generation != rec.generation {
+            return Err(JournalError::Mismatch(format!(
+                "recompiled swap '{}' hashes to {:#018x} generation {}, journal recorded \
+                 {:#018x} generation {}",
+                rec.spec, installed.hash, installed.generation, rec.hash, rec.generation
+            )));
+        }
+        Ok(())
+    };
+    for e in &journal.entries {
+        while pending.last().is_some_and(|s| s.seq == e.seq) {
+            engine.ingest_batch(&buf);
+            buf.clear();
+            let rec = pending.pop().expect("just checked");
+            install(&mut engine, rec)?;
+        }
+        buf.push(e.arrival);
+        if buf.len() >= batch {
+            engine.ingest_batch(&buf);
+            buf.clear();
+        }
+    }
+    engine.ingest_batch(&buf);
+    while let Some(rec) = pending.pop() {
+        install(&mut engine, rec)?;
+    }
     Ok(engine)
 }
 
@@ -598,6 +891,162 @@ mod tests {
         recovered.drain();
         assert_eq!(recovered.decision_digest(), reference.decision_digest());
         assert_eq!(recovered.metrics_total(), reference.metrics_total());
+    }
+
+    #[test]
+    fn hot_swap_replay_from_journal_is_bit_identical_to_live() {
+        use eirs_sim::policy::InelasticFirst;
+        let t = trace();
+        let config = EngineConfig::new(2).route_shards(3).batch(8);
+        let compile = |spec: &str| -> Result<CompiledTable, String> {
+            match spec {
+                "fs" => Ok(CompiledTable::compile(Box::new(FairShare), 2, 16, 16)),
+                "if" => Ok(CompiledTable::compile(Box::new(InelasticFirst), 2, 12, 12)),
+                other => Err(format!("unknown spec '{other}'")),
+            }
+        };
+        // Live run: boot on fair-share, hot-swap to inelastic-first at
+        // arrival 50, journaling both the arrivals and the swap.
+        let mut live = ServeEngine::new(compile("fs").unwrap(), config);
+        let mut w = JournalWriter::create_with_spec(Vec::new(), &live, Some("fs")).unwrap();
+        let arrivals = t.arrivals();
+        for (n, chunk) in [&arrivals[..50], &arrivals[50..]].into_iter().enumerate() {
+            if n == 1 {
+                let rec = live.install_table(compile("if").unwrap(), "if");
+                assert_eq!((rec.seq, rec.generation), (50, 1));
+                w.append_swap(&rec).unwrap();
+            }
+            w.append_batch(live.ingested(), chunk).unwrap();
+            live.ingest_batch(chunk);
+        }
+        live.drain();
+        assert_eq!(live.generation(), 1);
+        // Replay from the journal alone — different batch size AND a
+        // different grid for the swapped table (decisions are
+        // grid-size-invariant, so the digest must not care).
+        let journal =
+            Journal::from_reader(&mut std::io::Cursor::new(w.into_inner().unwrap())).unwrap();
+        assert_eq!(journal.policy_spec.as_deref(), Some("fs"));
+        assert_eq!(journal.swaps.len(), 1);
+        let mut replayed = replay_journal(config.batch(32), &journal, &compile).unwrap();
+        replayed.drain();
+        assert_eq!(replayed.decision_digest(), live.decision_digest());
+        assert_eq!(replayed.metrics_total(), live.metrics_total());
+        assert_eq!(replayed.generation(), 1);
+        // A compiler that resolves the swap spec to a different policy
+        // is caught by the journaled identity hash.
+        let lying = |spec: &str| -> Result<CompiledTable, String> {
+            match spec {
+                "fs" => compile("fs"),
+                _ => compile("fs"), // claims "if", compiles fair-share
+            }
+        };
+        let err = replay_journal(config, &journal, &lying)
+            .err()
+            .expect("lying compiler");
+        assert!(
+            matches!(&err, JournalError::Mismatch(m) if m.contains("hashes to")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn recover_refuses_a_mismatched_generation_schedule() {
+        let t = trace();
+        let config = EngineConfig::new(2).route_shards(3).batch(8);
+        let compile = |spec: &str| -> Result<CompiledTable, String> {
+            match spec {
+                "fs" => Ok(CompiledTable::compile(Box::new(FairShare), 2, 16, 16)),
+                other => Err(format!("unknown spec '{other}'")),
+            }
+        };
+        let mut engine = ServeEngine::new(compile("fs").unwrap(), config);
+        let mut w = JournalWriter::create_with_spec(Vec::new(), &engine, Some("fs")).unwrap();
+        let arrivals = t.arrivals();
+        w.append_batch(0, &arrivals[..40]).unwrap();
+        engine.ingest_batch(&arrivals[..40]);
+        let snap = engine.snapshot();
+        assert_eq!(snap.generation, 0);
+        w.append_batch(40, &arrivals[40..60]).unwrap();
+        engine.ingest_batch(&arrivals[40..60]);
+        let journal =
+            Journal::from_reader(&mut std::io::Cursor::new(w.into_inner().unwrap())).unwrap();
+        // Doctor the journal so it claims a swap happened before the
+        // snapshot: recover must refuse the schedule, not replay across
+        // a policy the snapshot never served.
+        let mut doctored = journal.clone();
+        doctored.swaps.push(SwapRecord {
+            seq: 20,
+            generation: 1,
+            hash: 123,
+            spec: "fs".into(),
+        });
+        let err = recover(compile("fs").unwrap(), config, &snap, &doctored)
+            .err()
+            .expect("doctored");
+        assert!(
+            matches!(&err, JournalError::Mismatch(m) if m.contains("generation schedules")),
+            "{err:?}"
+        );
+        // The undoctored journal recovers fine, and a post-snapshot
+        // swap is replayed through recover_with at its exact seq.
+        let recovered = recover(compile("fs").unwrap(), config, &snap, &journal).unwrap();
+        assert_eq!(recovered.ingested(), 60);
+    }
+
+    #[test]
+    fn recover_with_replays_post_snapshot_swaps_bit_identically() {
+        use eirs_sim::policy::InelasticFirst;
+        let t = trace();
+        let config = EngineConfig::new(2).route_shards(3).batch(8);
+        let compile = |spec: &str| -> Result<CompiledTable, String> {
+            match spec {
+                "fs" => Ok(CompiledTable::compile(Box::new(FairShare), 2, 16, 16)),
+                "if" => Ok(CompiledTable::compile(Box::new(InelasticFirst), 2, 16, 16)),
+                other => Err(format!("unknown spec '{other}'")),
+            }
+        };
+        let arrivals = trace_arrivals(&t);
+        // Live: snapshot at 30, swap at 55, crash at 80.
+        let mut live = ServeEngine::new(compile("fs").unwrap(), config);
+        let mut w = JournalWriter::create_with_spec(Vec::new(), &live, Some("fs")).unwrap();
+        w.append_batch(0, &arrivals[..30]).unwrap();
+        live.ingest_batch(&arrivals[..30]);
+        let snap = live.snapshot();
+        w.append_batch(30, &arrivals[30..55]).unwrap();
+        live.ingest_batch(&arrivals[30..55]);
+        let rec = live.install_table(compile("if").unwrap(), "if");
+        w.append_swap(&rec).unwrap();
+        w.append_batch(55, &arrivals[55..80]).unwrap();
+        live.ingest_batch(&arrivals[55..80]);
+        // Reference continues to the end without crashing.
+        live.ingest_batch(&arrivals[80..]);
+        live.drain();
+        let journal =
+            Journal::from_reader(&mut std::io::Cursor::new(w.into_inner().unwrap())).unwrap();
+        // Plain recover refuses the post-snapshot swap...
+        let err = recover(compile("fs").unwrap(), config, &snap, &journal)
+            .err()
+            .expect("swap refused");
+        assert!(
+            matches!(&err, JournalError::Mismatch(m) if m.contains("recover_with")),
+            "{err:?}"
+        );
+        // ...recover_with replays it and continues bit-identically.
+        let mut recovered = recover_with(compile("fs").unwrap(), config, &snap, &journal, &|r| {
+            compile(&r.spec)
+        })
+        .unwrap();
+        assert_eq!(recovered.ingested(), 80);
+        assert_eq!(recovered.generation(), 1);
+        recovered.ingest_batch(&arrivals[80..]);
+        recovered.drain();
+        assert_eq!(recovered.decision_digest(), live.decision_digest());
+        assert_eq!(recovered.metrics_total(), live.metrics_total());
+    }
+
+    fn trace_arrivals(t: &ArrivalTrace) -> Vec<Arrival> {
+        t.arrivals().to_vec()
     }
 
     #[test]

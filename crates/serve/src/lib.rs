@@ -69,8 +69,13 @@ pub mod table;
 
 pub use chaos::{run_chaos, ChaosReport};
 pub use eirs_sim::policy::AllocationPolicy;
-pub use engine::{ChurnConfig, Decision, EngineConfig, ServeEngine};
-pub use journal::{recover, run_journaled, Journal, JournalWriter, RunControls, RunOutcome};
+pub use engine::{
+    route_for, Admission, ChurnConfig, Decision, EngineConfig, ServeEngine, SwapRecord,
+};
+pub use journal::{
+    recover, recover_with, replay_journal, run_journaled, Journal, JournalWriter, RunControls,
+    RunOutcome,
+};
 pub use metrics::ShardMetrics;
 pub use replay::RecordingPolicy;
 pub use snapshot::EngineSnapshot;

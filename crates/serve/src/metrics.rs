@@ -15,6 +15,12 @@ use eirs_sim::quantile::TailStats;
 pub struct ShardMetrics {
     /// Jobs routed to this shard.
     pub arrivals: u64,
+    /// Inelastic share of `arrivals` (shed arrivals included). The
+    /// per-class split is what re-optimization needs to estimate the
+    /// observed `(λ_I, λ_E)` from a live engine.
+    pub arrivals_inelastic: u64,
+    /// Elastic share of `arrivals` (shed arrivals included).
+    pub arrivals_elastic: u64,
     /// Jobs completed by this shard.
     pub completions: u64,
     /// Allocation decisions made (one per event-loop step).
@@ -62,6 +68,8 @@ impl ShardMetrics {
     pub fn new(k: u32) -> Self {
         Self {
             arrivals: 0,
+            arrivals_inelastic: 0,
+            arrivals_elastic: 0,
             completions: 0,
             decisions: 0,
             overflow_lookups: 0,
@@ -157,6 +165,8 @@ impl ShardMetrics {
             ));
         }
         self.arrivals += other.arrivals;
+        self.arrivals_inelastic += other.arrivals_inelastic;
+        self.arrivals_elastic += other.arrivals_elastic;
         self.completions += other.completions;
         self.decisions += other.decisions;
         self.overflow_lookups += other.overflow_lookups;
@@ -199,12 +209,16 @@ mod tests {
     fn merge_adds_counters_and_maxes_peaks() {
         let mut a = ShardMetrics::new(2);
         a.arrivals = 3;
+        a.arrivals_inelastic = 2;
+        a.arrivals_elastic = 1;
         a.completions = 2;
         a.total_response = 1.5;
         a.peak_elastic = 4;
         a.sim_time = 10.0;
         let mut b = ShardMetrics::new(2);
         b.arrivals = 1;
+        b.arrivals_inelastic = 0;
+        b.arrivals_elastic = 1;
         b.completions = 1;
         b.total_response = 0.5;
         b.peak_inelastic = 7;
@@ -214,6 +228,7 @@ mod tests {
         b.preemptions = 2;
         a.merge(&b);
         assert_eq!(a.arrivals, 4);
+        assert_eq!((a.arrivals_inelastic, a.arrivals_elastic), (2, 2));
         assert_eq!(a.completions, 3);
         assert_eq!(a.events(), 7);
         assert_eq!(a.rejections, 1);

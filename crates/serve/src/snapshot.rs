@@ -76,6 +76,14 @@ pub struct EngineSnapshot {
     /// model, seed, horizon). Restore refuses a mismatch for the same
     /// reason it refuses a different policy.
     pub churn: Option<ChurnConfig>,
+    /// Policy generation serving at snapshot time (0 = boot policy;
+    /// incremented by every [`ServeEngine::install_table`] hot-swap).
+    pub generation: u32,
+    /// [`CompiledTable::identity_hash`] of the serving table — a
+    /// grid-size-independent behavioral fingerprint. Restore refuses a
+    /// table with a different hash (0 in pre-hot-swap snapshots, which
+    /// skips the check and falls back to the name comparison alone).
+    pub policy_hash: u64,
     /// Per-shard state, in shard order.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -139,6 +147,11 @@ impl EngineSnapshot {
             self.k, self.route_shards, self.seq
         )?;
         writeln!(w, "policy {}", self.policy)?;
+        writeln!(
+            w,
+            "generation {} policy_hash {}",
+            self.generation, self.policy_hash
+        )?;
         if let Some(churn) = &self.churn {
             writeln!(w, "churn {}", churn.identity())?;
         }
@@ -147,6 +160,7 @@ impl EngineSnapshot {
             writeln!(
                 w,
                 "shard {idx} time {} digest {} next_id {} avail {} fault_cursor {} arrivals {} \
+                 arr_i {} arr_e {} \
                  completions {} decisions {} overflow {} degraded {} rejections {} preemptions {} \
                  peak_i {} peak_j {} total_response {} sim_time {}",
                 s.time,
@@ -155,6 +169,8 @@ impl EngineSnapshot {
                 s.avail,
                 s.fault_cursor,
                 m.arrivals,
+                m.arrivals_inelastic,
+                m.arrivals_elastic,
                 m.completions,
                 m.decisions,
                 m.overflow_lookups,
@@ -197,6 +213,8 @@ impl EngineSnapshot {
         let mut header: Option<(u32, usize, u64)> = None;
         let mut policy: Option<String> = None;
         let mut churn: Option<ChurnConfig> = None;
+        let mut generation = 0u32;
+        let mut policy_hash = 0u64;
         let mut shards: Vec<ShardSnapshot> = Vec::new();
         let mut saw_end = false;
         for (idx, line) in r.lines().enumerate() {
@@ -238,6 +256,15 @@ impl EngineSnapshot {
                     }
                     policy = Some(name.to_string());
                 }
+                "generation" => {
+                    // `generation <g> policy_hash <h>` (absent in
+                    // pre-hot-swap snapshots; defaults 0/0).
+                    generation = num(parse(1, "generation")?, n, "generation")? as u32;
+                    if parse(2, "policy_hash")? != "policy_hash" {
+                        return Err(SnapshotError::Line(n, "expected policy_hash".into()));
+                    }
+                    policy_hash = num(parse(3, "policy_hash")?, n, "policy_hash")?;
+                }
                 "churn" => {
                     // The rest of the line verbatim (the identity string
                     // has internal spaces).
@@ -269,6 +296,8 @@ impl EngineSnapshot {
                             "avail" => avail = num(value, n, key)? as u32,
                             "fault_cursor" => fault_cursor = num(value, n, key)? as usize,
                             "arrivals" => m.arrivals = num(value, n, key)?,
+                            "arr_i" => m.arrivals_inelastic = num(value, n, key)?,
+                            "arr_e" => m.arrivals_elastic = num(value, n, key)?,
                             "completions" => m.completions = num(value, n, key)?,
                             "decisions" => m.decisions = num(value, n, key)?,
                             "overflow" => m.overflow_lookups = num(value, n, key)?,
@@ -380,6 +409,8 @@ impl EngineSnapshot {
             seq,
             policy,
             churn,
+            generation,
+            policy_hash,
             shards,
         })
     }
@@ -443,6 +474,8 @@ impl ServeEngine {
             seq: self.seq,
             policy: self.table.name(),
             churn: self.config.churn,
+            generation: self.generation,
+            policy_hash: self.table.identity_hash(),
             shards,
         }
     }
@@ -472,6 +505,14 @@ impl ServeEngine {
                 table.name()
             )));
         }
+        if snap.policy_hash != 0 && table.identity_hash() != snap.policy_hash {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot pins policy identity hash {:#018x}, restoring table hashes to \
+                 {:#018x} — same name, different decision behavior",
+                snap.policy_hash,
+                table.identity_hash()
+            )));
+        }
         if config.route_shards != snap.route_shards {
             return Err(SnapshotError::Mismatch(format!(
                 "snapshot has {} route shards, config {}",
@@ -492,6 +533,7 @@ impl ServeEngine {
         }
         let mut engine = ServeEngine::new(table, config);
         engine.seq = snap.seq;
+        engine.generation = snap.generation;
         for (shard, frozen) in engine.shards.iter_mut().zip(&snap.shards) {
             restore_shard(shard, frozen, snap.k)?;
         }
@@ -716,6 +758,57 @@ mod tests {
             EngineSnapshot::from_reader(&mut std::io::Cursor::new(bad)),
             Err(SnapshotError::Line(..))
         ));
+    }
+
+    #[test]
+    fn generation_and_policy_hash_round_trip_and_guard_restore() {
+        use eirs_sim::policy::{AllocationPolicy, ClassAllocation};
+        let (mut engine, _) = running_engine();
+        // Hot-swap: the snapshot must pin the new generation and the
+        // swapped table's identity hash.
+        engine.install_table(CompiledTable::compile(Box::new(FairShare), 2, 8, 8), "fs");
+        let snap = engine.snapshot();
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.policy_hash, engine.table().identity_hash());
+        let mut buf = Vec::new();
+        snap.to_writer(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\ngeneration 1 policy_hash "));
+        let parsed = EngineSnapshot::from_reader(&mut std::io::Cursor::new(text.clone())).unwrap();
+        assert_eq!(parsed, snap);
+        let table = CompiledTable::compile(Box::new(FairShare), 2, 16, 16);
+        let restored = ServeEngine::from_snapshot(table, *engine.config(), &snap).unwrap();
+        assert_eq!(restored.generation(), 1);
+        // A policy with the same *name* but different decision behavior
+        // is refused by the hash even though the name check passes.
+        struct Impostor;
+        impl AllocationPolicy for Impostor {
+            fn allocate(&self, _: usize, _: usize, _: u32) -> ClassAllocation {
+                ClassAllocation::IDLE
+            }
+            fn name(&self) -> String {
+                "Fair-Share".into()
+            }
+        }
+        let fake = CompiledTable::compile(Box::new(Impostor), 2, 16, 16);
+        let err = ServeEngine::from_snapshot(fake, *engine.config(), &snap)
+            .err()
+            .expect("impostor policy must be rejected");
+        assert!(
+            matches!(&err, SnapshotError::Mismatch(m) if m.contains("identity hash")),
+            "{err:?}"
+        );
+        // Pre-hot-swap snapshots (no generation line) parse with the
+        // defaults and restore without the hash check.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("generation"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let old = EngineSnapshot::from_reader(&mut std::io::Cursor::new(stripped)).unwrap();
+        assert_eq!((old.generation, old.policy_hash), (0, 0));
+        let table = CompiledTable::compile(Box::new(FairShare), 2, 16, 16);
+        assert!(ServeEngine::from_snapshot(table, *engine.config(), &old).is_ok());
     }
 
     #[test]

@@ -126,6 +126,31 @@ impl CompiledTable {
     pub fn source(&self) -> &dyn AllocationPolicy {
         self.source.as_ref()
     }
+
+    /// A decision-behavior fingerprint of the compiled policy: a hash
+    /// over `k`, the source policy's name, and the allocation bits on a
+    /// **fixed** `33 × 33` probe grid, independent of the grid this
+    /// table was compiled with. Because grid and clamp-region lookups
+    /// are both bit-identical to the source policy, recompiling the
+    /// same policy at any `max_i`/`max_j` yields the same hash — which
+    /// is what lets snapshots pin policy identity without pinning grid
+    /// size. Used by the hot-swap journal records and
+    /// [`EngineSnapshot`](crate::EngineSnapshot) identity checks.
+    pub fn identity_hash(&self) -> u64 {
+        let mut h = crate::engine::mix64(self.k as u64);
+        for b in self.source.name().as_bytes() {
+            h = crate::engine::mix64(h ^ *b as u64);
+        }
+        for i in 0..=32usize {
+            for j in 0..=32usize {
+                let a = self.lookup(i, j);
+                h = crate::engine::mix64(h ^ (((i as u64) << 32) | j as u64));
+                h = crate::engine::mix64(h ^ a.inelastic.to_bits());
+                h = crate::engine::mix64(h ^ a.elastic.to_bits());
+            }
+        }
+        h
+    }
 }
 
 impl AllocationPolicy for CompiledTable {
@@ -198,6 +223,17 @@ mod tests {
         );
         assert_eq!(table.name(), "Compiled[Inelastic-First]");
         assert_eq!(table.source().name(), "Inelastic-First");
+    }
+
+    #[test]
+    fn identity_hash_is_grid_size_invariant_but_policy_sensitive() {
+        let small = CompiledTable::compile(Box::new(FairShare), 4, 4, 4);
+        let large = CompiledTable::compile(Box::new(FairShare), 4, 64, 64);
+        assert_eq!(small.identity_hash(), large.identity_hash());
+        let other = CompiledTable::compile(Box::new(InelasticFirst), 4, 4, 4);
+        assert_ne!(small.identity_hash(), other.identity_hash());
+        let other_k = CompiledTable::compile(Box::new(FairShare), 3, 4, 4);
+        assert_ne!(small.identity_hash(), other_k.identity_hash());
     }
 
     #[test]

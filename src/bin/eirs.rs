@@ -11,6 +11,9 @@
 //!                --departures 500000 --seed 1
 //! eirs serve     --policy curve:2+0.5i --workload poisson --k 4 --rho 0.7 \
 //!                --shards 4 --batch 1024 --duration 500
+//! eirs serve     --policy curve:2+0.5i --listen 127.0.0.1:7070 --journal run.wal \
+//!                --swap-policy optimize:threshold --swap-at 100000
+//! eirs client    --connect 127.0.0.1:7070 --workload poisson --clients 4
 //! eirs counterexample --ratio 2
 //! ```
 //!
@@ -72,6 +75,12 @@ fn usage() {
     eprintln!("                  --shed-limit <jobs>]");
     eprintln!("                  recovery: [--journal <path> --snapshot-at <n> --kill-after <n>");
     eprintln!("                  --recover true]");
+    eprintln!("                  network:  [--listen <addr> --addr-file <path> --queue-cap <n>");
+    eprintln!("                  --shed true] hot-swap: [--swap-policy <spec|optimize:<family>>");
+    eprintln!("                  --swap-at <n>] replay: [--replay-journal <path> --drain true]");
+    eprintln!("  client          load generator for a networked serve (--listen) front end");
+    eprintln!("                  --connect <host:port> [--clients <n> --workload --duration");
+    eprintln!("                  --seed --swap <spec> --swap-after <n> --k --rho --mu-i --mu-e]");
     eprintln!("  fuzz            seeded scenario fuzzer: random (workload, policy) cells");
     eprintln!("                  through every differential oracle (analysis vs DES,");
     eprintln!("                  accounting, digests, optimizer vs baselines)");
@@ -89,7 +98,8 @@ fn usage() {
     eprintln!("family specs:   threshold[:<max>] | curve[:<max_intercept>] | waterfill");
     eprintln!("                | reserve | tabular[:<I>x<J>]");
     eprintln!();
-    eprintln!("policy, scenario, optimize, serve, and fuzz accept --json true for machine output.");
+    eprintln!("policy, scenario, optimize, serve, client, and fuzz accept --json true for machine");
+    eprintln!("output.");
     eprintln!("all commands accept --metrics-out <path> (Prometheus text) and --trace-out <path>");
     eprintln!("(Chrome trace-event JSON; .jsonl for line-delimited events) to export telemetry;");
     eprintln!("either flag enables the eirs_obs layer for the run (outputs are unchanged).");
@@ -177,6 +187,32 @@ type BaselineRow = (String, f64, Option<(f64, f64, bool)>);
 /// The `--json true` flag shared by `policy`, `scenario`, and `optimize`.
 fn json_mode(args: &CliArgs) -> Result<bool, String> {
     args.get_parsed_or("json", false).map_err(stringify)
+}
+
+/// The hot-swap generation schedule as JSON rows (shared by every serve
+/// mode: offline, networked, and journal replay).
+fn swap_rows(swaps: &[eirs_repro::serve::SwapRecord]) -> Vec<Json> {
+    swaps
+        .iter()
+        .map(|s| {
+            let mut r = Json::object();
+            r.set("seq", s.seq)
+                .set("generation", s.generation as u64)
+                .set("table_hash", format!("0x{:016x}", s.hash))
+                .set("spec", s.spec.as_str());
+            r
+        })
+        .collect()
+}
+
+/// One human-readable line per hot-swap.
+fn print_swap_log(swaps: &[eirs_repro::serve::SwapRecord]) {
+    for s in swaps {
+        println!(
+            "swap:  generation {} at seq {} -> '{}' (table 0x{:016x})",
+            s.generation, s.seq, s.spec, s.hash
+        );
+    }
 }
 
 /// Standard parameter block embedded in every JSON document.
@@ -1215,6 +1251,87 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
                     return Err("--snapshot-at needs --snapshot <path> to write to".into());
                 }
             }
+            // Networked serving, offline hot-swap, and journal replay
+            // (the front end in crates/net): three further serve modes.
+            let listen = args.get("listen").map(str::to_string);
+            let replay_path = args.get("replay-journal").map(str::to_string);
+            let swap_policy = args.get("swap-policy").map(str::to_string);
+            let swap_at = match args.get("swap-at") {
+                Some(_) => Some(args.get_parsed_or("swap-at", 0u64).map_err(stringify)?),
+                None => None,
+            };
+            if swap_policy.is_some() != swap_at.is_some() {
+                return Err(
+                    "--swap-policy and --swap-at go together: the policy spec to \
+                     install and the arrival-sequence barrier to install it at"
+                        .into(),
+                );
+            }
+            if let Some(spec) = &swap_policy {
+                // Validate the swap spec up front: a bad spec should fail
+                // the command, not the barrier halfway through a run.
+                match spec.strip_prefix("optimize:") {
+                    Some(family) => {
+                        opt::parse_family(family, p.k)
+                            .map_err(|e| spec_error("swap-policy", spec, &e))?;
+                    }
+                    None => {
+                        parse_policy(spec).map_err(|e| spec_error("swap-policy", spec, &e))?;
+                    }
+                }
+            }
+            if replay_path.is_some()
+                && (listen.is_some()
+                    || recover_mode
+                    || journal_path.is_some()
+                    || snapshot_path.is_some()
+                    || swap_policy.is_some())
+            {
+                return Err(
+                    "--replay-journal is a standalone mode: it rebuilds a run from \
+                     the journal alone and cannot be combined with --listen, --journal, \
+                     --snapshot, --recover, or --swap-policy"
+                        .into(),
+                );
+            }
+            if listen.is_some()
+                && (recover_mode
+                    || snapshot_path.is_some()
+                    || snapshot_at.is_some()
+                    || kill_after.is_some())
+            {
+                return Err("--listen serves live connections; the snapshot/recovery \
+                     controls (--snapshot, --snapshot-at, --kill-after, --recover) apply \
+                     to offline runs — journal a networked run with --journal and rebuild \
+                     it with --replay-journal"
+                    .into());
+            }
+            if listen.is_none()
+                && (args.get("queue-cap").is_some()
+                    || args.get("shed").is_some()
+                    || args.get("addr-file").is_some())
+            {
+                return Err(
+                    "--queue-cap, --shed, and --addr-file only apply with --listen <addr>".into(),
+                );
+            }
+            if args.get("drain").is_some() && replay_path.is_none() {
+                return Err("--drain only applies with --replay-journal <path>".into());
+            }
+            if recover_mode && swap_policy.is_some() {
+                return Err("--swap-policy cannot be combined with --recover true (the \
+                     journal being replayed already records the generation schedule)"
+                    .into());
+            }
+            if swap_policy.is_some()
+                && listen.is_none()
+                && (snapshot_at.is_some() || kill_after.is_some())
+            {
+                return Err(
+                    "--swap-policy cannot be combined with --snapshot-at/--kill-after".into(),
+                );
+            }
+            let policy_spec = args.get_or("policy", "if");
             let policy_name = policy.name();
             let table = CompiledTable::compile(policy, p.k, grid, grid);
             let table_shape = (table.max_i() + 1, table.max_j() + 1, table.table_bytes());
@@ -1227,6 +1344,205 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
             }
             if let Some(s) = shed_limit {
                 config = config.shed_limit(s);
+            }
+            // --replay-journal: rebuild an entire run — boot policy,
+            // arrivals, and hot-swaps — from the write-ahead journal
+            // alone, and report the reproduced digest.
+            if let Some(jpath) = &replay_path {
+                let k = p.k;
+                // An offline `serve` reports its digest with jobs still in
+                // flight at the horizon; a networked serve drains before
+                // reporting. `--drain true` matches the latter.
+                let drain = args.get_parsed_or("drain", false).map_err(stringify)?;
+                let journal = Journal::load(std::path::Path::new(jpath.as_str()))
+                    .map_err(|e| format!("cannot replay journal {jpath}: {e}"))?;
+                let compile = move |spec: &str| -> Result<CompiledTable, String> {
+                    Ok(CompiledTable::compile(parse_policy(spec)?, k, grid, grid))
+                };
+                let mut engine = eirs_repro::serve::replay_journal(config, &journal, &compile)
+                    .map_err(|e| format!("cannot replay journal {jpath}: {e}"))?;
+                let replayed = engine.ingested();
+                if drain {
+                    engine.drain();
+                }
+                let totals = engine.metrics_total();
+                let digest = format!("0x{:016x}", engine.decision_digest());
+                if json_mode(&args)? {
+                    let mut doc = Json::object();
+                    doc.set("schema", "eirs-serve-replay/v1")
+                        .set("journal", jpath.as_str())
+                        .set("replayed", replayed)
+                        .set("completions", totals.completions)
+                        .set("decisions", totals.decisions)
+                        .set("decision_digest", digest)
+                        .set("generation", engine.generation() as u64)
+                        .set("swaps", swap_rows(engine.swap_log()));
+                    print!("{}", doc.pretty());
+                    return Ok(());
+                }
+                println!(
+                    "replay: {jpath} -> {replayed} arrivals, {} completions, {} decisions",
+                    totals.completions, totals.decisions
+                );
+                print_swap_log(engine.swap_log());
+                println!("digest: {digest} (generation {})", engine.generation());
+                return Ok(());
+            }
+            // --listen: put the engine behind a socket. Clients drive the
+            // arrival stream (the workload flags are unused); the accept
+            // loop, per-shard ingest queues, and the atomic hot-swap
+            // barrier live in crates/net.
+            if let Some(addr) = &listen {
+                use eirs_repro::net::{NetConfig, ReoptSettings, SwapTrigger};
+                let queue_cap = args
+                    .get_parsed_or("queue-cap", 1024usize)
+                    .map_err(stringify)?;
+                if queue_cap < 1 {
+                    return Err("--queue-cap must be at least 1".into());
+                }
+                let shed = args.get_parsed_or("shed", false).map_err(stringify)?;
+                let listener = std::net::TcpListener::bind(addr.as_str())
+                    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+                let local = listener.local_addr().map_err(|e| e.to_string())?;
+                // With `--listen 127.0.0.1:0` the OS picks the port; the
+                // addr file is how a harness learns it.
+                if let Some(path) = args.get("addr-file") {
+                    std::fs::write(path, local.to_string())
+                        .map_err(|e| format!("cannot write addr file {path}: {e}"))?;
+                }
+                let engine = ServeEngine::new(table, config);
+                let journal = match journal_path {
+                    Some(jpath) => {
+                        let file = std::fs::File::create(jpath)
+                            .map_err(|e| format!("cannot create journal {jpath}: {e}"))?;
+                        let w: Box<dyn std::io::Write + Send> =
+                            Box::new(std::io::BufWriter::new(file));
+                        Some(
+                            JournalWriter::create_with_spec(w, &engine, Some(&policy_spec))
+                                .map_err(|e| format!("cannot write journal {jpath}: {e}"))?,
+                        )
+                    }
+                    None => None,
+                };
+                let swaps = match (&swap_policy, swap_at) {
+                    (Some(spec), Some(at)) => vec![SwapTrigger {
+                        at_seq: at,
+                        spec: spec.clone(),
+                    }],
+                    _ => Vec::new(),
+                };
+                let net_cfg = NetConfig {
+                    queue_cap,
+                    batch,
+                    shed,
+                    reopt: ReoptSettings {
+                        mu_inelastic: p.mu_i,
+                        mu_elastic: p.mu_e,
+                        max_evals: args.get_parsed_or("budget", 60usize).map_err(stringify)?,
+                        seed,
+                    },
+                };
+                let k = p.k;
+                let compile = move |spec: &str| -> Result<CompiledTable, String> {
+                    Ok(CompiledTable::compile(parse_policy(spec)?, k, grid, grid))
+                };
+                // Stderr so --json true keeps stdout machine-clean.
+                eprintln!("listening on {local} (policy={policy_name} k={k} route_shards={route})");
+                let start = std::time::Instant::now();
+                let report =
+                    eirs_repro::net::serve(listener, engine, journal, swaps, net_cfg, &compile)?;
+                let wall = start.elapsed().as_secs_f64();
+                if json_mode(&args)? {
+                    let mut cfg = Json::object();
+                    cfg.set("route_shards", route)
+                        .set("shard_workers", workers)
+                        .set("batch", batch)
+                        .set("queue_cap", queue_cap)
+                        .set("shed", shed)
+                        .set("grid", grid)
+                        .set("seed", seed);
+                    let mut doc = Json::object();
+                    doc.set("schema", "eirs-serve-net/v1")
+                        .set("params", params_json(&p))
+                        .set("policy", policy_name)
+                        .set("listen", local.to_string())
+                        .set("config", cfg)
+                        .set("connections", report.connections)
+                        .set("client_arrivals", report.client_arrivals)
+                        .set("ingested", report.ingested)
+                        .set("net_sheds", report.net_sheds)
+                        .set("engine_rejections", report.engine_rejections)
+                        .set("completions", report.completions)
+                        .set("accounting_balanced", report.accounting_balanced())
+                        .set("decision_digest", format!("0x{:016x}", report.digest))
+                        .set("generation", report.generation as u64)
+                        .set("swaps", swap_rows(&report.swaps))
+                        .set(
+                            "swap_pause_seconds",
+                            report
+                                .swap_pause_seconds
+                                .iter()
+                                .map(|&s| Json::from(s))
+                                .collect::<Vec<_>>(),
+                        )
+                        .set(
+                            "swap_errors",
+                            report
+                                .swap_errors
+                                .iter()
+                                .map(|e| Json::from(e.as_str()))
+                                .collect::<Vec<_>>(),
+                        )
+                        .set("protocol_errors", report.protocol_errors)
+                        .set(
+                            "journal_errors",
+                            report
+                                .journal_errors
+                                .iter()
+                                .map(|e| Json::from(e.as_str()))
+                                .collect::<Vec<_>>(),
+                        )
+                        .set("wall_s", wall);
+                    print!("{}", doc.pretty());
+                    return Ok(());
+                }
+                println!(
+                    "serve: policy={policy_name} listened on {local} (k={k} route_shards={route} \
+                     workers={workers} batch={batch} queue_cap={queue_cap} shed={shed})"
+                );
+                println!(
+                    "net:   {} connections, {} arrivals -> {} ingested, {} shed, {} rejected, \
+                     {} completions in {wall:.3} s (accounting {})",
+                    report.connections,
+                    report.client_arrivals,
+                    report.ingested,
+                    report.net_sheds,
+                    report.engine_rejections,
+                    report.completions,
+                    if report.accounting_balanced() {
+                        "exact"
+                    } else {
+                        "VIOLATED"
+                    }
+                );
+                print_swap_log(&report.swaps);
+                for e in &report.swap_errors {
+                    println!("swap:  FAILED: {e}");
+                }
+                for e in &report.journal_errors {
+                    println!("journal: FAILED: {e}");
+                }
+                if report.protocol_errors > 0 {
+                    println!(
+                        "net:   {} protocol errors tore down connections",
+                        report.protocol_errors
+                    );
+                }
+                println!(
+                    "digest: 0x{:016x} (generation {})",
+                    report.digest, report.generation
+                );
+                return Ok(());
             }
             // The engine serves `route` independent k-server shards, so the
             // offered stream carries route x the single-cluster rate; the
@@ -1264,14 +1580,145 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
                 }
                 let continued = engine.run(source.as_mut(), duration);
                 (engine, replayed + continued, false, Some(replayed))
+            } else if let Some(swap_spec) = &swap_policy {
+                // Offline hot-swap: a hand-rolled batched loop that splits
+                // exactly at the --swap-at barrier. The trailing partial
+                // batch is journaled and ingested before the swap and
+                // before shutdown — never dropped at a batch boundary.
+                let barrier = swap_at.expect("validated: --swap-policy needs --swap-at");
+                let mut engine = ServeEngine::new(table, config);
+                let mut wal = match journal_path {
+                    Some(jpath) => {
+                        let file = std::fs::File::create(jpath)
+                            .map_err(|e| format!("cannot create journal {jpath}: {e}"))?;
+                        Some(
+                            JournalWriter::create_with_spec(
+                                std::io::BufWriter::new(file),
+                                &engine,
+                                Some(&policy_spec),
+                            )
+                            .map_err(|e| format!("cannot write journal {jpath}: {e}"))?,
+                        )
+                    }
+                    None => None,
+                };
+                let install =
+                    |engine: &mut ServeEngine,
+                     wal: &mut Option<JournalWriter<std::io::BufWriter<std::fs::File>>>|
+                     -> Result<(), String> {
+                        let resolved = match swap_spec.strip_prefix("optimize:") {
+                            Some(family) => {
+                                // Re-optimize against the traffic observed so
+                                // far: per-class arrival counts over the
+                                // engine's summed stream clock.
+                                let seen = engine.metrics_total();
+                                let stream_time: f64 =
+                                    engine.metrics_per_shard().iter().map(|m| m.sim_time).sum();
+                                let load = opt::ObservedLoad::from_counts(
+                                    seen.arrivals_inelastic,
+                                    seen.arrivals_elastic,
+                                    stream_time,
+                                )
+                                .map_err(|e| format!("--swap-policy '{swap_spec}': {e}"))?;
+                                opt::reoptimize(
+                                    family,
+                                    p.k,
+                                    &load,
+                                    p.mu_i,
+                                    p.mu_e,
+                                    &opt::Budget {
+                                        max_evals: 60,
+                                        seed,
+                                    },
+                                )
+                                .map_err(|e| format!("--swap-policy '{swap_spec}': {e}"))?
+                                .spec
+                            }
+                            None => swap_spec.clone(),
+                        };
+                        let swap_table = CompiledTable::compile(
+                            parse_policy(&resolved)
+                                .map_err(|e| spec_error("swap-policy", &resolved, &e))?,
+                            p.k,
+                            grid,
+                            grid,
+                        );
+                        // Write-ahead: journal the generation record before
+                        // any arrival is served under it.
+                        let record = eirs_repro::serve::SwapRecord {
+                            seq: engine.ingested(),
+                            generation: engine.generation() + 1,
+                            hash: swap_table.identity_hash(),
+                            spec: resolved.clone(),
+                        };
+                        if let Some(w) = wal.as_mut() {
+                            w.append_swap(&record)
+                                .map_err(|e| format!("cannot write journal: {e}"))?;
+                        }
+                        let installed = engine.install_table(swap_table, &resolved);
+                        debug_assert_eq!(installed, record);
+                        Ok(())
+                    };
+                let mut swapped = false;
+                let mut buffer: Vec<eirs_repro::sim::Arrival> = Vec::with_capacity(batch);
+                loop {
+                    if !swapped && engine.ingested() == barrier {
+                        install(&mut engine, &mut wal)?;
+                        swapped = true;
+                    }
+                    // Never fill past the barrier: the swap happens
+                    // between batches, so a batch boundary must land on
+                    // it exactly.
+                    let limit = if swapped {
+                        batch
+                    } else {
+                        batch.min((barrier - engine.ingested()) as usize)
+                    };
+                    buffer.clear();
+                    let mut ended = false;
+                    while buffer.len() < limit {
+                        match source.next_arrival() {
+                            Some(a) if a.time <= duration => buffer.push(a),
+                            _ => {
+                                ended = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !buffer.is_empty() {
+                        if let Some(w) = wal.as_mut() {
+                            w.append_batch(engine.ingested(), &buffer)
+                                .map_err(|e| format!("cannot write journal: {e}"))?;
+                        }
+                        engine.ingest_batch(&buffer);
+                    }
+                    if ended {
+                        // The stream ended before the barrier: the swap
+                        // still takes effect, journaled at the actual
+                        // end-of-stream barrier.
+                        if !swapped {
+                            install(&mut engine, &mut wal)?;
+                        }
+                        break;
+                    }
+                }
+                let n = engine.ingested();
+                (engine, n, false, None)
             } else {
                 let mut engine = ServeEngine::new(table, config);
                 match journal_path {
                     Some(jpath) => {
                         let file = std::fs::File::create(jpath)
                             .map_err(|e| format!("cannot create journal {jpath}: {e}"))?;
-                        let mut wal = JournalWriter::create(std::io::BufWriter::new(file), &engine)
-                            .map_err(|e| format!("cannot write journal {jpath}: {e}"))?;
+                        // Record the boot-policy spec in the header so
+                        // --replay-journal can rebuild the run from the
+                        // journal alone.
+                        let mut wal = JournalWriter::create_with_spec(
+                            std::io::BufWriter::new(file),
+                            &engine,
+                            Some(&policy_spec),
+                        )
+                        .map_err(|e| format!("cannot write journal {jpath}: {e}"))?;
                         let outcome = run_journaled(
                             &mut engine,
                             source.as_mut(),
@@ -1428,6 +1875,8 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
                             None => Json::Null,
                         },
                     )
+                    .set("generation", engine.generation() as u64)
+                    .set("swaps", swap_rows(engine.swap_log()))
                     .set("shards", rows);
                 print!("{}", doc.pretty());
                 return Ok(());
@@ -1477,6 +1926,7 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
                      --recover true --snapshot ... --journal ...)"
                 );
             }
+            print_swap_log(engine.swap_log());
             println!("digest: {digest}");
             if !response_hist.is_empty() {
                 println!(
@@ -1502,6 +1952,147 @@ fn dispatch(args: CliArgs) -> Result<(), String> {
                     m.sim_time
                 );
             }
+            Ok(())
+        }
+        "client" => {
+            use eirs_repro::net::{run_client, ClientConfig};
+
+            let Some(addr) = args.get("connect") else {
+                return Err(
+                    "client needs --connect <host:port> (a `serve --listen` address)".into(),
+                );
+            };
+            let p = parse_params(&args)?;
+            let workload = workload_flag(&args)?;
+            let clients = args.get_parsed_or("clients", 1usize).map_err(stringify)?;
+            if clients < 1 {
+                return Err("--clients must be at least 1".into());
+            }
+            let seed = args.get_parsed_or("seed", 1u64).map_err(stringify)?;
+            // Same horizon convention as serve: trace files replay whole
+            // by default, live generators need a finite horizon.
+            let whole_trace = matches!(
+                workload.arrivals,
+                eirs_repro::core::scenario::ArrivalSpec::TraceFile { .. }
+            );
+            let duration = match args.get("duration") {
+                Some(_) => args.get_parsed_or("duration", 0.0f64).map_err(stringify)?,
+                None if whole_trace => f64::INFINITY,
+                None => 500.0,
+            };
+            if duration.is_nan()
+                || duration <= 0.0
+                || (args.get("duration").is_some() && !duration.is_finite())
+            {
+                return Err(format!(
+                    "--duration must be a positive time, got {duration}"
+                ));
+            }
+            let swap_spec = args.get("swap").map(str::to_string);
+            let swap_after = match args.get("swap-after") {
+                Some(_) => Some(args.get_parsed_or("swap-after", 0u64).map_err(stringify)?),
+                None => None,
+            };
+            if swap_after.is_some() && swap_spec.is_none() {
+                return Err("--swap-after needs --swap <spec> (the policy to request)".into());
+            }
+            // The whole workload is materialized up front so request ids
+            // (global arrival indices) are assigned before the lanes
+            // split across connections.
+            let mut source = workload.build_source(&p, seed, duration)?;
+            let mut arrivals = Vec::new();
+            while let Some(a) = source.next_arrival() {
+                if a.time > duration {
+                    break;
+                }
+                arrivals.push(a);
+            }
+            if arrivals.is_empty() {
+                return Err("the workload produced no arrivals to send".into());
+            }
+            let swap = swap_spec.map(|spec| {
+                // Default barrier: mid-stream.
+                (swap_after.unwrap_or(arrivals.len() as u64 / 2), spec)
+            });
+            let start = std::time::Instant::now();
+            let report = run_client(addr, &arrivals, &ClientConfig { clients, swap })?;
+            let wall = start.elapsed().as_secs_f64();
+            if json_mode(&args)? {
+                let lat = if report.latency.is_empty() {
+                    Json::Null
+                } else {
+                    let mut q = Json::object();
+                    q.set("count", report.latency.count())
+                        .set("mean_s", report.latency.mean_seconds())
+                        .set("p50_s", report.latency.quantile_seconds(0.5))
+                        .set("p95_s", report.latency.quantile_seconds(0.95))
+                        .set("p99_s", report.latency.quantile_seconds(0.99));
+                    q
+                };
+                let mut doc = Json::object();
+                doc.set("schema", "eirs-client/v1")
+                    .set("connect", addr)
+                    .set("clients", clients)
+                    .set("workload", workload.name.clone())
+                    .set("arrivals", report.arrivals)
+                    .set("decisions", report.decisions)
+                    .set("admitted", report.admitted)
+                    .set("net_sheds", report.net_sheds)
+                    .set("engine_rejections", report.engine_rejections)
+                    .set("max_generation", report.max_generation as u64)
+                    .set(
+                        "control_replies",
+                        report
+                            .control_replies
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect::<Vec<_>>(),
+                    )
+                    .set(
+                        "server_errors",
+                        report
+                            .server_errors
+                            .iter()
+                            .map(|s| Json::from(s.as_str()))
+                            .collect::<Vec<_>>(),
+                    )
+                    .set("wall_s", wall)
+                    .set("requests_per_sec", report.decisions as f64 / wall)
+                    .set("latency", lat);
+                print!("{}", doc.pretty());
+                return Ok(());
+            }
+            println!(
+                "client: {clients} connections -> {addr}, workload={} ({} arrivals)",
+                workload.name, report.arrivals
+            );
+            println!(
+                "decisions: {} ({} admitted, {} shed, {} rejected) in {wall:.3} s ({:.0} req/s)",
+                report.decisions,
+                report.admitted,
+                report.net_sheds,
+                report.engine_rejections,
+                report.decisions as f64 / wall
+            );
+            if !report.latency.is_empty() {
+                println!(
+                    "latency: mean={:.2}ms p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+                    report.latency.mean_seconds() * 1e3,
+                    report.latency.quantile_seconds(0.5) * 1e3,
+                    report.latency.quantile_seconds(0.95) * 1e3,
+                    report.latency.quantile_seconds(0.99) * 1e3
+                );
+            }
+            for reply in &report.control_replies {
+                println!("control: {reply}");
+            }
+            for e in &report.server_errors {
+                println!("server error: {e}");
+            }
+            println!(
+                "generation: {} (highest seen in any decision)",
+                report.max_generation
+            );
             Ok(())
         }
         "counterexample" => {

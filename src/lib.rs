@@ -25,6 +25,10 @@
 //!   policies compiled to O(1) lookup tables, a sharded cluster engine
 //!   replaying live event streams bit-identically to the DES, per-shard
 //!   ops metrics, and snapshot/restore;
+//! * [`net`] (`eirs-net`) — the networked serving front end: the
+//!   `eirsnp01` framed TCP protocol, bounded per-shard ingest queues,
+//!   the load-generating client, and atomic journaled policy hot-swap
+//!   (observe → re-optimize → redeploy);
 //! * [`bench`](mod@bench) (`eirs-bench`) — figure/table regeneration harnesses and
 //!   the `BENCH_*.json` writers (the CLI's `--json true` mode reuses its
 //!   JSON serializer);
@@ -43,6 +47,7 @@ pub use eirs_core as core;
 pub use eirs_markov as markov;
 pub use eirs_mdp as mdp;
 pub use eirs_multiclass as multiclass;
+pub use eirs_net as net;
 pub use eirs_numerics as numerics;
 pub use eirs_obs as obs;
 pub use eirs_opt as opt;

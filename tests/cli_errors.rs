@@ -401,3 +401,110 @@ fn well_formed_serve_run_exits_zero_with_machine_output() {
     assert!(stdout.contains("\"schema\": \"eirs-serve/v1\""), "{stdout}");
     assert!(stdout.contains("\"decision_digest\": \"0x"), "{stdout}");
 }
+
+#[test]
+fn network_flag_errors_fail_cleanly() {
+    for (args, needle) in [
+        // The networked / hot-swap / replay flag interlocks of `serve`.
+        (
+            vec!["serve", "--listen", "not-an-address"],
+            "cannot listen on not-an-address",
+        ),
+        (
+            vec!["serve", "--swap-at", "100"],
+            "--swap-policy and --swap-at go together",
+        ),
+        (
+            vec!["serve", "--swap-policy", "threshold:3"],
+            "--swap-policy and --swap-at go together",
+        ),
+        (
+            vec!["serve", "--swap-policy", "bogus!!", "--swap-at", "10"],
+            "--swap-policy 'bogus!!':",
+        ),
+        (
+            vec![
+                "serve",
+                "--swap-policy",
+                "optimize:nofamily",
+                "--swap-at",
+                "10",
+            ],
+            "--swap-policy 'optimize:nofamily':",
+        ),
+        (
+            vec!["serve", "--queue-cap", "16"],
+            "only apply with --listen",
+        ),
+        (vec!["serve", "--shed", "true"], "only apply with --listen"),
+        (
+            vec!["serve", "--drain", "true"],
+            "--drain only applies with --replay-journal",
+        ),
+        (
+            vec![
+                "serve",
+                "--replay-journal",
+                "/tmp/x.wal",
+                "--journal",
+                "/tmp/y.wal",
+            ],
+            "--replay-journal is a standalone mode",
+        ),
+        (
+            vec![
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--recover",
+                "true",
+                "--snapshot",
+                "/tmp/s",
+                "--journal",
+                "/tmp/j",
+            ],
+            "--listen serves live connections",
+        ),
+        (
+            vec!["serve", "--replay-journal", "/definitely/not/here.wal"],
+            "cannot replay journal",
+        ),
+        // The client subcommand's own interlocks.
+        (vec!["client"], "client needs --connect"),
+        (
+            vec!["client", "--connect", "127.0.0.1:1", "--clients", "0"],
+            "--clients must be at least 1",
+        ),
+        (
+            vec!["client", "--connect", "127.0.0.1:1", "--swap-after", "5"],
+            "--swap-after needs --swap",
+        ),
+    ] {
+        let (code, stderr) = run_eirs(&args);
+        assert_ne!(code, 0, "{args:?} must be rejected");
+        assert!(
+            stderr.starts_with("error: "),
+            "{args:?}: must report through the single error path; got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: stderr missing {needle:?}; got:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn client_refuses_a_dead_endpoint_cleanly() {
+    // Nothing listens on this port of TEST-NET; connect must fail with a
+    // clean error, not a hang (the client only retries at the protocol
+    // level, never the transport level).
+    let (code, stderr) = run_eirs(&[
+        "client",
+        "--connect",
+        "127.0.0.1:1",
+        "--workload",
+        "trace:crates/serve/testdata/smoke.trace",
+    ]);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("connect"), "stderr:\n{stderr}");
+}
